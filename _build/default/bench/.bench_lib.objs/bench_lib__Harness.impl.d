@@ -1,0 +1,1 @@
+bench/harness.ml: Array List Printf String Weakset_spec

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Harness Hashtbl Instance List Measure Printf Scenarios Staged String Test Time Toolkit Weakset_core Weakset_sim Weakset_spec

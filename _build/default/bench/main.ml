@@ -1,0 +1,14 @@
+(* Benchmark/experiment driver.  Running with no arguments regenerates
+   every experiment table (F1..F6, E1..E7, A1..A3) and the bechamel
+   microbenchmarks (M1); see DESIGN.md section 4 for the experiment index
+   and EXPERIMENTS.md for paper-vs-measured commentary.
+
+     dune exec bench/main.exe             -- everything
+     dune exec bench/main.exe -- --no-micro  -- experiments only  *)
+
+let () =
+  let no_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
+  Printf.printf "Weak sets (Wing & Steere, ICDCS 1995) - experiment suite\n";
+  Printf.printf "All latencies are simulated virtual time units unless noted.\n";
+  Bench_lib.Experiments.run_all ();
+  if not no_micro then Bench_lib.Micro.run ()

@@ -1,0 +1,1 @@
+examples/distributed_ls.ml: Array Client Dfs Engine Fpath List Ls Node_server Oid Printexc Printf Rng Rpc Topology Weakset_dynamic Weakset_net Weakset_sim Weakset_store Workload

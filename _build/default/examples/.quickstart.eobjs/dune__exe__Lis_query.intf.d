@@ -1,0 +1,1 @@
+examples/lis_query.mli:

@@ -1,0 +1,1 @@
+examples/mobile_client.ml: Array Client Dfs Disconnect Engine Fault Fpath List Node_server Printexc Printf Rng Rpc Topology Weakset_dynamic Weakset_net Weakset_sim Weakset_store Workload

@@ -1,0 +1,66 @@
+(* The dynamic-sets ls experiment (§1.1): listing a directory whose files
+   are scattered across a wide-area network, comparing
+
+   - strict sequential ls (the classical Unix contract),
+   - weak ls with one fetcher,
+   - weak ls with parallel fetchers,
+   - parallel + closest-first claim order.
+
+   The weak variants return the first entry after a single fetch and keep
+   working when a server is down.
+
+   Run with: dune exec examples/distributed_ls.exe *)
+
+open Weakset_sim
+open Weakset_net
+open Weakset_store
+open Weakset_dynamic
+
+let describe label ~t0 = function
+  | Ok l ->
+      Printf.printf "%-28s first entry at %6s  done at %8.2f  entries=%d missed=%d\n" label
+        (match l.Ls.first_entry_at with
+        | Some t -> Printf.sprintf "%.2f" (t -. t0)
+        | None -> "-")
+        (l.Ls.finished_at -. t0) (List.length l.Ls.entries) l.Ls.missed
+  | Error e -> Printf.printf "%-28s FAILED (%s)\n" label (Client.error_to_string e)
+
+let () =
+  let eng = Engine.create ~seed:7L () in
+  let rng = Rng.split (Engine.rng eng) in
+  let topo = Topology.create () in
+  let nodes = Topology.wan topo ~rng ~nodes:16 ~extra_links:8 in
+  let rpc : Node_server.rpc = Rpc.create eng topo in
+  let servers = Array.map (fun n -> Node_server.create rpc n) nodes in
+  let dfs = Dfs.create rpc servers in
+  let dir = Fpath.of_string "/usr/global/src" in
+  let homes = List.init 14 (fun i -> i + 2) in
+  let (_ : Oid.t array) =
+    Workload.spread_tree dfs ~rng ~dir ~coordinator:1 ~files:48 ~homes ~mean_size:2000 ()
+  in
+  (* Far WAN nodes can be >15 latency units away: give RPCs headroom. *)
+  let client = Client.with_timeout (Dfs.client_at dfs 0) 200.0 in
+
+  Engine.spawn eng ~name:"ls-bench" (fun () ->
+      Printf.printf "== 48 files over a 16-node WAN ==\n\n";
+      let t0 = Engine.now eng in
+      describe "strict sequential" ~t0 (Ls.ls dfs ~client dir Ls.Strict);
+      let t0 = Engine.now eng in
+      describe "weak, 1 fetcher" ~t0 (Ls.ls dfs ~client dir (Ls.Weak { parallelism = 1 }));
+      let t0 = Engine.now eng in
+      describe "weak, 8 fetchers" ~t0 (Ls.ls dfs ~client dir (Ls.Weak { parallelism = 8 }));
+
+      (* Now crash two content servers: strict fails, weak degrades. *)
+      Topology.set_node_up topo nodes.(5) false;
+      Topology.set_node_up topo nodes.(9) false;
+      Printf.printf "\n== same directory, two content servers down ==\n\n";
+      let t0 = Engine.now eng in
+      describe "strict sequential" ~t0 (Ls.ls dfs ~client dir Ls.Strict);
+      let t0 = Engine.now eng in
+      describe "weak, 8 fetchers" ~t0 (Ls.ls dfs ~client dir (Ls.Weak { parallelism = 8 })));
+  let (_ : int) = Engine.run ~until:1.0e6 eng in
+  match Engine.crashes eng with
+  | [] -> ()
+  | c :: _ ->
+      Printf.eprintf "fiber crashed: %s\n" (Printexc.to_string c.Engine.crash_exn);
+      exit 1

@@ -1,0 +1,102 @@
+(* The paper's library-information-system query (§1): "through the on-line
+   library information system you want to get a list of papers by a
+   particular author" — while the catalog is being updated concurrently.
+
+   A grow-only iteration (Figure 5, ghost copies) never loses an entry it
+   has started from, sees entries added mid-query, and the concurrent
+   deletion is deferred until the query terminates.
+
+   Run with: dune exec examples/lis_query.exe *)
+
+open Weakset_sim
+open Weakset_net
+open Weakset_store
+open Weakset_core
+open Weakset_dynamic
+
+let () =
+  let eng = Engine.create ~seed:11L () in
+  let rng = Rng.split (Engine.rng eng) in
+  let topo = Topology.create () in
+  let nodes = Topology.clique topo 6 ~latency:2.0 in
+  let rpc : Node_server.rpc = Rpc.create eng topo in
+  let servers = Array.map (fun n -> Node_server.create rpc n) nodes in
+  let dfs = Dfs.create rpc servers in
+  let dir = Fpath.of_string "/lis/catalog" in
+  (* Ghost policy: removals are deferred while iterators run. *)
+  Dfs.mkdir dfs dir ~coordinator:1 ~ghost_policy:true ();
+  List.iteri
+    (fun ai author ->
+      for p = 0 to 3 do
+        ignore
+          (Dfs.create_file dfs dir
+             ~name:(Printf.sprintf "entry-%02d-%02d" ai p)
+             ~home:(2 + ((ai + p) mod 4))
+             (Printf.sprintf "author: %s\ntitle: paper %d by %s" author p author))
+      done)
+    [ "wing"; "steere"; "satyanarayanan" ];
+  ignore rng;
+  let client = Dfs.client_at dfs 0 in
+  let sref = Dfs.dir_sref dfs dir in
+  let set =
+    Weak_set.make ~coordinator_server:(Dfs.coordinator_server dfs dir) client sref
+      Semantics.grow_only
+  in
+
+  Engine.spawn eng ~name:"patron" (fun () ->
+      Printf.printf "== querying the LIS catalog (grow-only / ghost copies) ==\n\n";
+      let iter, inst = Weak_set.elements ~instrument:true set in
+      let wing = ref 0 and total = ref 0 in
+      let mutated = ref false in
+      let librarian = Weak_set.make client sref Semantics.optimistic in
+      let rec loop () =
+        match Iterator.next iter with
+        | Iterator.Yield (oid, v) ->
+            incr total;
+            let content = Svalue.content v in
+            let starts_with prefix s =
+              String.length s >= String.length prefix
+              && String.sub s 0 (String.length prefix) = prefix
+            in
+            if starts_with "author: wing" content then incr wing;
+            (* Mid-query, the librarian adds one entry and deletes one
+               already-catalogued entry.  The deletion becomes a ghost. *)
+            if (not !mutated) && !total = 3 then begin
+              mutated := true;
+              let late =
+                Dfs.create_file dfs dir ~name:"entry-99-00" ~home:2
+                  "author: wing\ntitle: the late-breaking result"
+              in
+              ignore late;
+              match Dfs.lookup dfs dir ~name:"entry-00-00" with
+              | Some victim -> ignore (Weak_set.remove librarian victim)
+              | None -> ()
+            end;
+            ignore oid;
+            loop ()
+        | Iterator.Done ->
+            Printf.printf "query returned %d entries, %d by wing (including the one added mid-query)\n"
+              !total !wing
+        | Iterator.Failed e -> Printf.printf "query failed: %s\n" (Client.error_to_string e)
+      in
+      loop ();
+      (match inst with
+      | Some inst ->
+          let v = Instrument.check inst Weakset_spec.Figures.fig5 in
+          Printf.printf "Figure 5 (grow-only) conformance: %s\n"
+            (if Weakset_spec.Figures.verdict_ok v then "CONFORMS" else "VIOLATES")
+      | None -> ());
+      (* After the query terminates, the ghost is collected. *)
+      Engine.sleep eng 10.0;
+      let truth =
+        Node_server.directory_truth (Dfs.coordinator_server dfs dir)
+          ~set_id:sref.Protocol.set_id
+      in
+      Printf.printf "catalog size after ghost collection: %d (the deferred delete was applied)\n"
+        (Directory.size truth));
+  let (_ : int) = Engine.run ~until:100_000.0 eng in
+  match Engine.crashes eng with
+  | [] -> ()
+  | c :: _ ->
+      Printf.eprintf "fiber crashed: %s\n" (Printexc.to_string c.Engine.crash_exn);
+      exit 1

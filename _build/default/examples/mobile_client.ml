@@ -1,0 +1,66 @@
+(* Disconnected operation (§1.1): "Our target environment is a wide-area
+   file system on a network of (possibly mobile) workstations.  Failures
+   are assumed to be common, e.g., disconnecting a mobile client from the
+   network while traveling is an induced failure, yet consistency of data
+   may be sacrificed to gain high performance and high availability."
+
+   A laptop hoards a paper archive before a flight, keeps answering
+   queries from its local (frozen) replica while offline, and reintegrates
+   on landing.
+
+   Run with: dune exec examples/mobile_client.exe *)
+
+open Weakset_sim
+open Weakset_net
+open Weakset_store
+open Weakset_dynamic
+
+let () =
+  let eng = Engine.create ~seed:3L () in
+  let rng = Rng.split (Engine.rng eng) in
+  let topo = Topology.create () in
+  let nodes = Topology.clique topo 5 ~latency:2.0 in
+  let rpc : Node_server.rpc = Rpc.create eng topo in
+  let servers = Array.map (fun n -> Node_server.create rpc n) nodes in
+  let fault = Fault.create eng topo in
+  let dfs = Dfs.create rpc servers in
+  let dir = Fpath.of_string "/archive/papers" in
+  Workload.library dfs ~rng ~dir ~coordinator:1
+    ~authors:[ "wing"; "steere"; "satyanarayanan" ]
+    ~papers_per_author:3 ~homes:[ 1; 2; 3; 4 ];
+  let session = Disconnect.setup dfs ~fault ~client_ix:0 dir ~sync_interval:60.0 in
+
+  Engine.spawn eng ~name:"laptop" (fun () ->
+      (* At the office: hoard the archive. *)
+      let hoarded = Disconnect.hoard session in
+      Printf.printf "t=%6.1f  hoarded %d catalog entries, cache=%d objects\n" (Engine.now eng)
+        hoarded
+        (Client.cache_size (Disconnect.client session));
+
+      (* Board the plane. *)
+      Disconnect.disconnect session;
+      Printf.printf "t=%6.1f  disconnected (all links down)\n" (Engine.now eng);
+
+      (* The librarian keeps working while we are offline. *)
+      ignore
+        (Dfs.create_file dfs dir ~name:"entry-new" ~home:2
+           "author: wing\ntitle: written while you were flying");
+
+      Engine.sleep eng 500.0;
+      let hits, misses = Disconnect.local_query session () in
+      Printf.printf "t=%6.1f  offline query: %d entries from the local replica (%d missing), stale by design\n"
+        (Engine.now eng) (List.length hits) misses;
+
+      (* Land, reconnect, reintegrate. *)
+      Disconnect.reconnect session;
+      ignore (Disconnect.resync session);
+      ignore (Disconnect.hoard session);
+      let hits, misses = Disconnect.local_query session () in
+      Printf.printf "t=%6.1f  reintegrated: %d entries (%d missing) - the in-flight addition is visible\n"
+        (Engine.now eng) (List.length hits) misses);
+  let (_ : int) = Engine.run ~until:10_000.0 eng in
+  match Engine.crashes eng with
+  | [] -> ()
+  | c :: _ ->
+      Printf.eprintf "fiber crashed: %s\n" (Printexc.to_string c.Engine.crash_exn);
+      exit 1

@@ -1,0 +1,1 @@
+lib/core/gmw.ml: Format List Semantics

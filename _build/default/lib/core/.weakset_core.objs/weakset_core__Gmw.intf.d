@@ -1,0 +1,1 @@
+lib/core/gmw.mli: Format Semantics

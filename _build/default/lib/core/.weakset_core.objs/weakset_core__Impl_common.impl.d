@@ -1,0 +1,1 @@
+lib/core/impl_common.ml: Instrument Option Weakset_net Weakset_sim Weakset_store

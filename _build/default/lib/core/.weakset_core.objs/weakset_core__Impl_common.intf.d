@@ -1,0 +1,1 @@
+lib/core/impl_common.mli: Instrument Weakset_sim Weakset_spec Weakset_store

@@ -1,0 +1,1 @@
+lib/core/impl_first_vintage.ml: Impl_common Instrument Iterator Option Weakset_spec Weakset_store

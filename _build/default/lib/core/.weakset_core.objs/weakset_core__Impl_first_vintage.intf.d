@@ -1,0 +1,1 @@
+lib/core/impl_first_vintage.mli: Impl_common Iterator

@@ -1,0 +1,1 @@
+lib/core/impl_grow_only.ml: Impl_common Instrument Iterator Option Weakset_spec Weakset_store

@@ -1,0 +1,1 @@
+lib/core/impl_grow_only.mli: Impl_common Iterator

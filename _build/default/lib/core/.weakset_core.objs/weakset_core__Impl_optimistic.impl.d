@@ -1,0 +1,1 @@
+lib/core/impl_optimistic.ml: Impl_common Instrument Iterator List Option Weakset_net Weakset_spec Weakset_store

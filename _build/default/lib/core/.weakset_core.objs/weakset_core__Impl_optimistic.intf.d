@@ -1,0 +1,1 @@
+lib/core/impl_optimistic.mli: Impl_common Iterator

@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Weakset_sim Weakset_spec Weakset_store

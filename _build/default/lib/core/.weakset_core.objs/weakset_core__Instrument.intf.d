@@ -1,0 +1,1 @@
+lib/core/instrument.mli: Weakset_spec Weakset_store

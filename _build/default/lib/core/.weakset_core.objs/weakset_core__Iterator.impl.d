@@ -1,0 +1,1 @@
+lib/core/iterator.ml: Format List Weakset_spec Weakset_store

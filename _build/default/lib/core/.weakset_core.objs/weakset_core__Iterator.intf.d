@@ -1,0 +1,1 @@
+lib/core/iterator.mli: Format Weakset_spec Weakset_store

@@ -1,0 +1,1 @@
+lib/core/query.ml: Iterator List String Weakset_store

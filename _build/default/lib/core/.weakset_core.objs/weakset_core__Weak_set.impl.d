@@ -1,0 +1,1 @@
+lib/core/weak_set.ml: Impl_common Impl_first_vintage Impl_grow_only Impl_optimistic Instrument List Semantics Weakset_sim Weakset_store

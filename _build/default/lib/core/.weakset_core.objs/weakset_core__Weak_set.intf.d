@@ -1,0 +1,1 @@
+lib/core/weak_set.mli: Instrument Iterator Semantics Weakset_sim Weakset_spec Weakset_store

@@ -1,0 +1,28 @@
+type consistency = Strong | Weak | No_consistency
+
+type currency = First_vintage_currency | First_bound
+
+type t = { consistency : consistency; currency : currency }
+
+let classify (s : Semantics.t) =
+  match (s.Semantics.mutability, s.Semantics.vintage) with
+  | Semantics.Immutable, _ -> { consistency = Strong; currency = First_vintage_currency }
+  | Semantics.Mutable_any, Semantics.First_vintage ->
+      { consistency = Weak; currency = First_vintage_currency }
+  | (Semantics.Grow_only | Semantics.Mutable_any), _ ->
+      { consistency = No_consistency; currency = First_bound }
+
+let consistency_to_string = function
+  | Strong -> "strong (serializable)"
+  | Weak -> "weak"
+  | No_consistency -> "no consistency"
+
+let currency_to_string = function
+  | First_vintage_currency -> "first-vintage"
+  | First_bound -> "first-bound"
+
+let pp fmt t =
+  Format.fprintf fmt "%s, %s" (consistency_to_string t.consistency)
+    (currency_to_string t.currency)
+
+let table () = List.map (fun (n, s) -> (n, classify s)) Semantics.all

@@ -1,0 +1,21 @@
+(** Garcia-Molina & Wiederhold's read-only-query taxonomy (paper §4).
+
+    The paper classifies its four design points along two axes:
+    {e consistency} (how serialisable the observed membership is) and
+    {e currency} (the vintage of the data returned).  Figure 3 is a
+    strongly consistent first-vintage query; Figure 4 weakly consistent
+    first-vintage; Figures 5 and 6 are no-consistency, first-bound. *)
+
+type consistency = Strong | Weak | No_consistency
+
+type currency = First_vintage_currency | First_bound
+
+type t = { consistency : consistency; currency : currency }
+
+val classify : Semantics.t -> t
+val pp : Format.formatter -> t -> unit
+val consistency_to_string : consistency -> string
+val currency_to_string : currency -> string
+
+(** The classification table of §4, one row per named design point. *)
+val table : unit -> (string * t) list

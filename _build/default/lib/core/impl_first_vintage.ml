@@ -1,0 +1,118 @@
+module Client = Weakset_store.Client
+module Oid = Weakset_store.Oid
+module Lockmgr = Weakset_store.Lockmgr
+open Impl_common
+
+type protocol = Locking | Snapshot
+
+type state = {
+  ctx : ctx;
+  protocol : protocol;
+  mutable opened : bool;
+  mutable open_failure : Client.error option;
+  mutable pool : Oid.Set.t;     (* s_first: the fixed element pool *)
+  mutable yielded : Oid.Set.t;
+  mutable lock_owner : int option;
+}
+
+let ensure_open st =
+  if not st.opened then begin
+    st.opened <- true;
+    let c = st.ctx.client in
+    let acquire () =
+      match st.protocol with
+      | Snapshot -> Ok ()
+      | Locking -> (
+          match
+            Client.lock_acquire (Client.with_timeout c st.ctx.lock_timeout) st.ctx.sref
+              Lockmgr.Read
+          with
+          | Ok owner ->
+              st.lock_owner <- Some owner;
+              Ok ()
+          | Error e -> Error e)
+    in
+    match acquire () with
+    | Error e -> st.open_failure <- Some e
+    | Ok () -> (
+        match
+          Client.dir_read c ~from:st.ctx.sref.Weakset_store.Protocol.coordinator
+            ~set_id:st.ctx.sref.Weakset_store.Protocol.set_id
+        with
+        | Ok (_version, members) ->
+            st.pool <- Oid.Set.of_list members;
+            inst_first st.ctx
+        | Error e -> st.open_failure <- Some e)
+  end
+
+let release_lock st =
+  match st.lock_owner with
+  | None -> ()
+  | Some owner ->
+      st.lock_owner <- None;
+      ignore (Client.lock_release st.ctx.client st.ctx.sref ~owner)
+
+let next st () =
+  ensure_open st;
+  match st.open_failure with
+  | Some e -> Iterator.Failed e
+  | None ->
+      inst_started st.ctx;
+      let rec attempt fetch_failures =
+        let remaining = Oid.Set.diff st.pool st.yielded in
+        if Oid.Set.is_empty remaining then begin
+          inst_completed st.ctx Weakset_spec.Sstate.Returns;
+          Iterator.Done
+        end
+        else
+          match pick_reachable st.ctx remaining with
+          | None ->
+              (* Pessimistic: un-yielded first-vintage elements exist but
+                 none is accessible. *)
+              inst_completed st.ctx Weakset_spec.Sstate.Fails;
+              Iterator.Failed Client.Unreachable
+          | Some oid -> (
+              match Client.fetch st.ctx.client oid with
+              | Ok v ->
+                  st.yielded <- Oid.Set.add oid st.yielded;
+                  inst_yield st.ctx oid;
+                  Iterator.Yield (oid, v)
+              | Error Client.No_such_object ->
+                  (* The member's contents are gone: indistinguishable from
+                     a permanent failure for this semantics. *)
+                  inst_completed st.ctx Weakset_spec.Sstate.Fails;
+                  Iterator.Failed Client.No_such_object
+              | Error (Client.Unreachable | Client.Timeout | Client.No_service) ->
+                  if fetch_failures + 1 >= st.ctx.max_fetch_attempts then begin
+                    inst_completed st.ctx Weakset_spec.Sstate.Fails;
+                    Iterator.Failed Client.Timeout
+                  end
+                  else begin
+                    (* Reachability changed under us; re-linearise. *)
+                    inst_retry st.ctx;
+                    attempt (fetch_failures + 1)
+                  end)
+      in
+      attempt 0
+
+let make protocol ctx =
+  let st =
+    {
+      ctx;
+      protocol;
+      opened = false;
+      open_failure = None;
+      pool = Oid.Set.empty;
+      yielded = Oid.Set.empty;
+      lock_owner = None;
+    }
+  in
+  Iterator.make ~next:(next st)
+    ~close:(fun () ->
+      inst_detach ctx;
+      release_lock st)
+    ?monitor:(Option.map Instrument.monitor ctx.instrument)
+    ()
+
+let open_locking ctx = make Locking ctx
+let open_snapshot ctx = make Snapshot ctx

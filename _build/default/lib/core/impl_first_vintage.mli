@@ -1,0 +1,24 @@
+(** First-vintage iterators: the element pool is fixed at the first call.
+
+    Two opening protocols share one iteration engine:
+
+    - {!open_locking} (Figures 1/3, the {e immutable} semantics): acquire
+      a distributed read lock on the coordinator at first call and hold it
+      until termination.  Mutators using the write-lock discipline
+      (see {!Weak_set.add}) block for the whole iteration — the cost the
+      paper warns about in §3.1.
+    - {!open_snapshot} (Figure 4): read the membership once, atomically,
+      at first call; take no locks.  Concurrent mutations proceed but are
+      invisible ("loss of mutations").
+
+    Both handle failures pessimistically: if un-yielded elements of the
+    first-vintage pool remain but none is reachable, the iterator signals
+    failure. *)
+
+(** [open_locking ctx] — the iterator; lock acquisition happens lazily at
+    the first [next] (the paper's first-state is the state of the first
+    call). *)
+val open_locking : Impl_common.ctx -> Iterator.t
+
+(** [open_snapshot ctx] — snapshot semantics. *)
+val open_snapshot : Impl_common.ctx -> Iterator.t

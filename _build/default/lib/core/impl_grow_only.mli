@@ -1,0 +1,16 @@
+(** Grow-only iterator (Figure 5, pessimistic).
+
+    At first call the iterator registers itself with the coordinator
+    ([Iter_open]), which — when the directory is hosted with the
+    ghost-copy policy — defers concurrent removals until the last
+    iterator terminates, so the set only grows during the run (§3.3).
+    Each invocation re-reads the {e current} membership, yields any
+    reachable un-yielded member, and signals failure as soon as an
+    un-yielded member is unreachable or the membership itself cannot be
+    read.
+
+    [register:false] skips the [Iter_open]/[Iter_close] registration,
+    giving the unnamed "current-vintage pessimistic over an arbitrarily
+    mutable set" point of the design space (used by ablation A2). *)
+
+val open_ : ?register:bool -> Impl_common.ctx -> Iterator.t

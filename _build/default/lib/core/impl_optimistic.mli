@@ -1,0 +1,19 @@
+(** Optimistic iterator (Figure 6): the dynamic-sets semantics the paper's
+    authors chose to implement (§5).
+
+    No locks, no registration.  Each invocation reads the current
+    membership — from the coordinator, or (with
+    [Semantics.read_nearest_replica]) from the closest reachable
+    membership host, which may serve stale data — and yields the closest
+    reachable un-yielded member.  On {e any} failure (membership host
+    unreachable, all remaining members inaccessible, fetch lost in
+    flight) the invocation does not signal: it parks on the topology-
+    change signal and retries, expecting the failure to be repaired
+    (§3.4's optimism).  Consequently an invocation may block for
+    arbitrarily long, and an iterator over a permanently partitioned set
+    never terminates — by design. *)
+
+(** [open_ ?read_nearest_replica ctx] (default [false]: authoritative
+    coordinator reads, falling back to any reachable replica only when
+    the coordinator is unreachable). *)
+val open_ : ?read_nearest_replica:bool -> Impl_common.ctx -> Iterator.t

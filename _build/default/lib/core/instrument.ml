@@ -1,0 +1,85 @@
+module Client = Weakset_store.Client
+module Node_server = Weakset_store.Node_server
+module Directory = Weakset_store.Directory
+module Oid = Weakset_store.Oid
+module Engine = Weakset_sim.Engine
+module Spec = Weakset_spec
+
+type t = {
+  client : Client.t;
+  server : Node_server.t;
+  set_id : int;
+  monitor : Spec.Monitor.t;
+  mutable universe : Oid.Set.t; (* every oid ever observed as a member *)
+  mutable unhook : unit -> unit;
+}
+
+let elem_of_oid oid = Spec.Elem.make ~label:(Oid.to_string oid) (Oid.num oid)
+
+let to_eset oids = Oid.Set.fold (fun o acc -> Spec.Elem.Set.add (elem_of_oid o) acc) oids Spec.Elem.Set.empty
+
+let now t = Engine.now (Client.engine t.client)
+
+let truth t = Directory.members (Node_server.directory_truth t.server ~set_id:t.set_id)
+
+(* The paper's reachable(): which ever-member elements are accessible from
+   the client's node in the current state. *)
+let capture t =
+  let members = truth t in
+  t.universe <- Oid.Set.union t.universe members;
+  let accessible = Client.reachable_oids t.client t.universe in
+  (to_eset members, to_eset accessible)
+
+let mutation_op = function
+  | Directory.Add o -> Spec.Sstate.Madd (elem_of_oid o)
+  | Directory.Remove o -> Spec.Sstate.Mremove (elem_of_oid o)
+
+let attach ~client ~server ~set_id =
+  (* Fail fast if the server does not coordinate this set. *)
+  let (_ : Directory.t) = Node_server.directory_truth server ~set_id in
+  let t =
+    {
+      client;
+      server;
+      set_id;
+      monitor = Spec.Monitor.create ();
+      universe = Oid.Set.empty;
+      unhook = (fun () -> ());
+    }
+  in
+  let unhook =
+    Node_server.on_directory_mutation server ~set_id (fun op ->
+        (* A removal's oid leaves [truth] but must stay in the universe so
+           its (in)accessibility keeps being recorded. *)
+        (match op with
+        | Directory.Remove o | Directory.Add o -> t.universe <- Oid.Set.add o t.universe);
+        let s, accessible = capture t in
+        Spec.Monitor.observe_mutation t.monitor ~time:(now t) ~op:(mutation_op op) ~s ~accessible)
+  in
+  t.unhook <- unhook;
+  t
+
+let detach t = t.unhook ()
+
+let monitor t = t.monitor
+let computation t = Spec.Monitor.computation t.monitor
+
+let observe_first t =
+  let s, accessible = capture t in
+  Spec.Monitor.observe_first t.monitor ~time:(now t) ~s ~accessible
+
+let invocation_started t =
+  let s, accessible = capture t in
+  Spec.Monitor.invocation_started t.monitor ~time:(now t) ~s ~accessible
+
+let invocation_retry t =
+  let s, accessible = capture t in
+  Spec.Monitor.invocation_retry t.monitor ~time:(now t) ~s ~accessible
+
+let invocation_completed t term =
+  let s, accessible = capture t in
+  Spec.Monitor.invocation_completed t.monitor ~time:(now t) ~term ~s ~accessible
+
+let suspends oid = Spec.Sstate.Suspends (elem_of_oid oid)
+
+let check t spec = Spec.Figures.check spec (computation t)

@@ -1,0 +1,40 @@
+(** Bridges real iterator runs to the specification monitor.
+
+    The instrument has {e omniscient} access to the coordinator's
+    directory (direct memory reads, not RPC): in a discrete-event
+    simulation, reading it at the client's decision instant gives the
+    exact value of [s] in that state, so recorded computations are
+    ground truth even though the implementation under test only ever sees
+    RPC responses.  Mutations by any process are captured via the
+    coordinator's mutation hook. *)
+
+type t
+
+(** [attach ~client ~server ~set_id] creates an instrument for the
+    collection coordinated by [server] and registers its mutation hook.
+    Raises [Not_found] if [server] does not host [set_id]. *)
+val attach :
+  client:Weakset_store.Client.t -> server:Weakset_store.Node_server.t -> set_id:int -> t
+
+(** Unregister the mutation hook (the recorded computation stops growing;
+    call when the instrumented run is over). *)
+val detach : t -> unit
+
+val monitor : t -> Weakset_spec.Monitor.t
+val computation : t -> Weakset_spec.Computation.t
+
+(** Oid → spec element (id = oid number, label = printed oid). *)
+val elem_of_oid : Weakset_store.Oid.t -> Weakset_spec.Elem.t
+
+(** {1 Capture points, called by iterator implementations} *)
+
+val observe_first : t -> unit
+val invocation_started : t -> unit
+val invocation_retry : t -> unit
+val invocation_completed : t -> Weakset_spec.Sstate.termination -> unit
+
+(** Spec termination value for yielding [oid]. *)
+val suspends : Weakset_store.Oid.t -> Weakset_spec.Sstate.termination
+
+(** [check t spec] validates the recorded computation. *)
+val check : t -> Weakset_spec.Figures.spec -> Weakset_spec.Figures.verdict

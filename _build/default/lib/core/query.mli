@@ -1,0 +1,23 @@
+(** Database-like queries over weak sets (paper §1.1: "by supporting a
+    set-like abstraction, we can support database-like queries, e.g.,
+    finding all files that satisfy a given predicate"). *)
+
+(** [filter iter p] is an iterator yielding only the elements whose
+    contents satisfy [p]; termination outcomes pass through. *)
+val filter :
+  Iterator.t -> (Weakset_store.Oid.t -> Weakset_store.Svalue.t -> bool) -> Iterator.t
+
+(** [grep iter needle] filters to elements whose content contains
+    [needle]. *)
+val grep : Iterator.t -> string -> Iterator.t
+
+(** [collect ?limit iter] drains the iterator (see {!Iterator.drain}). *)
+val collect :
+  ?limit:int ->
+  Iterator.t ->
+  (Weakset_store.Oid.t * Weakset_store.Svalue.t) list
+  * [ `Done | `Failed of Weakset_store.Client.error | `Limit ]
+
+(** [count ?limit iter p] — how many yielded elements satisfy [p]. *)
+val count :
+  ?limit:int -> Iterator.t -> (Weakset_store.Oid.t -> Weakset_store.Svalue.t -> bool) -> int

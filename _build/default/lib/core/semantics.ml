@@ -1,0 +1,88 @@
+type mutability = Immutable | Grow_only | Mutable_any
+
+type vintage = First_vintage | Current_vintage
+
+type failure_handling = Pessimistic | Optimistic
+
+type t = {
+  mutability : mutability;
+  vintage : vintage;
+  failure_handling : failure_handling;
+  read_nearest_replica : bool;
+}
+
+let immutable =
+  {
+    mutability = Immutable;
+    vintage = First_vintage;
+    failure_handling = Pessimistic;
+    read_nearest_replica = false;
+  }
+
+let snapshot =
+  {
+    mutability = Mutable_any;
+    vintage = First_vintage;
+    failure_handling = Pessimistic;
+    read_nearest_replica = false;
+  }
+
+let grow_only =
+  {
+    mutability = Grow_only;
+    vintage = Current_vintage;
+    failure_handling = Pessimistic;
+    read_nearest_replica = false;
+  }
+
+let optimistic =
+  {
+    mutability = Mutable_any;
+    vintage = Current_vintage;
+    failure_handling = Optimistic;
+    read_nearest_replica = false;
+  }
+
+let optimistic_stale = { optimistic with read_nearest_replica = true }
+
+let all =
+  [
+    ("immutable", immutable);
+    ("snapshot", snapshot);
+    ("grow-only", grow_only);
+    ("optimistic", optimistic);
+    ("optimistic-stale", optimistic_stale);
+  ]
+
+let name t =
+  match List.find_opt (fun (_, s) -> s = t) all with
+  | Some (n, _) -> n
+  | None -> "custom"
+
+let pp fmt t =
+  let mut =
+    match t.mutability with
+    | Immutable -> "immutable"
+    | Grow_only -> "grow-only"
+    | Mutable_any -> "mutable"
+  in
+  let vin = match t.vintage with First_vintage -> "first" | Current_vintage -> "current" in
+  let fh =
+    match t.failure_handling with Pessimistic -> "pessimistic" | Optimistic -> "optimistic"
+  in
+  Format.fprintf fmt "%s(%s vintage, %s%s)" mut vin fh
+    (if t.read_nearest_replica then ", stale replicas" else "")
+
+let spec_of ?(no_failures = false) t =
+  let open Weakset_spec.Figures in
+  match (t.mutability, t.vintage, t.failure_handling) with
+  | Immutable, _, _ -> if no_failures then fig1 else fig3
+  | Mutable_any, First_vintage, _ -> fig4
+  | Grow_only, _, _ -> fig5
+  | Mutable_any, Current_vintage, Optimistic -> fig6
+  | Mutable_any, Current_vintage, Pessimistic -> fig5 (* closest published point *)
+
+let window_spec_of t =
+  match (t.mutability, t.vintage, t.failure_handling) with
+  | Mutable_any, Current_vintage, Optimistic -> Weakset_spec.Figures.fig6_window
+  | _ -> spec_of t

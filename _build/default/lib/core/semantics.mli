@@ -1,0 +1,62 @@
+(** The weak-set design space (paper §3).
+
+    A point in the space fixes three dimensions:
+    - {e mutability}: what the type [constraint] allows other processes to
+      do to the set while it exists;
+    - {e vintage}: whether the iterator answers with respect to the set's
+      value when first called or its current value (Garcia-Molina &
+      Wiederhold's "currency");
+    - {e failure handling}: pessimistic (signal [failure] as soon as an
+      un-yielded member is inaccessible) or optimistic (block and retry,
+      expecting the failure to be repaired).
+
+    The four named points are the paper's Figures 3, 4, 5, 6.  (Figure 1
+    is {!immutable} run in a failure-free world.) *)
+
+type mutability = Immutable | Grow_only | Mutable_any
+
+type vintage = First_vintage | Current_vintage
+
+type failure_handling = Pessimistic | Optimistic
+
+type t = {
+  mutability : mutability;
+  vintage : vintage;
+  failure_handling : failure_handling;
+  read_nearest_replica : bool;
+      (** optimistic iterators may read membership from the nearest
+          (possibly stale) directory replica instead of the coordinator —
+          the availability/consistency knob of ablation A1 *)
+}
+
+(** Figure 3: distributed read lock held for the whole iteration. *)
+val immutable : t
+
+(** Figure 4: atomic membership snapshot at first call; mutations lost. *)
+val snapshot : t
+
+(** Figure 5: ghost copies defer removals; sees concurrent additions;
+    fails pessimistically. *)
+val grow_only : t
+
+(** Figure 6: the dynamic-sets semantics — no locks, current vintage,
+    never fails. *)
+val optimistic : t
+
+(** [optimistic] reading stale nearby replicas. *)
+val optimistic_stale : t
+
+(** All named points with their names, strongest first. *)
+val all : (string * t) list
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** The paper figure this point implements, as an executable spec.
+    [no_failures] selects Figure 1 rather than Figure 3 for {!immutable}
+    (use it when the scenario injects no faults). *)
+val spec_of : ?no_failures:bool -> t -> Weakset_spec.Figures.spec
+
+(** The documented §3.4-prose relaxation used to judge stale-replica
+    optimistic runs (A1); equals [spec_of] for non-optimistic points. *)
+val window_spec_of : t -> Weakset_spec.Figures.spec

@@ -1,0 +1,1 @@
+lib/dynamic/dfs.ml: Array Fpath Hashtbl List Printf Weakset_net Weakset_store

@@ -1,0 +1,1 @@
+lib/dynamic/dfs.mli: Fpath Weakset_net Weakset_sim Weakset_store

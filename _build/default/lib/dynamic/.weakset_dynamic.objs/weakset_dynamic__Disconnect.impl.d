@@ -1,0 +1,1 @@
+lib/dynamic/disconnect.ml: Array Dfs Fpath List Weakset_net Weakset_store

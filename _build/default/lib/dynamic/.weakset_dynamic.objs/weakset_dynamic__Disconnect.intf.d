@@ -1,0 +1,1 @@
+lib/dynamic/disconnect.mli: Dfs Fpath Weakset_net Weakset_store

@@ -1,0 +1,1 @@
+lib/dynamic/dynset.ml: Dfs List Prefetch Weakset_store

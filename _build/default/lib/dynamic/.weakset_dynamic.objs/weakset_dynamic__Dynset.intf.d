@@ -1,0 +1,1 @@
+lib/dynamic/dynset.mli: Dfs Fpath Prefetch Weakset_store

@@ -1,0 +1,1 @@
+lib/dynamic/fpath.ml: Format List String

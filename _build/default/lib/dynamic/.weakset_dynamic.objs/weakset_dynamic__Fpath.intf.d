@@ -1,0 +1,1 @@
+lib/dynamic/fpath.mli: Format

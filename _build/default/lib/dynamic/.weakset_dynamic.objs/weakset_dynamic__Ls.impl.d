@@ -1,0 +1,1 @@
+lib/dynamic/ls.ml: Dfs List Prefetch String Weakset_sim Weakset_store

@@ -1,0 +1,1 @@
+lib/dynamic/ls.mli: Dfs Fpath Weakset_store

@@ -1,0 +1,1 @@
+lib/dynamic/prefetch.ml: List Printf Stdlib Weakset_net Weakset_sim Weakset_store

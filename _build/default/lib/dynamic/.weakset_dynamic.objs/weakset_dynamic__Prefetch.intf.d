@@ -1,0 +1,1 @@
+lib/dynamic/prefetch.mli: Weakset_store

@@ -1,0 +1,1 @@
+lib/dynamic/workload.ml: Array Char Dfs Dynset List Printf Stdlib String Weakset_sim Weakset_store

@@ -1,0 +1,1 @@
+lib/dynamic/workload.mli: Dfs Dynset Fpath Weakset_sim Weakset_store

@@ -1,0 +1,75 @@
+module Store = Weakset_store
+module Topology = Weakset_net.Topology
+module Fault = Weakset_net.Fault
+module Nodeid = Weakset_net.Nodeid
+
+type t = {
+  dfs : Dfs.t;
+  fault : Fault.t;
+  client : Store.Client.t;
+  client_server : Store.Node_server.t; (* the client's own node server (hosts the local replica) *)
+  dir : Fpath.t;
+  set_id : int;
+  mutable cut : (Nodeid.t * Nodeid.t) list; (* links severed by [disconnect] *)
+}
+
+let setup dfs ~fault ~client_ix dir ~sync_interval =
+  let sref = Dfs.dir_sref dfs dir in
+  let servers = Dfs.servers dfs in
+  let client_server = servers.(client_ix) in
+  Store.Node_server.host_replica client_server ~set_id:sref.Store.Protocol.set_id
+    ~of_:sref.Store.Protocol.coordinator ~interval:sync_interval ~until:1.0e9;
+  {
+    dfs;
+    fault;
+    client = Dfs.client_at dfs client_ix;
+    client_server;
+    dir;
+    set_id = sref.Store.Protocol.set_id;
+    cut = [];
+  }
+
+let client t = t.client
+
+let members_of_local_replica t =
+  let _, members = Store.Node_server.replica_view t.client_server ~set_id:t.set_id in
+  members
+
+let resync t = Store.Node_server.replica_pull_now t.client_server ~set_id:t.set_id
+
+let hoard t =
+  ignore (resync t);
+  let members = members_of_local_replica t in
+  Store.Oid.Set.fold
+    (fun oid n ->
+      match Store.Client.fetch t.client oid with Ok _ -> n + 1 | Error _ -> n)
+    members 0
+
+let my_links t =
+  let topo = Fault.topology t.fault in
+  let me = Store.Client.node t.client in
+  List.filter_map
+    (fun other ->
+      if (not (Nodeid.equal other me)) && Topology.link_up topo me other then Some (me, other)
+      else None)
+    (Topology.nodes topo)
+
+let disconnect t =
+  t.cut <- my_links t;
+  List.iter (fun (a, b) -> Fault.cut_link t.fault a b) t.cut
+
+let reconnect t =
+  List.iter (fun (a, b) -> Fault.heal_link t.fault a b) t.cut;
+  t.cut <- []
+
+let connected t = t.cut = []
+
+let local_query t ?(pred = fun _ _ -> true) () =
+  let members = members_of_local_replica t in
+  Store.Oid.Set.fold
+    (fun oid (hits, misses) ->
+      match Store.Client.cached t.client oid with
+      | Some v -> (if pred oid v then ((oid, v) :: hits, misses) else (hits, misses))
+      | None -> (hits, misses + 1))
+    members ([], 0)
+  |> fun (hits, misses) -> (List.rev hits, misses)

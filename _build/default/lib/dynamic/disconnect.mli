@@ -1,0 +1,52 @@
+(** Disconnected operation for mobile clients (paper §1.1: "a network of
+    (possibly mobile) workstations … disconnecting a mobile client from
+    the network while traveling is an induced failure, yet consistency of
+    data may be sacrificed to gain high performance and high
+    availability").
+
+    A mobile session pairs a client with a {e local} directory replica on
+    the client's own node and a hoard of object contents in the client
+    cache.  While connected, {!hoard} walks a directory and warms both.
+    After {!disconnect} (all of the client's links cut), {!local_query}
+    still answers set queries — from the local replica's (now frozen)
+    membership and the hoarded contents — with the staleness that weak
+    sets make explicit rather than hide.  {!reconnect} heals the links and
+    {!resync} pulls the replica forward. *)
+
+type t
+
+(** [setup dfs ~fault ~client_ix dir ~sync_interval] hosts a replica of
+    [dir]'s membership on the client's node and returns the session.
+    Must be called before any fault hits; the replica starts cold (sync
+    it via {!resync} or wait an interval). *)
+val setup :
+  Dfs.t -> fault:Weakset_net.Fault.t -> client_ix:int -> Fpath.t -> sync_interval:float -> t
+
+val client : t -> Weakset_store.Client.t
+
+(** Fetch every currently reachable member of the directory into the
+    client cache (and force a replica sync).  Returns the number hoarded.
+    Must run in fiber context, while connected. *)
+val hoard : t -> int
+
+(** Cut every link of the client's node (the laptop leaves the network). *)
+val disconnect : t -> unit
+
+(** Heal the client's links. *)
+val reconnect : t -> unit
+
+val connected : t -> bool
+
+(** Answer a membership query entirely locally: the replica's membership
+    joined with hoarded contents.  Never touches the network, works while
+    disconnected.  Members without hoarded contents are counted in
+    [misses]. *)
+val local_query :
+  t ->
+  ?pred:(Weakset_store.Oid.t -> Weakset_store.Svalue.t -> bool) ->
+  unit ->
+  (Weakset_store.Oid.t * Weakset_store.Svalue.t) list * int
+
+(** Force one replica sync (fiber context, connected); false if the
+    coordinator was unreachable. *)
+val resync : t -> bool

@@ -1,0 +1,41 @@
+module Oid = Weakset_store.Oid
+
+type entry = { name : string; oid : Oid.t; value : Weakset_store.Svalue.t }
+
+type t = {
+  dfs : Dfs.t;
+  pf : Prefetch.t;
+  select : string -> bool;
+  pred : entry -> bool;
+}
+
+let entry_of t (oid, value) =
+  let name =
+    match Dfs.name_of t.dfs oid with Some n -> n | None -> "?" ^ string_of_int (Oid.num oid)
+  in
+  { name; oid; value }
+
+let make dfs ~client dir ~select ~pred ~parallelism =
+  let sref = Dfs.dir_sref dfs dir in
+  let pf = Prefetch.start ?parallelism client sref in
+  { dfs; pf; select; pred }
+
+let open_set dfs ~client dir ?(select = fun _ -> true) ?parallelism () =
+  make dfs ~client dir ~select ~pred:(fun _ -> true) ~parallelism
+
+let open_query dfs ~client dir ?parallelism pred =
+  make dfs ~client dir ~select:(fun _ -> true) ~pred ~parallelism
+
+let rec iterate t =
+  match Prefetch.next t.pf with
+  | None -> None
+  | Some r ->
+      let e = entry_of t r in
+      if t.select e.name && t.pred e then Some e else iterate t
+
+let drain t =
+  let rec loop acc = match iterate t with Some e -> loop (e :: acc) | None -> List.rev acc in
+  loop []
+
+let stats t = Prefetch.stats t.pf
+let close t = Prefetch.close t.pf

@@ -1,0 +1,29 @@
+(** [ls] over the simulated DFS, in the two styles the paper contrasts
+    (§1.1):
+
+    - {!Strict}: the classical Unix contract — list {e every} member, in
+      name order, which "requires that all files be accessed before ls
+      returns"; under failures this is modelled as an error after
+      exhausting retries (in reality: an ls that hangs).
+    - {!Weak}: built on dynamic sets — entries stream back in completion
+      order, inaccessible files are skipped and counted, and the first
+      entry arrives after a single fetch. *)
+
+type mode = Strict | Weak of { parallelism : int }
+
+type entry = { name : string; oid : Weakset_store.Oid.t; size : int }
+
+type listing = {
+  entries : entry list;    (** name-sorted *)
+  missed : int;            (** members skipped (Weak mode only) *)
+  started_at : float;
+  first_entry_at : float option;
+  finished_at : float;
+}
+
+val ls :
+  Dfs.t ->
+  client:Weakset_store.Client.t ->
+  Fpath.t ->
+  mode ->
+  (listing, Weakset_store.Client.error) result

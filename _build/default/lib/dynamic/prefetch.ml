@@ -1,0 +1,208 @@
+module Client = Weakset_store.Client
+module Oid = Weakset_store.Oid
+module Svalue = Weakset_store.Svalue
+module Topology = Weakset_net.Topology
+module Engine = Weakset_sim.Engine
+module Mailbox = Weakset_sim.Mailbox
+
+type stats = {
+  started_at : float;
+  first_result_at : float option;
+  finished_at : float option;
+  fetched : int;
+  missed : int;
+  membership : int;
+  open_failed : bool;
+}
+
+type item = Result of (Oid.t * Svalue.t) | Exhausted
+
+type t = {
+  client : Client.t;
+  engine : Engine.t;
+  order : [ `Closest_first | `By_id ];
+  max_retries : int;
+  retry_backoff : float;
+  results : item Mailbox.t;
+  mutable pending : (Oid.t * int) list; (* (member, retries so far) *)
+  mutable live_fetchers : int;
+  mutable cancelled : bool;
+  mutable exhausted_seen : bool;
+  (* stats *)
+  started_at : float;
+  mutable first_result_at : float option;
+  mutable finished_at : float option;
+  mutable fetched : int;
+  mutable missed : int;
+  mutable membership : int;
+  mutable open_failed : bool;
+}
+
+(* Claim the best pending item whose home is currently reachable; [None]
+   if nothing pending is reachable ([`Blocked]) or nothing pends at all
+   ([`Empty]). *)
+let claim t =
+  match t.pending with
+  | [] -> `Empty
+  | pending -> (
+      let topo = Client.topology t.client in
+      let me = Client.node t.client in
+      let score oid =
+        match t.order with
+        | `By_id -> Some (float_of_int (Oid.num oid))
+        | `Closest_first -> Topology.path_latency topo me (Oid.home oid)
+      in
+      let best =
+        List.fold_left
+          (fun acc (oid, retries) ->
+            match score oid with
+            | None -> acc
+            | Some sc -> (
+                (* `By_id still requires reachability to claim. *)
+                match Topology.path_latency topo me (Oid.home oid) with
+                | None -> acc
+                | Some _ -> (
+                    match acc with
+                    | Some (_, _, bsc) when bsc <= sc -> acc
+                    | Some _ | None -> Some (oid, retries, sc))))
+          None pending
+      in
+      match best with
+      | None -> `Blocked
+      | Some (oid, retries, _) ->
+          t.pending <- List.filter (fun (o, _) -> not (Oid.equal o oid)) t.pending;
+          `Claimed (oid, retries))
+
+let push_result t r =
+  if t.first_result_at = None then t.first_result_at <- Some (Engine.now t.engine);
+  t.fetched <- t.fetched + 1;
+  Mailbox.send t.engine t.results (Result r)
+
+let fetcher_finished t =
+  t.live_fetchers <- t.live_fetchers - 1;
+  if t.live_fetchers = 0 then begin
+    t.finished_at <- Some (Engine.now t.engine);
+    Mailbox.send t.engine t.results Exhausted
+  end
+
+let rec fetcher_loop t =
+  if t.cancelled then fetcher_finished t
+  else
+    match claim t with
+    | `Empty -> fetcher_finished t
+    | `Blocked -> (
+        (* Everything left is unreachable: back off, charge a retry to each
+           pending item, and drop the over-retried ones as missed. *)
+        Engine.sleep t.engine t.retry_backoff;
+        let keep, drop =
+          List.partition (fun (_, retries) -> retries + 1 <= t.max_retries) t.pending
+        in
+        t.pending <- List.map (fun (o, r) -> (o, r + 1)) keep;
+        t.missed <- t.missed + List.length drop;
+        match t.pending with [] -> fetcher_finished t | _ -> fetcher_loop t)
+    | `Claimed (oid, retries) -> (
+        match Client.fetch t.client oid with
+        | Ok v ->
+            push_result t (oid, v);
+            fetcher_loop t
+        | Error Client.No_such_object ->
+            (* Contents gone: skip permanently. *)
+            t.missed <- t.missed + 1;
+            fetcher_loop t
+        | Error (Client.Unreachable | Client.Timeout | Client.No_service) ->
+            if retries + 1 > t.max_retries then begin
+              t.missed <- t.missed + 1;
+              fetcher_loop t
+            end
+            else begin
+              t.pending <- (oid, retries + 1) :: t.pending;
+              fetcher_loop t
+            end)
+
+let read_membership client (sref : Weakset_store.Protocol.set_ref) =
+  match Client.dir_read client ~from:sref.coordinator ~set_id:sref.set_id with
+  | Ok (_, members) -> Some members
+  | Error _ ->
+      let topo = Client.topology client in
+      let me = Client.node client in
+      List.find_map
+        (fun r ->
+          if Topology.reachable topo me r then
+            match Client.dir_read client ~from:r ~set_id:sref.set_id with
+            | Ok (_, members) -> Some members
+            | Error _ -> None
+          else None)
+        sref.replicas
+
+let start ?(parallelism = 4) ?(order = `Closest_first) ?(max_retries = 2) ?(retry_backoff = 2.0)
+    client sref =
+  let engine = Client.engine client in
+  let t =
+    {
+      client;
+      engine;
+      order;
+      max_retries;
+      retry_backoff;
+      results = Mailbox.create ();
+      pending = [];
+      live_fetchers = 0;
+      cancelled = false;
+      exhausted_seen = false;
+      started_at = Engine.now engine;
+      first_result_at = None;
+      finished_at = None;
+      fetched = 0;
+      missed = 0;
+      membership = 0;
+      open_failed = false;
+    }
+  in
+  Engine.spawn engine ~name:"prefetch-open" (fun () ->
+      match read_membership client sref with
+      | None ->
+          t.open_failed <- true;
+          t.finished_at <- Some (Engine.now engine);
+          Mailbox.send engine t.results Exhausted
+      | Some members ->
+          t.membership <- List.length members;
+          t.pending <- List.map (fun o -> (o, 0)) members;
+          if t.pending = [] then begin
+            t.finished_at <- Some (Engine.now engine);
+            Mailbox.send engine t.results Exhausted
+          end
+          else begin
+            let k = Stdlib.max 1 parallelism in
+            t.live_fetchers <- k;
+            for i = 1 to k do
+              Engine.spawn engine ~name:(Printf.sprintf "prefetch-%d" i) (fun () ->
+                  fetcher_loop t)
+            done
+          end);
+  t
+
+let next t =
+  if t.exhausted_seen then None
+  else
+    match Mailbox.recv t.engine t.results with
+    | Result r -> Some r
+    | Exhausted ->
+        t.exhausted_seen <- true;
+        None
+
+let drain t =
+  let rec loop acc = match next t with Some r -> loop (r :: acc) | None -> List.rev acc in
+  loop []
+
+let stats t =
+  {
+    started_at = t.started_at;
+    first_result_at = t.first_result_at;
+    finished_at = t.finished_at;
+    fetched = t.fetched;
+    missed = t.missed;
+    membership = t.membership;
+    open_failed = t.open_failed;
+  }
+
+let close t = t.cancelled <- true

@@ -1,0 +1,52 @@
+(** Parallel prefetch engine: the implementation technique dynamic sets
+    exist for (paper §1.1) — "we can implement such file system commands
+    more efficiently by fetching files in parallel, fetching 'closer'
+    files first, and fetching all accessible files despite network
+    failures".
+
+    [start] reads the membership once (optimistically: from the
+    coordinator, falling back to any reachable replica) and spawns
+    [parallelism] fetcher fibers.  Each fetcher repeatedly claims the
+    closest un-fetched reachable member and fetches its contents; results
+    stream to the consumer in {e completion} order, so the first result
+    arrives after one object fetch rather than after the whole set.
+    Members that stay unreachable after [max_retries] backoffs are
+    skipped and counted as {e missed} — partial results instead of
+    non-termination. *)
+
+type stats = {
+  started_at : float;
+  first_result_at : float option;  (** when the first yield was produced *)
+  finished_at : float option;
+  fetched : int;
+  missed : int;       (** members skipped as unreachable *)
+  membership : int;   (** members listed at open *)
+  open_failed : bool; (** no membership host was reachable *)
+}
+
+type t
+
+(** [start client sref] with [parallelism] fetchers (default 4), claim
+    [order] (default [`Closest_first]), and per-member [max_retries]
+    (default 2) spaced [retry_backoff] (default 2.0) apart. *)
+val start :
+  ?parallelism:int ->
+  ?order:[ `Closest_first | `By_id ] ->
+  ?max_retries:int ->
+  ?retry_backoff:float ->
+  Weakset_store.Client.t ->
+  Weakset_store.Protocol.set_ref ->
+  t
+
+(** [next t] blocks until a result is ready; [None] once every member has
+    been fetched or skipped. *)
+val next : t -> (Weakset_store.Oid.t * Weakset_store.Svalue.t) option
+
+(** [drain t] collects everything. *)
+val drain : t -> (Weakset_store.Oid.t * Weakset_store.Svalue.t) list
+
+val stats : t -> stats
+
+(** Cancel outstanding fetchers; {!next} then drains already-completed
+    results and ends. *)
+val close : t -> unit

@@ -1,0 +1,101 @@
+module Rng = Weakset_sim.Rng
+module Engine = Weakset_sim.Engine
+module Client = Weakset_store.Client
+
+let pick_home rng homes = Rng.pick_list rng homes
+
+let filler rng n =
+  String.init (Stdlib.max 0 n) (fun _ -> Char.chr (Char.code 'a' + Rng.int rng 26))
+
+let spread_tree dfs ~rng ~dir ~coordinator ?(replicas = []) ?(ghost_policy = false) ~files ~homes
+    ~mean_size () =
+  Dfs.mkdir dfs dir ~coordinator ~replicas ~ghost_policy ();
+  Array.init files (fun i ->
+      let size = 1 + int_of_float (Rng.exponential rng ~mean:(float_of_int mean_size)) in
+      Dfs.create_file dfs dir
+        ~name:(Printf.sprintf "file-%04d" i)
+        ~home:(pick_home rng homes)
+        (Printf.sprintf "name: file-%04d\n%s" i (filler rng size)))
+
+let faces dfs ~rng ~dir ~coordinator ~people ~homes =
+  Dfs.mkdir dfs dir ~coordinator ();
+  List.iter
+    (fun person ->
+      ignore
+        (Dfs.create_file dfs dir ~name:(person ^ ".face") ~home:(pick_home rng homes)
+           (Printf.sprintf "face-bitmap-of: %s\n%s" person (filler rng 256))))
+    people
+
+let cuisines = [| "chinese"; "italian"; "thai"; "chinese"; "polish"; "indian"; "chinese"; "diner"; "french" |]
+
+let restaurants dfs ~rng ~dir ~coordinator ~n ~homes =
+  Dfs.mkdir dfs dir ~coordinator ();
+  for i = 0 to n - 1 do
+    let cuisine = cuisines.(i mod Array.length cuisines) in
+    ignore
+      (Dfs.create_file dfs dir
+         ~name:(Printf.sprintf "restaurant-%02d.menu" i)
+         ~home:(pick_home rng homes)
+         (Printf.sprintf "restaurant: r%02d\ncuisine: %s\nmenu:\n%s" i cuisine (filler rng 128)))
+  done
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1)) in
+  nn = 0 || loop 0
+
+let is_chinese (e : Dynset.entry) =
+  contains_substring (Weakset_store.Svalue.content e.value) "cuisine: chinese"
+
+let library dfs ~rng ~dir ~coordinator ~authors ~papers_per_author ~homes =
+  Dfs.mkdir dfs dir ~coordinator ();
+  List.iteri
+    (fun ai author ->
+      for p = 0 to papers_per_author - 1 do
+        ignore
+          (Dfs.create_file dfs dir
+             ~name:(Printf.sprintf "entry-%02d-%02d" ai p)
+             ~home:(pick_home rng homes)
+             (Printf.sprintf "author: %s\ntitle: paper %d by %s\n%s" author p author
+                (filler rng 64)))
+      done)
+    authors
+
+let by_author author (e : Dynset.entry) =
+  contains_substring (Weakset_store.Svalue.content e.value) ("author: " ^ author)
+
+let mutator_process dfs ~rng ~client ~dir ~add_rate ~remove_rate ~until ~homes =
+  let eng = Dfs.engine dfs in
+  let sref = Dfs.dir_sref dfs dir in
+  let counter = ref 0 in
+  let total_rate = add_rate +. remove_rate in
+  if total_rate > 0.0 then
+    Engine.spawn eng ~name:"workload-mutator" (fun () ->
+        let rec loop () =
+          Engine.sleep eng (Rng.exponential rng ~mean:(1.0 /. total_rate));
+          if Engine.now eng < until then begin
+            (if Rng.float rng total_rate < add_rate then begin
+               incr counter;
+               let name = Printf.sprintf "hot-%05d" !counter in
+               let oid =
+                 Dfs.create_file dfs dir ~name ~home:(pick_home rng homes)
+                   (Printf.sprintf "name: %s\n%s" name (filler rng 64))
+               in
+               (* create_file enters it directly; remove and re-add via RPC
+                  so concurrent observers see a normal remote mutation. *)
+               ignore oid
+             end
+             else
+               (* Remove a random current member via RPC. *)
+               match
+                 Client.dir_read client ~from:sref.Weakset_store.Protocol.coordinator
+                   ~set_id:sref.Weakset_store.Protocol.set_id
+               with
+               | Ok (_, members) when members <> [] ->
+                   let victim = Rng.pick_list rng members in
+                   ignore (Client.dir_remove client sref victim)
+               | Ok _ | Error _ -> ());
+            loop ()
+          end
+        in
+        loop ())

@@ -1,0 +1,79 @@
+(** Workload generators reproducing the paper's three motivating queries
+    (§1): .face files of people on a home page, a library information
+    system's papers-by-author catalog, and the on-line menus of
+    Pittsburgh restaurants — plus a generic spread-out file tree for the
+    ls experiments.  All content is synthetic but structured so the
+    motivating queries are expressible as content predicates. *)
+
+(** [spread_tree dfs ~rng ~dir ~files ~homes ~mean_size] creates [dir]
+    and populates it with [files] files whose homes are drawn from
+    [homes] (server indices) and whose sizes are exponential with mean
+    [mean_size] bytes. *)
+val spread_tree :
+  Dfs.t ->
+  rng:Weakset_sim.Rng.t ->
+  dir:Fpath.t ->
+  coordinator:int ->
+  ?replicas:int list ->
+  ?ghost_policy:bool ->
+  files:int ->
+  homes:int list ->
+  mean_size:int ->
+  unit ->
+  Weakset_store.Oid.t array
+
+(** [faces dfs ~rng ~dir ~coordinator ~people ~homes] — one [<name>.face]
+    file per person. *)
+val faces :
+  Dfs.t ->
+  rng:Weakset_sim.Rng.t ->
+  dir:Fpath.t ->
+  coordinator:int ->
+  people:string list ->
+  homes:int list ->
+  unit
+
+(** [restaurants dfs ~rng ~dir ~coordinator ~n ~homes] — [n] menus, about
+    a third tagged ["cuisine: chinese"]. *)
+val restaurants :
+  Dfs.t ->
+  rng:Weakset_sim.Rng.t ->
+  dir:Fpath.t ->
+  coordinator:int ->
+  n:int ->
+  homes:int list ->
+  unit
+
+(** Predicate matching Chinese restaurants' menus. *)
+val is_chinese : Dynset.entry -> bool
+
+(** [library dfs ~rng ~dir ~coordinator ~authors ~papers_per_author
+    ~homes] — one catalog entry per paper, tagged ["author: <name>"]. *)
+val library :
+  Dfs.t ->
+  rng:Weakset_sim.Rng.t ->
+  dir:Fpath.t ->
+  coordinator:int ->
+  authors:string list ->
+  papers_per_author:int ->
+  homes:int list ->
+  unit
+
+(** Predicate matching a given author's catalog entries. *)
+val by_author : string -> Dynset.entry -> bool
+
+(** [mutator_process dfs ~rng ~dir ~add_rate ~remove_rate ~until ~homes]
+    spawns a background fiber that adds/removes files of [dir] at the
+    given Poisson rates (events per time unit) until virtual time
+    [until].  Removals go through the directory coordinator by RPC from
+    [client], so ghost policies and spec instrumentation observe them. *)
+val mutator_process :
+  Dfs.t ->
+  rng:Weakset_sim.Rng.t ->
+  client:Weakset_store.Client.t ->
+  dir:Fpath.t ->
+  add_rate:float ->
+  remove_rate:float ->
+  until:float ->
+  homes:int list ->
+  unit

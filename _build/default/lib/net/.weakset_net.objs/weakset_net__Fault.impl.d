@@ -1,0 +1,1 @@
+lib/net/fault.ml: Float Nodeid Printf Topology Weakset_sim

@@ -1,0 +1,1 @@
+lib/net/fault.mli: Nodeid Topology Weakset_sim

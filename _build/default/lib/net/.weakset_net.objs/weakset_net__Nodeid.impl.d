@@ -1,0 +1,1 @@
+lib/net/nodeid.ml: Format Int Map Set

@@ -1,0 +1,1 @@
+lib/net/nodeid.mli: Format Map Set

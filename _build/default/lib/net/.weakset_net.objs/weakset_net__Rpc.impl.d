@@ -1,0 +1,1 @@
+lib/net/rpc.ml: Float Format Hashtbl Nodeid Printf Topology Transport Weakset_sim

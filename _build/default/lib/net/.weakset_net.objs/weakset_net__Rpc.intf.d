@@ -1,0 +1,1 @@
+lib/net/rpc.mli: Format Netstat Nodeid Topology Weakset_sim

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Float Hashtbl List Nodeid Option Queue Weakset_sim

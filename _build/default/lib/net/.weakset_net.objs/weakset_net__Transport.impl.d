@@ -1,0 +1,1 @@
+lib/net/transport.ml: Hashtbl Netstat Nodeid Topology Weakset_sim

@@ -1,0 +1,1 @@
+lib/net/transport.mli: Netstat Nodeid Topology Weakset_sim

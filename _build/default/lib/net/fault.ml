@@ -1,0 +1,87 @@
+module Engine = Weakset_sim.Engine
+module Signal = Weakset_sim.Signal
+module Rng = Weakset_sim.Rng
+
+type t = { engine : Engine.t; topo : Topology.t; signal : Signal.t }
+
+let create engine topo =
+  let signal = Signal.create () in
+  Topology.on_change topo (fun () -> Signal.broadcast engine signal);
+  { engine; topo; signal }
+
+let signal t = t.signal
+let topology t = t.topo
+
+let trace t detail = Weakset_sim.Tracer.emit (Engine.tracer t.engine) ~time:(Engine.now t.engine) ~label:"fault" detail
+
+let crash_node t n =
+  trace t (Printf.sprintf "crash %s" (Nodeid.to_string n));
+  Topology.set_node_up t.topo n false
+
+let recover_node t n =
+  trace t (Printf.sprintf "recover %s" (Nodeid.to_string n));
+  Topology.set_node_up t.topo n true
+
+let cut_link t a b =
+  trace t (Printf.sprintf "cut %s-%s" (Nodeid.to_string a) (Nodeid.to_string b));
+  Topology.set_link_up t.topo a b false
+
+let heal_link t a b =
+  trace t (Printf.sprintf "heal %s-%s" (Nodeid.to_string a) (Nodeid.to_string b));
+  Topology.set_link_up t.topo a b true
+
+let partition t groups =
+  trace t "partition";
+  Topology.partition t.topo groups
+
+let heal_all t =
+  trace t "heal-all";
+  Topology.heal_all t.topo
+
+let schedule_crash t ~at n =
+  let delay = Float.max 0.0 (at -. Engine.now t.engine) in
+  Engine.schedule t.engine ~after:delay (fun () -> crash_node t n)
+
+let schedule_recover t ~at n =
+  let delay = Float.max 0.0 (at -. Engine.now t.engine) in
+  Engine.schedule t.engine ~after:delay (fun () -> recover_node t n)
+
+let schedule_partition t ~at ~heal_at groups =
+  let d1 = Float.max 0.0 (at -. Engine.now t.engine) in
+  let d2 = Float.max 0.0 (heal_at -. Engine.now t.engine) in
+  Engine.schedule t.engine ~after:d1 (fun () -> partition t groups);
+  Engine.schedule t.engine ~after:d2 (fun () -> heal_all t)
+
+let crash_restart_process t ~rng ~mttf ~mttr ~until node =
+  Engine.spawn t.engine ~name:(Printf.sprintf "faultproc-%s" (Nodeid.to_string node)) (fun () ->
+      let rec loop () =
+        if Engine.now t.engine < until then begin
+          Engine.sleep t.engine (Rng.exponential rng ~mean:mttf);
+          if Engine.now t.engine < until then begin
+            crash_node t node;
+            Engine.sleep t.engine (Rng.exponential rng ~mean:mttr);
+            recover_node t node;
+            loop ()
+          end
+        end
+      in
+      loop ();
+      if not (Topology.node_up t.topo node) then recover_node t node)
+
+let flaky_link_process t ~rng ~mttf ~mttr ~until a b =
+  Engine.spawn t.engine
+    ~name:(Printf.sprintf "faultproc-%s-%s" (Nodeid.to_string a) (Nodeid.to_string b))
+    (fun () ->
+      let rec loop () =
+        if Engine.now t.engine < until then begin
+          Engine.sleep t.engine (Rng.exponential rng ~mean:mttf);
+          if Engine.now t.engine < until then begin
+            cut_link t a b;
+            Engine.sleep t.engine (Rng.exponential rng ~mean:mttr);
+            heal_link t a b;
+            loop ()
+          end
+        end
+      in
+      loop ();
+      if not (Topology.link_up t.topo a b) then heal_link t a b)

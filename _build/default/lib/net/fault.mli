@@ -1,0 +1,56 @@
+(** Fault injection: node crashes, link failures, partitions and their
+    repair, both immediate and scheduled, plus random MTTF/MTTR processes.
+
+    All topology mutations made through this module (or directly on the
+    topology) fire {!signal}, which optimistic iterators use to re-check
+    reachability after a repair instead of polling (paper §3.4: the
+    iterator "tries to make progress with the expectation that in a later
+    invocation inaccessible objects will become accessible again"). *)
+
+type t
+
+val create : Weakset_sim.Engine.t -> Topology.t -> t
+
+(** Broadcast on every topology change. *)
+val signal : t -> Weakset_sim.Signal.t
+
+val topology : t -> Topology.t
+
+(** {1 Immediate faults} *)
+
+val crash_node : t -> Nodeid.t -> unit
+val recover_node : t -> Nodeid.t -> unit
+val cut_link : t -> Nodeid.t -> Nodeid.t -> unit
+val heal_link : t -> Nodeid.t -> Nodeid.t -> unit
+val partition : t -> Nodeid.t list list -> unit
+val heal_all : t -> unit
+
+(** {1 Scheduled faults} *)
+
+val schedule_crash : t -> at:float -> Nodeid.t -> unit
+val schedule_recover : t -> at:float -> Nodeid.t -> unit
+
+(** [schedule_partition t ~at ~heal_at groups] installs the partition at
+    virtual time [at] and heals everything at [heal_at]. *)
+val schedule_partition : t -> at:float -> heal_at:float -> Nodeid.t list list -> unit
+
+(** {1 Random fault processes} *)
+
+(** [crash_restart_process t ~rng ~mttf ~mttr ~until node] runs a fiber
+    that repeatedly crashes [node] after an Exp(mttf) up-time and recovers
+    it after an Exp(mttr) down-time, stopping (and recovering the node)
+    at virtual time [until]. *)
+val crash_restart_process :
+  t -> rng:Weakset_sim.Rng.t -> mttf:float -> mttr:float -> until:float -> Nodeid.t -> unit
+
+(** [flaky_link_process t ~rng ~mttf ~mttr ~until a b] does the same for a
+    link. *)
+val flaky_link_process :
+  t ->
+  rng:Weakset_sim.Rng.t ->
+  mttf:float ->
+  mttr:float ->
+  until:float ->
+  Nodeid.t ->
+  Nodeid.t ->
+  unit

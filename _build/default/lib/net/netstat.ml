@@ -1,0 +1,46 @@
+type t = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped_unreachable : int;
+  mutable dropped_down : int;
+  mutable dropped_in_flight : int;
+  mutable dropped_lost : int;
+  mutable rpc_calls : int;
+  mutable rpc_ok : int;
+  mutable rpc_timeout : int;
+  mutable rpc_unreachable : int;
+}
+
+let create () =
+  {
+    sent = 0;
+    delivered = 0;
+    dropped_unreachable = 0;
+    dropped_down = 0;
+    dropped_in_flight = 0;
+    dropped_lost = 0;
+    rpc_calls = 0;
+    rpc_ok = 0;
+    rpc_timeout = 0;
+    rpc_unreachable = 0;
+  }
+
+let reset t =
+  t.sent <- 0;
+  t.delivered <- 0;
+  t.dropped_unreachable <- 0;
+  t.dropped_down <- 0;
+  t.dropped_in_flight <- 0;
+  t.dropped_lost <- 0;
+  t.rpc_calls <- 0;
+  t.rpc_ok <- 0;
+  t.rpc_timeout <- 0;
+  t.rpc_unreachable <- 0
+
+let pp fmt t =
+  Format.fprintf fmt
+    "sent=%d delivered=%d drop(unreach=%d down=%d inflight=%d lost=%d) rpc(calls=%d ok=%d timeout=%d unreach=%d)"
+    t.sent t.delivered t.dropped_unreachable t.dropped_down t.dropped_in_flight t.dropped_lost t.rpc_calls
+    t.rpc_ok t.rpc_timeout t.rpc_unreachable
+
+let to_string t = Format.asprintf "%a" pp t

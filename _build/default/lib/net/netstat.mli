@@ -1,0 +1,20 @@
+(** Network-layer counters, kept per transport/RPC instance so experiments
+    can report message costs alongside latencies. *)
+
+type t = {
+  mutable sent : int;             (** messages handed to the transport *)
+  mutable delivered : int;        (** messages delivered to a mailbox *)
+  mutable dropped_unreachable : int;  (** dropped: no up path at send time *)
+  mutable dropped_down : int;     (** dropped: an endpoint was down *)
+  mutable dropped_in_flight : int;  (** dropped: destination unreachable at delivery time *)
+  mutable dropped_lost : int;       (** dropped: random per-link message loss *)
+  mutable rpc_calls : int;
+  mutable rpc_ok : int;
+  mutable rpc_timeout : int;
+  mutable rpc_unreachable : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

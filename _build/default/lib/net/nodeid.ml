@@ -1,0 +1,12 @@
+type t = int
+
+let of_int i = i
+let to_int i = i
+let equal = Int.equal
+let compare = Int.compare
+let hash i = i
+let pp fmt i = Format.fprintf fmt "n%d" i
+let to_string i = "n" ^ string_of_int i
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

@@ -1,0 +1,17 @@
+(** Node identifiers.
+
+    Nodes are created by {!Topology.add_node}; identifiers are small dense
+    integers, which keeps them usable as array indices in the transport. *)
+
+type t
+
+val of_int : int -> t
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

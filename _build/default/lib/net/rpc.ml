@@ -1,0 +1,109 @@
+module Engine = Weakset_sim.Engine
+module Mailbox = Weakset_sim.Mailbox
+module Ivar = Weakset_sim.Ivar
+
+type error = Timeout | Unreachable
+
+let pp_error fmt = function
+  | Timeout -> Format.pp_print_string fmt "timeout"
+  | Unreachable -> Format.pp_print_string fmt "unreachable"
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+type ('req, 'resp) frame =
+  | Request of { id : int; reply_to : Nodeid.t; req : 'req }
+  | Response of { id : int; resp : 'resp }
+
+type ('req, 'resp) handler = { service_time : 'req -> float; fn : 'req -> 'resp }
+
+type ('req, 'resp) t = {
+  transport : ('req, 'resp) frame Transport.t;
+  detect_delay : float;
+  pending : (int, 'resp Ivar.t) Hashtbl.t;
+  handlers : (int, ('req, 'resp) handler) Hashtbl.t;
+  mutable demux_running : Nodeid.Set.t;
+  mutable next_id : int;
+}
+
+let create ?(detect_delay = 0.5) engine topo =
+  {
+    transport = Transport.create engine topo;
+    detect_delay;
+    pending = Hashtbl.create 64;
+    handlers = Hashtbl.create 16;
+    demux_running = Nodeid.Set.empty;
+    next_id = 0;
+  }
+
+let engine t = Transport.engine t.transport
+let topology t = Transport.topology t.transport
+let stats t = Transport.stats t.transport
+
+let handle_frame t node (env : ('req, 'resp) frame Transport.envelope) =
+  let eng = engine t in
+  match env.payload with
+  | Request { id; reply_to; req } -> (
+      match Hashtbl.find_opt t.handlers (Nodeid.to_int node) with
+      | None -> () (* no service here: the request is silently lost *)
+      | Some h ->
+          if Topology.node_up (topology t) node then
+            Engine.spawn eng ~name:(Printf.sprintf "rpc-handler-%s-%d" (Nodeid.to_string node) id)
+              (fun () ->
+                let d = h.service_time req in
+                if d > 0.0 then Engine.sleep eng d;
+                let resp = h.fn req in
+                Transport.send t.transport ~src:node ~dst:reply_to (Response { id; resp })))
+  | Response { id; resp } -> (
+      match Hashtbl.find_opt t.pending id with
+      | None -> () (* caller already timed out *)
+      | Some iv ->
+          Hashtbl.remove t.pending id;
+          Ivar.fill eng iv resp)
+
+let ensure_demux t node =
+  if not (Nodeid.Set.mem node t.demux_running) then begin
+    t.demux_running <- Nodeid.Set.add node t.demux_running;
+    let eng = engine t in
+    let mb = Transport.mailbox t.transport node in
+    Engine.spawn eng ~name:(Printf.sprintf "rpc-demux-%s" (Nodeid.to_string node)) (fun () ->
+        let rec loop () =
+          (* A long timeout keeps the fiber from pinning the event queue
+             forever once the simulation is otherwise quiescent. *)
+          match Mailbox.recv_timeout eng mb 1.0e9 with
+          | None -> ()
+          | Some env ->
+              handle_frame t node env;
+              loop ()
+        in
+        loop ())
+  end
+
+let serve t node ?(service_time = fun _ -> 0.0) fn =
+  Hashtbl.replace t.handlers (Nodeid.to_int node) { service_time; fn };
+  ensure_demux t node
+
+let call t ~src ~dst ~timeout req =
+  let eng = engine t in
+  let st = stats t in
+  st.rpc_calls <- st.rpc_calls + 1;
+  ensure_demux t src;
+  if not (Topology.reachable (topology t) src dst) then begin
+    Engine.sleep eng (Float.min t.detect_delay timeout);
+    st.rpc_unreachable <- st.rpc_unreachable + 1;
+    Error Unreachable
+  end
+  else begin
+    t.next_id <- t.next_id + 1;
+    let id = t.next_id in
+    let iv = Ivar.create () in
+    Hashtbl.replace t.pending id iv;
+    Transport.send t.transport ~src ~dst (Request { id; reply_to = src; req });
+    match Ivar.read_timeout eng iv timeout with
+    | Some resp ->
+        st.rpc_ok <- st.rpc_ok + 1;
+        Ok resp
+    | None ->
+        Hashtbl.remove t.pending id;
+        st.rpc_timeout <- st.rpc_timeout + 1;
+        Error Timeout
+  end

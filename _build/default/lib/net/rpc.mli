@@ -1,0 +1,46 @@
+(** Remote procedure calls over {!Transport}.
+
+    One value of type [('req, 'resp) t] is a complete RPC fabric: any node
+    can {!serve} a handler and any node can {!call} any other.  Failures are
+    surfaced exactly as the paper's model assumes (§2.1): "we assume we can
+    detect failures, e.g., those signaled from the lower network and
+    transport layers" — a call to an unreachable node fails with
+    [Unreachable] after a short detection delay, and a lost message
+    surfaces as [Timeout]. *)
+
+type error =
+  | Timeout      (** no response within the caller's deadline *)
+  | Unreachable  (** no up path at call time (detected failure) *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+type ('req, 'resp) t
+
+(** [create ?detect_delay engine topo] builds an RPC fabric.
+    [detect_delay] (default 0.5) is the virtual time it takes the lower
+    layers to report an unreachable destination. *)
+val create : ?detect_delay:float -> Weakset_sim.Engine.t -> Topology.t -> ('req, 'resp) t
+
+val engine : ('req, 'resp) t -> Weakset_sim.Engine.t
+val topology : ('req, 'resp) t -> Topology.t
+val stats : ('req, 'resp) t -> Netstat.t
+
+(** [serve t node ?service_time handler] installs [handler] for requests
+    addressed to [node].  Each request runs in its own fiber after
+    [service_time req] units of virtual service time (default 0), so
+    handlers may themselves sleep or make nested calls.  Requests arriving
+    while the node is down are dropped. *)
+val serve :
+  ('req, 'resp) t -> Nodeid.t -> ?service_time:('req -> float) -> ('req -> 'resp) -> unit
+
+(** [call t ~src ~dst ~timeout req] performs a blocking call from fiber
+    context.  Returns the response, or an {!error} after the detection
+    delay (unreachable) or [timeout] (lost message / slow server). *)
+val call :
+  ('req, 'resp) t ->
+  src:Nodeid.t ->
+  dst:Nodeid.t ->
+  timeout:float ->
+  'req ->
+  ('resp, error) result

@@ -1,0 +1,56 @@
+module Engine = Weakset_sim.Engine
+module Mailbox = Weakset_sim.Mailbox
+
+type 'a envelope = { src : Nodeid.t; dst : Nodeid.t; sent_at : float; payload : 'a }
+
+module Rng = Weakset_sim.Rng
+
+type 'a t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  stats : Netstat.t;
+  mailboxes : (int, 'a envelope Mailbox.t) Hashtbl.t;
+  rng : Rng.t; (* loss draws, split off the engine's root stream *)
+}
+
+let create engine topo =
+  {
+    engine;
+    topo;
+    stats = Netstat.create ();
+    mailboxes = Hashtbl.create 16;
+    rng = Rng.split (Engine.rng engine);
+  }
+
+let engine t = t.engine
+let topology t = t.topo
+let stats t = t.stats
+
+let mailbox t node =
+  let i = Nodeid.to_int node in
+  match Hashtbl.find_opt t.mailboxes i with
+  | Some mb -> mb
+  | None ->
+      let mb = Mailbox.create () in
+      Hashtbl.replace t.mailboxes i mb;
+      mb
+
+let send t ~src ~dst payload =
+  let st = t.stats in
+  st.sent <- st.sent + 1;
+  if not (Topology.node_up t.topo src && Topology.node_up t.topo dst) then
+    st.dropped_down <- st.dropped_down + 1
+  else
+    match Topology.path_info t.topo src dst with
+    | None -> st.dropped_unreachable <- st.dropped_unreachable + 1
+    | Some (_, survival) when survival < 1.0 && Rng.chance t.rng (1.0 -. survival) ->
+        st.dropped_lost <- st.dropped_lost + 1
+    | Some (lat, _) ->
+        let env = { src; dst; sent_at = Engine.now t.engine; payload } in
+        Engine.schedule t.engine ~after:lat (fun () ->
+            (* The partition may have happened while in flight. *)
+            if Topology.node_up t.topo dst && Topology.reachable t.topo src dst then begin
+              st.delivered <- st.delivered + 1;
+              Mailbox.send t.engine (mailbox t dst) env
+            end
+            else st.dropped_in_flight <- st.dropped_in_flight + 1)

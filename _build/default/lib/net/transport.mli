@@ -1,0 +1,32 @@
+(** Message transport over a {!Topology}.
+
+    Messages sent between reachable nodes are delivered to the destination's
+    mailbox after the cheapest-path latency.  Messages are dropped (never
+    delivered, like a lower network layer losing them) when:
+    - the source or destination node is down at send time,
+    - no up path exists at send time, or
+    - the destination is down or unreachable at delivery time (the
+      partition happened while the message was in flight).
+
+    Each drop category is counted in {!stats}. *)
+
+type 'a t
+
+type 'a envelope = {
+  src : Nodeid.t;
+  dst : Nodeid.t;
+  sent_at : float;
+  payload : 'a;
+}
+
+val create : Weakset_sim.Engine.t -> Topology.t -> 'a t
+
+val engine : 'a t -> Weakset_sim.Engine.t
+val topology : 'a t -> Topology.t
+val stats : 'a t -> Netstat.t
+
+(** The receive queue of a node.  Server loops [recv] on this. *)
+val mailbox : 'a t -> Nodeid.t -> 'a envelope Weakset_sim.Mailbox.t
+
+(** [send t ~src ~dst payload] is asynchronous and never blocks. *)
+val send : 'a t -> src:Nodeid.t -> dst:Nodeid.t -> 'a -> unit

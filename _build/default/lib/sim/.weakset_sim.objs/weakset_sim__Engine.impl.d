@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Effect Float List Pqueue Printexc Printf Rng Tracer

@@ -1,0 +1,113 @@
+type event = { time : float; seq : int; action : unit -> unit }
+
+type crash = {
+  crash_time : float;
+  crash_fiber : string;
+  crash_exn : exn;
+}
+
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  heap : event Pqueue.t;
+  root_rng : Rng.t;
+  tracer : Tracer.t;
+  mutable live : int;
+  mutable fiber_counter : int;
+  mutable crashed : crash list;
+}
+
+type _ Effect.t +=
+  | Sleep : float -> unit Effect.t
+  | Suspend : ((('a, exn) result -> unit) -> unit) -> 'a Effect.t
+
+let leq_event a b = a.time < b.time || (a.time = b.time && a.seq <= b.seq)
+
+let create ?(seed = 1L) () =
+  {
+    now = 0.0;
+    seq = 0;
+    heap = Pqueue.create ~leq:leq_event;
+    root_rng = Rng.create seed;
+    tracer = Tracer.create ();
+    live = 0;
+    fiber_counter = 0;
+    crashed = [];
+  }
+
+let now t = t.now
+let rng t = t.root_rng
+let tracer t = t.tracer
+let live_fibers t = t.live
+let crashes t = List.rev t.crashed
+
+let schedule t ~after action =
+  if after < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  t.seq <- t.seq + 1;
+  Pqueue.push t.heap { time = t.now +. after; seq = t.seq; action }
+
+let sleep _t d = Effect.perform (Sleep d)
+let yield _t = Effect.perform (Sleep 0.0)
+let suspend _t register = Effect.perform (Suspend register)
+
+let run_fiber t name body =
+  let open Effect.Deep in
+  t.live <- t.live + 1;
+  let retc () = t.live <- t.live - 1 in
+  let exnc e =
+    t.live <- t.live - 1;
+    Tracer.emit t.tracer ~time:t.now ~label:"fiber-crash"
+      (Printf.sprintf "%s: %s" name (Printexc.to_string e));
+    t.crashed <- { crash_time = t.now; crash_fiber = name; crash_exn = e } :: t.crashed
+  in
+  let effc : type b. b Effect.t -> ((b, unit) continuation -> unit) option = function
+    | Sleep d ->
+        Some (fun k -> schedule t ~after:(Float.max 0.0 d) (fun () -> continue k ()))
+    | Suspend register ->
+        Some
+          (fun k ->
+            let resumed = ref false in
+            let resume r =
+              if not !resumed then begin
+                resumed := true;
+                schedule t ~after:0.0 (fun () ->
+                    match r with Ok v -> continue k v | Error e -> discontinue k e)
+              end
+            in
+            register resume)
+    | _ -> None
+  in
+  match_with body () { retc; exnc; effc }
+
+let spawn t ?name body =
+  t.fiber_counter <- t.fiber_counter + 1;
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "fiber-%d" t.fiber_counter
+  in
+  schedule t ~after:0.0 (fun () -> run_fiber t name body)
+
+let run ?(until = infinity) ?(max_steps = max_int) t =
+  let steps = ref 0 in
+  let continue_run = ref true in
+  while !continue_run && !steps < max_steps do
+    match Pqueue.peek t.heap with
+    | None -> continue_run := false
+    | Some ev when ev.time > until -> continue_run := false
+    | Some _ ->
+        (match Pqueue.pop t.heap with
+        | None -> continue_run := false
+        | Some ev ->
+            t.now <- Float.max t.now ev.time;
+            incr steps;
+            ev.action ())
+  done;
+  !steps
+
+let run_and_check t =
+  let (_ : int) = run t in
+  match crashes t with
+  | [] -> ()
+  | { crash_fiber; crash_exn; crash_time } :: _ ->
+      failwith
+        (Printf.sprintf "fiber %s crashed at t=%.3f: %s" crash_fiber crash_time
+           (Printexc.to_string crash_exn))

@@ -1,0 +1,74 @@
+(** Deterministic discrete-event simulation engine with cooperative fibers.
+
+    The engine maintains a virtual clock and a priority queue of events.
+    Fibers are ordinary OCaml functions executed under an effect handler:
+    when a fiber performs {!sleep} or {!suspend} it is parked and the engine
+    proceeds to the next event.  Ties in the event queue are broken by a
+    monotonically increasing sequence number, so runs are exactly
+    reproducible.
+
+    A fiber that raises an uncaught exception does not abort the simulation;
+    the crash is recorded and visible through {!crashes} so tests can assert
+    that no fiber died unexpectedly. *)
+
+type t
+
+(** A record of a fiber that terminated with an uncaught exception. *)
+type crash = {
+  crash_time : float;    (** virtual time of the crash *)
+  crash_fiber : string;  (** fiber name *)
+  crash_exn : exn;
+}
+
+(** [create ?seed ()] makes a fresh engine with virtual time 0.  [seed]
+    (default [1L]) initialises the engine's root {!Rng.t}. *)
+val create : ?seed:int64 -> unit -> t
+
+(** Current virtual time. *)
+val now : t -> float
+
+(** The engine's root random stream.  Subsystems should {!Rng.split} it. *)
+val rng : t -> Rng.t
+
+(** Structured trace sink shared by all subsystems of this engine. *)
+val tracer : t -> Tracer.t
+
+(** [schedule t ~after f] runs callback [f] at virtual time [now t +. after].
+    [after] must be non-negative. *)
+val schedule : t -> after:float -> (unit -> unit) -> unit
+
+(** [spawn t ~name f] starts fiber [f] at the current virtual time. *)
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+
+(** Number of fibers that have been spawned and not yet finished. *)
+val live_fibers : t -> int
+
+(** Fibers that terminated with an uncaught exception, oldest first. *)
+val crashes : t -> crash list
+
+(** {1 Operations usable only inside a fiber} *)
+
+(** [sleep t d] parks the calling fiber for [d] units of virtual time. *)
+val sleep : t -> float -> unit
+
+(** [yield t] reschedules the calling fiber at the current time, letting
+    other ready fibers run first. *)
+val yield : t -> unit
+
+(** [suspend t register] parks the calling fiber.  [register] is called
+    immediately with a [resume] function; whoever calls [resume (Ok v)]
+    (or [resume (Error e)]) first wakes the fiber with [v] (or raises [e]
+    inside it).  Later calls to [resume] are ignored, which makes racing a
+    timer against a wakeup safe. *)
+val suspend : t -> ((('a, exn) result -> unit) -> unit) -> 'a
+
+(** {1 Running} *)
+
+(** [run ?until ?max_steps t] processes events in time order until the queue
+    is empty, virtual time would exceed [until], or [max_steps] events have
+    run.  Returns the number of events processed. *)
+val run : ?until:float -> ?max_steps:int -> t -> int
+
+(** [run_and_check t] runs to quiescence and raises [Failure] if any fiber
+    crashed, including the first crash's exception text in the message. *)
+val run_and_check : t -> unit

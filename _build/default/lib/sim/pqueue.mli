@@ -1,0 +1,24 @@
+(** Imperative binary min-heap used as the simulator's event queue.
+
+    The ordering function is supplied at creation time; ties are expected to
+    be broken by the caller (the engine keys events by [(time, seq)]). *)
+
+type 'a t
+
+(** [create ~leq] returns an empty heap ordered by [leq] (less-or-equal). *)
+val create : leq:('a -> 'a -> bool) -> 'a t
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+(** [push h x] inserts [x]. *)
+val push : 'a t -> 'a -> unit
+
+(** [peek h] returns the minimum element without removing it. *)
+val peek : 'a t -> 'a option
+
+(** [pop h] removes and returns the minimum element. *)
+val pop : 'a t -> 'a option
+
+(** [clear h] removes all elements. *)
+val clear : 'a t -> unit

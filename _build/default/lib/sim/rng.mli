@@ -1,0 +1,54 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All randomness in the simulator flows from values of this type so that
+    every scenario is exactly reproducible from its seed.  The generator is
+    the splitmix64 algorithm of Steele, Lea and Flood, which has a 64-bit
+    state, passes BigCrush, and supports cheap stream splitting. *)
+
+type t
+
+(** [create seed] returns a fresh generator whose stream is a pure function
+    of [seed]. *)
+val create : int64 -> t
+
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give subsystems (fault injector, workload, service times) their
+    own streams so adding draws to one does not perturb the others. *)
+val split : t -> t
+
+(** [copy t] duplicates the current state (the copies then evolve
+    independently but identically under identical draws). *)
+val copy : t -> t
+
+(** [next t] returns the next raw 64-bit output. *)
+val next : t -> int64
+
+(** [int t bound] is uniform in \[0, bound).  Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [float t bound] is uniform in \[0, bound). *)
+val float : t -> float -> float
+
+(** [uniform t lo hi] is uniform in \[lo, hi). *)
+val uniform : t -> float -> float -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [chance t p] is true with probability [p] (clamped to \[0,1\]). *)
+val chance : t -> float -> bool
+
+(** [exponential t ~mean] draws from an exponential distribution; used for
+    inter-arrival and failure/repair times. *)
+val exponential : t -> mean:float -> float
+
+(** [pick t arr] returns a uniformly chosen element of [arr].
+    Requires the array to be non-empty. *)
+val pick : t -> 'a array -> 'a
+
+(** [pick_list t l] returns a uniformly chosen element of [l].
+    Requires the list to be non-empty. *)
+val pick_list : t -> 'a list -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,20 @@
+type t = { mutable waiters : (unit -> unit) list; mutable generation : int }
+
+let create () = { waiters = []; generation = 0 }
+
+let generation s = s.generation
+
+let wait eng s =
+  Engine.suspend eng (fun resume ->
+      s.waiters <- (fun () -> resume (Ok ())) :: s.waiters)
+
+let wait_timeout eng s d =
+  Engine.suspend eng (fun resume ->
+      s.waiters <- (fun () -> resume (Ok true)) :: s.waiters;
+      Engine.schedule eng ~after:d (fun () -> resume (Ok false)))
+
+let broadcast _eng s =
+  let ws = List.rev s.waiters in
+  s.waiters <- [];
+  s.generation <- s.generation + 1;
+  List.iter (fun w -> w ()) ws

@@ -1,0 +1,37 @@
+type entry = { time : float; label : string; detail : string }
+
+type t = { mutable entries : entry list; mutable enabled : bool; mutable count : int }
+
+let create () = { entries = []; enabled = true; count = 0 }
+
+let set_enabled t b = t.enabled <- b
+
+let emit t ~time ~label detail =
+  if t.enabled then begin
+    t.entries <- { time; label; detail } :: t.entries;
+    t.count <- t.count + 1
+  end
+
+let entries t = List.rev t.entries
+
+let entries_with_label t label =
+  List.filter (fun e -> String.equal e.label label) (entries t)
+
+let clear t =
+  t.entries <- [];
+  t.count <- 0
+
+let length t = t.count
+
+let pp ?limit fmt t =
+  let all = entries t in
+  let shown =
+    match limit with
+    | None -> all
+    | Some n ->
+        let len = List.length all in
+        if len <= n then all else List.filteri (fun i _ -> i >= len - n) all
+  in
+  List.iter
+    (fun e -> Format.fprintf fmt "[%10.3f] %-10s %s@." e.time e.label e.detail)
+    shown

@@ -1,0 +1,31 @@
+(** Structured trace of simulation events, for debugging and for the
+    specification monitor's counterexample reports. *)
+
+type entry = {
+  time : float;
+  label : string;   (** short category, e.g. ["rpc"], ["fault"], ["iter"] *)
+  detail : string;  (** free-form description *)
+}
+
+type t
+
+(** [create ()] makes an empty, enabled tracer. *)
+val create : unit -> t
+
+(** [set_enabled t b] turns recording on or off (on by default). *)
+val set_enabled : t -> bool -> unit
+
+(** [emit t ~time ~label detail] appends an entry if enabled. *)
+val emit : t -> time:float -> label:string -> string -> unit
+
+(** All entries, oldest first. *)
+val entries : t -> entry list
+
+(** Entries whose label equals [label], oldest first. *)
+val entries_with_label : t -> string -> entry list
+
+val clear : t -> unit
+val length : t -> int
+
+(** Render the last [limit] (default: all) entries, one per line. *)
+val pp : ?limit:int -> Format.formatter -> t -> unit

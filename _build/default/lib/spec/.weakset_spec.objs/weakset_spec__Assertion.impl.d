@@ -1,0 +1,1 @@
+lib/spec/assertion.ml: Format List

@@ -1,0 +1,1 @@
+lib/spec/assertion.mli: Format

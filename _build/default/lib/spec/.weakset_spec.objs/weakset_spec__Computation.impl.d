@@ -1,0 +1,1 @@
+lib/spec/computation.ml: Elem Format List Sstate

@@ -1,0 +1,1 @@
+lib/spec/computation.mli: Elem Format Sstate

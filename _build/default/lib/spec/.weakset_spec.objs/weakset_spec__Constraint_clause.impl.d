@@ -1,0 +1,1 @@
+lib/spec/constraint_clause.ml: Computation Elem Format List Sstate

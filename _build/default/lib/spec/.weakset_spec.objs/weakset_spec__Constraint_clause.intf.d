@@ -1,0 +1,1 @@
+lib/spec/constraint_clause.mli: Computation Elem Format Sstate

@@ -1,0 +1,1 @@
+lib/spec/elem.ml: Format Int Set

@@ -1,0 +1,1 @@
+lib/spec/elem.mli: Format Set

@@ -1,0 +1,1 @@
+lib/spec/figures.ml: Assertion Computation Constraint_clause Elem Format List Printf Sstate String

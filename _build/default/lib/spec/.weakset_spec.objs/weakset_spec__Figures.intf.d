@@ -1,0 +1,1 @@
+lib/spec/figures.mli: Computation Constraint_clause Format Sstate

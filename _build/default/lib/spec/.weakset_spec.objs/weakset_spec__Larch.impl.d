@@ -1,0 +1,1 @@
+lib/spec/larch.ml: Buffer Constraint_clause Figures List Printf String

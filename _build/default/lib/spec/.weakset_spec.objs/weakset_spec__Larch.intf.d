@@ -1,0 +1,1 @@
+lib/spec/larch.mli: Figures

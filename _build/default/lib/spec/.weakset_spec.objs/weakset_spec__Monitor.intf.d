@@ -1,0 +1,1 @@
+lib/spec/monitor.mli: Computation Elem Sstate

@@ -1,0 +1,1 @@
+lib/spec/proc_spec.ml: Assertion Elem Format

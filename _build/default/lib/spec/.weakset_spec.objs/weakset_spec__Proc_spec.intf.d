@@ -1,0 +1,1 @@
+lib/spec/proc_spec.mli: Assertion Elem Format

@@ -1,0 +1,1 @@
+lib/spec/report.ml: Computation Elem Figures Format List Printf Sstate

@@ -1,0 +1,1 @@
+lib/spec/report.mli: Computation Figures Format

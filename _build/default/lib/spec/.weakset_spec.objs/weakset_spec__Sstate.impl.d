@@ -1,0 +1,1 @@
+lib/spec/sstate.ml: Elem Format

@@ -1,0 +1,1 @@
+lib/spec/sstate.mli: Elem Format

@@ -1,0 +1,67 @@
+type result = Holds | Fails_because of string list
+
+type 'ctx t = { name : string; eval : 'ctx -> result }
+
+let result_holds = function Holds -> true | Fails_because _ -> false
+
+let name t = t.name
+
+let pred name f =
+  { name; eval = (fun ctx -> if f ctx then Holds else Fails_because [ name ]) }
+
+let all name ts =
+  {
+    name;
+    eval =
+      (fun ctx ->
+        let failures =
+          List.concat_map
+            (fun t -> match t.eval ctx with Holds -> [] | Fails_because l -> l)
+            ts
+        in
+        match failures with [] -> Holds | l -> Fails_because (name :: l));
+  }
+
+let any name ts =
+  {
+    name;
+    eval =
+      (fun ctx ->
+        if List.exists (fun t -> result_holds (t.eval ctx)) ts then Holds
+        else
+          let failures =
+            List.concat_map
+              (fun t -> match t.eval ctx with Holds -> [] | Fails_because l -> l)
+              ts
+          in
+          Fails_because (name :: failures));
+  }
+
+let implies name cond body =
+  {
+    name;
+    eval =
+      (fun ctx ->
+        if not (cond ctx) then Holds
+        else
+          match body.eval ctx with
+          | Holds -> Holds
+          | Fails_because l -> Fails_because (name :: l));
+  }
+
+let not_ name t =
+  {
+    name;
+    eval =
+      (fun ctx -> match t.eval ctx with Holds -> Fails_because [ name ] | Fails_because _ -> Holds);
+  }
+
+let check t ctx = t.eval ctx
+
+let pp_result fmt = function
+  | Holds -> Format.pp_print_string fmt "holds"
+  | Fails_because path ->
+      Format.fprintf fmt "fails: %a"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " > ")
+           Format.pp_print_string)
+        path

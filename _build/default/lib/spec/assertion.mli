@@ -1,0 +1,36 @@
+(** A small assertion-combinator language for writing executable pre/post
+    conditions with diagnostic output.
+
+    An assertion over a context ['ctx] either holds or fails with the path
+    of named clauses that failed — the executable counterpart of reading a
+    Larch [ensures] clause and pointing at the offending conjunct. *)
+
+type 'ctx t
+
+(** Failure explanations: the names of the failing clauses, outermost
+    first. *)
+type result = Holds | Fails_because of string list
+
+val result_holds : result -> bool
+
+(** [pred name f] holds when [f ctx] is true; fails as [name]. *)
+val pred : string -> ('ctx -> bool) -> 'ctx t
+
+(** [all name ts] — conjunction; failure reports [name] and every failing
+    conjunct. *)
+val all : string -> 'ctx t list -> 'ctx t
+
+(** [any name ts] — disjunction; fails (as [name]) only if all branches
+    fail. *)
+val any : string -> 'ctx t list -> 'ctx t
+
+(** [implies name cond body] — vacuously holds when [cond ctx] is false. *)
+val implies : string -> ('ctx -> bool) -> 'ctx t -> 'ctx t
+
+val not_ : string -> 'ctx t -> 'ctx t
+
+(** [check t ctx] evaluates the assertion. *)
+val check : 'ctx t -> 'ctx -> result
+
+val name : 'ctx t -> string
+val pp_result : Format.formatter -> result -> unit

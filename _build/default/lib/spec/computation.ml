@@ -1,0 +1,106 @@
+(* States are ordered by capture sequence, not append order: a monitor may
+   capture an invocation's pre-state (reserving a sequence number via
+   [next_seq]) and only append it when the invocation completes, after
+   intervening mutation states were appended.  Inserting by sequence keeps
+   the computation in true capture order. *)
+type entry = { seq : int; st : Sstate.t }
+
+type t = { mutable rev_entries : entry list; mutable n : int; mutable counter : int }
+
+let create () = { rev_entries = []; n = 0; counter = 0 }
+
+let next_seq t =
+  t.counter <- t.counter + 1;
+  t.counter
+
+let renumber t =
+  let ordered = List.rev t.rev_entries in
+  t.rev_entries <-
+    List.rev
+      (List.mapi (fun i e -> { e with st = { e.st with Sstate.index = i } }) ordered)
+
+let append ?seq t ~time ~kind ~s ~accessible ~yielded =
+  let seq = match seq with Some s -> s | None -> next_seq t in
+  let st = { Sstate.index = 0; time; kind; s_value = s; accessible; yielded } in
+  let entry = { seq; st } in
+  let in_order = match t.rev_entries with [] -> true | e :: _ -> e.seq < seq in
+  if in_order then begin
+    (* Common case: appending in capture order; index = position. *)
+    t.rev_entries <- { entry with st = { st with Sstate.index = t.n } } :: t.rev_entries;
+    t.n <- t.n + 1
+  end
+  else begin
+    (* Out-of-order (a buffered pre-state): insert before the first
+       newest-side entry with a smaller sequence, then renumber. *)
+    let rec insert = function
+      | [] -> [ entry ]
+      | e :: rest when e.seq < seq -> entry :: e :: rest
+      | e :: rest -> e :: insert rest
+    in
+    t.rev_entries <- insert t.rev_entries;
+    t.n <- t.n + 1;
+    renumber t
+  end
+
+let length t = t.n
+let states t = List.rev_map (fun e -> e.st) t.rev_entries
+
+let first_state t =
+  List.find_opt (fun st -> st.Sstate.kind = Sstate.First) (states t)
+
+let last_state t = match t.rev_entries with [] -> None | e :: _ -> Some e.st
+
+let invocations t =
+  let all = states t in
+  let pres =
+    List.filter_map
+      (fun st -> match st.Sstate.kind with Sstate.Invocation_pre i -> Some (i, st) | _ -> None)
+      all
+  in
+  let posts =
+    List.filter_map
+      (fun st ->
+        match st.Sstate.kind with Sstate.Invocation_post (i, _) -> Some (i, st) | _ -> None)
+      all
+  in
+  List.filter_map
+    (fun (i, pre) ->
+      match List.assoc_opt i posts with Some post -> Some (pre, post) | None -> None)
+    pres
+
+let pending_invocations t =
+  let all = states t in
+  let posts =
+    List.filter_map
+      (fun st -> match st.Sstate.kind with Sstate.Invocation_post (i, _) -> Some i | _ -> None)
+      all
+  in
+  List.filter_map
+    (fun st ->
+      match st.Sstate.kind with
+      | Sstate.Invocation_pre i when not (List.mem i posts) -> Some st
+      | _ -> None)
+    all
+
+let terminated t =
+  List.exists
+    (fun st ->
+      match st.Sstate.kind with
+      | Sstate.Invocation_post (_, (Sstate.Returns | Sstate.Fails)) -> true
+      | _ -> false)
+    (states t)
+
+let s_union_between t ~from_ ~to_ =
+  List.fold_left
+    (fun acc st ->
+      if st.Sstate.index >= from_ && st.Sstate.index <= to_ then
+        Elem.Set.union acc st.Sstate.s_value
+      else acc)
+    Elem.Set.empty (states t)
+
+let final_yielded t =
+  match last_state t with Some st -> st.Sstate.yielded | None -> Elem.Set.empty
+
+let pp fmt t =
+  Format.fprintf fmt "computation (%d states):@." t.n;
+  List.iter (fun st -> Format.fprintf fmt "  %a@." Sstate.pp st) (states t)

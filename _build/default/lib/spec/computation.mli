@@ -1,0 +1,56 @@
+(** Recorded computations: the state sequences over which the paper's
+    specifications are checked. *)
+
+type t
+
+val create : unit -> t
+
+(** Reserve a capture-sequence number.  States are ordered by capture
+    sequence, so a snapshot taken now but appended later (a buffered
+    invocation pre-state) still lands in true capture order relative to
+    mutation states appended in between. *)
+val next_seq : t -> int
+
+(** [append ?seq t ~time ~kind ~s ~accessible ~yielded] records a state at
+    capture order [seq] (default: a freshly reserved sequence).  Indices
+    are (re)assigned so that [index] equals the state's position. *)
+val append :
+  ?seq:int ->
+  t ->
+  time:float ->
+  kind:Sstate.kind ->
+  s:Elem.Set.t ->
+  accessible:Elem.Set.t ->
+  yielded:Elem.Set.t ->
+  unit
+
+val length : t -> int
+
+(** States oldest first. *)
+val states : t -> Sstate.t list
+
+(** The state of kind [First], if recorded. *)
+val first_state : t -> Sstate.t option
+
+(** The last recorded state. *)
+val last_state : t -> Sstate.t option
+
+(** Matched (pre, post) state pairs per completed invocation, in
+    invocation order. *)
+val invocations : t -> (Sstate.t * Sstate.t) list
+
+(** Pre-states of invocations that never completed (e.g. the iterator was
+    still blocked when the run ended). *)
+val pending_invocations : t -> Sstate.t list
+
+(** True when the computation contains a terminating ([Returns] or
+    [Fails]) post-state. *)
+val terminated : t -> bool
+
+(** Union of [s] values over states with index in [[from_, to_]]. *)
+val s_union_between : t -> from_:int -> to_:int -> Elem.Set.t
+
+(** Final value of the [yielded] history object (empty if no states). *)
+val final_yielded : t -> Elem.Set.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+type t = { cname : string; rel : Elem.Set.t -> Elem.Set.t -> bool }
+
+let name t = t.cname
+let make ~name rel = { cname = name; rel }
+let immutable = make ~name:"constraint: s_i = s_j" Elem.Set.equal
+let grow_only = make ~name:"constraint: s_i ⊆ s_j" Elem.Set.subset
+let unconstrained = make ~name:"constraint: true" (fun _ _ -> true)
+let holds_between t a b = t.rel a b
+
+type violation = { clause : string; si : Sstate.t; sj : Sstate.t }
+
+let pp_violation fmt v =
+  Format.fprintf fmt "%s violated between@ %a@ and %a" v.clause Sstate.pp v.si Sstate.pp v.sj
+
+(* The provided relations are reflexive and transitive, so a violation (if
+   any) already appears between some consecutive pair. *)
+let scan_states t states =
+  let rec scan = function
+    | a :: (b :: _ as rest) ->
+        if t.rel a.Sstate.s_value b.Sstate.s_value then scan rest
+        else Some { clause = t.cname; si = a; sj = b }
+    | [ _ ] | [] -> None
+  in
+  scan states
+
+let check t comp = scan_states t (Computation.states comp)
+
+let check_between t comp ~from_ ~to_ =
+  scan_states t
+    (List.filter
+       (fun st -> st.Sstate.index >= from_ && st.Sstate.index <= to_)
+       (Computation.states comp))

@@ -1,0 +1,37 @@
+(** Type-level [constraint] clauses (paper §2.2): history properties that
+    must hold of {e every} pair of states [σi, σj] with [i < j] in a
+    computation.
+
+    The paper's three constraints on the value of [s] are provided:
+    - [immutable]: [s_i = s_j]  (Figures 1 and 3)
+    - [grow_only]: [s_i ⊆ s_j]  (Figure 5)
+    - [unconstrained]: [true]   (Figures 4 and 6)
+
+    All three are reflexive and transitive, so checking consecutive pairs
+    is equivalent to checking all pairs; [check] exploits this. *)
+
+type t
+
+val name : t -> string
+
+(** [make ~name rel] builds a clause from a reflexive-transitive relation
+    on set values. *)
+val make : name:string -> (Elem.Set.t -> Elem.Set.t -> bool) -> t
+
+val immutable : t
+val grow_only : t
+val unconstrained : t
+
+(** Evaluate the relation directly. *)
+val holds_between : t -> Elem.Set.t -> Elem.Set.t -> bool
+
+type violation = { clause : string; si : Sstate.t; sj : Sstate.t }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [check t comp] returns the first violated pair, if any. *)
+val check : t -> Computation.t -> violation option
+
+(** [check_between t comp ~from_ ~to_] checks only the states whose index
+    lies in [[from_, to_]] — the §3.1/§3.3 per-run constraint scope. *)
+val check_between : t -> Computation.t -> from_:int -> to_:int -> violation option

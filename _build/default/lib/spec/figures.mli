@@ -1,0 +1,92 @@
+(** Executable versions of the paper's figure specifications.
+
+    Each {!spec} value is one point in the weak-set design space; {!check}
+    validates a recorded {!Computation.t} of an [elements] iterator run
+    against it and reports violations with the offending states.
+
+    The figures are parameterised by three design dimensions (§3):
+    - the {!Constraint_clause.t} on the set's value over the computation,
+    - the {e vintage}: whether invocations are judged against the set's
+      value in the first-state (Figures 1/3/4) or the current pre-state
+      (Figures 5/6),
+    - the {e failure mode}: failures impossible (Figure 1), pessimistic
+      ([fails] as soon as an un-yielded element is unreachable, Figures
+      3/4/5), or optimistic (never [fails]; blocks instead, Figure 6).
+
+    [fig6_window] is a documented relaxation of Figure 6 matching §3.4's
+    prose ("we may yield elements that have been [...] removed"): the
+    yielded element may come from the value of [s] at {e any} state
+    between the first-state and the pre-state, provided it is accessible.
+    Literal Figure 6 requires the yielded element to be in [s_pre] itself;
+    the gap between the two is measurable when iterators read stale
+    directory replicas (ablation A1). *)
+
+type vintage = First_vintage | Current_vintage
+
+type failure_mode = No_failures | Pessimistic | Optimistic
+
+(** Scope of the type constraint: the figures as printed constrain every
+    pair of states; §3.1/§3.3 discuss relaxations where only states
+    between the first-state and last-state of one run are constrained
+    ("mutations may occur between different uses of the iterator, but not
+    between invocations of any one use"). *)
+type constraint_scope = Whole_computation | During_run
+
+type spec = {
+  spec_name : string;
+  paper_figure : string;          (** e.g. ["Figure 3"] *)
+  description : string;
+  constraint_ : Constraint_clause.t;
+  constraint_scope : constraint_scope;
+  vintage : vintage;
+  failure_mode : failure_mode;
+  membership_window : bool;       (** the [fig6_window] relaxation *)
+}
+
+(** Immutable set, failures ignored. *)
+val fig1 : spec
+
+(** Immutable set with failures, pessimistic. *)
+val fig3 : spec
+
+(** Mutable set, snapshot at first call ("loses mutations"). *)
+val fig4 : spec
+
+(** Growing-only set, pessimistic. *)
+val fig5 : spec
+
+(** Growing and shrinking set, optimistic (dynamic sets). *)
+val fig6 : spec
+
+(** §3.4 prose relaxation of Figure 6. *)
+val fig6_window : spec
+
+(** §3.1 relaxation of Figure 3: immutability enforced only during each
+    run. *)
+val fig3_relaxed : spec
+
+(** §3.3 relaxation of Figure 5: growth-only enforced only during each
+    run. *)
+val fig5_relaxed : spec
+
+val all_specs : spec list
+
+type violation = {
+  where : string;                (** which clause failed *)
+  state : Sstate.t option;       (** the state it failed at, if localisable *)
+  message : string;
+}
+
+type verdict = Conforms | Violates of violation list
+
+val verdict_ok : verdict -> bool
+val pp_violation : Format.formatter -> violation -> unit
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** [check spec comp] validates every obligation: the [constraint] clause
+    over all state pairs, the [yielded] history-object discipline, each
+    completed invocation's branch of the [ensures] clause, terminality of
+    [returns]/[fails], and (for optimistic specs) the global guarantee
+    that every yielded element was a member of [s] in some state between
+    the first-state and last-state. *)
+val check : spec -> Computation.t -> verdict

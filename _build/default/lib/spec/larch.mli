@@ -1,0 +1,33 @@
+(** Render the executable figure specifications back into the paper's
+    Larch-style concrete syntax (§2).
+
+    The same {!Figures.spec} value both drives the checker and prints as
+    the figure, so the text users read and the predicate the monitor
+    enforces cannot drift apart. *)
+
+(** The full [elements] iterator specification of a figure, e.g. for
+    {!Figures.fig3}:
+
+    {v
+    constraint s_i = s_j
+    elements = iter (s: set) yields (e: elem) signals (failure)
+      remembers yielded : set initially {}
+      ensures
+        if yielded_pre ⊂ reachable(s_first)_pre
+        then   yielded_post - yielded_pre = {e}
+             ∧ yielded_post ⊆ s_first
+             ∧ e ∈ reachable(s_first)_pre
+             ∧ suspends
+        else if reachable(s_first)_pre ⊆ yielded_pre ∧ yielded_pre ⊂ s_first
+        then fails
+        else returns    % yielded_pre = s_first
+    v} *)
+val render : Figures.spec -> string
+
+(** The whole set type specification (the paper's Figure 1 shape): the
+    [create]/[add]/[remove]/[size] procedures followed by [elements] under
+    the given figure's constraint and ensures clause. *)
+val render_type : Figures.spec -> string
+
+(** All figures, rendered with headers. *)
+val render_all : unit -> string

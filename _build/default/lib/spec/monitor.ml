@@ -1,0 +1,52 @@
+type buffered_pre = { b_seq : int; b_time : float; b_s : Elem.Set.t; b_accessible : Elem.Set.t }
+
+type t = {
+  comp : Computation.t;
+  mutable yielded : Elem.Set.t;
+  mutable next_invocation : int;
+  mutable pending : buffered_pre option;
+}
+
+let create () =
+  { comp = Computation.create (); yielded = Elem.Set.empty; next_invocation = 0; pending = None }
+
+let computation t = t.comp
+let yielded t = t.yielded
+let completed_invocations t = t.next_invocation
+let blocked t = Option.is_some t.pending
+
+let observe_first t ~time ~s ~accessible =
+  Computation.append t.comp ~time ~kind:Sstate.First ~s ~accessible ~yielded:t.yielded
+
+let invocation_started t ~time ~s ~accessible =
+  if Option.is_some t.pending then invalid_arg "Monitor: invocation already in progress";
+  (* Reserve the capture-order slot now: mutations observed while this
+     invocation is in flight must order after this snapshot. *)
+  t.pending <-
+    Some { b_seq = Computation.next_seq t.comp; b_time = time; b_s = s; b_accessible = accessible }
+
+let invocation_retry t ~time ~s ~accessible =
+  match t.pending with
+  | None -> invalid_arg "Monitor: no invocation in progress"
+  | Some _ ->
+      t.pending <-
+        Some
+          { b_seq = Computation.next_seq t.comp; b_time = time; b_s = s; b_accessible = accessible }
+
+let invocation_completed t ~time ~term ~s ~accessible =
+  match t.pending with
+  | None -> invalid_arg "Monitor: no invocation in progress"
+  | Some pre ->
+      let i = t.next_invocation in
+      t.next_invocation <- i + 1;
+      t.pending <- None;
+      Computation.append ~seq:pre.b_seq t.comp ~time:pre.b_time ~kind:(Sstate.Invocation_pre i)
+        ~s:pre.b_s ~accessible:pre.b_accessible ~yielded:t.yielded;
+      (match term with
+      | Sstate.Suspends e -> t.yielded <- Elem.Set.add e t.yielded
+      | Sstate.Returns | Sstate.Fails -> ());
+      Computation.append t.comp ~time ~kind:(Sstate.Invocation_post (i, term)) ~s ~accessible
+        ~yielded:t.yielded
+
+let observe_mutation t ~time ~op ~s ~accessible =
+  Computation.append t.comp ~time ~kind:(Sstate.Mutation op) ~s ~accessible ~yielded:t.yielded

@@ -1,0 +1,45 @@
+(** Online monitor: builds a {!Computation.t} while an iterator
+    implementation runs.
+
+    The paper models each invocation as an atomic transition, but real
+    optimistic implementations block and retry inside an invocation.  The
+    monitor therefore buffers the invocation's pre-state and lets the
+    implementation {e refresh} it at each decisive directory read; the
+    recorded pre-state is the one from the read the implementation
+    actually acted on (the invocation's linearisation point).  An
+    invocation that never completes (the iterator was still blocked when
+    the run ended) leaves no pre/post pair, only {!blocked} = true. *)
+
+type t
+
+val create : unit -> t
+
+val computation : t -> Computation.t
+
+(** Value of the [yielded] history object as tracked by the monitor. *)
+val yielded : t -> Elem.Set.t
+
+(** Number of completed invocations. *)
+val completed_invocations : t -> int
+
+(** True while an invocation has started but not completed. *)
+val blocked : t -> bool
+
+(** Record the first-state (once, before any invocation). *)
+val observe_first : t -> time:float -> s:Elem.Set.t -> accessible:Elem.Set.t -> unit
+
+(** Start an invocation, buffering its candidate pre-state. *)
+val invocation_started : t -> time:float -> s:Elem.Set.t -> accessible:Elem.Set.t -> unit
+
+(** Replace the buffered pre-state (the implementation re-read the
+    directory while blocked). *)
+val invocation_retry : t -> time:float -> s:Elem.Set.t -> accessible:Elem.Set.t -> unit
+
+(** Complete the invocation: appends the buffered pre-state and the
+    post-state, updating [yielded] on [Suspends]. *)
+val invocation_completed :
+  t -> time:float -> term:Sstate.termination -> s:Elem.Set.t -> accessible:Elem.Set.t -> unit
+
+(** Record a mutation of the set (by any process). *)
+val observe_mutation :
+  t -> time:float -> op:Sstate.mutation -> s:Elem.Set.t -> accessible:Elem.Set.t -> unit

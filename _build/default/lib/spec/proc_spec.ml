@@ -1,0 +1,45 @@
+type observation =
+  | Create of { post : Elem.Set.t }
+  | Add of { pre : Elem.Set.t; e : Elem.t; post : Elem.Set.t }
+  | Remove of { pre : Elem.Set.t; e : Elem.t; post : Elem.Set.t }
+  | Size of { pre : Elem.Set.t; result : int }
+
+let pp_observation fmt = function
+  | Create { post } -> Format.fprintf fmt "create -> %a" Elem.Set.pp post
+  | Add { pre; e; post } ->
+      Format.fprintf fmt "add %a: %a -> %a" Elem.pp e Elem.Set.pp pre Elem.Set.pp post
+  | Remove { pre; e; post } ->
+      Format.fprintf fmt "remove %a: %a -> %a" Elem.pp e Elem.Set.pp pre Elem.Set.pp post
+  | Size { pre; result } -> Format.fprintf fmt "size %a -> %d" Elem.Set.pp pre result
+
+open Assertion
+
+let create_spec = pred "create ensures t_post = {}" (fun post -> Elem.Set.is_empty post)
+
+let add_spec =
+  pred "add ensures s_post = s_pre ∪ {e}" (fun (pre, e, post) ->
+      Elem.Set.equal post (Elem.Set.add e pre))
+
+let remove_spec =
+  pred "remove ensures s_post = s_pre - {e}" (fun (pre, e, post) ->
+      Elem.Set.equal post (Elem.Set.remove e pre))
+
+let size_spec =
+  pred "size ensures i = |s_pre|" (fun (pre, result) -> result = Elem.Set.cardinal pre)
+
+let check = function
+  | Create { post } -> Assertion.check create_spec post
+  | Add { pre; e; post } -> Assertion.check add_spec (pre, e, post)
+  | Remove { pre; e; post } -> Assertion.check remove_spec (pre, e, post)
+  | Size { pre; result } -> Assertion.check size_spec (pre, result)
+
+let check_all obs =
+  let rec loop = function
+    | [] -> Holds
+    | o :: rest -> (
+        match check o with
+        | Holds -> loop rest
+        | Fails_because path ->
+            Fails_because (Format.asprintf "at call %a" pp_observation o :: path))
+  in
+  loop obs

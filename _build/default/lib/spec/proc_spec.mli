@@ -1,0 +1,25 @@
+(** Executable specifications of the set {e procedures} (the top half of
+    the paper's Figure 1): [create], [add], [remove], [size].
+
+    The paper specifies immutable sets whose procedures return fresh
+    objects ([ensures t_post = s_pre ∪ {e} ∧ new(t)]); our store mutates a
+    collection in place, so the executable obligations are the in-place
+    analogues — [new(t)] becomes the identity of the collection being
+    stable while its {e value} changes as specified.  Observations are
+    checked with the same {!Assertion} machinery as the iterator
+    figures. *)
+
+(** What a monitored procedure call looked like. *)
+type observation =
+  | Create of { post : Elem.Set.t }
+  | Add of { pre : Elem.Set.t; e : Elem.t; post : Elem.Set.t }
+  | Remove of { pre : Elem.Set.t; e : Elem.t; post : Elem.Set.t }
+  | Size of { pre : Elem.Set.t; result : int }
+
+val pp_observation : Format.formatter -> observation -> unit
+
+(** [check obs] validates the procedure's [ensures] clause. *)
+val check : observation -> Assertion.result
+
+(** [check_all obs] — first failure wins; [Holds] if every call conforms. *)
+val check_all : observation list -> Assertion.result

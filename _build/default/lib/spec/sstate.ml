@@ -1,0 +1,38 @@
+type termination = Suspends of Elem.t | Returns | Fails
+
+let pp_termination fmt = function
+  | Suspends e -> Format.fprintf fmt "suspends(yield %a)" Elem.pp e
+  | Returns -> Format.pp_print_string fmt "returns"
+  | Fails -> Format.pp_print_string fmt "fails"
+
+type kind =
+  | First
+  | Invocation_pre of int
+  | Invocation_post of int * termination
+  | Mutation of mutation
+
+and mutation = Madd of Elem.t | Mremove of Elem.t
+
+let pp_kind fmt = function
+  | First -> Format.pp_print_string fmt "first"
+  | Invocation_pre i -> Format.fprintf fmt "inv[%d].pre" i
+  | Invocation_post (i, t) -> Format.fprintf fmt "inv[%d].post %a" i pp_termination t
+  | Mutation (Madd e) -> Format.fprintf fmt "mutation add %a" Elem.pp e
+  | Mutation (Mremove e) -> Format.fprintf fmt "mutation remove %a" Elem.pp e
+
+type t = {
+  index : int;
+  time : float;
+  kind : kind;
+  s_value : Elem.Set.t;
+  accessible : Elem.Set.t;
+  yielded : Elem.Set.t;
+}
+
+let reachable_of st base = Elem.Set.inter base st.accessible
+
+let pp fmt st =
+  Format.fprintf fmt "σ%d@%.3f %a: s=%a acc=%a yielded=%a" st.index st.time pp_kind st.kind
+    Elem.Set.pp st.s_value Elem.Set.pp
+    (Elem.Set.inter st.s_value st.accessible)
+    Elem.Set.pp st.yielded

@@ -1,0 +1,49 @@
+(** Abstract states of a computation (paper §2).
+
+    The paper models a computation as an alternating sequence of states and
+    atomic transitions.  For checking an [elements] iterator we capture the
+    states that its specifications quantify over:
+
+    - the {e first-state} (the state in which the iterator is first
+      called),
+    - each invocation's {e pre-state} and {e post-state},
+    - every mutation to the set [s] (so "there exists a state σ between
+      first and last with e ∈ s_σ" is decidable),
+    - the {e last-state} (implicitly: the final post-state).
+
+    Each captured state records the value of the set object [s], the set
+    of currently {e accessible} elements (the paper's state-indexed
+    [reachable] function: [reachable σ (x) = s_x ∩ accessible σ]), and the
+    value of the iterator's [yielded] history object. *)
+
+(** Termination condition of an invocation, after the paper's
+    [suspends] / [returns] / [fails] assertions. *)
+type termination = Suspends of Elem.t | Returns | Fails
+
+val pp_termination : Format.formatter -> termination -> unit
+
+(** Why this state was captured. *)
+type kind =
+  | First                                  (** the first call's pre-state *)
+  | Invocation_pre of int                  (** pre-state of invocation [i] (0-based) *)
+  | Invocation_post of int * termination   (** post-state of invocation [i] *)
+  | Mutation of mutation                   (** the set was mutated *)
+
+and mutation = Madd of Elem.t | Mremove of Elem.t
+
+val pp_kind : Format.formatter -> kind -> unit
+
+type t = {
+  index : int;          (** position in the computation, 0-based *)
+  time : float;         (** virtual time of capture *)
+  kind : kind;
+  s_value : Elem.Set.t; (** ground-truth value of [s] in this state *)
+  accessible : Elem.Set.t;  (** elements whose home is reachable now *)
+  yielded : Elem.Set.t; (** value of the [yielded] history object *)
+}
+
+(** [reachable_of st base] is the paper's [reachable(base)] evaluated in
+    state [st]: the members of [base] accessible in [st]. *)
+val reachable_of : t -> Elem.Set.t -> Elem.Set.t
+
+val pp : Format.formatter -> t -> unit

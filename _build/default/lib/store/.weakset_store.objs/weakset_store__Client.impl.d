@@ -1,0 +1,1 @@
+lib/store/client.ml: Format Hashtbl List Oid Option Protocol Svalue Weakset_net

@@ -1,0 +1,1 @@
+lib/store/client.mli: Format Lockmgr Oid Protocol Svalue Version Weakset_net Weakset_sim

@@ -1,0 +1,1 @@
+lib/store/directory.ml: Format List Oid Version

@@ -1,0 +1,1 @@
+lib/store/lockmgr.ml: List Queue Weakset_sim

@@ -1,0 +1,1 @@
+lib/store/lockmgr.mli: Weakset_sim

@@ -1,0 +1,1 @@
+lib/store/node_server.ml: Directory Hashtbl List Lockmgr Oid Option Printf Protocol Stdlib Svalue Version Weakset_net Weakset_sim

@@ -1,0 +1,1 @@
+lib/store/node_server.mli: Directory Lockmgr Oid Protocol Svalue Version Weakset_net

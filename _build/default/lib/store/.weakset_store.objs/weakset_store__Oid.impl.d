@@ -1,0 +1,1 @@
+lib/store/oid.ml: Format Int Map Set Weakset_net

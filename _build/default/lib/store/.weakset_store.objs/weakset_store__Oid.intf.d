@@ -1,0 +1,1 @@
+lib/store/oid.mli: Format Map Set Weakset_net

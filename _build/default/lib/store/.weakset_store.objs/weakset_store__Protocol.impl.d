@@ -1,0 +1,1 @@
+lib/store/protocol.ml: Directory Format List Lockmgr Oid Svalue Version Weakset_net

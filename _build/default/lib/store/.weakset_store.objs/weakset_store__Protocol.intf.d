@@ -1,0 +1,1 @@
+lib/store/protocol.mli: Directory Format Lockmgr Oid Svalue Version Weakset_net

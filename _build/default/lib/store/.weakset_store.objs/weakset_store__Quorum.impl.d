@@ -1,0 +1,1 @@
+lib/store/quorum.ml: Client List Protocol Version

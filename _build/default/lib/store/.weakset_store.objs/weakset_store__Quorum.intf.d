@@ -1,0 +1,1 @@
+lib/store/quorum.mli: Client Oid Protocol Version Weakset_net

@@ -1,0 +1,1 @@
+lib/store/svalue.ml: Format String

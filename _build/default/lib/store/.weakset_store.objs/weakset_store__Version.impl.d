@@ -1,0 +1,1 @@
+lib/store/version.ml: Format Int Stdlib

@@ -1,0 +1,125 @@
+module Rpc = Weakset_net.Rpc
+module Topology = Weakset_net.Topology
+module Nodeid = Weakset_net.Nodeid
+
+type error = Unreachable | Timeout | No_such_object | No_service
+
+let pp_error fmt = function
+  | Unreachable -> Format.pp_print_string fmt "unreachable"
+  | Timeout -> Format.pp_print_string fmt "timeout"
+  | No_such_object -> Format.pp_print_string fmt "no-such-object"
+  | No_service -> Format.pp_print_string fmt "no-service"
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+type rpc = (Protocol.request, Protocol.response) Rpc.t
+
+type t = {
+  rpc : rpc;
+  node : Nodeid.t;
+  timeout : float;
+  cache : (int, Svalue.t) Hashtbl.t; (* hoarded object contents, by oid num *)
+}
+
+let create ?(timeout = 30.0) rpc node = { rpc; node; timeout; cache = Hashtbl.create 32 }
+
+let node t = t.node
+let rpc t = t.rpc
+let engine t = Rpc.engine t.rpc
+let topology t = Rpc.topology t.rpc
+let with_timeout t timeout = { t with timeout }
+
+let owner_counter = ref 0
+
+let fresh_owner () =
+  incr owner_counter;
+  !owner_counter
+
+let of_rpc_error = function Rpc.Timeout -> Timeout | Rpc.Unreachable -> Unreachable
+
+let call t dst req =
+  match Rpc.call t.rpc ~src:t.node ~dst ~timeout:t.timeout req with
+  | Ok resp -> Ok resp
+  | Error e -> Error (of_rpc_error e)
+
+let fetch t oid =
+  match call t (Oid.home oid) (Protocol.Fetch oid) with
+  | Ok (Protocol.Value v) ->
+      Hashtbl.replace t.cache (Oid.num oid) v;
+      Ok v
+  | Ok Protocol.Not_found -> Error No_such_object
+  | Ok _ -> Error No_service
+  | Error e -> Error e
+
+let cached t oid = Hashtbl.find_opt t.cache (Oid.num oid)
+
+let fetch_cached t oid =
+  match cached t oid with Some v -> Ok v | None -> fetch t oid
+
+let cache_size t = Hashtbl.length t.cache
+
+let drop_cache t = Hashtbl.reset t.cache
+
+let dir_read t ~from ~set_id =
+  match call t from (Protocol.Dir_read { set_id }) with
+  | Ok (Protocol.Members { version; members }) -> Ok (version, members)
+  | Ok Protocol.No_service -> Error No_service
+  | Ok _ -> Error No_service
+  | Error e -> Error e
+
+let expect_ack t dst req =
+  match call t dst req with
+  | Ok Protocol.Ack -> Ok ()
+  | Ok Protocol.No_service -> Error No_service
+  | Ok _ -> Error No_service
+  | Error e -> Error e
+
+let dir_add t (sref : Protocol.set_ref) oid =
+  expect_ack t sref.coordinator (Protocol.Dir_add { set_id = sref.set_id; oid })
+
+let dir_remove t (sref : Protocol.set_ref) oid =
+  expect_ack t sref.coordinator (Protocol.Dir_remove { set_id = sref.set_id; oid })
+
+let dir_size t (sref : Protocol.set_ref) =
+  match call t sref.coordinator (Protocol.Dir_size { set_id = sref.set_id }) with
+  | Ok (Protocol.Size n) -> Ok n
+  | Ok Protocol.No_service -> Error No_service
+  | Ok _ -> Error No_service
+  | Error e -> Error e
+
+let lock_acquire t (sref : Protocol.set_ref) kind =
+  let owner = fresh_owner () in
+  match
+    call t sref.coordinator (Protocol.Lock_acquire { set_id = sref.set_id; kind; owner })
+  with
+  | Ok Protocol.Locked -> Ok owner
+  | Ok Protocol.No_service -> Error No_service
+  | Ok _ -> Error No_service
+  | Error e -> Error e
+
+let lock_release t (sref : Protocol.set_ref) ~owner =
+  expect_ack t sref.coordinator (Protocol.Lock_release { set_id = sref.set_id; owner })
+
+let iter_open t (sref : Protocol.set_ref) =
+  expect_ack t sref.coordinator (Protocol.Iter_open { set_id = sref.set_id })
+
+let iter_close t (sref : Protocol.set_ref) =
+  expect_ack t sref.coordinator (Protocol.Iter_close { set_id = sref.set_id })
+
+let reachable_oids t oids =
+  let topo = topology t in
+  Oid.Set.filter (fun o -> Topology.reachable topo t.node (Oid.home o)) oids
+
+let nearest_dir_host t (sref : Protocol.set_ref) =
+  let topo = topology t in
+  let hosts = sref.coordinator :: sref.replicas in
+  List.fold_left
+    (fun best host ->
+      match Topology.path_latency topo t.node host with
+      | None -> best
+      | Some lat -> (
+          match best with
+          | Some (_, blat) when blat <= lat -> best
+          | Some _ | None -> Some (host, lat)))
+    None hosts
+  |> Option.map fst

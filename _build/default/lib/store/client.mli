@@ -1,0 +1,84 @@
+(** Client-side access to the distributed store, from a particular node.
+
+    All operations block the calling fiber and surface failures as values.
+    [Unreachable] corresponds to the paper's detected-failure case (the
+    lower layers signal a partition); [Timeout] to a message lost in
+    flight. *)
+
+type error =
+  | Unreachable
+  | Timeout
+  | No_such_object  (** the home node answered but no longer holds the object *)
+  | No_service      (** the target node does not host the requested set *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+type rpc = (Protocol.request, Protocol.response) Weakset_net.Rpc.t
+
+type t
+
+(** [create ?timeout rpc node] — [timeout] (default 30) bounds each call. *)
+val create : ?timeout:float -> rpc -> Weakset_net.Nodeid.t -> t
+
+val node : t -> Weakset_net.Nodeid.t
+val rpc : t -> rpc
+val engine : t -> Weakset_sim.Engine.t
+val topology : t -> Weakset_net.Topology.t
+
+(** A copy of the client with a different per-call timeout. *)
+val with_timeout : t -> float -> t
+
+(** Fresh process-unique lock-owner token. *)
+val fresh_owner : unit -> int
+
+(** {1 Objects} *)
+
+(** [fetch t oid] retrieves the contents from the home node; successful
+    fetches are hoarded into the client's cache. *)
+val fetch : t -> Oid.t -> (Svalue.t, error) result
+
+(** Cache-first fetch: serve hoarded contents without touching the
+    network (possibly stale), fall back to {!fetch}.  This is what lets a
+    disconnected mobile client keep answering queries (paper §1.1). *)
+val fetch_cached : t -> Oid.t -> (Svalue.t, error) result
+
+(** The hoarded copy, if any (no network). *)
+val cached : t -> Oid.t -> Svalue.t option
+
+val cache_size : t -> int
+val drop_cache : t -> unit
+
+(** {1 Directory operations} *)
+
+(** [dir_read t ~from ~set_id] reads membership from node [from] (the
+    coordinator for an authoritative read, a replica for a possibly stale
+    one). *)
+val dir_read :
+  t -> from:Weakset_net.Nodeid.t -> set_id:int -> (Version.t * Oid.t list, error) result
+
+val dir_add : t -> Protocol.set_ref -> Oid.t -> (unit, error) result
+val dir_remove : t -> Protocol.set_ref -> Oid.t -> (unit, error) result
+val dir_size : t -> Protocol.set_ref -> (int, error) result
+
+(** {1 Locks and iterator registration (on the coordinator)} *)
+
+(** [lock_acquire t sref kind] blocks until granted; returns the owner
+    token to pass to {!lock_release}. *)
+val lock_acquire : t -> Protocol.set_ref -> Lockmgr.kind -> (int, error) result
+
+val lock_release : t -> Protocol.set_ref -> owner:int -> (unit, error) result
+val iter_open : t -> Protocol.set_ref -> (unit, error) result
+val iter_close : t -> Protocol.set_ref -> (unit, error) result
+
+(** {1 Reachability helpers} *)
+
+(** [reachable_oids t oids] filters to the oids whose home node is
+    currently reachable from this client — the client-observable
+    [reachable(s)] of the paper. *)
+val reachable_oids : t -> Oid.Set.t -> Oid.Set.t
+
+(** [nearest_dir_host t sref] picks the reachable membership host
+    (coordinator or replica) with the smallest path latency; [None] if
+    none is reachable. *)
+val nearest_dir_host : t -> Protocol.set_ref -> Weakset_net.Nodeid.t option

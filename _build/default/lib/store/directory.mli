@@ -1,0 +1,31 @@
+(** The membership directory of one collection: the server-side ground
+    truth of "the value of [s]" in the paper's specifications.
+
+    Every mutation bumps the version and is appended to a log, so replicas
+    can pull deltas ([ops_since]) and the specification monitor can
+    reconstruct the value of [s] at any past state. *)
+
+type op = Add of Oid.t | Remove of Oid.t
+
+val pp_op : Format.formatter -> op -> unit
+
+type t
+
+val create : unit -> t
+val version : t -> Version.t
+val members : t -> Oid.Set.t
+val mem : t -> Oid.t -> bool
+val size : t -> int
+
+(** [apply t op] applies the mutation (idempotent: adding a present member
+    or removing an absent one does not bump the version) and returns the
+    resulting version. *)
+val apply : t -> op -> Version.t
+
+(** [ops_since t v] returns the mutations with version > [v], oldest
+    first. *)
+val ops_since : t -> Version.t -> (Version.t * op) list
+
+(** [members_at t v] reconstructs the membership as of version [v]
+    (clamped to the current version). *)
+val members_at : t -> Version.t -> Oid.Set.t

@@ -1,0 +1,60 @@
+module Engine = Weakset_sim.Engine
+module Ivar = Weakset_sim.Ivar
+
+type kind = Read | Write
+
+type waiter = { w_kind : kind; w_owner : int; granted : unit Ivar.t }
+
+type t = {
+  engine : Engine.t;
+  mutable readers : int list;
+  mutable writer : int option;
+  queue : waiter Queue.t;
+}
+
+let create engine = { engine; readers = []; writer = None; queue = Queue.create () }
+
+let holders t =
+  (match t.writer with Some w -> [ (w, Write) ] | None -> [])
+  @ List.map (fun r -> (r, Read)) t.readers
+
+let waiting t = Queue.length t.queue
+
+let compatible t kind =
+  match kind with
+  | Read -> t.writer = None
+  | Write -> t.writer = None && t.readers = []
+
+let grant t w =
+  (match w.w_kind with
+  | Read -> t.readers <- w.w_owner :: t.readers
+  | Write -> t.writer <- Some w.w_owner);
+  Ivar.fill t.engine w.granted ()
+
+(* Grant from the head of the queue while the head is compatible; strict
+   FIFO prevents writer starvation. *)
+let rec pump t =
+  match Queue.peek_opt t.queue with
+  | Some w when compatible t w.w_kind ->
+      ignore (Queue.pop t.queue);
+      grant t w;
+      pump t
+  | Some _ | None -> ()
+
+let involved t owner =
+  List.mem owner t.readers
+  || t.writer = Some owner
+  || Queue.fold (fun acc w -> acc || w.w_owner = owner) false t.queue
+
+let acquire t kind ~owner =
+  if involved t owner then invalid_arg "Lockmgr.acquire: owner already involved";
+  let w = { w_kind = kind; w_owner = owner; granted = Ivar.create () } in
+  if Queue.is_empty t.queue && compatible t kind then grant t w
+  else Queue.push w t.queue;
+  Ivar.read t.engine w.granted
+
+let release t ~owner =
+  (match t.writer with
+  | Some w when w = owner -> t.writer <- None
+  | Some _ | None -> t.readers <- List.filter (fun r -> r <> owner) t.readers);
+  pump t

@@ -1,0 +1,27 @@
+(** A blocking multi-reader / single-writer lock with strict FIFO queueing,
+    used by the immutable-set semantics: the iterator holds a read lock from
+    first call to termination, so mutators (which must take the write lock)
+    observe exactly the "distributed locking" cost the paper warns about
+    (§3.1). *)
+
+type t
+
+type kind = Read | Write
+
+val create : Weakset_sim.Engine.t -> t
+
+(** [acquire t kind ~owner] blocks the calling fiber until granted.
+    FIFO: a waiting writer blocks later readers (no starvation).
+    Raises [Invalid_argument] if [owner] already holds or waits. *)
+val acquire : t -> kind -> owner:int -> unit
+
+(** [release t ~owner] releases [owner]'s hold and grants any now-compatible
+    waiters.  Unknown owners are ignored (a crashed client's release may
+    race its timeout). *)
+val release : t -> owner:int -> unit
+
+(** Owners currently holding the lock. *)
+val holders : t -> (int * kind) list
+
+(** Number of fibers waiting. *)
+val waiting : t -> int

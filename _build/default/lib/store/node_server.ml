@@ -1,0 +1,222 @@
+module Engine = Weakset_sim.Engine
+module Nodeid = Weakset_net.Nodeid
+module Rpc = Weakset_net.Rpc
+
+type rpc = (Protocol.request, Protocol.response) Rpc.t
+
+type mutation_policy = Immediate | Defer_removes_while_iterating
+
+type dir_state = {
+  dir : Directory.t;
+  lock : Lockmgr.t;
+  policy : mutation_policy;
+  mutable open_iters : int;
+  mutable deferred : Oid.t list; (* ghost copies awaiting GC, newest first *)
+  mutable hooks : (Directory.op -> unit) list; (* fired on every applied mutation *)
+}
+
+(* Apply [op] and fire mutation hooks only if the directory actually
+   changed (idempotent re-adds/re-removes are invisible to observers). *)
+let apply_and_notify d op =
+  let before = Directory.version d.dir in
+  let after = Directory.apply d.dir op in
+  if not (Version.equal before after) then List.iter (fun h -> h op) d.hooks
+
+type replica_state = {
+  set_id : int;
+  of_ : Nodeid.t;
+  mutable r_version : Version.t;
+  mutable r_members : Oid.Set.t;
+}
+
+type t = {
+  rpc : rpc;
+  node : Nodeid.t;
+  objects : (int, Svalue.t) Hashtbl.t; (* keyed by Oid.num; homes are checked *)
+  dirs : (int, dir_state) Hashtbl.t;
+  replicas : (int, replica_state) Hashtbl.t;
+  fetch_service : Svalue.t -> float;
+  dir_service : float;
+}
+
+let node t = t.node
+
+let default_fetch_service v = 0.05 +. (float_of_int (Svalue.size v) /. 50_000.0)
+
+let put_object t oid v =
+  if not (Nodeid.equal (Oid.home oid) t.node) then
+    invalid_arg "Node_server.put_object: oid homed elsewhere";
+  Hashtbl.replace t.objects (Oid.num oid) v
+
+let delete_object t oid = Hashtbl.remove t.objects (Oid.num oid)
+let has_object t oid = Hashtbl.mem t.objects (Oid.num oid)
+let object_count t = Hashtbl.length t.objects
+
+let dir_state t set_id =
+  match Hashtbl.find_opt t.dirs set_id with Some d -> Some d | None -> None
+
+let directory_truth t ~set_id =
+  match dir_state t set_id with Some d -> d.dir | None -> raise Not_found
+
+let lock_of t ~set_id =
+  match dir_state t set_id with Some d -> d.lock | None -> raise Not_found
+
+let open_iterators t ~set_id =
+  match dir_state t set_id with Some d -> d.open_iters | None -> raise Not_found
+
+let deferred_removes t ~set_id =
+  match dir_state t set_id with Some d -> List.rev d.deferred | None -> raise Not_found
+
+let apply_deferred d =
+  List.iter (fun oid -> apply_and_notify d (Directory.Remove oid)) (List.rev d.deferred);
+  d.deferred <- []
+
+let handle t req : Protocol.response =
+  match req with
+  | Protocol.Fetch oid -> (
+      match Hashtbl.find_opt t.objects (Oid.num oid) with
+      | Some v -> Value v
+      | None -> Not_found)
+  | Dir_read { set_id } -> (
+      match dir_state t set_id with
+      | Some d ->
+          Members
+            { version = Directory.version d.dir; members = Oid.Set.elements (Directory.members d.dir) }
+      | None -> (
+          match Hashtbl.find_opt t.replicas set_id with
+          | Some r -> Members { version = r.r_version; members = Oid.Set.elements r.r_members }
+          | None -> No_service))
+  | Dir_add { set_id; oid } -> (
+      match dir_state t set_id with
+      | Some d ->
+          apply_and_notify d (Directory.Add oid);
+          Ack
+      | None -> No_service)
+  | Dir_remove { set_id; oid } -> (
+      match dir_state t set_id with
+      | Some d ->
+          (match d.policy with
+          | Defer_removes_while_iterating when d.open_iters > 0 ->
+              if Directory.mem d.dir oid && not (List.exists (Oid.equal oid) d.deferred) then
+                d.deferred <- oid :: d.deferred
+          | Immediate | Defer_removes_while_iterating ->
+              apply_and_notify d (Directory.Remove oid));
+          Ack
+      | None -> No_service)
+  | Dir_size { set_id } -> (
+      match dir_state t set_id with
+      | Some d -> Size (Directory.size d.dir)
+      | None -> No_service)
+  | Lock_acquire { set_id; kind; owner } -> (
+      match dir_state t set_id with
+      | Some d ->
+          Lockmgr.acquire d.lock kind ~owner;
+          Locked
+      | None -> No_service)
+  | Lock_release { set_id; owner } -> (
+      match dir_state t set_id with
+      | Some d ->
+          Lockmgr.release d.lock ~owner;
+          Ack
+      | None -> No_service)
+  | Iter_open { set_id } -> (
+      match dir_state t set_id with
+      | Some d ->
+          d.open_iters <- d.open_iters + 1;
+          Ack
+      | None -> No_service)
+  | Iter_close { set_id } -> (
+      match dir_state t set_id with
+      | Some d ->
+          d.open_iters <- Stdlib.max 0 (d.open_iters - 1);
+          if d.open_iters = 0 then apply_deferred d;
+          Ack
+      | None -> No_service)
+  | Sync_pull { set_id; since } -> (
+      match dir_state t set_id with
+      | Some d -> Delta { version = Directory.version d.dir; ops = Directory.ops_since d.dir since }
+      | None -> No_service)
+
+let service_time t req =
+  match req with
+  | Protocol.Fetch oid -> (
+      match Hashtbl.find_opt t.objects (Oid.num oid) with
+      | Some v -> t.fetch_service v
+      | None -> t.dir_service)
+  | _ -> t.dir_service
+
+let create ?fetch_service ?(dir_service = 0.02) rpc node =
+  let t =
+    {
+      rpc;
+      node;
+      objects = Hashtbl.create 64;
+      dirs = Hashtbl.create 4;
+      replicas = Hashtbl.create 4;
+      fetch_service = Option.value fetch_service ~default:default_fetch_service;
+      dir_service;
+    }
+  in
+  Rpc.serve rpc node ~service_time:(service_time t) (handle t);
+  t
+
+let host_directory t ~set_id ~policy =
+  Hashtbl.replace t.dirs set_id
+    {
+      dir = Directory.create ();
+      lock = Lockmgr.create (Rpc.engine t.rpc);
+      policy;
+      open_iters = 0;
+      deferred = [];
+      hooks = [];
+    }
+
+let on_directory_mutation t ~set_id hook =
+  match Hashtbl.find_opt t.dirs set_id with
+  | Some d ->
+      d.hooks <- d.hooks @ [ hook ];
+      fun () -> d.hooks <- List.filter (fun h -> h != hook) d.hooks
+  | None -> raise Not_found
+
+let replica_state t set_id =
+  match Hashtbl.find_opt t.replicas set_id with Some r -> r | None -> raise Not_found
+
+let replica_view t ~set_id =
+  let r = replica_state t set_id in
+  (r.r_version, r.r_members)
+
+let apply_delta r version ops =
+  List.iter
+    (fun (_, op) ->
+      match op with
+      | Directory.Add o -> r.r_members <- Oid.Set.add o r.r_members
+      | Directory.Remove o -> r.r_members <- Oid.Set.remove o r.r_members)
+    ops;
+  r.r_version <- Version.max r.r_version version
+
+let replica_pull_now t ~set_id =
+  let r = replica_state t set_id in
+  match
+    Rpc.call t.rpc ~src:t.node ~dst:r.of_ ~timeout:10.0
+      (Protocol.Sync_pull { set_id; since = r.r_version })
+  with
+  | Ok (Protocol.Delta { version; ops }) ->
+      apply_delta r version ops;
+      true
+  | Ok _ | Error _ -> false
+
+let host_replica t ~set_id ~of_ ~interval ~until =
+  Hashtbl.replace t.replicas set_id
+    { set_id; of_; r_version = Version.zero; r_members = Oid.Set.empty };
+  let eng = Rpc.engine t.rpc in
+  Engine.spawn eng
+    ~name:(Printf.sprintf "replica-sync-%s-set%d" (Nodeid.to_string t.node) set_id)
+    (fun () ->
+      let rec loop () =
+        if Engine.now eng < until then begin
+          Engine.sleep eng interval;
+          ignore (replica_pull_now t ~set_id);
+          loop ()
+        end
+      in
+      loop ())

@@ -1,0 +1,83 @@
+(** Per-node store server.  A node can simultaneously play three roles:
+
+    - {e object server}: holds the contents of objects homed at this node;
+    - {e directory coordinator}: authoritative membership directory of one
+      or more collections, with their lock managers and ghost bookkeeping;
+    - {e directory replica}: a lazily synchronised copy of a directory
+      hosted elsewhere, serving (possibly stale) [Dir_read]s.
+
+    Ghost copies (paper §3.3): when a directory is hosted with policy
+    {!Defer_removes_while_iterating}, removals arriving while grow-only
+    iterators are registered ([Iter_open]) are deferred and applied when
+    the last iterator closes — the set only grows during iteration, and the
+    deferred "ghosts" are garbage-collected on termination. *)
+
+type rpc = (Protocol.request, Protocol.response) Weakset_net.Rpc.t
+
+type mutation_policy =
+  | Immediate                      (** removals take effect at once *)
+  | Defer_removes_while_iterating  (** ghost copies, paper §3.3 *)
+
+type t
+
+(** [create rpc node ?fetch_service ?dir_service ()] installs the server on
+    [node].  [fetch_service v] is the virtual service time of an object
+    fetch (default [0.05 + size/50000]); [dir_service] that of any
+    directory operation (default 0.02). *)
+val create :
+  ?fetch_service:(Svalue.t -> float) -> ?dir_service:float -> rpc -> Weakset_net.Nodeid.t -> t
+
+val node : t -> Weakset_net.Nodeid.t
+
+(** {1 Object role} *)
+
+(** [put_object t oid v] — raises [Invalid_argument] if [oid]'s home is not
+    this node. *)
+val put_object : t -> Oid.t -> Svalue.t -> unit
+
+val delete_object : t -> Oid.t -> unit
+val has_object : t -> Oid.t -> bool
+val object_count : t -> int
+
+(** {1 Directory coordinator role} *)
+
+val host_directory : t -> set_id:int -> policy:mutation_policy -> unit
+
+(** Direct (non-RPC) access to the authoritative directory, used by the
+    specification monitor to capture ground-truth states and by tests.
+    Raises [Not_found] if this node does not coordinate [set_id]. *)
+val directory_truth : t -> set_id:int -> Directory.t
+
+(** The lock manager of a hosted directory (for test assertions). *)
+val lock_of : t -> set_id:int -> Lockmgr.t
+
+(** Number of registered (grow-only) iterators on a hosted directory. *)
+val open_iterators : t -> set_id:int -> int
+
+(** Removals currently deferred by the ghost policy. *)
+val deferred_removes : t -> set_id:int -> Oid.t list
+
+(** {1 Replica role} *)
+
+(** [host_replica t ~set_id ~of_ ~interval ~until] starts an anti-entropy
+    fiber that pulls the delta from coordinator [of_] every [interval]
+    until virtual time [until].  Failed pulls are skipped (the replica goes
+    stale), exactly the "cached data may be stale" behaviour of §3. *)
+val host_replica :
+  t -> set_id:int -> of_:Weakset_net.Nodeid.t -> interval:float -> until:float -> unit
+
+(** Current replica view (version, members).  Raises [Not_found] if this
+    node does not replicate [set_id]. *)
+val replica_view : t -> set_id:int -> Version.t * Oid.Set.t
+
+(** Force one synchronous anti-entropy pull now (returns [false] if the
+    coordinator was unreachable).  Must run in fiber context. *)
+val replica_pull_now : t -> set_id:int -> bool
+
+(** [on_directory_mutation t ~set_id hook] registers [hook] to run after
+    every {e effective} mutation of a hosted directory (idempotent
+    re-adds/removes do not fire; deferred ghost removals fire when
+    actually applied).  Used by the specification monitor to capture
+    mutation states.  Returns an unsubscribe function.  Raises
+    [Not_found] if [set_id] is not hosted here. *)
+val on_directory_mutation : t -> set_id:int -> (Directory.op -> unit) -> unit -> unit

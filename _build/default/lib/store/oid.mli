@@ -1,0 +1,21 @@
+(** Object identifiers.
+
+    An oid names an object and records its {e home node} — the node holding
+    the object's contents.  This is the structure the paper's [reachable]
+    function needs: an element of a collection exists as soon as its oid is
+    in the membership directory, but is only {e accessible} when its home
+    node can be reached (§2.1, Figure 2). *)
+
+type t
+
+val make : num:int -> home:Weakset_net.Nodeid.t -> t
+val num : t -> int
+val home : t -> Weakset_net.Nodeid.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,57 @@
+module Nodeid = Weakset_net.Nodeid
+
+type set_ref = { set_id : int; coordinator : Nodeid.t; replicas : Nodeid.t list }
+
+let pp_set_ref fmt r =
+  Format.fprintf fmt "set%d@%a[%a]" r.set_id Nodeid.pp r.coordinator
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_char f ',') Nodeid.pp)
+    r.replicas
+
+type request =
+  | Fetch of Oid.t
+  | Dir_read of { set_id : int }
+  | Dir_add of { set_id : int; oid : Oid.t }
+  | Dir_remove of { set_id : int; oid : Oid.t }
+  | Dir_size of { set_id : int }
+  | Lock_acquire of { set_id : int; kind : Lockmgr.kind; owner : int }
+  | Lock_release of { set_id : int; owner : int }
+  | Iter_open of { set_id : int }
+  | Iter_close of { set_id : int }
+  | Sync_pull of { set_id : int; since : Version.t }
+
+type response =
+  | Value of Svalue.t
+  | Not_found
+  | Members of { version : Version.t; members : Oid.t list }
+  | Delta of { version : Version.t; ops : (Version.t * Directory.op) list }
+  | Size of int
+  | Ack
+  | Locked
+  | No_service
+
+let pp_request fmt = function
+  | Fetch o -> Format.fprintf fmt "fetch %a" Oid.pp o
+  | Dir_read { set_id } -> Format.fprintf fmt "dir-read set%d" set_id
+  | Dir_add { set_id; oid } -> Format.fprintf fmt "dir-add set%d %a" set_id Oid.pp oid
+  | Dir_remove { set_id; oid } -> Format.fprintf fmt "dir-remove set%d %a" set_id Oid.pp oid
+  | Dir_size { set_id } -> Format.fprintf fmt "dir-size set%d" set_id
+  | Lock_acquire { set_id; kind; owner } ->
+      Format.fprintf fmt "lock-acquire set%d %s owner=%d" set_id
+        (match kind with Lockmgr.Read -> "read" | Lockmgr.Write -> "write")
+        owner
+  | Lock_release { set_id; owner } -> Format.fprintf fmt "lock-release set%d owner=%d" set_id owner
+  | Iter_open { set_id } -> Format.fprintf fmt "iter-open set%d" set_id
+  | Iter_close { set_id } -> Format.fprintf fmt "iter-close set%d" set_id
+  | Sync_pull { set_id; since } -> Format.fprintf fmt "sync-pull set%d since %a" set_id Version.pp since
+
+let pp_response fmt = function
+  | Value v -> Format.fprintf fmt "value %a" Svalue.pp v
+  | Not_found -> Format.pp_print_string fmt "not-found"
+  | Members { version; members } ->
+      Format.fprintf fmt "members %a n=%d" Version.pp version (List.length members)
+  | Delta { version; ops } ->
+      Format.fprintf fmt "delta %a n=%d" Version.pp version (List.length ops)
+  | Size n -> Format.fprintf fmt "size %d" n
+  | Ack -> Format.pp_print_string fmt "ack"
+  | Locked -> Format.pp_print_string fmt "locked"
+  | No_service -> Format.pp_print_string fmt "no-service"

@@ -1,0 +1,40 @@
+(** Wire protocol of the distributed object store.
+
+    One request/response union covers all three server roles (object
+    server, directory coordinator, directory replica), so a single RPC
+    fabric connects every node. *)
+
+(** Names a collection: where its authoritative membership directory lives
+    ([coordinator]) and which nodes carry soon-to-be-stale replicas of it. *)
+type set_ref = {
+  set_id : int;
+  coordinator : Weakset_net.Nodeid.t;
+  replicas : Weakset_net.Nodeid.t list;
+}
+
+val pp_set_ref : Format.formatter -> set_ref -> unit
+
+type request =
+  | Fetch of Oid.t                                      (** object contents *)
+  | Dir_read of { set_id : int }                        (** full membership *)
+  | Dir_add of { set_id : int; oid : Oid.t }
+  | Dir_remove of { set_id : int; oid : Oid.t }
+  | Dir_size of { set_id : int }
+  | Lock_acquire of { set_id : int; kind : Lockmgr.kind; owner : int }
+  | Lock_release of { set_id : int; owner : int }
+  | Iter_open of { set_id : int }                       (** ghost refcount +1 *)
+  | Iter_close of { set_id : int }                      (** ghost refcount -1 *)
+  | Sync_pull of { set_id : int; since : Version.t }    (** replica anti-entropy *)
+
+type response =
+  | Value of Svalue.t
+  | Not_found
+  | Members of { version : Version.t; members : Oid.t list }
+  | Delta of { version : Version.t; ops : (Version.t * Directory.op) list }
+  | Size of int
+  | Ack
+  | Locked
+  | No_service  (** the target node does not host the requested object/set *)
+
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit

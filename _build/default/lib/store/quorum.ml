@@ -1,0 +1,24 @@
+let hosts (sref : Protocol.set_ref) = sref.coordinator :: sref.replicas
+
+let majority sref = (List.length (hosts sref) / 2) + 1
+
+let read c (sref : Protocol.set_ref) =
+  let answers =
+    List.filter_map
+      (fun host ->
+        match Client.dir_read c ~from:host ~set_id:sref.set_id with
+        | Ok (v, members) -> Some (v, members)
+        | Error _ -> None)
+      (hosts sref)
+  in
+  if List.length answers < majority sref then Error Client.Unreachable
+  else
+    let best =
+      List.fold_left
+        (fun acc (v, m) ->
+          match acc with
+          | Some (bv, _) when Version.( <= ) v bv -> acc
+          | Some _ | None -> Some (v, m))
+        None answers
+    in
+    match best with Some (v, m) -> Ok (v, m) | None -> Error Client.Unreachable

@@ -1,0 +1,17 @@
+(** Quorum reads of a replicated membership directory.
+
+    The paper notes (§3.3) that instead of failing pessimistically "one
+    could easily specify the iterator to use a quorum or token-based
+    scheme".  This module implements the read side: query every membership
+    host (coordinator + replicas), require answers from a strict majority,
+    and return the freshest view. *)
+
+(** [read c sref] returns the highest-version view among the answers if a
+    strict majority of the hosts answered; [Error Unreachable] otherwise. *)
+val read : Client.t -> Protocol.set_ref -> (Version.t * Oid.t list, Client.error) result
+
+(** [hosts sref] is the list of membership hosts consulted. *)
+val hosts : Protocol.set_ref -> Weakset_net.Nodeid.t list
+
+(** [majority sref] is the number of answers required. *)
+val majority : Protocol.set_ref -> int

@@ -1,0 +1,9 @@
+type t = { content : string; size : int }
+
+let make ?size content =
+  { content; size = (match size with Some s -> s | None -> String.length content) }
+
+let content t = t.content
+let size t = t.size
+let equal a b = String.equal a.content b.content && a.size = b.size
+let pp fmt t = Format.fprintf fmt "<%d bytes: %s>" t.size t.content

@@ -1,0 +1,12 @@
+(** Stored object values: opaque contents plus a size that drives the
+    simulated fetch service time (bigger objects take longer to serve). *)
+
+type t
+
+(** [make ?size content] — [size] defaults to [String.length content]. *)
+val make : ?size:int -> string -> t
+
+val content : t -> string
+val size : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

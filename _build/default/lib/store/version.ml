@@ -1,0 +1,12 @@
+type t = int
+
+let zero = 0
+let succ t = t + 1
+let compare = Int.compare
+let equal = Int.equal
+let ( <= ) a b = Stdlib.( <= ) a b
+let ( < ) a b = Stdlib.( < ) a b
+let max = Stdlib.max
+let to_int t = t
+let of_int t = t
+let pp fmt t = Format.fprintf fmt "v%d" t

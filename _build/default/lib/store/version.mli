@@ -1,0 +1,16 @@
+(** Monotone version numbers for the membership directory.  Each mutation
+    bumps the directory version; replicas and snapshot reads carry the
+    version they observed. *)
+
+type t
+
+val zero : t
+val succ : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val max : t -> t -> t
+val to_int : t -> int
+val of_int : int -> t
+val pp : Format.formatter -> t -> unit

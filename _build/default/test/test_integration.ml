@@ -1,0 +1,198 @@
+(* The grand integration scenario: everything at once.
+
+   A 20-node WAN hosts three collections under different policies; node
+   crash/repair processes, a flaky link and a scheduled partition run
+   throughout; mutators add and remove members; three clients on
+   different nodes iterate concurrently under different semantics.  We
+   assert that the system stays sane (no fiber crashes, every iterator
+   reaches a legal outcome), that the runs conform to their specs (modulo
+   the documented timeout residual), and that the entire chaotic scenario
+   is bit-for-bit deterministic. *)
+
+open Weakset_sim
+open Weakset_net
+open Weakset_store
+open Weakset_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+type outcome_record = {
+  name : string;
+  yields : int;
+  ending : string;
+  verdict : string; (* "conforms" / "violates" / "residual" / "blocked" *)
+}
+
+let scenario () =
+  let eng = Engine.create ~seed:20_26L () in
+  let rng = Rng.split (Engine.rng eng) in
+  let topo = Topology.create () in
+  let nodes = Topology.wan topo ~rng ~nodes:20 ~extra_links:12 in
+  (* One deliberately lossy long-haul link. *)
+  Topology.add_link ~loss:0.05 topo nodes.(3) nodes.(17) ~latency:6.0;
+  let rpc : Node_server.rpc = Rpc.create eng topo in
+  let servers = Array.map (fun n -> Node_server.create rpc n) nodes in
+  let fault = Fault.create eng topo in
+
+  (* Three collections: optimistic-style, grow-only (ghosts), snapshot. *)
+  let sref_opt =
+    Weak_set.provision ~replicas:[ servers.(4); servers.(9) ] ~replica_interval:7.0 ~set_id:1
+      ~coordinator_server:servers.(1) ~semantics:Semantics.optimistic ()
+  in
+  let sref_grow =
+    Weak_set.provision ~set_id:2 ~coordinator_server:servers.(2) ~semantics:Semantics.grow_only ()
+  in
+  let sref_snap =
+    Weak_set.provision ~set_id:3 ~coordinator_server:servers.(3) ~semantics:Semantics.snapshot ()
+  in
+
+  (* Populate: 30 members each, homes spread over the WAN. *)
+  let counter = ref 0 in
+  let populate (sref : Protocol.set_ref) coordinator_ix =
+    for _ = 1 to 30 do
+      incr counter;
+      let home_ix = 5 + (!counter mod 14) in
+      let oid = Oid.make ~num:!counter ~home:nodes.(home_ix) in
+      Node_server.put_object servers.(home_ix) oid (Svalue.make "payload");
+      ignore
+        (Directory.apply
+           (Node_server.directory_truth servers.(coordinator_ix) ~set_id:sref.Protocol.set_id)
+           (Directory.Add oid))
+    done
+  in
+  populate sref_opt 1;
+  populate sref_grow 2;
+  populate sref_snap 3;
+
+  (* Chaos: crash/repair on four content nodes, a flaky link, and a
+     partition that heals. *)
+  Fault.crash_restart_process fault ~rng:(Rng.split rng) ~mttf:120.0 ~mttr:20.0 ~until:1_500.0
+    nodes.(6);
+  Fault.crash_restart_process fault ~rng:(Rng.split rng) ~mttf:150.0 ~mttr:25.0 ~until:1_500.0
+    nodes.(11);
+  Fault.flaky_link_process fault ~rng:(Rng.split rng) ~mttf:90.0 ~mttr:15.0 ~until:1_500.0
+    nodes.(3) nodes.(17);
+  Fault.schedule_partition fault ~at:200.0 ~heal_at:320.0
+    [ Array.to_list (Array.sub nodes 0 10); Array.to_list (Array.sub nodes 10 10) ];
+
+  (* Mutators: an adder on the optimistic set, an adder+remover on the
+     grow-only set. *)
+  let mclient = Client.with_timeout (Client.create rpc nodes.(4)) 2_000.0 in
+  let fresh_oid () =
+    incr counter;
+    let home_ix = 5 + (!counter mod 14) in
+    let oid = Oid.make ~num:!counter ~home:nodes.(home_ix) in
+    Node_server.put_object servers.(home_ix) oid (Svalue.make "hot");
+    oid
+  in
+  Engine.spawn eng ~name:"mutator-opt" (fun () ->
+      let mrng = Rng.split rng in
+      for _ = 1 to 12 do
+        Engine.sleep eng (Rng.exponential mrng ~mean:40.0);
+        if Rng.bool mrng then ignore (Client.dir_add mclient sref_opt (fresh_oid ()))
+        else
+          let truth = Node_server.directory_truth servers.(1) ~set_id:1 in
+          match Oid.Set.choose_opt (Directory.members truth) with
+          | Some victim -> ignore (Client.dir_remove mclient sref_opt victim)
+          | None -> ()
+      done);
+  Engine.spawn eng ~name:"mutator-grow" (fun () ->
+      let mrng = Rng.split rng in
+      for _ = 1 to 8 do
+        Engine.sleep eng (Rng.exponential mrng ~mean:60.0);
+        ignore (Client.dir_add mclient sref_grow (fresh_oid ()));
+        let truth = Node_server.directory_truth servers.(2) ~set_id:2 in
+        match Oid.Set.choose_opt (Directory.members truth) with
+        | Some victim -> ignore (Client.dir_remove mclient sref_grow victim)
+        | None -> ()
+      done);
+
+  (* Three concurrent clients. *)
+  let results = ref [] in
+  let record name yields ending verdict =
+    results := { name; yields; ending; verdict } :: !results
+  in
+  let run_client ~name ~node_ix ~sref ~coordinator_ix ~semantics ~spec =
+    Engine.spawn eng ~name (fun () ->
+        let client = Client.with_timeout (Client.create rpc nodes.(node_ix)) 100.0 in
+        let handle =
+          Weak_set.make ~heal_signal:(Fault.signal fault)
+            ~coordinator_server:servers.(coordinator_ix) client sref semantics
+        in
+        let iter, inst = Weak_set.elements ~instrument:true handle in
+        let yields, ending = Iterator.drain ~limit:200 iter in
+        let ending_str, residual =
+          match ending with
+          | `Done -> ("done", false)
+          | `Failed Client.Timeout -> ("failed-timeout", true)
+          | `Failed e -> ("failed-" ^ Client.error_to_string e, false)
+          | `Limit -> ("limit", false)
+        in
+        let verdict =
+          if residual then "residual"
+          else
+            match inst with
+            | Some inst ->
+                if
+                  Weakset_spec.Figures.verdict_ok
+                    (Weakset_spec.Figures.check spec (Instrument.computation inst))
+                then "conforms"
+                else "violates"
+            | None -> "uninstrumented"
+        in
+        record name (List.length yields) ending_str verdict)
+  in
+  run_client ~name:"reader-opt" ~node_ix:0 ~sref:sref_opt ~coordinator_ix:1
+    ~semantics:Semantics.optimistic ~spec:Weakset_spec.Figures.fig6_window;
+  run_client ~name:"reader-grow" ~node_ix:18 ~sref:sref_grow ~coordinator_ix:2
+    ~semantics:Semantics.grow_only ~spec:Weakset_spec.Figures.fig5;
+  run_client ~name:"reader-snap" ~node_ix:19 ~sref:sref_snap ~coordinator_ix:3
+    ~semantics:Semantics.snapshot ~spec:Weakset_spec.Figures.fig4;
+
+  let (_ : int) = Engine.run ~until:5_000.0 eng in
+  (Engine.crashes eng, List.rev !results, Engine.now eng)
+
+let test_everything_at_once () =
+  let crashes, results, _ = scenario () in
+  (match crashes with
+  | [] -> ()
+  | c :: _ ->
+      Alcotest.failf "fiber %s crashed: %s" c.Engine.crash_fiber
+        (Printexc.to_string c.Engine.crash_exn));
+  check_int "all three clients reported" 3 (List.length results);
+  List.iter
+    (fun r ->
+      (* Every reader either finished legally and conformed, or hit the
+         documented timeout residual; a blocked optimistic reader would
+         simply not report, which the count above excludes. *)
+      check_bool
+        (Printf.sprintf "%s: yields=%d ending=%s verdict=%s" r.name r.yields r.ending r.verdict)
+        true
+        (r.verdict = "conforms" || r.verdict = "residual");
+      check_bool (r.name ^ " made progress or failed fast") true
+        (r.yields > 0 || String.length r.ending > 4))
+    results
+
+let test_everything_is_deterministic () =
+  let _, a, ta = scenario () in
+  let _, b, tb = scenario () in
+  Alcotest.(check (float 1e-9)) "same end time" ta tb;
+  check_int "same result count" (List.length a) (List.length b);
+  List.iter2
+    (fun ra rb ->
+      Alcotest.(check string) "same reader" ra.name rb.name;
+      check_int (ra.name ^ " same yields") ra.yields rb.yields;
+      Alcotest.(check string) (ra.name ^ " same ending") ra.ending rb.ending;
+      Alcotest.(check string) (ra.name ^ " same verdict") ra.verdict rb.verdict)
+    a b
+
+let () =
+  Alcotest.run "weakset_integration"
+    [
+      ( "grand-scenario",
+        [
+          Alcotest.test_case "everything at once" `Quick test_everything_at_once;
+          Alcotest.test_case "and it is deterministic" `Quick test_everything_is_deterministic;
+        ] );
+    ]

@@ -1,0 +1,562 @@
+(* Tests for weakset_net: topology reachability and routing under faults,
+   transport delivery/drop semantics, RPC success/timeout/unreachable paths,
+   and fault-injection processes. *)
+
+open Weakset_sim
+open Weakset_net
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Topology                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let line3 () =
+  let topo = Topology.create () in
+  let ids = Topology.line topo 3 ~latency:1.0 in
+  (topo, ids.(0), ids.(1), ids.(2))
+
+let test_topology_nodes_and_links () =
+  let topo, a, b, c = line3 () in
+  check_int "three nodes" 3 (Topology.node_count topo);
+  check_bool "a-b link" true (Topology.link_up topo a b);
+  check_bool "b-a link (undirected)" true (Topology.link_up topo b a);
+  check_bool "no a-c link" false (Topology.link_up topo a c)
+
+let test_topology_self_link_rejected () =
+  let topo = Topology.create () in
+  let a = Topology.add_node topo in
+  Alcotest.check_raises "self link" (Invalid_argument "Topology.add_link: self-link")
+    (fun () -> Topology.add_link topo a a ~latency:1.0)
+
+let test_topology_reachable_chain () =
+  let topo, a, _, c = line3 () in
+  check_bool "end to end" true (Topology.reachable topo a c);
+  check_bool "self" true (Topology.reachable topo a a)
+
+let test_topology_reachable_breaks_on_link_cut () =
+  let topo, a, b, c = line3 () in
+  Topology.set_link_up topo b c false;
+  check_bool "a-b still" true (Topology.reachable topo a b);
+  check_bool "a-c broken" false (Topology.reachable topo a c);
+  Topology.set_link_up topo b c true;
+  check_bool "healed" true (Topology.reachable topo a c)
+
+let test_topology_reachable_breaks_on_node_down () =
+  let topo, a, b, c = line3 () in
+  Topology.set_node_up topo b false;
+  check_bool "middle down blocks path" false (Topology.reachable topo a c);
+  check_bool "down node unreachable from itself" false (Topology.reachable topo b b)
+
+let test_topology_path_latency () =
+  let topo = Topology.create () in
+  let a = Topology.add_node topo in
+  let b = Topology.add_node topo in
+  let c = Topology.add_node topo in
+  Topology.add_link topo a b ~latency:1.0;
+  Topology.add_link topo b c ~latency:2.0;
+  Topology.add_link topo a c ~latency:10.0;
+  (match Topology.path_latency topo a c with
+  | Some l -> check_float "cheapest path a-b-c" 3.0 l
+  | None -> Alcotest.fail "unreachable");
+  Topology.set_link_up topo a b false;
+  (match Topology.path_latency topo a c with
+  | Some l -> check_float "direct path when shortcut cut" 10.0 l
+  | None -> Alcotest.fail "unreachable");
+  check_float "self latency" 0.0 (Option.get (Topology.path_latency topo a a))
+
+let test_topology_partition_groups () =
+  let topo = Topology.create () in
+  let ids = Topology.clique topo 4 ~latency:1.0 in
+  Topology.partition topo [ [ ids.(0); ids.(1) ]; [ ids.(2); ids.(3) ] ];
+  check_bool "inside group 1" true (Topology.reachable topo ids.(0) ids.(1));
+  check_bool "inside group 2" true (Topology.reachable topo ids.(2) ids.(3));
+  check_bool "across groups" false (Topology.reachable topo ids.(0) ids.(2));
+  Topology.heal_all topo;
+  check_bool "healed" true (Topology.reachable topo ids.(0) ids.(3))
+
+let test_topology_partition_implicit_group () =
+  let topo = Topology.create () in
+  let ids = Topology.clique topo 4 ~latency:1.0 in
+  (* Only one explicit group: everyone else forms the leftover group. *)
+  Topology.partition topo [ [ ids.(0) ] ];
+  check_bool "isolated" false (Topology.reachable topo ids.(0) ids.(1));
+  check_bool "leftover group intact" true (Topology.reachable topo ids.(1) ids.(3))
+
+let test_topology_partition_restores_internal_links () =
+  let topo = Topology.create () in
+  let ids = Topology.clique topo 3 ~latency:1.0 in
+  Topology.set_link_up topo ids.(0) ids.(1) false;
+  Topology.partition topo [ [ ids.(0); ids.(1) ]; [ ids.(2) ] ];
+  check_bool "internal link restored by partition" true (Topology.link_up topo ids.(0) ids.(1))
+
+let test_topology_on_change () =
+  let topo = Topology.create () in
+  let count = ref 0 in
+  Topology.on_change topo (fun () -> incr count);
+  let a = Topology.add_node topo in
+  let b = Topology.add_node topo in
+  Topology.add_link topo a b ~latency:1.0;
+  Topology.set_link_up topo a b false;
+  Topology.set_node_up topo a false;
+  Topology.heal_all topo;
+  check_int "five notifications" 4 !count |> ignore;
+  (* add_link + set_link_up + set_node_up + heal_all = 4 *)
+  ()
+
+let test_topology_builders () =
+  let topo = Topology.create () in
+  let hub, leaves = Topology.star topo 5 ~latency:2.0 in
+  check_int "star size" 6 (Topology.node_count topo);
+  Array.iter (fun leaf -> check_bool "hub-leaf" true (Topology.reachable topo hub leaf)) leaves;
+  check_bool "leaf-leaf via hub" true (Topology.reachable topo leaves.(0) leaves.(4))
+
+let test_topology_wan_connected () =
+  let rng = Rng.create 2024L in
+  let topo = Topology.create () in
+  let ids = Topology.wan topo ~rng ~nodes:20 ~extra_links:10 in
+  check_int "twenty nodes" 20 (Array.length ids);
+  Array.iter
+    (fun n -> check_bool "spanning tree connects all" true (Topology.reachable topo ids.(0) n))
+    ids;
+  (* Latencies scale with coordinate distance. *)
+  let d = Topology.distance topo ids.(0) ids.(1) in
+  check_bool "distance positive" true (d > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Transport                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_transport_delivery_latency () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let a = Topology.add_node topo in
+  let b = Topology.add_node topo in
+  Topology.add_link topo a b ~latency:3.0;
+  let tr = Transport.create eng topo in
+  let arrived = ref None in
+  Engine.spawn eng (fun () ->
+      let env = Mailbox.recv eng (Transport.mailbox tr b) in
+      arrived := Some (env.Transport.payload, Engine.now eng));
+  Engine.spawn eng (fun () -> Transport.send tr ~src:a ~dst:b "hello");
+  Engine.run_and_check eng;
+  (match !arrived with
+  | Some (msg, at) ->
+      Alcotest.(check string) "payload" "hello" msg;
+      check_float "arrives after link latency" 3.0 at
+  | None -> Alcotest.fail "not delivered");
+  check_int "delivered count" 1 (Transport.stats tr).Netstat.delivered
+
+let test_transport_multi_hop_latency () =
+  let eng = Engine.create () in
+  let topo, a, _, c = line3 () in
+  let tr = Transport.create eng topo in
+  let at = ref 0.0 in
+  Engine.spawn eng (fun () ->
+      let (_ : string Transport.envelope) = Mailbox.recv eng (Transport.mailbox tr c) in
+      at := Engine.now eng);
+  Transport.send tr ~src:a ~dst:c "m";
+  Engine.run_and_check eng;
+  check_float "two hops of 1.0" 2.0 !at
+
+let test_transport_drop_unreachable () =
+  let eng = Engine.create () in
+  let topo, a, b, c = line3 () in
+  Topology.set_link_up topo b c false;
+  let tr = Transport.create eng topo in
+  Transport.send tr ~src:a ~dst:c "lost";
+  Engine.run_and_check eng;
+  let st = Transport.stats tr in
+  check_int "dropped" 1 st.Netstat.dropped_unreachable;
+  check_int "not delivered" 0 st.Netstat.delivered
+
+let test_transport_drop_down_node () =
+  let eng = Engine.create () in
+  let topo, a, _, c = line3 () in
+  Topology.set_node_up topo c false;
+  let tr = Transport.create eng topo in
+  Transport.send tr ~src:a ~dst:c "lost";
+  Engine.run_and_check eng;
+  check_int "dropped down" 1 (Transport.stats tr).Netstat.dropped_down
+
+let test_transport_drop_in_flight () =
+  (* The partition happens after send but before delivery. *)
+  let eng = Engine.create () in
+  let topo, a, b, c = line3 () in
+  let tr = Transport.create eng topo in
+  Transport.send tr ~src:a ~dst:c "doomed";
+  Engine.schedule eng ~after:1.0 (fun () -> Topology.set_link_up topo b c false);
+  Engine.run_and_check eng;
+  let st = Transport.stats tr in
+  check_int "dropped in flight" 1 st.Netstat.dropped_in_flight;
+  check_int "not delivered" 0 st.Netstat.delivered
+
+let test_transport_lossy_link_drops_all () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let a = Topology.add_node topo in
+  let b = Topology.add_node topo in
+  Topology.add_link ~loss:1.0 topo a b ~latency:1.0;
+  let tr = Transport.create eng topo in
+  for _ = 1 to 10 do
+    Transport.send tr ~src:a ~dst:b "x"
+  done;
+  Engine.run_and_check eng;
+  let st = Transport.stats tr in
+  check_int "all lost" 10 st.Netstat.dropped_lost;
+  check_int "none delivered" 0 st.Netstat.delivered
+
+let test_transport_lossy_link_statistics () =
+  let eng = Engine.create ~seed:5L () in
+  let topo = Topology.create () in
+  let a = Topology.add_node topo in
+  let b = Topology.add_node topo in
+  Topology.add_link ~loss:0.3 topo a b ~latency:1.0;
+  let tr = Transport.create eng topo in
+  let n = 2000 in
+  for _ = 1 to n do
+    Transport.send tr ~src:a ~dst:b "x"
+  done;
+  Engine.run_and_check eng;
+  let st = Transport.stats tr in
+  check_int "accounted" n (st.Netstat.delivered + st.Netstat.dropped_lost);
+  let rate = float_of_int st.Netstat.dropped_lost /. float_of_int n in
+  check_bool (Printf.sprintf "loss rate ~0.3 (got %.3f)" rate) true (rate > 0.25 && rate < 0.35)
+
+let test_path_survival_multi_hop () =
+  let topo = Topology.create () in
+  let a = Topology.add_node topo in
+  let b = Topology.add_node topo in
+  let c = Topology.add_node topo in
+  Topology.add_link ~loss:0.1 topo a b ~latency:1.0;
+  Topology.add_link ~loss:0.2 topo b c ~latency:1.0;
+  (match Topology.path_info topo a c with
+  | Some (lat, surv) ->
+      check_float "latency 2" 2.0 lat;
+      check_bool "survival = 0.9*0.8" true (abs_float (surv -. 0.72) < 1e-9)
+  | None -> Alcotest.fail "unreachable");
+  check_float "single-hop survival" 0.9 (snd (Option.get (Topology.path_info topo a b)));
+  check_float "link_loss accessor" 0.1 (Topology.link_loss topo a b)
+
+let test_rpc_over_lossy_link_times_out_sometimes () =
+  let eng = Engine.create ~seed:7L () in
+  let topo = Topology.create () in
+  let a = Topology.add_node topo in
+  let b = Topology.add_node topo in
+  Topology.add_link ~loss:0.5 topo a b ~latency:1.0;
+  let rpc = Rpc.create eng topo in
+  Rpc.serve rpc b (fun r -> r);
+  let ok = ref 0 and timeouts = ref 0 in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 40 do
+        match Rpc.call rpc ~src:a ~dst:b ~timeout:5.0 "q" with
+        | Ok _ -> incr ok
+        | Error Rpc.Timeout -> incr timeouts
+        | Error Rpc.Unreachable -> ()
+      done);
+  Engine.run_and_check eng;
+  check_int "all accounted" 40 (!ok + !timeouts);
+  check_bool "some succeed" true (!ok > 0);
+  check_bool "some time out" true (!timeouts > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Rpc                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let echo_setup ?(latency = 1.0) () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let client = Topology.add_node topo in
+  let server = Topology.add_node topo in
+  Topology.add_link topo client server ~latency;
+  let rpc = Rpc.create eng topo in
+  Rpc.serve rpc server (fun req -> "echo:" ^ req);
+  (eng, topo, rpc, client, server)
+
+let test_rpc_roundtrip () =
+  let eng, _, rpc, client, server = echo_setup () in
+  let result = ref (Error Rpc.Timeout) in
+  let finished_at = ref 0.0 in
+  Engine.spawn eng (fun () ->
+      result := Rpc.call rpc ~src:client ~dst:server ~timeout:10.0 "hi";
+      finished_at := Engine.now eng);
+  Engine.run_and_check eng;
+  (match !result with
+  | Ok r -> Alcotest.(check string) "response" "echo:hi" r
+  | Error e -> Alcotest.failf "rpc failed: %s" (Rpc.error_to_string e));
+  check_float "round trip = 2 x latency" 2.0 !finished_at
+
+let test_rpc_service_time () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let client = Topology.add_node topo in
+  let server = Topology.add_node topo in
+  Topology.add_link topo client server ~latency:1.0;
+  let rpc = Rpc.create eng topo in
+  Rpc.serve rpc server ~service_time:(fun _ -> 5.0) (fun req -> req);
+  let finished_at = ref 0.0 in
+  Engine.spawn eng (fun () ->
+      let (_ : (string, Rpc.error) result) =
+        Rpc.call rpc ~src:client ~dst:server ~timeout:20.0 "x"
+      in
+      finished_at := Engine.now eng);
+  Engine.run_and_check eng;
+  check_float "2 hops + 5 service" 7.0 !finished_at
+
+let test_rpc_unreachable_detected () =
+  let eng, topo, rpc, client, server = echo_setup () in
+  Topology.set_link_up topo client server false;
+  let result = ref (Ok "") in
+  let finished_at = ref 0.0 in
+  Engine.spawn eng (fun () ->
+      result := Rpc.call rpc ~src:client ~dst:server ~timeout:10.0 "hi";
+      finished_at := Engine.now eng);
+  Engine.run_and_check eng;
+  (match !result with
+  | Error Rpc.Unreachable -> ()
+  | Ok _ | Error Rpc.Timeout -> Alcotest.fail "expected Unreachable");
+  check_bool "fast detection, not full timeout" true (!finished_at < 1.0);
+  check_int "counted" 1 (Rpc.stats rpc).Netstat.rpc_unreachable
+
+let test_rpc_timeout_on_in_flight_loss () =
+  (* Reachable at call time, but the link dies before the response returns:
+     the caller must observe a Timeout. *)
+  let eng, topo, rpc, client, server = echo_setup ~latency:2.0 () in
+  let result = ref (Ok "") in
+  let finished_at = ref 0.0 in
+  Engine.spawn eng (fun () ->
+      result := Rpc.call rpc ~src:client ~dst:server ~timeout:10.0 "hi";
+      finished_at := Engine.now eng);
+  Engine.schedule eng ~after:1.0 (fun () -> Topology.set_link_up topo client server false);
+  Engine.run_and_check eng;
+  (match !result with
+  | Error Rpc.Timeout -> ()
+  | Ok _ | Error Rpc.Unreachable -> Alcotest.fail "expected Timeout");
+  check_float "waited out the timeout" 10.0 !finished_at
+
+let test_rpc_late_response_ignored () =
+  (* Server is slower than the caller's timeout; the late response must not
+     crash or fill anything. A second call must still work. *)
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let client = Topology.add_node topo in
+  let server = Topology.add_node topo in
+  Topology.add_link topo client server ~latency:1.0;
+  let rpc = Rpc.create eng topo in
+  let slow = ref true in
+  Rpc.serve rpc server ~service_time:(fun _ -> if !slow then 50.0 else 0.0) (fun r -> r);
+  let first = ref (Ok "") and second = ref (Error Rpc.Timeout) in
+  Engine.spawn eng (fun () ->
+      first := Rpc.call rpc ~src:client ~dst:server ~timeout:5.0 "one";
+      slow := false;
+      second := Rpc.call rpc ~src:client ~dst:server ~timeout:5.0 "two");
+  Engine.run_and_check eng;
+  (match !first with
+  | Error Rpc.Timeout -> ()
+  | _ -> Alcotest.fail "first should time out");
+  (match !second with
+  | Ok "two" -> ()
+  | _ -> Alcotest.fail "second should succeed")
+
+let test_rpc_concurrent_calls () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let hub, leaves = Topology.star topo 4 ~latency:1.0 in
+  let rpc = Rpc.create eng topo in
+  Array.iteri (fun i leaf -> Rpc.serve rpc leaf (fun req -> Printf.sprintf "%d:%s" i req)) leaves;
+  let results = Array.make 4 "" in
+  Engine.spawn eng (fun () -> ());
+  Array.iteri
+    (fun i leaf ->
+      Engine.spawn eng (fun () ->
+          match Rpc.call rpc ~src:hub ~dst:leaf ~timeout:10.0 "q" with
+          | Ok r -> results.(i) <- r
+          | Error _ -> ()))
+    leaves;
+  Engine.run_and_check eng;
+  Alcotest.(check (array string)) "all answered" [| "0:q"; "1:q"; "2:q"; "3:q" |] results
+
+let test_rpc_handler_can_block () =
+  (* Handlers run in fibers, so a nested RPC from inside a handler works. *)
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let ids = Topology.clique topo 3 ~latency:1.0 in
+  let front = ids.(0) and mid = ids.(1) and back = ids.(2) in
+  let rpc : (string, string) Rpc.t = Rpc.create eng topo in
+  Rpc.serve rpc back (fun req -> "back(" ^ req ^ ")");
+  Rpc.serve rpc mid (fun req ->
+      match Rpc.call rpc ~src:mid ~dst:back ~timeout:10.0 req with
+      | Ok r -> "mid(" ^ r ^ ")"
+      | Error _ -> "mid(fail)");
+  let result = ref "" in
+  Engine.spawn eng (fun () ->
+      match Rpc.call rpc ~src:front ~dst:mid ~timeout:20.0 "x" with
+      | Ok r -> result := r
+      | Error _ -> result := "fail");
+  Engine.run_and_check eng;
+  Alcotest.(check string) "nested rpc" "mid(back(x))" !result
+
+(* ------------------------------------------------------------------ *)
+(* Fault                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_signal_on_change () =
+  let eng = Engine.create () in
+  let topo, a, b, _ = line3 () in
+  let fault = Fault.create eng topo in
+  let woken = ref false in
+  Engine.spawn eng (fun () ->
+      Signal.wait eng (Fault.signal fault);
+      woken := true);
+  Engine.spawn eng (fun () ->
+      Engine.sleep eng 1.0;
+      Fault.cut_link fault a b);
+  Engine.run_and_check eng;
+  check_bool "waiter woken by fault" true !woken
+
+let test_fault_schedule_partition_and_heal () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let ids = Topology.clique topo 4 ~latency:1.0 in
+  let fault = Fault.create eng topo in
+  Fault.schedule_partition fault ~at:5.0 ~heal_at:10.0 [ [ ids.(0); ids.(1) ]; [ ids.(2); ids.(3) ] ];
+  let during = ref true and after = ref false in
+  Engine.schedule eng ~after:7.0 (fun () -> during := Topology.reachable topo ids.(0) ids.(2));
+  Engine.schedule eng ~after:12.0 (fun () -> after := Topology.reachable topo ids.(0) ids.(2));
+  Engine.run_and_check eng;
+  check_bool "partitioned during" false !during;
+  check_bool "healed after" true !after
+
+let test_fault_crash_restart_process () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let ids = Topology.clique topo 2 ~latency:1.0 in
+  let fault = Fault.create eng topo in
+  let rng = Rng.split (Engine.rng eng) in
+  Fault.crash_restart_process fault ~rng ~mttf:5.0 ~mttr:2.0 ~until:200.0 ids.(1);
+  (* Sample the node's state over time: it must be down at least once and
+     must end up. *)
+  let downs = ref 0 in
+  for i = 1 to 199 do
+    Engine.schedule eng ~after:(float_of_int i) (fun () ->
+        if not (Topology.node_up topo ids.(1)) then incr downs)
+  done;
+  let (_ : int) = Engine.run ~until:300.0 eng in
+  check_bool "node went down sometimes" true (!downs > 0);
+  check_bool "node mostly recovers" true (!downs < 150);
+  check_bool "up at the end" true (Topology.node_up topo ids.(1))
+
+let test_fault_flaky_link_process () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let ids = Topology.clique topo 2 ~latency:1.0 in
+  let fault = Fault.create eng topo in
+  let rng = Rng.split (Engine.rng eng) in
+  Fault.flaky_link_process fault ~rng ~mttf:5.0 ~mttr:5.0 ~until:100.0 ids.(0) ids.(1);
+  let downs = ref 0 in
+  for i = 1 to 99 do
+    Engine.schedule eng ~after:(float_of_int i) (fun () ->
+        if not (Topology.link_up topo ids.(0) ids.(1)) then incr downs)
+  done;
+  let (_ : int) = Engine.run ~until:200.0 eng in
+  check_bool "link flapped" true (!downs > 0);
+  check_bool "link up at end" true (Topology.link_up topo ids.(0) ids.(1))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_reachability_symmetric =
+  QCheck.Test.make ~name:"reachability is symmetric" ~count:60
+    QCheck.(pair small_nat (small_nat))
+    (fun (seed, cuts) ->
+      let rng = Rng.create (Int64.of_int (seed + 1)) in
+      let topo = Topology.create () in
+      let ids = Topology.wan topo ~rng ~nodes:12 ~extra_links:6 in
+      (* Cut some random links / crash some random nodes. *)
+      for _ = 0 to cuts mod 8 do
+        let i = Rng.int rng 12 and j = Rng.int rng 12 in
+        if i <> j && Topology.link_up topo ids.(i) ids.(j) then
+          Topology.set_link_up topo ids.(i) ids.(j) false;
+        if Rng.chance rng 0.2 then Topology.set_node_up topo ids.(Rng.int rng 12) false
+      done;
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b -> Topology.reachable topo a b = Topology.reachable topo b a)
+            (Topology.nodes topo))
+        (Topology.nodes topo))
+
+let prop_path_latency_implies_reachable =
+  QCheck.Test.make ~name:"path_latency is Some iff reachable" ~count:60 QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int (seed + 77)) in
+      let topo = Topology.create () in
+      let ids = Topology.wan topo ~rng ~nodes:10 ~extra_links:4 in
+      for _ = 0 to 5 do
+        if Rng.chance rng 0.4 then Topology.set_node_up topo ids.(Rng.int rng 10) false
+      done;
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              let r = Topology.reachable topo a b in
+              let l = Topology.path_latency topo a b in
+              r = Option.is_some l)
+            (Topology.nodes topo))
+        (Topology.nodes topo))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "weakset_net"
+    [
+      ( "topology",
+        Alcotest.test_case "nodes and links" `Quick test_topology_nodes_and_links
+        :: Alcotest.test_case "self link rejected" `Quick test_topology_self_link_rejected
+        :: Alcotest.test_case "reachable chain" `Quick test_topology_reachable_chain
+        :: Alcotest.test_case "link cut" `Quick test_topology_reachable_breaks_on_link_cut
+        :: Alcotest.test_case "node down" `Quick test_topology_reachable_breaks_on_node_down
+        :: Alcotest.test_case "path latency" `Quick test_topology_path_latency
+        :: Alcotest.test_case "partition groups" `Quick test_topology_partition_groups
+        :: Alcotest.test_case "partition implicit group" `Quick
+             test_topology_partition_implicit_group
+        :: Alcotest.test_case "partition restores internal links" `Quick
+             test_topology_partition_restores_internal_links
+        :: Alcotest.test_case "on_change" `Quick test_topology_on_change
+        :: Alcotest.test_case "builders" `Quick test_topology_builders
+        :: Alcotest.test_case "wan connected" `Quick test_topology_wan_connected
+        :: qcheck [ prop_reachability_symmetric; prop_path_latency_implies_reachable ] );
+      ( "transport",
+        [
+          Alcotest.test_case "delivery latency" `Quick test_transport_delivery_latency;
+          Alcotest.test_case "multi-hop latency" `Quick test_transport_multi_hop_latency;
+          Alcotest.test_case "drop unreachable" `Quick test_transport_drop_unreachable;
+          Alcotest.test_case "drop down node" `Quick test_transport_drop_down_node;
+          Alcotest.test_case "drop in flight" `Quick test_transport_drop_in_flight;
+          Alcotest.test_case "lossy link drops all" `Quick test_transport_lossy_link_drops_all;
+          Alcotest.test_case "lossy link statistics" `Quick test_transport_lossy_link_statistics;
+          Alcotest.test_case "path survival multi-hop" `Quick test_path_survival_multi_hop;
+          Alcotest.test_case "rpc over lossy link" `Quick
+            test_rpc_over_lossy_link_times_out_sometimes;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rpc_roundtrip;
+          Alcotest.test_case "service time" `Quick test_rpc_service_time;
+          Alcotest.test_case "unreachable detected" `Quick test_rpc_unreachable_detected;
+          Alcotest.test_case "timeout on in-flight loss" `Quick test_rpc_timeout_on_in_flight_loss;
+          Alcotest.test_case "late response ignored" `Quick test_rpc_late_response_ignored;
+          Alcotest.test_case "concurrent calls" `Quick test_rpc_concurrent_calls;
+          Alcotest.test_case "handler can block" `Quick test_rpc_handler_can_block;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "signal on change" `Quick test_fault_signal_on_change;
+          Alcotest.test_case "scheduled partition" `Quick test_fault_schedule_partition_and_heal;
+          Alcotest.test_case "crash/restart process" `Quick test_fault_crash_restart_process;
+          Alcotest.test_case "flaky link process" `Quick test_fault_flaky_link_process;
+        ] );
+    ]
