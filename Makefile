@@ -1,0 +1,30 @@
+# One-command tier-1 verification: build + tests (including the trace
+# determinism suite in test/test_obs.ml) + formatting check.
+
+.PHONY: check build test fmt fmt-fix bench clean
+
+check: build test fmt
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# ocamlformat may be absent in minimal containers; skip (with a notice)
+# rather than fail the whole check.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt || { echo "fmt check failed: run 'make fmt-fix'"; exit 1; }; \
+	else \
+		echo "ocamlformat not installed; skipping fmt check"; \
+	fi
+
+fmt-fix:
+	dune fmt
+
+bench:
+	dune exec bench/main.exe -- --no-micro
+
+clean:
+	dune clean

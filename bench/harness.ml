@@ -39,3 +39,49 @@ let ratio a b = if b = 0.0 then "-" else Printf.sprintf "%.1fx" (a /. b)
 let verdict_cell = function
   | Weakset_spec.Figures.Conforms -> "conforms"
   | Weakset_spec.Figures.Violates vs -> Printf.sprintf "VIOLATES(%d)" (List.length vs)
+
+(* --- metrics export ------------------------------------------------- *)
+
+(* Worlds register their engine's registry under a descriptive name as
+   they are built; [export_metrics_json] dumps them all at the end of the
+   run.  Re-registering a name replaces the previous entry (experiments
+   rebuild identical worlds many times; the last run wins). *)
+let registries : (string * Weakset_obs.Metrics.t) list ref = ref []
+
+let register_metrics name m =
+  registries := List.filter (fun (n, _) -> n <> name) !registries @ [ (name, m) ]
+
+let export_metrics_json ~path =
+  let oc = open_out path in
+  output_string oc "{";
+  List.iteri
+    (fun i (name, m) ->
+      if i > 0 then output_string oc ",";
+      Printf.fprintf oc "\n  \"%s\": %s" name (Weakset_obs.Metrics.to_json m))
+    !registries;
+  output_string oc "\n}\n";
+  close_out oc;
+  note "metrics for %d worlds written to %s" (List.length !registries) path
+
+(* --- JSONL tracing -------------------------------------------------- *)
+
+(* When a trace path is set, every world built afterwards attaches this
+   writer to its engine's bus, so one file carries the full event stream
+   of the run (worlds delimited by note lines). *)
+let trace_writer : Weakset_obs.Jsonl.t option ref = ref None
+
+let set_trace_path path = trace_writer := Some (Weakset_obs.Jsonl.open_file path)
+
+let attach_trace name bus =
+  match !trace_writer with
+  | None -> ()
+  | Some w ->
+      Weakset_obs.Jsonl.note w name;
+      Weakset_obs.Bus.attach bus ~name:"bench-jsonl" (Weakset_obs.Jsonl.sink w)
+
+let close_trace () =
+  match !trace_writer with
+  | None -> ()
+  | Some w ->
+      Weakset_obs.Jsonl.close w;
+      trace_writer := None

@@ -3,12 +3,31 @@
    microbenchmarks (M1); see DESIGN.md section 4 for the experiment index
    and EXPERIMENTS.md for paper-vs-measured commentary.
 
-     dune exec bench/main.exe             -- everything
-     dune exec bench/main.exe -- --no-micro  -- experiments only  *)
+     dune exec bench/main.exe                     -- everything
+     dune exec bench/main.exe -- --no-micro       -- experiments only
+     dune exec bench/main.exe -- --metrics-json m.json
+                                                  -- also dump the metrics
+                                                     registries as JSON
+     dune exec bench/main.exe -- --trace-jsonl t.jsonl
+                                                  -- also write the full
+                                                     typed event stream  *)
+
+let arg_value name =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
 
 let () =
   let no_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
+  let metrics_json = arg_value "--metrics-json" in
+  let trace_jsonl = arg_value "--trace-jsonl" in
+  Option.iter Bench_lib.Harness.set_trace_path trace_jsonl;
   Printf.printf "Weak sets (Wing & Steere, ICDCS 1995) - experiment suite\n";
   Printf.printf "All latencies are simulated virtual time units unless noted.\n";
   Bench_lib.Experiments.run_all ();
-  if not no_micro then Bench_lib.Micro.run ()
+  if not no_micro then Bench_lib.Micro.run ();
+  Option.iter (fun path -> Bench_lib.Harness.export_metrics_json ~path) metrics_json;
+  Bench_lib.Harness.close_trace ()

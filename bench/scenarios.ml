@@ -59,6 +59,12 @@ let clique_world ?(seed = 1) ?(n = 8) ?(ghost_policy = false) ?(replica_ixs = []
       next_num = 0;
     }
   in
+  Harness.register_metrics
+    (Printf.sprintf "clique_world seed=%d n=%d size=%d" seed n size)
+    (Engine.metrics eng);
+  Harness.attach_trace
+    (Printf.sprintf "clique_world seed=%d n=%d size=%d" seed n size)
+    (Engine.bus eng);
   let home_count = n - 2 in
   for _ = 1 to size do
     w.next_num <- w.next_num + 1;

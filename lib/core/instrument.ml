@@ -34,6 +34,25 @@ let mutation_op = function
   | Directory.Add o -> Spec.Sstate.Madd (elem_of_oid o)
   | Directory.Remove o -> Spec.Sstate.Mremove (elem_of_oid o)
 
+(* Besides driving the monitor directly, every capture is published as a
+   [Spec_observe] event so Spec.Monitor_adapter can rebuild the same
+   computation from a recorded trace. *)
+let event_elem e =
+  { Weakset_obs.Event.elem_id = Spec.Elem.id e; elem_label = Spec.Elem.label e }
+
+let event_elems es = List.map event_elem (Spec.Elem.Set.elements es)
+
+let emit_observe t phase s accessible =
+  let eng = Client.engine t.client in
+  Weakset_obs.Bus.emit (Engine.bus eng) ~time:(Engine.now eng)
+    (Weakset_obs.Event.Spec_observe
+       {
+         set_id = t.set_id;
+         phase;
+         s = event_elems s;
+         accessible = event_elems accessible;
+       })
+
 let attach ~client ~server ~set_id =
   (* Fail fast if the server does not coordinate this set. *)
   let (_ : Directory.t) = Node_server.directory_truth server ~set_id in
@@ -54,7 +73,16 @@ let attach ~client ~server ~set_id =
         (match op with
         | Directory.Remove o | Directory.Add o -> t.universe <- Oid.Set.add o t.universe);
         let s, accessible = capture t in
-        Spec.Monitor.observe_mutation t.monitor ~time:(now t) ~op:(mutation_op op) ~s ~accessible)
+        let mop = mutation_op op in
+        let ephase =
+          match mop with
+          | Spec.Sstate.Madd e ->
+              Weakset_obs.Event.Phase_mutation (Spec_add (event_elem e))
+          | Spec.Sstate.Mremove e ->
+              Weakset_obs.Event.Phase_mutation (Spec_remove (event_elem e))
+        in
+        emit_observe t ephase s accessible;
+        Spec.Monitor.observe_mutation t.monitor ~time:(now t) ~op:mop ~s ~accessible)
   in
   t.unhook <- unhook;
   t
@@ -66,18 +94,28 @@ let computation t = Spec.Monitor.computation t.monitor
 
 let observe_first t =
   let s, accessible = capture t in
+  emit_observe t Weakset_obs.Event.Phase_first s accessible;
   Spec.Monitor.observe_first t.monitor ~time:(now t) ~s ~accessible
 
 let invocation_started t =
   let s, accessible = capture t in
+  emit_observe t Weakset_obs.Event.Phase_invocation_start s accessible;
   Spec.Monitor.invocation_started t.monitor ~time:(now t) ~s ~accessible
 
 let invocation_retry t =
   let s, accessible = capture t in
+  emit_observe t Weakset_obs.Event.Phase_invocation_retry s accessible;
   Spec.Monitor.invocation_retry t.monitor ~time:(now t) ~s ~accessible
 
 let invocation_completed t term =
   let s, accessible = capture t in
+  let ephase =
+    match term with
+    | Spec.Sstate.Returns -> Weakset_obs.Event.Phase_returns
+    | Spec.Sstate.Fails -> Weakset_obs.Event.Phase_fails
+    | Spec.Sstate.Suspends e -> Weakset_obs.Event.Phase_suspends (event_elem e)
+  in
+  emit_observe t ephase s accessible;
   Spec.Monitor.invocation_completed t.monitor ~time:(now t) ~term ~s ~accessible
 
 let suspends oid = Spec.Sstate.Suspends (elem_of_oid oid)

@@ -20,7 +20,15 @@ let by_name a b = String.compare a.name b.name
 let name_for dfs oid =
   match Dfs.name_of dfs oid with Some n -> n | None -> "?" ^ string_of_int (Oid.num oid)
 
+let with_ls_span ~client name f =
+  let eng = Client.engine client in
+  Weakset_obs.Bus.with_span (Engine.bus eng)
+    ~time:(fun () -> Engine.now eng)
+    ~node:(Weakset_net.Nodeid.to_int (Client.node client))
+    name f
+
 let strict_ls dfs ~client dir =
+  with_ls_span ~client "ls.strict" @@ fun () ->
   let eng = Client.engine client in
   let started_at = Engine.now eng in
   let sref = Dfs.dir_sref dfs dir in
@@ -51,6 +59,7 @@ let strict_ls dfs ~client dir =
             })
 
 let weak_ls dfs ~client dir ~parallelism =
+  with_ls_span ~client "ls.weak" @@ fun () ->
   let eng = Client.engine client in
   let started_at = Engine.now eng in
   let sref = Dfs.dir_sref dfs dir in

@@ -20,6 +20,7 @@ type item = Result of (Oid.t * Svalue.t) | Exhausted
 type t = {
   client : Client.t;
   engine : Engine.t;
+  span : int; (* trace span covering open through exhaustion *)
   order : [ `Closest_first | `By_id ];
   max_retries : int;
   retry_backoff : float;
@@ -78,12 +79,24 @@ let push_result t r =
   t.fetched <- t.fetched + 1;
   Mailbox.send t.engine t.results (Result r)
 
+(* Every way a prefetch ends funnels through here: stamp the finish
+   time, close the trace span, and wake the consumer. *)
+let finish t =
+  let now = Engine.now t.engine in
+  t.finished_at <- Some now;
+  Weakset_obs.Bus.emit (Engine.bus t.engine) ~time:now
+    (Weakset_obs.Event.Span_end
+       {
+         span = t.span;
+         name = "prefetch";
+         node = Some (Weakset_net.Nodeid.to_int (Client.node t.client));
+         dur = now -. t.started_at;
+       });
+  Mailbox.send t.engine t.results Exhausted
+
 let fetcher_finished t =
   t.live_fetchers <- t.live_fetchers - 1;
-  if t.live_fetchers = 0 then begin
-    t.finished_at <- Some (Engine.now t.engine);
-    Mailbox.send t.engine t.results Exhausted
-  end
+  if t.live_fetchers = 0 then finish t
 
 let rec fetcher_loop t =
   if t.cancelled then fetcher_finished t
@@ -137,10 +150,16 @@ let read_membership client (sref : Weakset_store.Protocol.set_ref) =
 let start ?(parallelism = 4) ?(order = `Closest_first) ?(max_retries = 2) ?(retry_backoff = 2.0)
     client sref =
   let engine = Client.engine client in
+  let bus = Engine.bus engine in
+  let span = Weakset_obs.Bus.fresh_span bus in
+  let me = Weakset_net.Nodeid.to_int (Client.node client) in
+  Weakset_obs.Bus.emit bus ~time:(Engine.now engine)
+    (Weakset_obs.Event.Span_start { span; name = "prefetch"; node = Some me });
   let t =
     {
       client;
       engine;
+      span;
       order;
       max_retries;
       retry_backoff;
@@ -162,15 +181,11 @@ let start ?(parallelism = 4) ?(order = `Closest_first) ?(max_retries = 2) ?(retr
       match read_membership client sref with
       | None ->
           t.open_failed <- true;
-          t.finished_at <- Some (Engine.now engine);
-          Mailbox.send engine t.results Exhausted
+          finish t
       | Some members ->
           t.membership <- List.length members;
           t.pending <- List.map (fun o -> (o, 0)) members;
-          if t.pending = [] then begin
-            t.finished_at <- Some (Engine.now engine);
-            Mailbox.send engine t.results Exhausted
-          end
+          if t.pending = [] then finish t
           else begin
             let k = Stdlib.max 1 parallelism in
             t.live_fetchers <- k;

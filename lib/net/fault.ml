@@ -12,30 +12,37 @@ let create engine topo =
 let signal t = t.signal
 let topology t = t.topo
 
-let trace t detail = Weakset_sim.Tracer.emit (Engine.tracer t.engine) ~time:(Engine.now t.engine) ~label:"fault" detail
+(* Fault events go to the typed bus; the engine's tracer-mirror sink
+   renders them back into the legacy "fault" tracer entries. *)
+let emit t kind =
+  Weakset_obs.Bus.emit (Engine.bus t.engine) ~time:(Engine.now t.engine) kind
 
 let crash_node t n =
-  trace t (Printf.sprintf "crash %s" (Nodeid.to_string n));
+  emit t (Weakset_obs.Event.Fault_node_crash { node = Nodeid.to_int n });
   Topology.set_node_up t.topo n false
 
 let recover_node t n =
-  trace t (Printf.sprintf "recover %s" (Nodeid.to_string n));
+  emit t (Weakset_obs.Event.Fault_node_recover { node = Nodeid.to_int n });
   Topology.set_node_up t.topo n true
 
 let cut_link t a b =
-  trace t (Printf.sprintf "cut %s-%s" (Nodeid.to_string a) (Nodeid.to_string b));
+  emit t
+    (Weakset_obs.Event.Fault_link_cut
+       { a = Nodeid.to_int a; b = Nodeid.to_int b });
   Topology.set_link_up t.topo a b false
 
 let heal_link t a b =
-  trace t (Printf.sprintf "heal %s-%s" (Nodeid.to_string a) (Nodeid.to_string b));
+  emit t
+    (Weakset_obs.Event.Fault_link_heal
+       { a = Nodeid.to_int a; b = Nodeid.to_int b });
   Topology.set_link_up t.topo a b true
 
 let partition t groups =
-  trace t "partition";
+  emit t Weakset_obs.Event.Fault_partition;
   Topology.partition t.topo groups
 
 let heal_all t =
-  trace t "heal-all";
+  emit t Weakset_obs.Event.Fault_heal_all;
   Topology.heal_all t.topo
 
 let schedule_crash t ~at n =

@@ -1,41 +1,35 @@
+module Metrics = Weakset_obs.Metrics
+
 type t = {
-  mutable sent : int;
-  mutable delivered : int;
-  mutable dropped_unreachable : int;
-  mutable dropped_down : int;
-  mutable dropped_in_flight : int;
-  mutable dropped_lost : int;
-  mutable rpc_calls : int;
-  mutable rpc_ok : int;
-  mutable rpc_timeout : int;
-  mutable rpc_unreachable : int;
+  sent : int;
+  delivered : int;
+  dropped_unreachable : int;
+  dropped_down : int;
+  dropped_in_flight : int;
+  dropped_lost : int;
+  rpc_calls : int;
+  rpc_ok : int;
+  rpc_timeout : int;
+  rpc_unreachable : int;
 }
 
-let create () =
-  {
-    sent = 0;
-    delivered = 0;
-    dropped_unreachable = 0;
-    dropped_down = 0;
-    dropped_in_flight = 0;
-    dropped_lost = 0;
-    rpc_calls = 0;
-    rpc_ok = 0;
-    rpc_timeout = 0;
-    rpc_unreachable = 0;
-  }
+let labels ~instance = [ ("transport", string_of_int instance) ]
 
-let reset t =
-  t.sent <- 0;
-  t.delivered <- 0;
-  t.dropped_unreachable <- 0;
-  t.dropped_down <- 0;
-  t.dropped_in_flight <- 0;
-  t.dropped_lost <- 0;
-  t.rpc_calls <- 0;
-  t.rpc_ok <- 0;
-  t.rpc_timeout <- 0;
-  t.rpc_unreachable <- 0
+let snapshot m ~instance =
+  let labels = labels ~instance in
+  let peek name = Metrics.peek_counter m ~labels name in
+  {
+    sent = peek "net.sent";
+    delivered = peek "net.delivered";
+    dropped_unreachable = peek "net.dropped.unreachable";
+    dropped_down = peek "net.dropped.down";
+    dropped_in_flight = peek "net.dropped.in_flight";
+    dropped_lost = peek "net.dropped.lost";
+    rpc_calls = peek "rpc.calls";
+    rpc_ok = peek "rpc.ok";
+    rpc_timeout = peek "rpc.timeout";
+    rpc_unreachable = peek "rpc.unreachable";
+  }
 
 let pp fmt t =
   Format.fprintf fmt

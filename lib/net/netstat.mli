@@ -1,20 +1,31 @@
-(** Network-layer counters, kept per transport/RPC instance so experiments
-    can report message costs alongside latencies. *)
+(** Immutable snapshot of the network-layer counters of one
+    transport/RPC instance.
+
+    The counters themselves live in the engine's
+    {!Weakset_obs.Metrics.t} registry (names [net.*] and [rpc.*],
+    labelled by transport instance); this module reads them back into a
+    flat record so experiments and tests can pattern-match fields
+    without knowing registry key syntax. *)
 
 type t = {
-  mutable sent : int;             (** messages handed to the transport *)
-  mutable delivered : int;        (** messages delivered to a mailbox *)
-  mutable dropped_unreachable : int;  (** dropped: no up path at send time *)
-  mutable dropped_down : int;     (** dropped: an endpoint was down *)
-  mutable dropped_in_flight : int;  (** dropped: destination unreachable at delivery time *)
-  mutable dropped_lost : int;       (** dropped: random per-link message loss *)
-  mutable rpc_calls : int;
-  mutable rpc_ok : int;
-  mutable rpc_timeout : int;
-  mutable rpc_unreachable : int;
+  sent : int;             (** messages handed to the transport *)
+  delivered : int;        (** messages delivered to a mailbox *)
+  dropped_unreachable : int;  (** dropped: no up path at send time *)
+  dropped_down : int;     (** dropped: an endpoint was down *)
+  dropped_in_flight : int;  (** dropped: destination unreachable at delivery time *)
+  dropped_lost : int;       (** dropped: random per-link message loss *)
+  rpc_calls : int;
+  rpc_ok : int;
+  rpc_timeout : int;
+  rpc_unreachable : int;
 }
 
-val create : unit -> t
-val reset : t -> unit
+(** Labels identifying one transport instance in the registry. *)
+val labels : instance:int -> (string * string) list
+
+(** [snapshot m ~instance] reads the current counter values of transport
+    [instance] out of registry [m] (absent counters read as 0). *)
+val snapshot : Weakset_obs.Metrics.t -> instance:int -> t
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

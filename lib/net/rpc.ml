@@ -1,6 +1,9 @@
 module Engine = Weakset_sim.Engine
 module Mailbox = Weakset_sim.Mailbox
 module Ivar = Weakset_sim.Ivar
+module Bus = Weakset_obs.Bus
+module Event = Weakset_obs.Event
+module Metrics = Weakset_obs.Metrics
 
 type error = Timeout | Unreachable
 
@@ -16,28 +19,72 @@ type ('req, 'resp) frame =
 
 type ('req, 'resp) handler = { service_time : 'req -> float; fn : 'req -> 'resp }
 
+(* A call waiting for its response.  [dst] is kept so the failure
+   detector can fail pending calls when their destination crashes. *)
+type 'resp pending_call = {
+  p_dst : Nodeid.t;
+  p_ivar : ('resp, error) result Ivar.t;
+}
+
 type ('req, 'resp) t = {
   transport : ('req, 'resp) frame Transport.t;
   detect_delay : float;
-  pending : (int, 'resp Ivar.t) Hashtbl.t;
+  pending : (int, 'resp pending_call) Hashtbl.t;
   handlers : (int, ('req, 'resp) handler) Hashtbl.t;
+  c_calls : Metrics.counter;
+  c_ok : Metrics.counter;
+  c_timeout : Metrics.counter;
+  c_unreachable : Metrics.counter;
   mutable demux_running : Nodeid.Set.t;
   mutable next_id : int;
 }
 
-let create ?(detect_delay = 0.5) engine topo =
-  {
-    transport = Transport.create engine topo;
-    detect_delay;
-    pending = Hashtbl.create 64;
-    handlers = Hashtbl.create 16;
-    demux_running = Nodeid.Set.empty;
-    next_id = 0;
-  }
-
 let engine t = Transport.engine t.transport
 let topology t = Transport.topology t.transport
+let bus t = Transport.bus t.transport
 let stats t = Transport.stats t.transport
+
+(* The failure detector for in-flight calls: when the topology changes,
+   any pending call whose destination is now down is failed with
+   [Unreachable] after [detect_delay] — mirroring the fast-path
+   detection for destinations already unreachable at call time.  Without
+   this, a call to a node that crashes mid-call burns the full timeout.
+   Link failures that leave the destination up are NOT detected: a cut
+   link is indistinguishable from a lost message, so those calls still
+   time out. *)
+let install_failure_detector t =
+  let topo = topology t in
+  Topology.on_change topo (fun () ->
+      let eng = engine t in
+      Hashtbl.iter
+        (fun id p ->
+          if not (Topology.node_up topo p.p_dst) then
+            Engine.schedule eng ~after:t.detect_delay (fun () ->
+                if Hashtbl.mem t.pending id
+                   && not (Topology.node_up topo p.p_dst)
+                then ignore (Ivar.try_fill eng p.p_ivar (Error Unreachable))))
+        t.pending)
+
+let create ?(detect_delay = 0.5) engine topo =
+  let transport = Transport.create engine topo in
+  let m = Weakset_sim.Engine.metrics engine in
+  let labels = Netstat.labels ~instance:(Transport.instance transport) in
+  let t =
+    {
+      transport;
+      detect_delay;
+      pending = Hashtbl.create 64;
+      handlers = Hashtbl.create 16;
+      c_calls = Metrics.counter m ~labels "rpc.calls";
+      c_ok = Metrics.counter m ~labels "rpc.ok";
+      c_timeout = Metrics.counter m ~labels "rpc.timeout";
+      c_unreachable = Metrics.counter m ~labels "rpc.unreachable";
+      demux_running = Nodeid.Set.empty;
+      next_id = 0;
+    }
+  in
+  install_failure_detector t;
+  t
 
 let handle_frame t node (env : ('req, 'resp) frame Transport.envelope) =
   let eng = engine t in
@@ -49,16 +96,19 @@ let handle_frame t node (env : ('req, 'resp) frame Transport.envelope) =
           if Topology.node_up (topology t) node then
             Engine.spawn eng ~name:(Printf.sprintf "rpc-handler-%s-%d" (Nodeid.to_string node) id)
               (fun () ->
-                let d = h.service_time req in
-                if d > 0.0 then Engine.sleep eng d;
-                let resp = h.fn req in
-                Transport.send t.transport ~src:node ~dst:reply_to (Response { id; resp })))
+                Bus.with_span (bus t)
+                  ~time:(fun () -> Engine.now eng)
+                  ~node:(Nodeid.to_int node) "rpc.serve"
+                  (fun () ->
+                    let d = h.service_time req in
+                    if d > 0.0 then Engine.sleep eng d;
+                    let resp = h.fn req in
+                    Transport.send t.transport ~src:node ~dst:reply_to
+                      (Response { id; resp }))))
   | Response { id; resp } -> (
       match Hashtbl.find_opt t.pending id with
-      | None -> () (* caller already timed out *)
-      | Some iv ->
-          Hashtbl.remove t.pending id;
-          Ivar.fill eng iv resp)
+      | None -> () (* caller already timed out or gave up *)
+      | Some p -> ignore (Ivar.try_fill eng p.p_ivar (Ok resp)))
 
 let ensure_demux t node =
   if not (Nodeid.Set.mem node t.demux_running) then begin
@@ -84,26 +134,41 @@ let serve t node ?(service_time = fun _ -> 0.0) fn =
 
 let call t ~src ~dst ~timeout req =
   let eng = engine t in
-  let st = stats t in
-  st.rpc_calls <- st.rpc_calls + 1;
+  let topo = topology t in
+  Metrics.inc t.c_calls;
+  t.next_id <- t.next_id + 1;
+  let id = t.next_id in
+  let srci = Nodeid.to_int src and dsti = Nodeid.to_int dst in
+  Bus.emit (bus t) ~time:(Engine.now eng)
+    (Event.Rpc_call { src = srci; dst = dsti; id });
+  let finish outcome result =
+    Metrics.inc
+      (match outcome with
+      | Event.Rpc_ok -> t.c_ok
+      | Event.Rpc_timeout -> t.c_timeout
+      | Event.Rpc_unreachable -> t.c_unreachable);
+    Bus.emit (bus t) ~time:(Engine.now eng)
+      (Event.Rpc_done { src = srci; dst = dsti; id; outcome });
+    result
+  in
   ensure_demux t src;
-  if not (Topology.reachable (topology t) src dst) then begin
+  (* [reachable] is false when either endpoint is down, so a crashed
+     destination is detected here exactly like a partitioned one; the
+     explicit [node_up] check documents that failure-detector contract. *)
+  if not (Topology.reachable topo src dst) || not (Topology.node_up topo dst)
+  then begin
     Engine.sleep eng (Float.min t.detect_delay timeout);
-    st.rpc_unreachable <- st.rpc_unreachable + 1;
-    Error Unreachable
+    finish Event.Rpc_unreachable (Error Unreachable)
   end
   else begin
-    t.next_id <- t.next_id + 1;
-    let id = t.next_id in
     let iv = Ivar.create () in
-    Hashtbl.replace t.pending id iv;
+    Hashtbl.replace t.pending id { p_dst = dst; p_ivar = iv };
     Transport.send t.transport ~src ~dst (Request { id; reply_to = src; req });
-    match Ivar.read_timeout eng iv timeout with
-    | Some resp ->
-        st.rpc_ok <- st.rpc_ok + 1;
-        Ok resp
-    | None ->
-        Hashtbl.remove t.pending id;
-        st.rpc_timeout <- st.rpc_timeout + 1;
-        Error Timeout
+    let r = Ivar.read_timeout eng iv timeout in
+    Hashtbl.remove t.pending id;
+    match r with
+    | Some (Ok resp) -> finish Event.Rpc_ok (Ok resp)
+    | Some (Error Unreachable) -> finish Event.Rpc_unreachable (Error Unreachable)
+    | Some (Error Timeout) -> finish Event.Rpc_timeout (Error Timeout)
+    | None -> finish Event.Rpc_timeout (Error Timeout)
   end

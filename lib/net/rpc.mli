@@ -24,6 +24,11 @@ val create : ?detect_delay:float -> Weakset_sim.Engine.t -> Topology.t -> ('req,
 
 val engine : ('req, 'resp) t -> Weakset_sim.Engine.t
 val topology : ('req, 'resp) t -> Topology.t
+
+(** The engine's event bus, shared with the underlying transport. *)
+val bus : ('req, 'resp) t -> Weakset_obs.Bus.t
+
+(** Current counter values, read back from the metrics registry. *)
 val stats : ('req, 'resp) t -> Netstat.t
 
 (** [serve t node ?service_time handler] installs [handler] for requests
@@ -36,7 +41,13 @@ val serve :
 
 (** [call t ~src ~dst ~timeout req] performs a blocking call from fiber
     context.  Returns the response, or an {!error} after the detection
-    delay (unreachable) or [timeout] (lost message / slow server). *)
+    delay (unreachable) or [timeout] (lost message / slow server).
+
+    A destination that is down — or crashes while the call is in
+    flight — is reported as [Unreachable] within [detect_delay] of the
+    failure rather than burning the full [timeout]; a cut link with both
+    endpoints up is indistinguishable from message loss and still
+    surfaces as [Timeout]. *)
 val call :
   ('req, 'resp) t ->
   src:Nodeid.t ->

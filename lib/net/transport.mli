@@ -23,6 +23,16 @@ val create : Weakset_sim.Engine.t -> Topology.t -> 'a t
 
 val engine : 'a t -> Weakset_sim.Engine.t
 val topology : 'a t -> Topology.t
+
+(** The engine's event bus, where this transport publishes
+    send/deliver/drop events. *)
+val bus : 'a t -> Weakset_obs.Bus.t
+
+(** Instance number labelling this transport's counters in the
+    registry. *)
+val instance : 'a t -> int
+
+(** Current counter values, read back from the metrics registry. *)
 val stats : 'a t -> Netstat.t
 
 (** The receive queue of a node.  Server loops [recv] on this. *)

@@ -1,0 +1,21 @@
+(* Chained MD5: state' = md5(state ^ canonical(event)).  Order-sensitive
+   and O(1) space; Stdlib.Digest referenced explicitly because this
+   module shadows the name. *)
+
+type t = { mutable state : string; mutable count : int }
+
+let seed = Stdlib.Digest.string "obs-trace-v1"
+let create () = { state = seed; count = 0 }
+
+let feed t e =
+  t.state <- Stdlib.Digest.string (t.state ^ Event.to_canonical e);
+  t.count <- t.count + 1
+
+let count t = t.count
+let value t = Stdlib.Digest.to_hex t.state
+let sink t = feed t
+
+let of_events events =
+  let d = create () in
+  List.iter (feed d) events;
+  value d

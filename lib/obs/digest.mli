@@ -1,0 +1,24 @@
+(** Streaming digest of an event stream.
+
+    Feeds each event's canonical rendering into a chained MD5, so the
+    final {!value} fingerprints the entire ordered stream in O(1) space.
+    Two runs of the deterministic simulator with the same seed must
+    produce byte-identical digests — the invariant every fault-injection
+    and performance PR asserts against. *)
+
+type t
+
+val create : unit -> t
+val feed : t -> Event.t -> unit
+
+(** Number of events fed. *)
+val count : t -> int
+
+(** Hex digest of the stream so far. *)
+val value : t -> string
+
+(** [sink d] is [feed d], for {!Bus.attach}. *)
+val sink : t -> Bus.sink
+
+(** Digest of a complete event list (e.g. from {!Ring.to_list}). *)
+val of_events : Event.t list -> string

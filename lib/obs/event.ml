@@ -1,0 +1,169 @@
+type drop_reason = Unreachable | Endpoint_down | In_flight | Lost
+type rpc_outcome = Rpc_ok | Rpc_timeout | Rpc_unreachable
+type elem = { elem_id : int; elem_label : string }
+type spec_op = Spec_add of elem | Spec_remove of elem
+
+type spec_phase =
+  | Phase_first
+  | Phase_invocation_start
+  | Phase_invocation_retry
+  | Phase_returns
+  | Phase_fails
+  | Phase_suspends of elem
+  | Phase_mutation of spec_op
+
+type kind =
+  | Fiber_spawn of { fiber : string }
+  | Fiber_crash of { fiber : string; exn_text : string }
+  | Sched of { at : float }
+  | Fault_node_crash of { node : int }
+  | Fault_node_recover of { node : int }
+  | Fault_link_cut of { a : int; b : int }
+  | Fault_link_heal of { a : int; b : int }
+  | Fault_partition
+  | Fault_heal_all
+  | Net_send of { src : int; dst : int }
+  | Net_deliver of { src : int; dst : int; sent_at : float }
+  | Net_drop of { src : int; dst : int; reason : drop_reason }
+  | Rpc_call of { src : int; dst : int; id : int }
+  | Rpc_done of { src : int; dst : int; id : int; outcome : rpc_outcome }
+  | Span_start of { span : int; name : string; node : int option }
+  | Span_end of { span : int; name : string; node : int option; dur : float }
+  | Store_op of { node : int; op : string }
+  | Spec_observe of {
+      set_id : int;
+      phase : spec_phase;
+      s : elem list;
+      accessible : elem list;
+    }
+  | Custom of { label : string; detail : string }
+
+type t = { seq : int; time : float; kind : kind }
+
+let drop_reason_string = function
+  | Unreachable -> "unreachable"
+  | Endpoint_down -> "endpoint-down"
+  | In_flight -> "in-flight"
+  | Lost -> "lost"
+
+let rpc_outcome_string = function
+  | Rpc_ok -> "ok"
+  | Rpc_timeout -> "timeout"
+  | Rpc_unreachable -> "unreachable"
+
+let phase_string = function
+  | Phase_first -> "first"
+  | Phase_invocation_start -> "invocation-start"
+  | Phase_invocation_retry -> "invocation-retry"
+  | Phase_returns -> "returns"
+  | Phase_fails -> "fails"
+  | Phase_suspends _ -> "suspends"
+  | Phase_mutation (Spec_add _) -> "add"
+  | Phase_mutation (Spec_remove _) -> "remove"
+
+let label = function
+  | Fiber_spawn _ -> "fiber"
+  | Fiber_crash _ -> "fiber-crash"
+  | Sched _ -> "sched"
+  | Fault_node_crash _ | Fault_node_recover _ | Fault_link_cut _
+  | Fault_link_heal _ | Fault_partition | Fault_heal_all ->
+      "fault"
+  | Net_send _ | Net_deliver _ | Net_drop _ -> "net"
+  | Rpc_call _ | Rpc_done _ -> "rpc"
+  | Span_start _ | Span_end _ -> "span"
+  | Store_op _ -> "store"
+  | Spec_observe _ -> "spec"
+  | Custom { label; _ } -> label
+
+(* Exact, locale-independent float rendering: hex notation round-trips
+   every finite double, so canonical strings are injective on time and
+   duration fields. *)
+let hexf f = Printf.sprintf "%h" f
+let node_str n = "n" ^ string_of_int n
+
+let elem_string e = Printf.sprintf "%d:%s" e.elem_id e.elem_label
+
+let elems_string es = String.concat "," (List.map elem_string es)
+
+let detail = function
+  | Fiber_spawn { fiber } -> "spawn " ^ fiber
+  | Fiber_crash { fiber; exn_text } -> fiber ^ ": " ^ exn_text
+  | Sched { at } -> "at=" ^ hexf at
+  | Fault_node_crash { node } -> "crash " ^ node_str node
+  | Fault_node_recover { node } -> "recover " ^ node_str node
+  | Fault_link_cut { a; b } -> "cut " ^ node_str a ^ "-" ^ node_str b
+  | Fault_link_heal { a; b } -> "heal " ^ node_str a ^ "-" ^ node_str b
+  | Fault_partition -> "partition"
+  | Fault_heal_all -> "heal-all"
+  | Net_send { src; dst } -> "send " ^ node_str src ^ "->" ^ node_str dst
+  | Net_deliver { src; dst; sent_at } ->
+      Printf.sprintf "deliver %s->%s sent=%s" (node_str src) (node_str dst)
+        (hexf sent_at)
+  | Net_drop { src; dst; reason } ->
+      Printf.sprintf "drop %s->%s %s" (node_str src) (node_str dst)
+        (drop_reason_string reason)
+  | Rpc_call { src; dst; id } ->
+      Printf.sprintf "call#%d %s->%s" id (node_str src) (node_str dst)
+  | Rpc_done { src; dst; id; outcome } ->
+      Printf.sprintf "done#%d %s->%s %s" id (node_str src) (node_str dst)
+        (rpc_outcome_string outcome)
+  | Span_start { span; name; node } ->
+      Printf.sprintf "start#%d %s%s" span name
+        (match node with None -> "" | Some n -> " @" ^ node_str n)
+  | Span_end { span; name; node; dur } ->
+      Printf.sprintf "end#%d %s%s dur=%s" span name
+        (match node with None -> "" | Some n -> " @" ^ node_str n)
+        (hexf dur)
+  | Store_op { node; op } -> op ^ " @" ^ node_str node
+  | Spec_observe { set_id; phase; s; accessible } ->
+      let extra =
+        match phase with
+        | Phase_suspends e -> " e=" ^ elem_string e
+        | Phase_mutation (Spec_add e) | Phase_mutation (Spec_remove e) ->
+            " e=" ^ elem_string e
+        | _ -> ""
+      in
+      Printf.sprintf "set#%d %s%s s=[%s] acc=[%s]" set_id (phase_string phase)
+        extra (elems_string s) (elems_string accessible)
+  | Custom { detail; _ } -> detail
+
+let tracer_view = function
+  | Fiber_crash { fiber; exn_text } ->
+      Some ("fiber-crash", fiber ^ ": " ^ exn_text)
+  | ( Fault_node_crash _ | Fault_node_recover _ | Fault_link_cut _
+    | Fault_link_heal _ | Fault_partition | Fault_heal_all ) as k ->
+      Some ("fault", detail k)
+  | Custom { label; detail } -> Some (label, detail)
+  | _ -> None
+
+let to_canonical t =
+  Printf.sprintf "%d|%s|%s|%s" t.seq (hexf t.time) (label t.kind)
+    (detail t.kind)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf {|{"seq":%d,"time":%.9g,"label":"%s","detail":"%s"}|} t.seq
+    t.time
+    (json_escape (label t.kind))
+    (json_escape (detail t.kind))
+
+let pp fmt t =
+  Format.fprintf fmt "[%d @%g] %s: %s" t.seq t.time (label t.kind)
+    (detail t.kind)
+
+let dummy = { seq = -1; time = 0.0; kind = Custom { label = ""; detail = "" } }

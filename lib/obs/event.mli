@@ -1,0 +1,92 @@
+(** Typed trace events.
+
+    One value of type {!t} is one observable step of a simulated
+    computation: a fiber starting or crashing, a message moving through
+    the network, an RPC completing, a request-scoped span opening or
+    closing, or a specification-level observation of the weak set.  All
+    subsystems publish these through a shared {!Bus.t}; sinks (ring
+    buffer, JSONL writer, digest) consume the same stream, so a debugger,
+    a conformance checker and a determinism check all see one log.
+
+    Events are plain data: no pre-rendered strings (except {!Custom}),
+    and every field needed to replay or compare runs is explicit.
+    {!to_canonical} is the injective rendering used by {!Digest};
+    {!to_json} is the JSONL rendering. *)
+
+(** Why the transport dropped a message. *)
+type drop_reason =
+  | Unreachable   (** no up path at send time *)
+  | Endpoint_down (** source or destination down at send time *)
+  | In_flight     (** destination lost while the message was in flight *)
+  | Lost          (** random per-link loss *)
+
+type rpc_outcome = Rpc_ok | Rpc_timeout | Rpc_unreachable
+
+(** Specification-layer element: integer identity plus label, mirroring
+    [Weakset_spec.Elem] without depending on it. *)
+type elem = { elem_id : int; elem_label : string }
+
+type spec_op = Spec_add of elem | Spec_remove of elem
+
+(** Capture points of the specification monitor, as events. *)
+type spec_phase =
+  | Phase_first
+  | Phase_invocation_start
+  | Phase_invocation_retry
+  | Phase_returns
+  | Phase_fails
+  | Phase_suspends of elem
+  | Phase_mutation of spec_op
+
+type kind =
+  | Fiber_spawn of { fiber : string }
+  | Fiber_crash of { fiber : string; exn_text : string }
+  | Sched of { at : float }  (** an engine callback was scheduled for [at] *)
+  | Fault_node_crash of { node : int }
+  | Fault_node_recover of { node : int }
+  | Fault_link_cut of { a : int; b : int }
+  | Fault_link_heal of { a : int; b : int }
+  | Fault_partition
+  | Fault_heal_all
+  | Net_send of { src : int; dst : int }
+  | Net_deliver of { src : int; dst : int; sent_at : float }
+  | Net_drop of { src : int; dst : int; reason : drop_reason }
+  | Rpc_call of { src : int; dst : int; id : int }
+  | Rpc_done of { src : int; dst : int; id : int; outcome : rpc_outcome }
+  | Span_start of { span : int; name : string; node : int option }
+  | Span_end of { span : int; name : string; node : int option; dur : float }
+  | Store_op of { node : int; op : string }  (** server handled a request *)
+  | Spec_observe of {
+      set_id : int;
+      phase : spec_phase;
+      s : elem list;           (** value of the set at this state *)
+      accessible : elem list;  (** accessible ever-members at this state *)
+    }
+  | Custom of { label : string; detail : string }  (** legacy tracer entries *)
+
+type t = { seq : int; time : float; kind : kind }
+
+(** Short category of a kind: ["fiber"], ["fiber-crash"], ["sched"],
+    ["fault"], ["net"], ["rpc"], ["span"], ["store"], ["spec"], or the
+    [Custom] label. *)
+val label : kind -> string
+
+(** Deterministic human-readable payload rendering (no seq/time). *)
+val detail : kind -> string
+
+(** [tracer_view k] is [Some (label, detail)] for the low-rate kinds that
+    the legacy {!Weakset_sim.Tracer} used to record (crashes, faults,
+    custom entries); [None] for high-rate kinds. *)
+val tracer_view : kind -> (string * string) option
+
+(** Injective single-line rendering; equal canonical strings iff the
+    events are equal (floats are rendered exactly, in hex). *)
+val to_canonical : t -> string
+
+(** One JSON object, no trailing newline. *)
+val to_json : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** A zero event, useful to pre-fill buffers. *)
+val dummy : t

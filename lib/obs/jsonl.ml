@@ -1,0 +1,34 @@
+type t = { oc : out_channel; mutable closed : bool }
+
+let open_file path = { oc = open_out path; closed = false }
+
+let write t e =
+  if not t.closed then begin
+    output_string t.oc (Event.to_json e);
+    output_char t.oc '\n'
+  end
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let note t s =
+  if not t.closed then
+    output_string t.oc (Printf.sprintf "{\"note\":\"%s\"}\n" (json_escape s))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_out t.oc
+  end
+
+let sink t = write t

@@ -1,0 +1,19 @@
+(** JSONL trace writer: one JSON object per line, suitable for loading
+    into any log-analysis tooling.  Used by the bench harness to dump
+    full traces next to its tables. *)
+
+type t
+
+val open_file : string -> t
+
+(** Write one event as a JSON line. *)
+val write : t -> Event.t -> unit
+
+(** Write an out-of-band marker line [{"note": ...}] — e.g. to delimit
+    scenarios within one trace file. *)
+val note : t -> string -> unit
+
+val close : t -> unit
+
+(** [sink w] is [write w], for {!Bus.attach}. *)
+val sink : t -> Bus.sink

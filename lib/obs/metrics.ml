@@ -1,0 +1,166 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  mutable samples : float list; (* reverse insertion order *)
+  mutable n : int;
+  mutable sum : float;
+  mutable sorted : float array option; (* cache, invalidated on observe *)
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = {
+  table : (string, instrument) Hashtbl.t;
+  mutable next_instance : int;
+}
+
+let create () = { table = Hashtbl.create 64; next_instance = 0 }
+
+let fresh_instance t =
+  let i = t.next_instance in
+  t.next_instance <- i + 1;
+  i
+
+(* Key = name{k=v,...} with labels sorted, so intern order never matters. *)
+let key name labels =
+  match labels with
+  | [] -> name
+  | ls ->
+      let ls = List.sort (fun (a, _) (b, _) -> compare a b) ls in
+      name ^ "{"
+      ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+      ^ "}"
+
+let intern t name labels make wrap unwrap what =
+  let k = key name labels in
+  match Hashtbl.find_opt t.table k with
+  | Some inst -> (
+      match unwrap inst with
+      | Some x -> x
+      | None -> invalid_arg (Printf.sprintf "Metrics: %s is not a %s" k what))
+  | None ->
+      let x = make () in
+      Hashtbl.replace t.table k (wrap x);
+      x
+
+let counter t ?(labels = []) name =
+  intern t name labels
+    (fun () -> { c = 0 })
+    (fun c -> Counter c)
+    (function Counter c -> Some c | _ -> None)
+    "counter"
+
+let inc ?(by = 1) c = c.c <- c.c + by
+let value c = c.c
+
+let peek_counter t ?(labels = []) name =
+  match Hashtbl.find_opt t.table (key name labels) with
+  | Some (Counter c) -> c.c
+  | _ -> 0
+
+let gauge t ?(labels = []) name =
+  intern t name labels
+    (fun () -> { g = 0.0 })
+    (fun g -> Gauge g)
+    (function Gauge g -> Some g | _ -> None)
+    "gauge"
+
+let set_gauge g v = g.g <- v
+let gauge_value g = g.g
+
+let histogram t ?(labels = []) name =
+  intern t name labels
+    (fun () -> { samples = []; n = 0; sum = 0.0; sorted = None })
+    (fun h -> Histogram h)
+    (function Histogram h -> Some h | _ -> None)
+    "histogram"
+
+let observe h v =
+  h.samples <- v :: h.samples;
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  h.sorted <- None
+
+let h_count h = h.n
+let h_sum h = h.sum
+let h_mean h = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
+
+let sorted_samples h =
+  match h.sorted with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list h.samples in
+      Array.sort compare a;
+      h.sorted <- Some a;
+      a
+
+let h_percentile h p =
+  if h.n = 0 then invalid_arg "Metrics.h_percentile: empty";
+  if p < 0.0 || p > 100.0 then
+    invalid_arg "Metrics.h_percentile: p out of range";
+  let a = sorted_samples h in
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let frac = rank -. float_of_int lo in
+    if lo >= n - 1 then a.(n - 1)
+    else (a.(lo) *. (1.0 -. frac)) +. (a.(lo + 1) *. frac)
+
+let sorted_entries t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, inst) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf {|"%s":|} (json_escape k));
+      match inst with
+      | Counter c -> Buffer.add_string buf (string_of_int c.c)
+      | Gauge g -> Buffer.add_string buf (Printf.sprintf "%.9g" g.g)
+      | Histogram h ->
+          if h.n = 0 then
+            Buffer.add_string buf {|{"count":0,"sum":0,"mean":0}|}
+          else
+            Buffer.add_string buf
+              (Printf.sprintf
+                 {|{"count":%d,"sum":%.9g,"mean":%.9g,"p50":%.9g,"p95":%.9g,"p99":%.9g}|}
+                 h.n h.sum (h_mean h) (h_percentile h 50.0)
+                 (h_percentile h 95.0) (h_percentile h 99.0)))
+    (sorted_entries t);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let pp fmt t =
+  List.iter
+    (fun (k, inst) ->
+      match inst with
+      | Counter c -> Format.fprintf fmt "%s = %d@." k c.c
+      | Gauge g -> Format.fprintf fmt "%s = %g@." k g.g
+      | Histogram h ->
+          if h.n = 0 then Format.fprintf fmt "%s = (empty)@." k
+          else
+            Format.fprintf fmt "%s = n=%d mean=%g p95=%g@." k h.n (h_mean h)
+              (h_percentile h 95.0))
+    (sorted_entries t)

@@ -1,0 +1,61 @@
+(** Central metrics registry: labelled counters, gauges and latency
+    histograms.
+
+    A registry is created per engine (via {!Bus.create}); components
+    intern their instruments once ([counter t ~labels "net.sent"]) and
+    bump them on the hot path without allocation.  Instruments are keyed
+    by name plus sorted labels, so two components interning the same
+    (name, labels) share one cell — this is how [Netstat] snapshots are
+    reconstructed from the registry.
+
+    Everything here is deterministic: instance numbers come from a
+    per-registry counter, and {!to_json}/{!pp} render entries in sorted
+    key order. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** Fresh small integer, unique within this registry.  Used to label
+    per-component instances ([("transport", "0")]) without global
+    state. *)
+val fresh_instance : t -> int
+
+(** {1 Counters} *)
+
+val counter : t -> ?labels:(string * string) list -> string -> counter
+val inc : ?by:int -> counter -> unit
+val value : counter -> int
+
+(** [peek_counter t ?labels name] is the current value, or [0] if the
+    counter was never interned. *)
+val peek_counter : t -> ?labels:(string * string) list -> string -> int
+
+(** {1 Gauges} *)
+
+val gauge : t -> ?labels:(string * string) list -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+val histogram : t -> ?labels:(string * string) list -> string -> histogram
+val observe : histogram -> float -> unit
+val h_count : histogram -> int
+val h_sum : histogram -> float
+val h_mean : histogram -> float
+
+(** Linear-interpolation percentile of all observed samples.
+    Raises [Invalid_argument] on an empty histogram. *)
+val h_percentile : histogram -> float -> float
+
+(** {1 Export} *)
+
+(** All instruments as one JSON object, keys sorted, deterministic. *)
+val to_json : t -> string
+
+val pp : Format.formatter -> t -> unit

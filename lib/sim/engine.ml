@@ -12,6 +12,7 @@ type t = {
   heap : event Pqueue.t;
   root_rng : Rng.t;
   tracer : Tracer.t;
+  bus : Weakset_obs.Bus.t;
   mutable live : int;
   mutable fiber_counter : int;
   mutable crashed : crash list;
@@ -23,13 +24,24 @@ type _ Effect.t +=
 
 let leq_event a b = a.time < b.time || (a.time = b.time && a.seq <= b.seq)
 
-let create ?(seed = 1L) () =
+let create ?(seed = 1L) ?bus () =
+  let bus = match bus with Some b -> b | None -> Weakset_obs.Bus.create () in
+  let tracer = Tracer.create () in
+  (* Low-rate events (crashes, faults, legacy Custom entries) are
+     mirrored into the bounded legacy tracer so existing tests and
+     debugging habits keep working; high-rate kinds are bus-only. *)
+  Weakset_obs.Bus.attach bus ~name:"tracer-mirror" (fun e ->
+      match Weakset_obs.Event.tracer_view e.Weakset_obs.Event.kind with
+      | Some (label, detail) ->
+          Tracer.emit tracer ~time:e.Weakset_obs.Event.time ~label detail
+      | None -> ());
   {
     now = 0.0;
     seq = 0;
     heap = Pqueue.create ~leq:leq_event;
     root_rng = Rng.create seed;
-    tracer = Tracer.create ();
+    tracer;
+    bus;
     live = 0;
     fiber_counter = 0;
     crashed = [];
@@ -38,13 +50,17 @@ let create ?(seed = 1L) () =
 let now t = t.now
 let rng t = t.root_rng
 let tracer t = t.tracer
+let bus t = t.bus
+let metrics t = Weakset_obs.Bus.metrics t.bus
 let live_fibers t = t.live
 let crashes t = List.rev t.crashed
 
 let schedule t ~after action =
   if after < 0.0 then invalid_arg "Engine.schedule: negative delay";
   t.seq <- t.seq + 1;
-  Pqueue.push t.heap { time = t.now +. after; seq = t.seq; action }
+  let at = t.now +. after in
+  Weakset_obs.Bus.emit t.bus ~time:t.now (Weakset_obs.Event.Sched { at });
+  Pqueue.push t.heap { time = at; seq = t.seq; action }
 
 let sleep _t d = Effect.perform (Sleep d)
 let yield _t = Effect.perform (Sleep 0.0)
@@ -56,8 +72,9 @@ let run_fiber t name body =
   let retc () = t.live <- t.live - 1 in
   let exnc e =
     t.live <- t.live - 1;
-    Tracer.emit t.tracer ~time:t.now ~label:"fiber-crash"
-      (Printf.sprintf "%s: %s" name (Printexc.to_string e));
+    Weakset_obs.Bus.emit t.bus ~time:t.now
+      (Weakset_obs.Event.Fiber_crash
+         { fiber = name; exn_text = Printexc.to_string e });
     t.crashed <- { crash_time = t.now; crash_fiber = name; crash_exn = e } :: t.crashed
   in
   let effc : type b. b Effect.t -> ((b, unit) continuation -> unit) option = function
@@ -84,6 +101,8 @@ let spawn t ?name body =
   let name =
     match name with Some n -> n | None -> Printf.sprintf "fiber-%d" t.fiber_counter
   in
+  Weakset_obs.Bus.emit t.bus ~time:t.now
+    (Weakset_obs.Event.Fiber_spawn { fiber = name });
   schedule t ~after:0.0 (fun () -> run_fiber t name body)
 
 let run ?(until = infinity) ?(max_steps = max_int) t =

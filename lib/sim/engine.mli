@@ -20,9 +20,12 @@ type crash = {
   crash_exn : exn;
 }
 
-(** [create ?seed ()] makes a fresh engine with virtual time 0.  [seed]
-    (default [1L]) initialises the engine's root {!Rng.t}. *)
-val create : ?seed:int64 -> unit -> t
+(** [create ?seed ?bus ()] makes a fresh engine with virtual time 0.
+    [seed] (default [1L]) initialises the engine's root {!Rng.t}.  [bus]
+    (fresh by default) is the observability bus every subsystem of this
+    engine publishes typed events to; pass one in to share a metrics
+    registry across engines. *)
+val create : ?seed:int64 -> ?bus:Weakset_obs.Bus.t -> unit -> t
 
 (** Current virtual time. *)
 val now : t -> float
@@ -30,8 +33,19 @@ val now : t -> float
 (** The engine's root random stream.  Subsystems should {!Rng.split} it. *)
 val rng : t -> Rng.t
 
-(** Structured trace sink shared by all subsystems of this engine. *)
+(** Legacy string-trace sink.  The bus mirrors crash/fault/custom events
+    into it, so existing tests and debugging keep working; new code
+    should consume {!bus} instead.
+    @deprecated Attach a sink to {!bus} for structured events. *)
 val tracer : t -> Tracer.t
+
+(** The engine's typed event bus.  All subsystems (net, store, dynamic,
+    spec instrumentation) publish {!Weakset_obs.Event.t}s here; attach
+    ring/JSONL/digest sinks to observe a run. *)
+val bus : t -> Weakset_obs.Bus.t
+
+(** Shorthand for [Weakset_obs.Bus.metrics (bus t)]. *)
+val metrics : t -> Weakset_obs.Metrics.t
 
 (** [schedule t ~after f] runs callback [f] at virtual time [now t +. after].
     [after] must be non-negative. *)

@@ -31,8 +31,13 @@ let stddev t =
     let var = (t.sumsq -. (float_of_int t.n *. m *. m)) /. float_of_int (t.n - 1) in
     sqrt (Float.max 0.0 var)
 
-let min t = t.lo
-let max t = t.hi
+let min t =
+  if t.n = 0 then invalid_arg "Stats.min: empty";
+  t.lo
+
+let max t =
+  if t.n = 0 then invalid_arg "Stats.max: empty";
+  t.hi
 
 let sorted t =
   match t.sorted with
@@ -49,6 +54,19 @@ let percentile t p =
   let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
   let idx = Stdlib.max 0 (Stdlib.min (t.n - 1) (rank - 1)) in
   a.(idx)
+
+let percentile_linear t p =
+  if t.n = 0 then invalid_arg "Stats.percentile_linear: empty";
+  if p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile_linear: p out of range";
+  let a = sorted t in
+  if t.n = 1 then a.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (t.n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let frac = rank -. float_of_int lo in
+    if lo >= t.n - 1 then a.(t.n - 1)
+    else (a.(lo) *. (1.0 -. frac)) +. (a.(lo + 1) *. frac)
 
 let median t = percentile t 50.0
 

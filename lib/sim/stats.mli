@@ -11,12 +11,22 @@ val mean : t -> float
 (** Sample standard deviation (0 for fewer than two samples). *)
 val stddev : t -> float
 
+(** Smallest/largest sample.  Raise [Invalid_argument] on an empty
+    accumulator (they used to return [infinity]/[neg_infinity], which
+    silently poisoned downstream arithmetic). *)
 val min : t -> float
+
 val max : t -> float
 
 (** [percentile t p] with [p] in \[0,100\], by nearest-rank on the sorted
     samples.  Raises [Invalid_argument] on an empty accumulator. *)
 val percentile : t -> float -> float
+
+(** [percentile_linear t p] interpolates linearly between the two
+    samples bracketing rank [p/100 * (n-1)], so p95 on small [n] isn't
+    just the max sample.  Raises [Invalid_argument] on an empty
+    accumulator or [p] outside \[0,100\]. *)
+val percentile_linear : t -> float -> float
 
 val median : t -> float
 

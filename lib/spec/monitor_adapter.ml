@@ -1,0 +1,49 @@
+module Event = Weakset_obs.Event
+
+type t = { set_id : int; monitor : Monitor.t }
+
+let create ~set_id = { set_id; monitor = Monitor.create () }
+let monitor t = t.monitor
+let computation t = Monitor.computation t.monitor
+
+let elem (e : Event.elem) = Elem.make ~label:e.elem_label e.elem_id
+
+let eset es =
+  List.fold_left (fun acc e -> Elem.Set.add (elem e) acc) Elem.Set.empty es
+
+let handle t (ev : Event.t) =
+  match ev.kind with
+  | Event.Spec_observe { set_id; phase; s; accessible } when set_id = t.set_id
+    -> (
+      let time = ev.time in
+      let s = eset s and accessible = eset accessible in
+      match phase with
+      | Event.Phase_first -> Monitor.observe_first t.monitor ~time ~s ~accessible
+      | Event.Phase_invocation_start ->
+          Monitor.invocation_started t.monitor ~time ~s ~accessible
+      | Event.Phase_invocation_retry ->
+          Monitor.invocation_retry t.monitor ~time ~s ~accessible
+      | Event.Phase_returns ->
+          Monitor.invocation_completed t.monitor ~time ~term:Sstate.Returns ~s
+            ~accessible
+      | Event.Phase_fails ->
+          Monitor.invocation_completed t.monitor ~time ~term:Sstate.Fails ~s
+            ~accessible
+      | Event.Phase_suspends e ->
+          Monitor.invocation_completed t.monitor ~time
+            ~term:(Sstate.Suspends (elem e)) ~s ~accessible
+      | Event.Phase_mutation op ->
+          let op =
+            match op with
+            | Event.Spec_add e -> Sstate.Madd (elem e)
+            | Event.Spec_remove e -> Sstate.Mremove (elem e)
+          in
+          Monitor.observe_mutation t.monitor ~time ~op ~s ~accessible)
+  | _ -> ()
+
+let sink t = handle t
+
+let replay ~set_id events =
+  let t = create ~set_id in
+  List.iter (handle t) events;
+  t

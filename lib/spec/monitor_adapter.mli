@@ -1,0 +1,29 @@
+(** Drives a {!Monitor} from the typed observability event stream.
+
+    The instrumentation layer publishes [Spec_observe] events on the
+    engine's bus at every capture point (first-state, invocation
+    start/retry/completion, mutation).  This adapter consumes those
+    events — live as a bus sink, or after the fact from a ring buffer —
+    and reconstructs the same {!Computation.t} the inline monitor
+    builds, so conformance checking runs off the very log the tracer
+    produces.  Events for other sets (or other kinds entirely) are
+    ignored. *)
+
+type t
+
+(** [create ~set_id] makes an adapter feeding a fresh monitor with the
+    [Spec_observe] events of set [set_id]. *)
+val create : set_id:int -> t
+
+val monitor : t -> Monitor.t
+val computation : t -> Computation.t
+
+(** Process one event (non-[Spec_observe] events are ignored). *)
+val handle : t -> Weakset_obs.Event.t -> unit
+
+(** [sink t] is [handle t], for [Weakset_obs.Bus.attach]. *)
+val sink : t -> Weakset_obs.Event.t -> unit
+
+(** [replay ~set_id events] feeds a recorded stream (e.g. from
+    [Weakset_obs.Ring.to_list]) through a fresh adapter. *)
+val replay : set_id:int -> Weakset_obs.Event.t list -> t

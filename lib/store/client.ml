@@ -38,9 +38,15 @@ let fresh_owner () =
 let of_rpc_error = function Rpc.Timeout -> Timeout | Rpc.Unreachable -> Unreachable
 
 let call t dst req =
-  match Rpc.call t.rpc ~src:t.node ~dst ~timeout:t.timeout req with
-  | Ok resp -> Ok resp
-  | Error e -> Error (of_rpc_error e)
+  let eng = Rpc.engine t.rpc in
+  Weakset_obs.Bus.with_span (Rpc.bus t.rpc)
+    ~time:(fun () -> Weakset_sim.Engine.now eng)
+    ~node:(Nodeid.to_int t.node)
+    ("client." ^ Protocol.request_label req)
+    (fun () ->
+      match Rpc.call t.rpc ~src:t.node ~dst ~timeout:t.timeout req with
+      | Ok resp -> Ok resp
+      | Error e -> Error (of_rpc_error e))
 
 let fetch t oid =
   match call t (Oid.home oid) (Protocol.Fetch oid) with

@@ -72,6 +72,11 @@ let apply_deferred d =
   d.deferred <- []
 
 let handle t req : Protocol.response =
+  let eng = Rpc.engine t.rpc in
+  Weakset_obs.Bus.emit (Weakset_sim.Engine.bus eng)
+    ~time:(Weakset_sim.Engine.now eng)
+    (Weakset_obs.Event.Store_op
+       { node = Nodeid.to_int t.node; op = Protocol.request_label req });
   match req with
   | Protocol.Fetch oid -> (
       match Hashtbl.find_opt t.objects (Oid.num oid) with

@@ -29,6 +29,18 @@ type response =
   | Locked
   | No_service
 
+let request_label = function
+  | Fetch _ -> "fetch"
+  | Dir_read _ -> "dir-read"
+  | Dir_add _ -> "dir-add"
+  | Dir_remove _ -> "dir-remove"
+  | Dir_size _ -> "dir-size"
+  | Lock_acquire _ -> "lock-acquire"
+  | Lock_release _ -> "lock-release"
+  | Iter_open _ -> "iter-open"
+  | Iter_close _ -> "iter-close"
+  | Sync_pull _ -> "sync-pull"
+
 let pp_request fmt = function
   | Fetch o -> Format.fprintf fmt "fetch %a" Oid.pp o
   | Dir_read { set_id } -> Format.fprintf fmt "dir-read set%d" set_id

@@ -36,5 +36,9 @@ type response =
   | Locked
   | No_service  (** the target node does not host the requested object/set *)
 
+(** Short operation name of a request ("fetch", "dir-read", ...), used
+    as the [op] field of [Store_op] trace events and as span names. *)
+val request_label : request -> string
+
 val pp_request : Format.formatter -> request -> unit
 val pp_response : Format.formatter -> response -> unit

@@ -1,0 +1,324 @@
+(* Tests for the weakset_obs observability layer: trace-digest
+   determinism across seeded runs, ring-buffer sink semantics, metrics
+   registry / Netstat snapshots, RPC failure detection for destinations
+   that crash mid-call, Stats edge cases, and rebuilding a spec
+   computation from the recorded event stream. *)
+
+open Weakset_sim
+open Weakset_net
+open Weakset_store
+module Obs = Weakset_obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Digest determinism                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A small distributed run whose event stream exercises every layer:
+   fibers, scheduling, transport, RPC, store ops, client spans, and
+   faults — with Rng-driven sleeps so different seeds genuinely diverge. *)
+let run_scenario seed =
+  let eng = Engine.create ~seed:(Int64.of_int seed) () in
+  let digest = Obs.Digest.create () in
+  Obs.Bus.attach (Engine.bus eng) ~name:"digest" (Obs.Digest.sink digest);
+  let topo = Topology.create () in
+  let nodes = Topology.clique topo 5 ~latency:1.0 in
+  let rpc = Rpc.create eng topo in
+  let servers = Array.map (fun n -> Node_server.create rpc n) nodes in
+  Node_server.host_directory servers.(0) ~set_id:1 ~policy:Node_server.Immediate;
+  let client = Client.create rpc nodes.(4) in
+  let sref = { Protocol.set_id = 1; coordinator = nodes.(0); replicas = [] } in
+  let fault = Fault.create eng topo in
+  let wrng = Rng.split (Engine.rng eng) in
+  Engine.spawn eng ~name:"workload" (fun () ->
+      for i = 1 to 10 do
+        Engine.sleep eng (Rng.exponential wrng ~mean:2.0);
+        let home_ix = 1 + (i mod 3) in
+        let oid = Oid.make ~num:i ~home:nodes.(home_ix) in
+        Node_server.put_object servers.(home_ix) oid
+          (Svalue.make (Printf.sprintf "v%d" i));
+        (match Client.dir_add client sref oid with Ok () | Error _ -> ());
+        match Client.fetch client oid with Ok _ | Error _ -> ()
+      done);
+  Fault.schedule_crash fault ~at:8.0 nodes.(2);
+  Fault.schedule_recover fault ~at:14.0 nodes.(2);
+  let (_ : int) = Engine.run eng in
+  (Obs.Digest.value digest, Obs.Digest.count digest)
+
+let test_same_seed_same_digest () =
+  let d1, n1 = run_scenario 42 in
+  let d2, n2 = run_scenario 42 in
+  check_bool "stream is non-trivial" true (n1 > 50);
+  check_int "same event count" n1 n2;
+  check_string "byte-identical digests" d1 d2
+
+let test_different_seed_different_digest () =
+  let d1, _ = run_scenario 1 in
+  let d2, _ = run_scenario 2 in
+  check_bool "digests differ" true (d1 <> d2)
+
+(* ------------------------------------------------------------------ *)
+(* Ring-buffer sink                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ev seq =
+  {
+    Obs.Event.seq;
+    time = float_of_int seq;
+    kind = Obs.Event.Custom { label = "t"; detail = string_of_int seq };
+  }
+
+let seqs ring = List.map (fun e -> e.Obs.Event.seq) (Obs.Ring.to_list ring)
+
+let test_ring_below_capacity () =
+  let r = Obs.Ring.create ~capacity:4 in
+  List.iter (fun i -> Obs.Ring.push r (ev i)) [ 0; 1; 2 ];
+  check_int "length" 3 (Obs.Ring.length r);
+  check_int "nothing dropped" 0 (Obs.Ring.dropped r);
+  Alcotest.(check (list int)) "in order" [ 0; 1; 2 ] (seqs r)
+
+let test_ring_drops_oldest_in_order () =
+  let r = Obs.Ring.create ~capacity:3 in
+  List.iter (fun i -> Obs.Ring.push r (ev i)) [ 0; 1; 2; 3; 4 ];
+  check_int "capped" 3 (Obs.Ring.length r);
+  check_int "two dropped" 2 (Obs.Ring.dropped r);
+  Alcotest.(check (list int)) "newest three, oldest first" [ 2; 3; 4 ] (seqs r)
+
+let test_ring_as_bus_sink () =
+  let bus = Obs.Bus.create () in
+  let r = Obs.Ring.create ~capacity:2 in
+  Obs.Bus.attach bus ~name:"ring" (Obs.Ring.sink r);
+  for i = 0 to 4 do
+    Obs.Bus.emit bus ~time:(float_of_int i)
+      (Obs.Event.Custom { label = "t"; detail = string_of_int i })
+  done;
+  Alcotest.(check (list int)) "last two events" [ 3; 4 ] (seqs r);
+  check_int "drop count" 3 (Obs.Ring.dropped r)
+
+let test_ring_rejects_nonpositive_capacity () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Ring.create: capacity must be positive") (fun () ->
+      ignore (Obs.Ring.create ~capacity:0))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry and Netstat snapshots                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_counters_and_peek () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m ~labels:[ ("x", "1") ] "hits" in
+  Obs.Metrics.inc c;
+  Obs.Metrics.inc ~by:4 c;
+  check_int "counter value" 5 (Obs.Metrics.value c);
+  (* Same (name, labels) interns the same cell, label order irrelevant. *)
+  let c' = Obs.Metrics.counter m ~labels:[ ("x", "1") ] "hits" in
+  Obs.Metrics.inc c';
+  check_int "shared cell" 6 (Obs.Metrics.value c);
+  check_int "peek sees it" 6 (Obs.Metrics.peek_counter m ~labels:[ ("x", "1") ] "hits");
+  check_int "absent counter reads 0" 0 (Obs.Metrics.peek_counter m "misses")
+
+let test_metrics_histogram_percentiles () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "lat" in
+  List.iter (Obs.Metrics.observe h) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_int "count" 4 (Obs.Metrics.h_count h);
+  Alcotest.(check (float 1e-9)) "linear p50" 2.5 (Obs.Metrics.h_percentile h 50.0);
+  Alcotest.(check (float 1e-9)) "p0 is min" 1.0 (Obs.Metrics.h_percentile h 0.0);
+  Alcotest.(check (float 1e-9)) "p100 is max" 4.0 (Obs.Metrics.h_percentile h 100.0)
+
+let test_netstat_snapshot_from_registry () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let a = Topology.add_node topo in
+  let b = Topology.add_node topo in
+  Topology.add_link topo a b ~latency:1.0;
+  let tr = Transport.create eng topo in
+  Transport.send tr ~src:a ~dst:b "hello";
+  let (_ : int) = Engine.run eng in
+  Topology.set_node_up topo b false;
+  Transport.send tr ~src:a ~dst:b "to the dead";
+  let (_ : int) = Engine.run eng in
+  let st = Transport.stats tr in
+  check_int "sent" 2 st.Netstat.sent;
+  check_int "delivered" 1 st.Netstat.delivered;
+  check_int "dropped down" 1 st.Netstat.dropped_down;
+  (* The snapshot is just a view of the engine's registry. *)
+  check_int "registry agrees" 1
+    (Obs.Metrics.peek_counter (Engine.metrics eng)
+       ~labels:(Netstat.labels ~instance:(Transport.instance tr))
+       "net.delivered")
+
+(* ------------------------------------------------------------------ *)
+(* RPC failure detection for mid-call crashes                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_rpc_detects_crash_mid_call () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let a = Topology.add_node topo in
+  let b = Topology.add_node topo in
+  Topology.add_link topo a b ~latency:1.0;
+  let rpc = Rpc.create eng topo in
+  Rpc.serve rpc b ~service_time:(fun _ -> 5.0) (fun x -> x + 1);
+  let result = ref None in
+  Engine.spawn eng ~name:"caller" (fun () ->
+      let r = Rpc.call rpc ~src:a ~dst:b ~timeout:30.0 41 in
+      result := Some (r, Engine.now eng));
+  (* The server crashes while it is "computing" the response. *)
+  Engine.schedule eng ~after:2.0 (fun () -> Topology.set_node_up topo b false);
+  let (_ : int) = Engine.run eng in
+  match !result with
+  | Some (Error Rpc.Unreachable, t) ->
+      (* detect_delay (0.5) after the crash, not the full 30.0 timeout *)
+      Alcotest.(check (float 1e-9)) "detected at crash + detect_delay" 2.5 t;
+      check_int "counted unreachable" 1 (Rpc.stats rpc).Netstat.rpc_unreachable
+  | Some (Ok _, _) -> Alcotest.fail "call should not succeed"
+  | Some (Error Rpc.Timeout, t) ->
+      Alcotest.fail (Printf.sprintf "burned the timeout (finished at %.1f)" t)
+  | None -> Alcotest.fail "caller never finished"
+
+let test_rpc_link_cut_still_times_out () =
+  (* A cut link with both endpoints up is indistinguishable from message
+     loss: the failure detector must NOT fire, and the call times out. *)
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let a = Topology.add_node topo in
+  let b = Topology.add_node topo in
+  Topology.add_link topo a b ~latency:1.0;
+  let rpc = Rpc.create eng topo in
+  Rpc.serve rpc b ~service_time:(fun _ -> 5.0) (fun x -> x + 1);
+  let result = ref None in
+  Engine.spawn eng ~name:"caller" (fun () ->
+      let r = Rpc.call rpc ~src:a ~dst:b ~timeout:10.0 41 in
+      result := Some (r, Engine.now eng));
+  Engine.schedule eng ~after:2.0 (fun () -> Topology.set_link_up topo a b false);
+  let (_ : int) = Engine.run eng in
+  match !result with
+  | Some (Error Rpc.Timeout, t) ->
+      Alcotest.(check (float 1e-9)) "full timeout" 10.0 t
+  | Some _ -> Alcotest.fail "expected timeout"
+  | None -> Alcotest.fail "caller never finished"
+
+(* ------------------------------------------------------------------ *)
+(* Stats edge cases                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_empty_min_max_raise () =
+  let s = Stats.create () in
+  Alcotest.check_raises "min" (Invalid_argument "Stats.min: empty") (fun () ->
+      ignore (Stats.min s));
+  Alcotest.check_raises "max" (Invalid_argument "Stats.max: empty") (fun () ->
+      ignore (Stats.max s))
+
+let test_stats_percentile_linear () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check (float 1e-9)) "interpolated p50" 2.5 (Stats.percentile_linear s 50.0);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile_linear s 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 4.0 (Stats.percentile_linear s 100.0);
+  let big = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add big (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "p95 of 1..100" 95.05 (Stats.percentile_linear big 95.0);
+  (* nearest-rank behaviour is unchanged *)
+  Alcotest.(check (float 1e-9)) "nearest-rank p95 still 95" 95.0 (Stats.percentile big 95.0);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile_linear: empty")
+    (fun () -> ignore (Stats.percentile_linear (Stats.create ()) 50.0))
+
+(* ------------------------------------------------------------------ *)
+(* Monitor adapter: conformance checking off the recorded stream      *)
+(* ------------------------------------------------------------------ *)
+
+let test_monitor_adapter_matches_inline_monitor () =
+  let open Bench_lib in
+  let w = Scenarios.clique_world ~seed:7 ~size:6 () in
+  let ring = Obs.Ring.create ~capacity:200_000 in
+  Obs.Bus.attach (Engine.bus w.Scenarios.eng) ~name:"ring" (Obs.Ring.sink ring);
+  Scenarios.set_mutator w ~add_rate:0.2 ~remove_rate:0.1 ~until:1_000.0;
+  let r =
+    Scenarios.run_iteration ~instrument:true ~think:2.0 ~deadline:5_000.0 w
+      Weakset_core.Semantics.optimistic
+  in
+  match r.Scenarios.inst with
+  | None -> Alcotest.fail "expected instrumentation"
+  | Some inst ->
+      check_int "ring kept the whole stream" 0 (Obs.Ring.dropped ring);
+      let adapter =
+        Weakset_spec.Monitor_adapter.replay ~set_id:1 (Obs.Ring.to_list ring)
+      in
+      let direct = Weakset_core.Instrument.computation inst in
+      let replayed = Weakset_spec.Monitor_adapter.computation adapter in
+      check_int "same number of states"
+        (Weakset_spec.Computation.length direct)
+        (Weakset_spec.Computation.length replayed);
+      check_int "same number of invocations"
+        (List.length (Weakset_spec.Computation.invocations direct))
+        (List.length (Weakset_spec.Computation.invocations replayed));
+      let spec = Weakset_spec.Figures.fig4 in
+      check_string "same conformance verdict"
+        (Harness.verdict_cell (Weakset_spec.Figures.check spec direct))
+        (Harness.verdict_cell (Weakset_spec.Figures.check spec replayed))
+
+(* ------------------------------------------------------------------ *)
+(* JSONL sink                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_jsonl_writer () =
+  let path = Filename.temp_file "obs" ".jsonl" in
+  let w = Obs.Jsonl.open_file path in
+  Obs.Jsonl.note w "hello";
+  Obs.Jsonl.write w (ev 0);
+  Obs.Jsonl.close w;
+  let ic = open_in path in
+  let l1 = input_line ic in
+  let l2 = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  check_string "note line" {|{"note":"hello"}|} l1;
+  check_bool "event line is json-ish" true
+    (String.length l2 > 2 && l2.[0] = '{' && String.sub l2 1 6 = {|"seq":|})
+
+let () =
+  Alcotest.run "weakset_obs"
+    [
+      ( "digest",
+        [
+          Alcotest.test_case "same seed, identical digest" `Quick test_same_seed_same_digest;
+          Alcotest.test_case "different seed, different digest" `Quick
+            test_different_seed_different_digest;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "below capacity" `Quick test_ring_below_capacity;
+          Alcotest.test_case "drops oldest in order" `Quick test_ring_drops_oldest_in_order;
+          Alcotest.test_case "as a bus sink" `Quick test_ring_as_bus_sink;
+          Alcotest.test_case "rejects bad capacity" `Quick test_ring_rejects_nonpositive_capacity;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and peek" `Quick test_metrics_counters_and_peek;
+          Alcotest.test_case "histogram percentiles" `Quick test_metrics_histogram_percentiles;
+          Alcotest.test_case "netstat snapshot" `Quick test_netstat_snapshot_from_registry;
+        ] );
+      ( "rpc-failure-detection",
+        [
+          Alcotest.test_case "crash mid-call detected" `Quick test_rpc_detects_crash_mid_call;
+          Alcotest.test_case "link cut still times out" `Quick test_rpc_link_cut_still_times_out;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "empty min/max raise" `Quick test_stats_empty_min_max_raise;
+          Alcotest.test_case "linear percentiles" `Quick test_stats_percentile_linear;
+        ] );
+      ( "monitor-adapter",
+        [
+          Alcotest.test_case "replay matches inline monitor" `Quick
+            test_monitor_adapter_matches_inline_monitor;
+        ] );
+      ( "jsonl",
+        [ Alcotest.test_case "writer" `Quick test_jsonl_writer ] );
+    ]
