@@ -69,8 +69,11 @@ let export_metrics_json ~path =
    writer to its engine's bus, so one file carries the full event stream
    of the run (worlds delimited by note lines). *)
 let trace_writer : Weakset_obs.Jsonl.t option ref = ref None
+let trace_path : string option ref = ref None
 
-let set_trace_path path = trace_writer := Some (Weakset_obs.Jsonl.open_file path)
+let set_trace_path path =
+  trace_path := Some path;
+  trace_writer := Some (Weakset_obs.Jsonl.open_file path)
 
 let attach_trace name bus =
   match !trace_writer with
@@ -79,9 +82,22 @@ let attach_trace name bus =
       Weakset_obs.Jsonl.note w name;
       Weakset_obs.Bus.attach bus ~name:"bench-jsonl" (Weakset_obs.Jsonl.sink w)
 
+(* Once the writer is closed, re-read the file one world segment at a
+   time and report each world's slowest request with its critical-path
+   phase split — the per-experiment latency-attribution summary. *)
+let critpath_report path =
+  Printf.printf "\n%s\ncritical-path summary (from %s)\n%s\n" hr path hr;
+  Weakset_obs.Trace.iter_file path (fun seg ->
+      let tr = Weakset_obs.Trace.of_segment seg in
+      match Weakset_obs.Trace.critpath_summary tr with
+      | Some line -> Printf.printf "  %-32s %s\n" seg.Weakset_obs.Trace.sname line
+      | None -> Printf.printf "  %-32s (no closed request span)\n" seg.sname)
+
 let close_trace () =
   match !trace_writer with
   | None -> ()
   | Some w ->
       Weakset_obs.Jsonl.close w;
-      trace_writer := None
+      trace_writer := None;
+      Option.iter critpath_report !trace_path;
+      trace_path := None

@@ -12,18 +12,47 @@
                                                   -- also write the full
                                                      typed event stream  *)
 
-let arg_value name =
-  let rec find i =
-    if i >= Array.length Sys.argv - 1 then None
-    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
-    else find (i + 1)
+let usage =
+  "usage: weakset_bench [--no-micro] [--metrics-json FILE] [--trace-jsonl FILE]\n\n\
+  \  --no-micro           skip the bechamel microbenchmarks (M1)\n\
+  \  --metrics-json FILE  dump every world's metrics registry as JSON\n\
+  \  --trace-jsonl FILE   write the full typed event stream as JSONL\n\
+  \                       (analyse with weakset_trace)\n"
+
+let usage_die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_string ("weakset_bench: " ^ s ^ "\n\n" ^ usage);
+      exit 2)
+    fmt
+
+(* Strict parsing: an unknown or malformed argument aborts with usage
+   instead of being silently ignored. *)
+let parse_args () =
+  let no_micro = ref false and metrics_json = ref None and trace_jsonl = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--no-micro" :: rest ->
+        no_micro := true;
+        go rest
+    | "--metrics-json" :: v :: rest ->
+        metrics_json := Some v;
+        go rest
+    | "--trace-jsonl" :: v :: rest ->
+        trace_jsonl := Some v;
+        go rest
+    | [ ("--metrics-json" | "--trace-jsonl") as flag ] ->
+        usage_die "%s expects a file argument" flag
+    | ("--help" | "-h") :: _ ->
+        print_string usage;
+        exit 0
+    | a :: _ -> usage_die "unknown argument %S" a
   in
-  find 1
+  go (List.tl (Array.to_list Sys.argv));
+  (!no_micro, !metrics_json, !trace_jsonl)
 
 let () =
-  let no_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
-  let metrics_json = arg_value "--metrics-json" in
-  let trace_jsonl = arg_value "--trace-jsonl" in
+  let no_micro, metrics_json, trace_jsonl = parse_args () in
   Option.iter Bench_lib.Harness.set_trace_path trace_jsonl;
   Printf.printf "Weak sets (Wing & Steere, ICDCS 1995) - experiment suite\n";
   Printf.printf "All latencies are simulated virtual time units unless noted.\n";

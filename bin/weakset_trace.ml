@@ -1,0 +1,149 @@
+(* Trace-analysis CLI over JSONL traces written by `weakset_bench
+   --trace-jsonl`.  Deterministic output: the same trace file renders
+   byte-identically, so CI can diff runs. *)
+
+module Trace = Weakset_obs.Trace
+
+let usage =
+  "usage: weakset_trace <command> [options] FILE...\n\n\
+   commands:\n\
+  \  tree FILE        print the reconstructed span forest of each world\n\
+  \  critpath FILE    critical path and per-phase attribution per request\n\
+  \  stats FILE       event/span/rpc/lamport summary per world\n\
+  \  anomalies FILE   flag unclosed spans, orphan parents, unfinished rpcs,\n\
+  \                   lamport violations (exit 1 if any found)\n\
+  \  diff FILE FILE   digest-aligned prefix diff of two traces\n\n\
+   options:\n\
+  \  --world NAME     restrict to the named world segment\n\
+  \  --no-times       (tree) structure only: no ids, times or durations\n\
+  \  --max-depth N    (tree) truncate below depth N\n\
+  \  --slow-pct P     (anomalies) also flag spans above their name's\n\
+  \                   P-th duration percentile\n"
+
+let die fmt = Printf.ksprintf (fun s -> prerr_string s; prerr_newline (); exit 2) fmt
+
+let usage_die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_string ("weakset_trace: " ^ s ^ "\n\n" ^ usage);
+      exit 2)
+    fmt
+
+(* Strict parsing: every flag must be known, every known flag must get a
+   well-formed value, and the positional count must match. *)
+type opts = {
+  mutable world : string option;
+  mutable times : bool;
+  mutable max_depth : int option;
+  mutable slow_pct : float option;
+  mutable files : string list;
+}
+
+let parse_args args =
+  let o = { world = None; times = true; max_depth = None; slow_pct = None; files = [] } in
+  let rec go = function
+    | [] -> ()
+    | "--world" :: v :: rest ->
+        o.world <- Some v;
+        go rest
+    | "--no-times" :: rest ->
+        o.times <- false;
+        go rest
+    | "--max-depth" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 ->
+            o.max_depth <- Some n;
+            go rest
+        | _ -> usage_die "--max-depth expects a non-negative integer, got %S" v)
+    | "--slow-pct" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some p when p >= 0.0 && p <= 100.0 ->
+            o.slow_pct <- Some p;
+            go rest
+        | _ -> usage_die "--slow-pct expects a percentile in [0,100], got %S" v)
+    | [ ("--world" | "--max-depth" | "--slow-pct") ] ->
+        usage_die "missing value for final option"
+    | f :: _ when String.length f > 0 && f.[0] = '-' -> usage_die "unknown option %S" f
+    | f :: rest ->
+        o.files <- o.files @ [ f ];
+        go rest
+  in
+  go args;
+  o
+
+let load o file =
+  let segs = try Trace.load_file file with
+    | Trace.Malformed m -> die "weakset_trace: %s" m
+    | Sys_error m -> die "weakset_trace: %s" m
+  in
+  match o.world with
+  | None -> segs
+  | Some w -> (
+      match List.filter (fun s -> s.Trace.sname = w) segs with
+      | [] ->
+          die "weakset_trace: no world %S in %s (have: %s)" w file
+            (String.concat ", "
+               (List.map (fun s -> Printf.sprintf "%S" s.Trace.sname) segs))
+      | picked -> picked)
+
+let header seg =
+  if seg.Trace.sname = "" then "" else Printf.sprintf "== world: %s ==\n" seg.Trace.sname
+
+let one_file o = function
+  | [ f ] -> load o f
+  | files -> usage_die "expected exactly one FILE, got %d" (List.length files)
+
+let per_segment render =
+  List.iter (fun seg ->
+      print_string (header seg);
+      print_string (render (Trace.of_segment seg)))
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: cmd :: rest -> (
+      let o = parse_args rest in
+      match cmd with
+      | "tree" ->
+          per_segment
+            (Trace.render_tree ~times:o.times ?max_depth:o.max_depth)
+            (one_file o o.files)
+      | "critpath" -> per_segment Trace.render_critpath (one_file o o.files)
+      | "stats" -> per_segment Trace.render_stats (one_file o o.files)
+      | "anomalies" ->
+          let segs = one_file o o.files in
+          let found = ref 0 in
+          List.iter
+            (fun seg ->
+              print_string (header seg);
+              let tr = Trace.of_segment seg in
+              found := !found + List.length (Trace.anomalies ?slow_pct:o.slow_pct tr);
+              print_string (Trace.render_anomalies ?slow_pct:o.slow_pct tr))
+            segs;
+          if !found > 0 then exit 1
+      | "diff" -> (
+          match o.files with
+          | [ fa; fb ] ->
+              let sa = load o fa and sb = load o fb in
+              let rec pair i = function
+                | [], [] -> ()
+                | a :: ta, b :: tb ->
+                    if a.Trace.sname <> b.Trace.sname then
+                      Printf.printf "segment %d: names differ (%S vs %S)\n" i a.sname
+                        b.sname
+                    else print_string (header a);
+                    print_string
+                      (Trace.render_diff ~left_name:fa ~right_name:fb a.Trace.events
+                         b.Trace.events);
+                    pair (i + 1) (ta, tb)
+                | extra, [] ->
+                    Printf.printf "%s has %d extra world(s)\n" fa (List.length extra)
+                | [], extra ->
+                    Printf.printf "%s has %d extra world(s)\n" fb (List.length extra)
+              in
+              pair 0 (sa, sb)
+          | files -> usage_die "diff expects exactly two FILEs, got %d" (List.length files))
+      | "help" | "--help" | "-h" -> print_string usage
+      | c -> usage_die "unknown command %S" c)
+  | _ ->
+      prerr_string usage;
+      exit 2

@@ -20,26 +20,32 @@ let by_name a b = String.compare a.name b.name
 let name_for dfs oid =
   match Dfs.name_of dfs oid with Some n -> n | None -> "?" ^ string_of_int (Oid.num oid)
 
+(* The ls span is the root of the request's trace tree: membership
+   reads, fetches (directly or via prefetch), RPCs and server store ops
+   all reconstruct underneath it. *)
 let with_ls_span ~client name f =
   let eng = Client.engine client in
-  Weakset_obs.Bus.with_span (Engine.bus eng)
+  Weakset_obs.Bus.with_span_id (Engine.bus eng)
     ~time:(fun () -> Engine.now eng)
     ~node:(Weakset_net.Nodeid.to_int (Client.node client))
     name f
 
 let strict_ls dfs ~client dir =
-  with_ls_span ~client "ls.strict" @@ fun () ->
+  with_ls_span ~client "ls.strict" @@ fun span ->
   let eng = Client.engine client in
   let started_at = Engine.now eng in
   let sref = Dfs.dir_sref dfs dir in
-  match Client.dir_read client ~from:sref.Weakset_store.Protocol.coordinator ~set_id:sref.set_id with
+  match
+    Client.dir_read ~parent:span client ~from:sref.Weakset_store.Protocol.coordinator
+      ~set_id:sref.set_id
+  with
   | Error e -> Error e
   | Ok (_, members) ->
       (* Every member must be fetched before anything is returned. *)
       let rec fetch_all acc = function
         | [] -> Ok (List.rev acc)
         | oid :: rest -> (
-            match Client.fetch client oid with
+            match Client.fetch ~parent:span client oid with
             | Ok v ->
                 fetch_all ({ name = name_for dfs oid; oid; size = Svalue.size v } :: acc) rest
             | Error e -> Error e)
@@ -59,11 +65,11 @@ let strict_ls dfs ~client dir =
             })
 
 let weak_ls dfs ~client dir ~parallelism =
-  with_ls_span ~client "ls.weak" @@ fun () ->
+  with_ls_span ~client "ls.weak" @@ fun span ->
   let eng = Client.engine client in
   let started_at = Engine.now eng in
   let sref = Dfs.dir_sref dfs dir in
-  let pf = Prefetch.start ~parallelism client sref in
+  let pf = Prefetch.start ~parent:span ~parallelism client sref in
   let results = Prefetch.drain pf in
   let st = Prefetch.stats pf in
   if st.Prefetch.open_failed then Error Client.Unreachable

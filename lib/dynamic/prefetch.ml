@@ -114,7 +114,7 @@ let rec fetcher_loop t =
         t.missed <- t.missed + List.length drop;
         match t.pending with [] -> fetcher_finished t | _ -> fetcher_loop t)
     | `Claimed (oid, retries) -> (
-        match Client.fetch t.client oid with
+        match Client.fetch ~parent:t.span t.client oid with
         | Ok v ->
             push_result t (oid, v);
             fetcher_loop t
@@ -132,8 +132,8 @@ let rec fetcher_loop t =
               fetcher_loop t
             end)
 
-let read_membership client (sref : Weakset_store.Protocol.set_ref) =
-  match Client.dir_read client ~from:sref.coordinator ~set_id:sref.set_id with
+let read_membership ~parent client (sref : Weakset_store.Protocol.set_ref) =
+  match Client.dir_read ~parent client ~from:sref.coordinator ~set_id:sref.set_id with
   | Ok (_, members) -> Some members
   | Error _ ->
       let topo = Client.topology client in
@@ -141,20 +141,20 @@ let read_membership client (sref : Weakset_store.Protocol.set_ref) =
       List.find_map
         (fun r ->
           if Topology.reachable topo me r then
-            match Client.dir_read client ~from:r ~set_id:sref.set_id with
+            match Client.dir_read ~parent client ~from:r ~set_id:sref.set_id with
             | Ok (_, members) -> Some members
             | Error _ -> None
           else None)
         sref.replicas
 
-let start ?(parallelism = 4) ?(order = `Closest_first) ?(max_retries = 2) ?(retry_backoff = 2.0)
-    client sref =
+let start ?parent ?(parallelism = 4) ?(order = `Closest_first) ?(max_retries = 2)
+    ?(retry_backoff = 2.0) client sref =
   let engine = Client.engine client in
   let bus = Engine.bus engine in
   let span = Weakset_obs.Bus.fresh_span bus in
   let me = Weakset_net.Nodeid.to_int (Client.node client) in
   Weakset_obs.Bus.emit bus ~time:(Engine.now engine)
-    (Weakset_obs.Event.Span_start { span; name = "prefetch"; node = Some me });
+    (Weakset_obs.Event.Span_start { span; parent; name = "prefetch"; node = Some me });
   let t =
     {
       client;
@@ -178,7 +178,7 @@ let start ?(parallelism = 4) ?(order = `Closest_first) ?(max_retries = 2) ?(retr
     }
   in
   Engine.spawn engine ~name:"prefetch-open" (fun () ->
-      match read_membership client sref with
+      match read_membership ~parent:span client sref with
       | None ->
           t.open_failed <- true;
           finish t

@@ -28,8 +28,12 @@ type t
 
 (** [start client sref] with [parallelism] fetchers (default 4), claim
     [order] (default [`Closest_first]), and per-member [max_retries]
-    (default 2) spaced [retry_backoff] (default 2.0) apart. *)
+    (default 2) spaced [retry_backoff] (default 2.0) apart.  [parent]
+    parents the whole prefetch's trace span (e.g. under an [ls.weak]
+    request span); the membership read and every fetch are traced as its
+    children. *)
 val start :
+  ?parent:int ->
   ?parallelism:int ->
   ?order:[ `Closest_first | `By_id ] ->
   ?max_retries:int ->

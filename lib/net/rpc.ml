@@ -13,8 +13,11 @@ let pp_error fmt = function
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
+(* [parent] carries the caller-side span across the wire, so the
+   server's [rpc.serve] span is parented under the client span that
+   issued the call — one request, one tree. *)
 type ('req, 'resp) frame =
-  | Request of { id : int; reply_to : Nodeid.t; req : 'req }
+  | Request of { id : int; reply_to : Nodeid.t; parent : int option; req : 'req }
   | Response of { id : int; resp : 'resp }
 
 type ('req, 'resp) handler = { service_time : 'req -> float; fn : 'req -> 'resp }
@@ -37,6 +40,10 @@ type ('req, 'resp) t = {
   c_unreachable : Metrics.counter;
   mutable demux_running : Nodeid.Set.t;
   mutable next_id : int;
+  mutable serving_span : int option;
+      (* the rpc.serve span whose handler is running right now; valid
+         only during the synchronous prefix of a handler body (before
+         its first yield), which is where servers stamp Store_op *)
 }
 
 let engine t = Transport.engine t.transport
@@ -81,28 +88,38 @@ let create ?(detect_delay = 0.5) engine topo =
       c_unreachable = Metrics.counter m ~labels "rpc.unreachable";
       demux_running = Nodeid.Set.empty;
       next_id = 0;
+      serving_span = None;
     }
   in
   install_failure_detector t;
   t
 
+let serving_span t = t.serving_span
+
 let handle_frame t node (env : ('req, 'resp) frame Transport.envelope) =
   let eng = engine t in
   match env.payload with
-  | Request { id; reply_to; req } -> (
+  | Request { id; reply_to; parent; req } -> (
       match Hashtbl.find_opt t.handlers (Nodeid.to_int node) with
       | None -> () (* no service here: the request is silently lost *)
       | Some h ->
           if Topology.node_up (topology t) node then
             Engine.spawn eng ~name:(Printf.sprintf "rpc-handler-%s-%d" (Nodeid.to_string node) id)
               (fun () ->
-                Bus.with_span (bus t)
+                Bus.with_span_id (bus t)
                   ~time:(fun () -> Engine.now eng)
-                  ~node:(Nodeid.to_int node) "rpc.serve"
-                  (fun () ->
+                  ~node:(Nodeid.to_int node) ?parent "rpc.serve"
+                  (fun span ->
                     let d = h.service_time req in
                     if d > 0.0 then Engine.sleep eng d;
-                    let resp = h.fn req in
+                    (* Expose the serve span for the synchronous handler
+                       prefix, where servers emit their Store_op. *)
+                    t.serving_span <- Some span;
+                    let resp =
+                      Fun.protect
+                        ~finally:(fun () -> t.serving_span <- None)
+                        (fun () -> h.fn req)
+                    in
                     Transport.send t.transport ~src:node ~dst:reply_to
                       (Response { id; resp }))))
   | Response { id; resp } -> (
@@ -132,7 +149,7 @@ let serve t node ?(service_time = fun _ -> 0.0) fn =
   Hashtbl.replace t.handlers (Nodeid.to_int node) { service_time; fn };
   ensure_demux t node
 
-let call t ~src ~dst ~timeout req =
+let call t ?parent ~src ~dst ~timeout req =
   let eng = engine t in
   let topo = topology t in
   Metrics.inc t.c_calls;
@@ -140,7 +157,8 @@ let call t ~src ~dst ~timeout req =
   let id = t.next_id in
   let srci = Nodeid.to_int src and dsti = Nodeid.to_int dst in
   Bus.emit (bus t) ~time:(Engine.now eng)
-    (Event.Rpc_call { src = srci; dst = dsti; id });
+    (Event.Rpc_call
+       { src = srci; dst = dsti; id; lc = Transport.lamport_tick t.transport src; parent });
   let finish outcome result =
     Metrics.inc
       (match outcome with
@@ -148,7 +166,14 @@ let call t ~src ~dst ~timeout req =
       | Event.Rpc_timeout -> t.c_timeout
       | Event.Rpc_unreachable -> t.c_unreachable);
     Bus.emit (bus t) ~time:(Engine.now eng)
-      (Event.Rpc_done { src = srci; dst = dsti; id; outcome });
+      (Event.Rpc_done
+         {
+           src = srci;
+           dst = dsti;
+           id;
+           outcome;
+           lc = Transport.lamport_tick t.transport src;
+         });
     result
   in
   ensure_demux t src;
@@ -163,7 +188,7 @@ let call t ~src ~dst ~timeout req =
   else begin
     let iv = Ivar.create () in
     Hashtbl.replace t.pending id { p_dst = dst; p_ivar = iv };
-    Transport.send t.transport ~src ~dst (Request { id; reply_to = src; req });
+    Transport.send t.transport ~src ~dst (Request { id; reply_to = src; parent; req });
     let r = Ivar.read_timeout eng iv timeout in
     Hashtbl.remove t.pending id;
     match r with

@@ -39,9 +39,21 @@ val stats : ('req, 'resp) t -> Netstat.t
 val serve :
   ('req, 'resp) t -> Nodeid.t -> ?service_time:('req -> float) -> ('req -> 'resp) -> unit
 
-(** [call t ~src ~dst ~timeout req] performs a blocking call from fiber
-    context.  Returns the response, or an {!error} after the detection
-    delay (unreachable) or [timeout] (lost message / slow server).
+(** The [rpc.serve] span of the handler invocation currently executing,
+    for servers to stamp as the [parent] of their [Store_op] events.
+    Only meaningful during the synchronous prefix of a handler body
+    (before its first sleep/suspension); [None] outside a handler. *)
+val serving_span : ('req, 'resp) t -> int option
+
+(** [call t ?parent ~src ~dst ~timeout req] performs a blocking call
+    from fiber context.  Returns the response, or an {!error} after the
+    detection delay (unreachable) or [timeout] (lost message / slow
+    server).
+
+    [parent] names the caller-side span this call belongs to; it is
+    stamped on the [Rpc_call] trace event and travels inside the request
+    frame, so the server's [rpc.serve] span (and everything under it)
+    reconstructs as a child of the calling span.
 
     A destination that is down — or crashes while the call is in
     flight — is reported as [Unreachable] within [detect_delay] of the
@@ -50,6 +62,7 @@ val serve :
     surfaces as [Timeout]. *)
 val call :
   ('req, 'resp) t ->
+  ?parent:int ->
   src:Nodeid.t ->
   dst:Nodeid.t ->
   timeout:float ->

@@ -8,7 +8,14 @@
     - the destination is down or unreachable at delivery time (the
       partition happened while the message was in flight).
 
-    Each drop category is counted in {!stats}. *)
+    Each drop category is counted in {!stats}.
+
+    The transport also owns each node's {e Lamport clock}: a send ticks
+    the source's clock (stamped on [Net_send] and carried in the
+    envelope), and a delivery sets the destination's clock to
+    [max(own, sender's) + 1] (stamped on [Net_deliver]).  Higher layers
+    stamp their own local events through {!lamport_tick}, so every
+    emitted [lc] respects the happens-before order. *)
 
 type 'a t
 
@@ -16,6 +23,7 @@ type 'a envelope = {
   src : Nodeid.t;
   dst : Nodeid.t;
   sent_at : float;
+  send_lc : int;  (** source's Lamport clock at send time *)
   payload : 'a;
 }
 
@@ -40,3 +48,13 @@ val mailbox : 'a t -> Nodeid.t -> 'a envelope Weakset_sim.Mailbox.t
 
 (** [send t ~src ~dst payload] is asynchronous and never blocks. *)
 val send : 'a t -> src:Nodeid.t -> dst:Nodeid.t -> 'a -> unit
+
+(** {1 Lamport clocks} *)
+
+(** Current clock of [node] (0 before any stamped event there). *)
+val lamport : 'a t -> Nodeid.t -> int
+
+(** [lamport_tick t node] advances [node]'s clock for a local event and
+    returns the new value.  {!send} calls this itself; higher layers
+    (e.g. RPC) use it to stamp their own call/completion events. *)
+val lamport_tick : 'a t -> Nodeid.t -> int

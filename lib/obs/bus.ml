@@ -39,17 +39,20 @@ let fresh_span t =
   t.next_span <- s + 1;
   s
 
-let with_span t ~time ?node name f =
-  if not (t.enabled && t.sinks <> []) then f ()
+let with_span_id t ~time ?node ?parent name f =
+  (* The span id is allocated even when nothing is listening: callers
+     thread it through RPC frames as the causal parent, and keeping the
+     id sequence independent of sink attachment keeps runs comparable. *)
+  let span = fresh_span t in
+  if not (t.enabled && t.sinks <> []) then f span
   else begin
-    let span = fresh_span t in
     let t0 = time () in
-    emit t ~time:t0 (Event.Span_start { span; name; node });
+    emit t ~time:t0 (Event.Span_start { span; parent; name; node });
     let finish () =
       let t1 = time () in
       emit t ~time:t1 (Event.Span_end { span; name; node; dur = t1 -. t0 })
     in
-    match f () with
+    match f span with
     | v ->
         finish ();
         v
@@ -57,3 +60,6 @@ let with_span t ~time ?node name f =
         finish ();
         raise exn
   end
+
+let with_span t ~time ?node ?parent name f =
+  with_span_id t ~time ?node ?parent name (fun _ -> f ())

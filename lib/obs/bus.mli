@@ -42,10 +42,19 @@ val seq : t -> int
 (** Fresh span id, unique within this bus. *)
 val fresh_span : t -> int
 
-(** [with_span t ~time ?node name f] emits [Span_start], runs [f ()],
-    then emits [Span_end] with the elapsed virtual time — also when [f]
-    raises (the exception is re-raised).  [time] is called at entry and
-    exit, so pass [fun () -> Engine.now eng].  Skips event emission
-    entirely when the bus has no sinks. *)
+(** [with_span t ~time ?node ?parent name f] emits [Span_start], runs
+    [f ()], then emits [Span_end] with the elapsed virtual time — also
+    when [f] raises (the exception is re-raised).  [time] is called at
+    entry and exit, so pass [fun () -> Engine.now eng].  [parent] links
+    this span under an enclosing one in the reconstructed trace tree.
+    Skips event emission entirely when the bus has no sinks. *)
 val with_span :
-  t -> time:(unit -> float) -> ?node:int -> string -> (unit -> 'a) -> 'a
+  t -> time:(unit -> float) -> ?node:int -> ?parent:int -> string -> (unit -> 'a) -> 'a
+
+(** Like {!with_span}, but [f] receives the span's id so it can thread
+    it further down as the [parent] of nested spans, RPC calls, or store
+    operations.  The id is allocated (and the counter advanced) even
+    when no sink is attached, so span-id sequences do not depend on who
+    is listening. *)
+val with_span_id :
+  t -> time:(unit -> float) -> ?node:int -> ?parent:int -> string -> (int -> 'a) -> 'a

@@ -22,14 +22,14 @@ type kind =
   | Fault_link_heal of { a : int; b : int }
   | Fault_partition
   | Fault_heal_all
-  | Net_send of { src : int; dst : int }
-  | Net_deliver of { src : int; dst : int; sent_at : float }
+  | Net_send of { src : int; dst : int; lc : int }
+  | Net_deliver of { src : int; dst : int; sent_at : float; send_lc : int; lc : int }
   | Net_drop of { src : int; dst : int; reason : drop_reason }
-  | Rpc_call of { src : int; dst : int; id : int }
-  | Rpc_done of { src : int; dst : int; id : int; outcome : rpc_outcome }
-  | Span_start of { span : int; name : string; node : int option }
+  | Rpc_call of { src : int; dst : int; id : int; lc : int; parent : int option }
+  | Rpc_done of { src : int; dst : int; id : int; outcome : rpc_outcome; lc : int }
+  | Span_start of { span : int; parent : int option; name : string; node : int option }
   | Span_end of { span : int; name : string; node : int option; dur : float }
-  | Store_op of { node : int; op : string }
+  | Store_op of { node : int; op : string; parent : int option }
   | Spec_observe of {
       set_id : int;
       phase : spec_phase;
@@ -46,10 +46,23 @@ let drop_reason_string = function
   | In_flight -> "in-flight"
   | Lost -> "lost"
 
+let drop_reason_of_string = function
+  | "unreachable" -> Some Unreachable
+  | "endpoint-down" -> Some Endpoint_down
+  | "in-flight" -> Some In_flight
+  | "lost" -> Some Lost
+  | _ -> None
+
 let rpc_outcome_string = function
   | Rpc_ok -> "ok"
   | Rpc_timeout -> "timeout"
   | Rpc_unreachable -> "unreachable"
+
+let rpc_outcome_of_string = function
+  | "ok" -> Some Rpc_ok
+  | "timeout" -> Some Rpc_timeout
+  | "unreachable" -> Some Rpc_unreachable
+  | _ -> None
 
 let phase_string = function
   | Phase_first -> "first"
@@ -80,6 +93,7 @@ let label = function
    duration fields. *)
 let hexf f = Printf.sprintf "%h" f
 let node_str n = "n" ^ string_of_int n
+let opt_int_str = function None -> "-" | Some i -> string_of_int i
 
 let elem_string e = Printf.sprintf "%d:%s" e.elem_id e.elem_label
 
@@ -95,26 +109,30 @@ let detail = function
   | Fault_link_heal { a; b } -> "heal " ^ node_str a ^ "-" ^ node_str b
   | Fault_partition -> "partition"
   | Fault_heal_all -> "heal-all"
-  | Net_send { src; dst } -> "send " ^ node_str src ^ "->" ^ node_str dst
-  | Net_deliver { src; dst; sent_at } ->
-      Printf.sprintf "deliver %s->%s sent=%s" (node_str src) (node_str dst)
-        (hexf sent_at)
+  | Net_send { src; dst; lc } ->
+      Printf.sprintf "send %s->%s lc=%d" (node_str src) (node_str dst) lc
+  | Net_deliver { src; dst; sent_at; send_lc; lc } ->
+      Printf.sprintf "deliver %s->%s sent=%s slc=%d lc=%d" (node_str src)
+        (node_str dst) (hexf sent_at) send_lc lc
   | Net_drop { src; dst; reason } ->
       Printf.sprintf "drop %s->%s %s" (node_str src) (node_str dst)
         (drop_reason_string reason)
-  | Rpc_call { src; dst; id } ->
-      Printf.sprintf "call#%d %s->%s" id (node_str src) (node_str dst)
-  | Rpc_done { src; dst; id; outcome } ->
-      Printf.sprintf "done#%d %s->%s %s" id (node_str src) (node_str dst)
-        (rpc_outcome_string outcome)
-  | Span_start { span; name; node } ->
-      Printf.sprintf "start#%d %s%s" span name
+  | Rpc_call { src; dst; id; lc; parent } ->
+      Printf.sprintf "call#%d %s->%s lc=%d parent=%s" id (node_str src)
+        (node_str dst) lc (opt_int_str parent)
+  | Rpc_done { src; dst; id; outcome; lc } ->
+      Printf.sprintf "done#%d %s->%s %s lc=%d" id (node_str src) (node_str dst)
+        (rpc_outcome_string outcome) lc
+  | Span_start { span; parent; name; node } ->
+      Printf.sprintf "start#%d %s%s parent=%s" span name
         (match node with None -> "" | Some n -> " @" ^ node_str n)
+        (opt_int_str parent)
   | Span_end { span; name; node; dur } ->
       Printf.sprintf "end#%d %s%s dur=%s" span name
         (match node with None -> "" | Some n -> " @" ^ node_str n)
         (hexf dur)
-  | Store_op { node; op } -> op ^ " @" ^ node_str node
+  | Store_op { node; op; parent } ->
+      Printf.sprintf "%s @%s parent=%s" op (node_str node) (opt_int_str parent)
   | Spec_observe { set_id; phase; s; accessible } ->
       let extra =
         match phase with
@@ -156,11 +174,197 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* --- structured JSON (lossless; Event.of_json is the inverse) ------- *)
+
+(* Floats are rendered with 17 significant digits, which round-trips
+   every finite double through [float_of_string]. *)
+let jfloat f = Printf.sprintf "%.17g" f
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+let jelem e = Printf.sprintf {|{"id":%d,"label":%s}|} e.elem_id (jstr e.elem_label)
+
+let jelems es = "[" ^ String.concat "," (List.map jelem es) ^ "]"
+
+(* Kind-specific fields, as ["k":v,...] pairs (no braces).  [parent]-like
+   options are omitted when [None]. *)
+let kind_fields = function
+  | Fiber_spawn { fiber } -> Printf.sprintf {|"kind":"fiber_spawn","fiber":%s|} (jstr fiber)
+  | Fiber_crash { fiber; exn_text } ->
+      Printf.sprintf {|"kind":"fiber_crash","fiber":%s,"exn":%s|} (jstr fiber)
+        (jstr exn_text)
+  | Sched { at } -> Printf.sprintf {|"kind":"sched","at":%s|} (jfloat at)
+  | Fault_node_crash { node } -> Printf.sprintf {|"kind":"fault_node_crash","node":%d|} node
+  | Fault_node_recover { node } ->
+      Printf.sprintf {|"kind":"fault_node_recover","node":%d|} node
+  | Fault_link_cut { a; b } -> Printf.sprintf {|"kind":"fault_link_cut","a":%d,"b":%d|} a b
+  | Fault_link_heal { a; b } -> Printf.sprintf {|"kind":"fault_link_heal","a":%d,"b":%d|} a b
+  | Fault_partition -> {|"kind":"fault_partition"|}
+  | Fault_heal_all -> {|"kind":"fault_heal_all"|}
+  | Net_send { src; dst; lc } ->
+      Printf.sprintf {|"kind":"net_send","src":%d,"dst":%d,"lc":%d|} src dst lc
+  | Net_deliver { src; dst; sent_at; send_lc; lc } ->
+      Printf.sprintf
+        {|"kind":"net_deliver","src":%d,"dst":%d,"sent_at":%s,"send_lc":%d,"lc":%d|} src
+        dst (jfloat sent_at) send_lc lc
+  | Net_drop { src; dst; reason } ->
+      Printf.sprintf {|"kind":"net_drop","src":%d,"dst":%d,"reason":%s|} src dst
+        (jstr (drop_reason_string reason))
+  | Rpc_call { src; dst; id; lc; parent } ->
+      Printf.sprintf {|"kind":"rpc_call","src":%d,"dst":%d,"id":%d,"lc":%d%s|} src dst id
+        lc
+        (match parent with None -> "" | Some p -> Printf.sprintf {|,"parent":%d|} p)
+  | Rpc_done { src; dst; id; outcome; lc } ->
+      Printf.sprintf {|"kind":"rpc_done","src":%d,"dst":%d,"id":%d,"outcome":%s,"lc":%d|}
+        src dst id
+        (jstr (rpc_outcome_string outcome))
+        lc
+  | Span_start { span; parent; name; node } ->
+      Printf.sprintf {|"kind":"span_start","span":%d,"name":%s%s%s|} span (jstr name)
+        (match parent with None -> "" | Some p -> Printf.sprintf {|,"parent":%d|} p)
+        (match node with None -> "" | Some n -> Printf.sprintf {|,"node":%d|} n)
+  | Span_end { span; name; node; dur } ->
+      Printf.sprintf {|"kind":"span_end","span":%d,"name":%s%s,"dur":%s|} span (jstr name)
+        (match node with None -> "" | Some n -> Printf.sprintf {|,"node":%d|} n)
+        (jfloat dur)
+  | Store_op { node; op; parent } ->
+      Printf.sprintf {|"kind":"store_op","node":%d,"op":%s%s|} node (jstr op)
+        (match parent with None -> "" | Some p -> Printf.sprintf {|,"parent":%d|} p)
+  | Spec_observe { set_id; phase; s; accessible } ->
+      let elem_field =
+        match phase with
+        | Phase_suspends e | Phase_mutation (Spec_add e) | Phase_mutation (Spec_remove e)
+          ->
+            Printf.sprintf {|,"elem":%s|} (jelem e)
+        | _ -> ""
+      in
+      Printf.sprintf {|"kind":"spec_observe","set_id":%d,"phase":%s%s,"s":%s,"acc":%s|}
+        set_id
+        (jstr (phase_string phase))
+        elem_field (jelems s) (jelems accessible)
+  | Custom { label; detail } ->
+      Printf.sprintf {|"kind":"custom","clabel":%s,"detail":%s|} (jstr label) (jstr detail)
+
 let to_json t =
-  Printf.sprintf {|{"seq":%d,"time":%.9g,"label":"%s","detail":"%s"}|} t.seq
-    t.time
-    (json_escape (label t.kind))
-    (json_escape (detail t.kind))
+  Printf.sprintf {|{"seq":%d,"time":%s,"label":%s,%s}|} t.seq (jfloat t.time)
+    (jstr (label t.kind))
+    (kind_fields t.kind)
+
+(* --- JSON parsing: the inverse of [to_json] ------------------------- *)
+
+exception Bad of string
+
+let req what = function Some v -> v | None -> raise (Bad what)
+
+let fint j k = req k (Option.bind (Json.member k j) Json.to_int)
+let ffloat j k = req k (Option.bind (Json.member k j) Json.to_float)
+let fstr j k = req k (Option.bind (Json.member k j) Json.to_string)
+
+let fint_opt j k =
+  match Json.member k j with
+  | None | Some Json.Null -> None
+  | Some v -> Some (req k (Json.to_int v))
+
+let felem j =
+  { elem_id = fint j "id"; elem_label = fstr j "label" }
+
+let felems j k =
+  List.map felem (req k (Option.bind (Json.member k j) Json.to_list))
+
+let kind_of_json j =
+  match fstr j "kind" with
+  | "fiber_spawn" -> Fiber_spawn { fiber = fstr j "fiber" }
+  | "fiber_crash" -> Fiber_crash { fiber = fstr j "fiber"; exn_text = fstr j "exn" }
+  | "sched" -> Sched { at = ffloat j "at" }
+  | "fault_node_crash" -> Fault_node_crash { node = fint j "node" }
+  | "fault_node_recover" -> Fault_node_recover { node = fint j "node" }
+  | "fault_link_cut" -> Fault_link_cut { a = fint j "a"; b = fint j "b" }
+  | "fault_link_heal" -> Fault_link_heal { a = fint j "a"; b = fint j "b" }
+  | "fault_partition" -> Fault_partition
+  | "fault_heal_all" -> Fault_heal_all
+  | "net_send" -> Net_send { src = fint j "src"; dst = fint j "dst"; lc = fint j "lc" }
+  | "net_deliver" ->
+      Net_deliver
+        {
+          src = fint j "src";
+          dst = fint j "dst";
+          sent_at = ffloat j "sent_at";
+          send_lc = fint j "send_lc";
+          lc = fint j "lc";
+        }
+  | "net_drop" ->
+      Net_drop
+        {
+          src = fint j "src";
+          dst = fint j "dst";
+          reason = req "reason" (drop_reason_of_string (fstr j "reason"));
+        }
+  | "rpc_call" ->
+      Rpc_call
+        {
+          src = fint j "src";
+          dst = fint j "dst";
+          id = fint j "id";
+          lc = fint j "lc";
+          parent = fint_opt j "parent";
+        }
+  | "rpc_done" ->
+      Rpc_done
+        {
+          src = fint j "src";
+          dst = fint j "dst";
+          id = fint j "id";
+          outcome = req "outcome" (rpc_outcome_of_string (fstr j "outcome"));
+          lc = fint j "lc";
+        }
+  | "span_start" ->
+      Span_start
+        {
+          span = fint j "span";
+          parent = fint_opt j "parent";
+          name = fstr j "name";
+          node = fint_opt j "node";
+        }
+  | "span_end" ->
+      Span_end
+        {
+          span = fint j "span";
+          name = fstr j "name";
+          node = fint_opt j "node";
+          dur = ffloat j "dur";
+        }
+  | "store_op" ->
+      Store_op { node = fint j "node"; op = fstr j "op"; parent = fint_opt j "parent" }
+  | "spec_observe" ->
+      let elem () = felem (req "elem" (Json.member "elem" j)) in
+      let phase =
+        match fstr j "phase" with
+        | "first" -> Phase_first
+        | "invocation-start" -> Phase_invocation_start
+        | "invocation-retry" -> Phase_invocation_retry
+        | "returns" -> Phase_returns
+        | "fails" -> Phase_fails
+        | "suspends" -> Phase_suspends (elem ())
+        | "add" -> Phase_mutation (Spec_add (elem ()))
+        | "remove" -> Phase_mutation (Spec_remove (elem ()))
+        | p -> raise (Bad ("phase " ^ p))
+      in
+      Spec_observe
+        { set_id = fint j "set_id"; phase; s = felems j "s"; accessible = felems j "acc" }
+  | "custom" -> Custom { label = fstr j "clabel"; detail = fstr j "detail" }
+  | k -> raise (Bad ("kind " ^ k))
+
+let of_json j =
+  match
+    { seq = fint j "seq"; time = ffloat j "time"; kind = kind_of_json j }
+  with
+  | e -> Ok e
+  | exception Bad what -> Error ("Event.of_json: missing or bad field: " ^ what)
+
+let of_json_string s =
+  match Json.of_string_opt s with
+  | None -> Error "Event.of_json_string: malformed JSON"
+  | Some j -> of_json j
 
 let pp fmt t =
   Format.fprintf fmt "[%d @%g] %s: %s" t.seq t.time (label t.kind)

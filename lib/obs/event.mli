@@ -11,7 +11,19 @@
     Events are plain data: no pre-rendered strings (except {!Custom}),
     and every field needed to replay or compare runs is explicit.
     {!to_canonical} is the injective rendering used by {!Digest};
-    {!to_json} is the JSONL rendering. *)
+    {!to_json} is the JSONL rendering, and {!of_json} is its exact
+    inverse — the offline {!Trace} analyzer depends on that round trip.
+
+    {2 Causal metadata}
+
+    Network and RPC events carry per-node Lamport clocks ([lc]),
+    maintained by [Weakset_net.Transport]: every stamped local event
+    ticks its node's clock, and a delivery merges the sender's clock
+    ([send_lc]) with [max] before ticking, so [e1] happens-before [e2]
+    implies [lc e1 < lc e2] whenever both are stamped.  Spans carry a
+    [parent] span id, propagated across RPC boundaries, so one user
+    request reconstructs as one span {e tree} spanning client, network
+    and server. *)
 
 (** Why the transport dropped a message. *)
 type drop_reason =
@@ -48,14 +60,19 @@ type kind =
   | Fault_link_heal of { a : int; b : int }
   | Fault_partition
   | Fault_heal_all
-  | Net_send of { src : int; dst : int }
-  | Net_deliver of { src : int; dst : int; sent_at : float }
+  | Net_send of { src : int; dst : int; lc : int }
+      (** [lc] is the source node's Lamport clock after the send tick. *)
+  | Net_deliver of { src : int; dst : int; sent_at : float; send_lc : int; lc : int }
+      (** [send_lc] travelled with the message; [lc] is the destination's
+          clock after merging, so [lc > send_lc] always. *)
   | Net_drop of { src : int; dst : int; reason : drop_reason }
-  | Rpc_call of { src : int; dst : int; id : int }
-  | Rpc_done of { src : int; dst : int; id : int; outcome : rpc_outcome }
-  | Span_start of { span : int; name : string; node : int option }
+  | Rpc_call of { src : int; dst : int; id : int; lc : int; parent : int option }
+      (** [parent] is the caller-side span this call belongs to. *)
+  | Rpc_done of { src : int; dst : int; id : int; outcome : rpc_outcome; lc : int }
+  | Span_start of { span : int; parent : int option; name : string; node : int option }
   | Span_end of { span : int; name : string; node : int option; dur : float }
-  | Store_op of { node : int; op : string }  (** server handled a request *)
+  | Store_op of { node : int; op : string; parent : int option }
+      (** server handled a request; [parent] is the serving span *)
   | Spec_observe of {
       set_id : int;
       phase : spec_phase;
@@ -83,8 +100,18 @@ val tracer_view : kind -> (string * string) option
     events are equal (floats are rendered exactly, in hex). *)
 val to_canonical : t -> string
 
-(** One JSON object, no trailing newline. *)
+(** One structured JSON object, no trailing newline.  Lossless: every
+    field of every constructor is emitted (floats with 17 significant
+    digits), and {!of_json} inverts it exactly. *)
 val to_json : t -> string
+
+(** [of_json j] reconstructs the event rendered by {!to_json};
+    [Error _] describes the first missing or ill-typed field. *)
+val of_json : Json.t -> (t, string) result
+
+(** [of_json_string line] parses one JSONL line and reconstructs the
+    event. *)
+val of_json_string : string -> (t, string) result
 
 val pp : Format.formatter -> t -> unit
 

@@ -37,19 +37,23 @@ let fresh_owner () =
 
 let of_rpc_error = function Rpc.Timeout -> Timeout | Rpc.Unreachable -> Unreachable
 
-let call t dst req =
+(* Every network operation runs inside its own [client.*] span; [parent]
+   (an enclosing request span, e.g. an ls) parents that span, and the
+   span in turn parents the RPC — so one user request reconstructs as one
+   tree reaching through the wire into the server. *)
+let call ?parent t dst req =
   let eng = Rpc.engine t.rpc in
-  Weakset_obs.Bus.with_span (Rpc.bus t.rpc)
+  Weakset_obs.Bus.with_span_id (Rpc.bus t.rpc)
     ~time:(fun () -> Weakset_sim.Engine.now eng)
-    ~node:(Nodeid.to_int t.node)
+    ~node:(Nodeid.to_int t.node) ?parent
     ("client." ^ Protocol.request_label req)
-    (fun () ->
-      match Rpc.call t.rpc ~src:t.node ~dst ~timeout:t.timeout req with
+    (fun span ->
+      match Rpc.call t.rpc ~parent:span ~src:t.node ~dst ~timeout:t.timeout req with
       | Ok resp -> Ok resp
       | Error e -> Error (of_rpc_error e))
 
-let fetch t oid =
-  match call t (Oid.home oid) (Protocol.Fetch oid) with
+let fetch ?parent t oid =
+  match call ?parent t (Oid.home oid) (Protocol.Fetch oid) with
   | Ok (Protocol.Value v) ->
       Hashtbl.replace t.cache (Oid.num oid) v;
       Ok v
@@ -59,58 +63,59 @@ let fetch t oid =
 
 let cached t oid = Hashtbl.find_opt t.cache (Oid.num oid)
 
-let fetch_cached t oid =
-  match cached t oid with Some v -> Ok v | None -> fetch t oid
+let fetch_cached ?parent t oid =
+  match cached t oid with Some v -> Ok v | None -> fetch ?parent t oid
 
 let cache_size t = Hashtbl.length t.cache
 
 let drop_cache t = Hashtbl.reset t.cache
 
-let dir_read t ~from ~set_id =
-  match call t from (Protocol.Dir_read { set_id }) with
+let dir_read ?parent t ~from ~set_id =
+  match call ?parent t from (Protocol.Dir_read { set_id }) with
   | Ok (Protocol.Members { version; members }) -> Ok (version, members)
   | Ok Protocol.No_service -> Error No_service
   | Ok _ -> Error No_service
   | Error e -> Error e
 
-let expect_ack t dst req =
-  match call t dst req with
+let expect_ack ?parent t dst req =
+  match call ?parent t dst req with
   | Ok Protocol.Ack -> Ok ()
   | Ok Protocol.No_service -> Error No_service
   | Ok _ -> Error No_service
   | Error e -> Error e
 
-let dir_add t (sref : Protocol.set_ref) oid =
-  expect_ack t sref.coordinator (Protocol.Dir_add { set_id = sref.set_id; oid })
+let dir_add ?parent t (sref : Protocol.set_ref) oid =
+  expect_ack ?parent t sref.coordinator (Protocol.Dir_add { set_id = sref.set_id; oid })
 
-let dir_remove t (sref : Protocol.set_ref) oid =
-  expect_ack t sref.coordinator (Protocol.Dir_remove { set_id = sref.set_id; oid })
+let dir_remove ?parent t (sref : Protocol.set_ref) oid =
+  expect_ack ?parent t sref.coordinator (Protocol.Dir_remove { set_id = sref.set_id; oid })
 
-let dir_size t (sref : Protocol.set_ref) =
-  match call t sref.coordinator (Protocol.Dir_size { set_id = sref.set_id }) with
+let dir_size ?parent t (sref : Protocol.set_ref) =
+  match call ?parent t sref.coordinator (Protocol.Dir_size { set_id = sref.set_id }) with
   | Ok (Protocol.Size n) -> Ok n
   | Ok Protocol.No_service -> Error No_service
   | Ok _ -> Error No_service
   | Error e -> Error e
 
-let lock_acquire t (sref : Protocol.set_ref) kind =
+let lock_acquire ?parent t (sref : Protocol.set_ref) kind =
   let owner = fresh_owner () in
   match
-    call t sref.coordinator (Protocol.Lock_acquire { set_id = sref.set_id; kind; owner })
+    call ?parent t sref.coordinator
+      (Protocol.Lock_acquire { set_id = sref.set_id; kind; owner })
   with
   | Ok Protocol.Locked -> Ok owner
   | Ok Protocol.No_service -> Error No_service
   | Ok _ -> Error No_service
   | Error e -> Error e
 
-let lock_release t (sref : Protocol.set_ref) ~owner =
-  expect_ack t sref.coordinator (Protocol.Lock_release { set_id = sref.set_id; owner })
+let lock_release ?parent t (sref : Protocol.set_ref) ~owner =
+  expect_ack ?parent t sref.coordinator (Protocol.Lock_release { set_id = sref.set_id; owner })
 
-let iter_open t (sref : Protocol.set_ref) =
-  expect_ack t sref.coordinator (Protocol.Iter_open { set_id = sref.set_id })
+let iter_open ?parent t (sref : Protocol.set_ref) =
+  expect_ack ?parent t sref.coordinator (Protocol.Iter_open { set_id = sref.set_id })
 
-let iter_close t (sref : Protocol.set_ref) =
-  expect_ack t sref.coordinator (Protocol.Iter_close { set_id = sref.set_id })
+let iter_close ?parent t (sref : Protocol.set_ref) =
+  expect_ack ?parent t sref.coordinator (Protocol.Iter_close { set_id = sref.set_id })
 
 let reachable_oids t oids =
   let topo = topology t in

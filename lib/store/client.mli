@@ -35,13 +35,17 @@ val fresh_owner : unit -> int
 (** {1 Objects} *)
 
 (** [fetch t oid] retrieves the contents from the home node; successful
-    fetches are hoarded into the client's cache. *)
-val fetch : t -> Oid.t -> (Svalue.t, error) result
+    fetches are hoarded into the client's cache.  [parent] (here and on
+    every other operation) is an enclosing span id: each operation runs
+    in its own [client.*] span, parented under it, and the span in turn
+    parents the RPC — so a whole request reconstructs as one trace
+    tree. *)
+val fetch : ?parent:int -> t -> Oid.t -> (Svalue.t, error) result
 
 (** Cache-first fetch: serve hoarded contents without touching the
     network (possibly stale), fall back to {!fetch}.  This is what lets a
     disconnected mobile client keep answering queries (paper §1.1). *)
-val fetch_cached : t -> Oid.t -> (Svalue.t, error) result
+val fetch_cached : ?parent:int -> t -> Oid.t -> (Svalue.t, error) result
 
 (** The hoarded copy, if any (no network). *)
 val cached : t -> Oid.t -> Svalue.t option
@@ -55,21 +59,25 @@ val drop_cache : t -> unit
     coordinator for an authoritative read, a replica for a possibly stale
     one). *)
 val dir_read :
-  t -> from:Weakset_net.Nodeid.t -> set_id:int -> (Version.t * Oid.t list, error) result
+  ?parent:int ->
+  t ->
+  from:Weakset_net.Nodeid.t ->
+  set_id:int ->
+  (Version.t * Oid.t list, error) result
 
-val dir_add : t -> Protocol.set_ref -> Oid.t -> (unit, error) result
-val dir_remove : t -> Protocol.set_ref -> Oid.t -> (unit, error) result
-val dir_size : t -> Protocol.set_ref -> (int, error) result
+val dir_add : ?parent:int -> t -> Protocol.set_ref -> Oid.t -> (unit, error) result
+val dir_remove : ?parent:int -> t -> Protocol.set_ref -> Oid.t -> (unit, error) result
+val dir_size : ?parent:int -> t -> Protocol.set_ref -> (int, error) result
 
 (** {1 Locks and iterator registration (on the coordinator)} *)
 
 (** [lock_acquire t sref kind] blocks until granted; returns the owner
     token to pass to {!lock_release}. *)
-val lock_acquire : t -> Protocol.set_ref -> Lockmgr.kind -> (int, error) result
+val lock_acquire : ?parent:int -> t -> Protocol.set_ref -> Lockmgr.kind -> (int, error) result
 
-val lock_release : t -> Protocol.set_ref -> owner:int -> (unit, error) result
-val iter_open : t -> Protocol.set_ref -> (unit, error) result
-val iter_close : t -> Protocol.set_ref -> (unit, error) result
+val lock_release : ?parent:int -> t -> Protocol.set_ref -> owner:int -> (unit, error) result
+val iter_open : ?parent:int -> t -> Protocol.set_ref -> (unit, error) result
+val iter_close : ?parent:int -> t -> Protocol.set_ref -> (unit, error) result
 
 (** {1 Reachability helpers} *)
 

@@ -76,7 +76,11 @@ let handle t req : Protocol.response =
   Weakset_obs.Bus.emit (Weakset_sim.Engine.bus eng)
     ~time:(Weakset_sim.Engine.now eng)
     (Weakset_obs.Event.Store_op
-       { node = Nodeid.to_int t.node; op = Protocol.request_label req });
+       {
+         node = Nodeid.to_int t.node;
+         op = Protocol.request_label req;
+         parent = Rpc.serving_span t.rpc;
+       });
   match req with
   | Protocol.Fetch oid -> (
       match Hashtbl.find_opt t.objects (Oid.num oid) with

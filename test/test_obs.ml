@@ -230,6 +230,197 @@ let test_stats_percentile_linear () =
     (fun () -> ignore (Stats.percentile_linear (Stats.create ()) 50.0))
 
 (* ------------------------------------------------------------------ *)
+(* Metrics registry: interned-but-never-observed histograms           *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay sub =
+  let nh = String.length hay and ns = String.length sub in
+  let rec at i = i + ns <= nh && (String.sub hay i ns = sub || at (i + 1)) in
+  at 0
+
+let test_metrics_empty_histogram_export () =
+  (* Regression: a histogram cell interned (e.g. by a world that never
+     exercised that code path) must export cleanly — count 0, no
+     percentiles — rather than blowing up the whole registry dump. *)
+  let m = Obs.Metrics.create () in
+  let (_ : Obs.Metrics.histogram) = Obs.Metrics.histogram m "never.observed" in
+  let (_ : Obs.Metrics.counter) = Obs.Metrics.counter m "hits" in
+  let json = Obs.Metrics.to_json m in
+  check_bool "to_json mentions the empty histogram" true
+    (contains json {|"never.observed"|});
+  check_bool "empty histogram exports count 0" true (contains json {|"count":0|});
+  let rendered = Format.asprintf "%a" Obs.Metrics.pp m in
+  check_bool "pp renders without raising" true (String.length rendered > 0)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL round trip: to_json |> of_json is the identity               *)
+(* ------------------------------------------------------------------ *)
+
+(* One hand-picked event per kind constructor, with every optional field
+   exercised both ways, so coverage does not depend on random draws. *)
+let roundtrip_examples =
+  let open Obs.Event in
+  let e1 = { elem_id = 3; elem_label = "f\"oo\\bar\n" } in
+  let e2 = { elem_id = 0; elem_label = "" } in
+  [
+    Fiber_spawn { fiber = "worker-1" };
+    Fiber_crash { fiber = "w"; exn_text = "Failure(\"boom\")" };
+    Sched { at = 1.0 /. 3.0 };
+    Fault_node_crash { node = 2 };
+    Fault_node_recover { node = 2 };
+    Fault_link_cut { a = 0; b = 5 };
+    Fault_link_heal { a = 0; b = 5 };
+    Fault_partition;
+    Fault_heal_all;
+    Net_send { src = 1; dst = 2; lc = 7 };
+    Net_deliver { src = 1; dst = 2; sent_at = 0.1; send_lc = 7; lc = 9 };
+    Net_drop { src = 1; dst = 2; reason = Unreachable };
+    Net_drop { src = 1; dst = 2; reason = Endpoint_down };
+    Net_drop { src = 1; dst = 2; reason = In_flight };
+    Net_drop { src = 1; dst = 2; reason = Lost };
+    Rpc_call { src = 1; dst = 2; id = 4; lc = 11; parent = Some 6 };
+    Rpc_call { src = 1; dst = 2; id = 4; lc = 11; parent = None };
+    Rpc_done { src = 1; dst = 2; id = 4; outcome = Rpc_ok; lc = 12 };
+    Rpc_done { src = 1; dst = 2; id = 4; outcome = Rpc_timeout; lc = 12 };
+    Rpc_done { src = 1; dst = 2; id = 4; outcome = Rpc_unreachable; lc = 12 };
+    Span_start { span = 8; parent = Some 6; name = "client.fetch"; node = Some 3 };
+    Span_start { span = 8; parent = None; name = "ls"; node = None };
+    Span_end { span = 8; name = "client.fetch"; node = Some 3; dur = 2.05 };
+    Store_op { node = 3; op = "fetch"; parent = Some 8 };
+    Store_op { node = 3; op = "fetch"; parent = None };
+    Spec_observe { set_id = 1; phase = Phase_first; s = [ e1 ]; accessible = [ e1; e2 ] };
+    Spec_observe { set_id = 1; phase = Phase_invocation_start; s = []; accessible = [] };
+    Spec_observe { set_id = 1; phase = Phase_invocation_retry; s = [ e2 ]; accessible = [] };
+    Spec_observe { set_id = 1; phase = Phase_returns; s = []; accessible = [ e1 ] };
+    Spec_observe { set_id = 1; phase = Phase_fails; s = []; accessible = [] };
+    Spec_observe { set_id = 1; phase = Phase_suspends e1; s = [ e1 ]; accessible = [ e1 ] };
+    Spec_observe { set_id = 1; phase = Phase_mutation (Spec_add e2); s = [ e2 ]; accessible = [ e2 ] };
+    Spec_observe { set_id = 1; phase = Phase_mutation (Spec_remove e2); s = []; accessible = [ e2 ] };
+    Custom { label = "x"; detail = "free \"text\" with\nnewlines\tand \\slashes" };
+  ]
+
+let test_json_roundtrip_examples () =
+  List.iteri
+    (fun i kind ->
+      let e = { Obs.Event.seq = i; time = float_of_int i *. 0.7; kind } in
+      match Obs.Event.of_json_string (Obs.Event.to_json e) with
+      | Ok e' ->
+          check_bool
+            (Printf.sprintf "example %d (%s) round-trips" i (Obs.Event.label kind))
+            true (e = e')
+      | Error m -> Alcotest.failf "example %d failed to parse: %s" i m)
+    roundtrip_examples
+
+(* Property form: random events (arbitrary byte strings, optional fields
+   both ways, exact float payloads) survive the round trip. *)
+let gen_event =
+  let open QCheck.Gen in
+  let str = string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 12) in
+  let fin = map (fun f -> if Float.is_finite f then f else 0.5) float in
+  let elem = map2 (fun elem_id elem_label -> { Obs.Event.elem_id; elem_label }) small_nat str in
+  let phase =
+    let open Obs.Event in
+    oneof
+      [
+        oneofl [ Phase_first; Phase_invocation_start; Phase_invocation_retry; Phase_returns; Phase_fails ];
+        map (fun e -> Phase_suspends e) elem;
+        map (fun e -> Phase_mutation (Spec_add e)) elem;
+        map (fun e -> Phase_mutation (Spec_remove e)) elem;
+      ]
+  in
+  let kind =
+    let open Obs.Event in
+    oneof
+      [
+        map (fun fiber -> Fiber_spawn { fiber }) str;
+        map2 (fun fiber exn_text -> Fiber_crash { fiber; exn_text }) str str;
+        map (fun at -> Sched { at }) fin;
+        map (fun node -> Fault_node_crash { node }) small_nat;
+        map (fun node -> Fault_node_recover { node }) small_nat;
+        map2 (fun a b -> Fault_link_cut { a; b }) small_nat small_nat;
+        map2 (fun a b -> Fault_link_heal { a; b }) small_nat small_nat;
+        oneofl [ Fault_partition; Fault_heal_all ];
+        map3 (fun src dst lc -> Net_send { src; dst; lc }) small_nat small_nat small_nat;
+        ( small_nat >>= fun src ->
+          small_nat >>= fun dst ->
+          fin >>= fun sent_at ->
+          small_nat >>= fun send_lc ->
+          map (fun lc -> Net_deliver { src; dst; sent_at; send_lc; lc }) small_nat );
+        map3
+          (fun src dst reason -> Net_drop { src; dst; reason })
+          small_nat small_nat
+          (oneofl [ Unreachable; Endpoint_down; In_flight; Lost ]);
+        ( small_nat >>= fun src ->
+          small_nat >>= fun dst ->
+          small_nat >>= fun id ->
+          small_nat >>= fun lc ->
+          map (fun parent -> Rpc_call { src; dst; id; lc; parent }) (opt small_nat) );
+        ( small_nat >>= fun src ->
+          small_nat >>= fun dst ->
+          small_nat >>= fun id ->
+          small_nat >>= fun lc ->
+          map
+            (fun outcome -> Rpc_done { src; dst; id; outcome; lc })
+            (oneofl [ Rpc_ok; Rpc_timeout; Rpc_unreachable ]) );
+        ( small_nat >>= fun span ->
+          opt small_nat >>= fun parent ->
+          str >>= fun name ->
+          map (fun node -> Span_start { span; parent; name; node }) (opt small_nat) );
+        ( small_nat >>= fun span ->
+          str >>= fun name ->
+          opt small_nat >>= fun node ->
+          map (fun dur -> Span_end { span; name; node; dur }) fin );
+        map3 (fun node op parent -> Store_op { node; op; parent }) small_nat str (opt small_nat);
+        ( small_nat >>= fun set_id ->
+          phase >>= fun phase ->
+          list_size (int_bound 4) elem >>= fun s ->
+          map
+            (fun accessible -> Spec_observe { set_id; phase; s; accessible })
+            (list_size (int_bound 4) elem) );
+        map2 (fun label detail -> Custom { label; detail }) str str;
+      ]
+  in
+  small_nat >>= fun seq ->
+  fin >>= fun time ->
+  map (fun kind -> { Obs.Event.seq; time; kind }) kind
+
+let json_roundtrip_property =
+  QCheck.Test.make ~count:500 ~name:"to_json |> of_json = id"
+    (QCheck.make ~print:Obs.Event.to_json gen_event)
+    (fun e ->
+      match Obs.Event.of_json_string (Obs.Event.to_json e) with
+      | Ok e' -> e = e'
+      | Error m -> QCheck.Test.fail_reportf "parse error: %s" m)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical stream carries the causal metadata                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_canonical_covers_causal_metadata () =
+  (* The digest determinism tests above assert equality of canonical
+     streams; this pins that those streams actually include the Lamport
+     stamps and span parents, so a regression in either breaks digests. *)
+  let eng = Engine.create ~seed:9L () in
+  let ring = Obs.Ring.create ~capacity:100_000 in
+  Obs.Bus.attach (Engine.bus eng) ~name:"ring" (Obs.Ring.sink ring);
+  let topo = Topology.create () in
+  let nodes = Topology.clique topo 3 ~latency:1.0 in
+  let rpc = Rpc.create eng topo in
+  let server = Node_server.create rpc nodes.(0) in
+  Node_server.host_directory server ~set_id:1 ~policy:Node_server.Immediate;
+  let client = Client.create rpc nodes.(2) in
+  let oid = Oid.make ~num:1 ~home:nodes.(0) in
+  Node_server.put_object server oid (Svalue.make "v");
+  Engine.spawn eng ~name:"w" (fun () ->
+      match Client.fetch client oid with Ok _ | Error _ -> ());
+  let (_ : int) = Engine.run eng in
+  let canon = List.map Obs.Event.to_canonical (Obs.Ring.to_list ring) in
+  let has sub = List.exists (fun s -> contains s sub) canon in
+  check_bool "net events carry lc=" true (has "lc=");
+  check_bool "deliveries carry slc=" true (has "slc=");
+  check_bool "spans carry parent=" true (has "parent=")
+
+(* ------------------------------------------------------------------ *)
 (* Monitor adapter: conformance checking off the recorded stream      *)
 (* ------------------------------------------------------------------ *)
 
@@ -303,6 +494,15 @@ let () =
           Alcotest.test_case "counters and peek" `Quick test_metrics_counters_and_peek;
           Alcotest.test_case "histogram percentiles" `Quick test_metrics_histogram_percentiles;
           Alcotest.test_case "netstat snapshot" `Quick test_netstat_snapshot_from_registry;
+          Alcotest.test_case "empty histogram exports cleanly" `Quick
+            test_metrics_empty_histogram_export;
+        ] );
+      ( "json-roundtrip",
+        [
+          Alcotest.test_case "every kind constructor" `Quick test_json_roundtrip_examples;
+          QCheck_alcotest.to_alcotest json_roundtrip_property;
+          Alcotest.test_case "canonical covers causal metadata" `Quick
+            test_canonical_covers_causal_metadata;
         ] );
       ( "rpc-failure-detection",
         [
