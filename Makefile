@@ -1,9 +1,9 @@
 # One-command tier-1 verification: build + tests (including the trace
 # determinism suite in test/test_obs.ml) + formatting check.
 
-.PHONY: check build test fmt fmt-fix bench clean
+.PHONY: check build test fmt fmt-fix bench bench-compare clean
 
-check: build test fmt
+check: build test fmt bench-compare
 
 build:
 	dune build @all
@@ -25,6 +25,11 @@ fmt-fix:
 
 bench:
 	dune exec bench/main.exe -- --no-micro
+
+# Smoke test for the regression gate: the committed baseline must compare
+# clean against itself (schema readable, every metric within tolerance).
+bench-compare:
+	dune exec bench/main.exe -- --compare BENCH_baseline.json BENCH_baseline.json
 
 clean:
 	dune clean

@@ -1,0 +1,157 @@
+(* Committed benchmark baseline and regression compare.
+
+   [collect] runs a small fixed seeded suite (fault-free clique worlds,
+   every named semantics, two set sizes) and returns tracked metrics —
+   all lower-is-better virtual-time latencies and message counts.  The
+   suite is deterministic, so a baseline written on one machine compares
+   exactly on any other: regressions mean algorithmic change, not noise.
+
+   The JSON file ({!write}/{!read}) seeds the repo's perf trajectory
+   (BENCH_baseline.json); [compare] flags any tracked metric whose new
+   value exceeds the old by more than the relative tolerance. *)
+
+let schema = "weakset-bench-baseline-v1"
+
+let sizes = [ 16; 64 ]
+
+let collect () =
+  let metrics = ref [] in
+  let push k v = metrics := (k, v) :: !metrics in
+  List.iter
+    (fun size ->
+      List.iter
+        (fun (sname, sem) ->
+          let w = Scenarios.clique_world ~seed:(9000 + size) ~size () in
+          let before = (Weakset_net.Rpc.stats w.Scenarios.rpc).Weakset_net.Netstat.sent in
+          let r = Scenarios.run_iteration ~think:1.0 w sem in
+          let sent =
+            (Weakset_net.Rpc.stats w.Scenarios.rpc).Weakset_net.Netstat.sent - before
+          in
+          let key what = Printf.sprintf "iter.%s.n%d.%s" sname size what in
+          (match r.Scenarios.first_at with
+          | Some f -> push (key "first") f
+          | None -> failwith ("baseline: no first yield for " ^ key "first"));
+          (match r.Scenarios.total with
+          | Some t -> push (key "total") t
+          | None -> failwith ("baseline: run did not terminate for " ^ key "total"));
+          push (key "msgs") (float_of_int sent))
+        Scenarios.named_semantics)
+    sizes;
+  List.rev !metrics
+
+(* --- file format ----------------------------------------------------- *)
+
+let write ~path metrics =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"%s\",\n  \"metrics\": {" schema;
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then output_string oc ",";
+      Printf.fprintf oc "\n    \"%s\": %.17g" k v)
+    metrics;
+  output_string oc "\n  }\n}\n";
+  close_out oc
+
+let read path =
+  match
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  with
+  | exception Sys_error msg -> Error msg
+  | s -> (
+  match Weakset_obs.Json.of_string_opt s with
+  | None -> Error (path ^ ": malformed JSON")
+  | Some j -> (
+      match Option.bind (Weakset_obs.Json.member "schema" j) Weakset_obs.Json.to_string with
+      | Some sc when sc = schema -> (
+          match Weakset_obs.Json.member "metrics" j with
+          | Some (Weakset_obs.Json.Obj kvs) -> (
+              let parsed =
+                List.filter_map
+                  (fun (k, v) ->
+                    Option.map (fun f -> (k, f)) (Weakset_obs.Json.to_float v))
+                  kvs
+              in
+              if List.length parsed = List.length kvs then Ok parsed
+              else Error (path ^ ": non-numeric metric value"))
+          | _ -> Error (path ^ ": missing \"metrics\" object"))
+      | Some sc -> Error (Printf.sprintf "%s: schema %S, expected %S" path sc schema)
+      | None -> Error (path ^ ": missing \"schema\"")))
+
+(* --- compare ---------------------------------------------------------- *)
+
+type verdict = Ok_within | Improved | Regressed | Missing
+
+type cmp = { metric : string; old_v : float; new_v : float; delta : float; verdict : verdict }
+
+(* All tracked metrics are lower-is-better.  [delta] is relative to the
+   old value; a zero old value only compares equal to zero. *)
+let compare_metrics ~tolerance old_m new_m =
+  List.map
+    (fun (k, old_v) ->
+      match List.assoc_opt k new_m with
+      | None -> { metric = k; old_v; new_v = nan; delta = nan; verdict = Missing }
+      | Some new_v ->
+          let delta =
+            if old_v > 0.0 then (new_v -. old_v) /. old_v
+            else if new_v = old_v then 0.0
+            else infinity
+          in
+          let verdict =
+            if delta > tolerance then Regressed
+            else if delta < -.tolerance then Improved
+            else Ok_within
+          in
+          { metric = k; old_v; new_v; delta; verdict })
+    old_m
+
+let verdict_cell = function
+  | Ok_within -> "ok"
+  | Improved -> "improved"
+  | Regressed -> "REGRESSED"
+  | Missing -> "MISSING"
+
+let render ~tolerance cmps =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "baseline compare (tolerance %.0f%%, lower is better)\n"
+       (tolerance *. 100.0));
+  Buffer.add_string buf
+    (Printf.sprintf "  %-32s %12s %12s %8s  %s\n" "metric" "old" "new" "delta" "verdict");
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-32s %12.3f %12.3f %7.1f%%  %s\n" c.metric c.old_v c.new_v
+           (c.delta *. 100.0) (verdict_cell c.verdict)))
+    cmps;
+  Buffer.contents buf
+
+let failed cmps =
+  List.exists (fun c -> c.verdict = Regressed || c.verdict = Missing) cmps
+
+(* Run the whole compare flow; returns the process exit code. *)
+let run_compare ~tolerance old_path new_path =
+  match (read old_path, read new_path) with
+  | Error m, _ | _, Error m ->
+      prerr_endline ("weakset_bench: " ^ m);
+      2
+  | Ok old_m, Ok new_m ->
+      let cmps = compare_metrics ~tolerance old_m new_m in
+      print_string (render ~tolerance cmps);
+      let extra =
+        List.filter (fun (k, _) -> not (List.mem_assoc k old_m)) new_m
+      in
+      List.iter
+        (fun (k, _) -> Printf.printf "  %-32s (new metric, not compared)\n" k)
+        extra;
+      if failed cmps then begin
+        Printf.printf "FAIL: %d metric(s) regressed beyond tolerance\n"
+          (List.length (List.filter (fun c -> c.verdict = Regressed || c.verdict = Missing) cmps));
+        1
+      end
+      else begin
+        Printf.printf "PASS: %d metric(s) within tolerance\n" (List.length cmps);
+        0
+      end

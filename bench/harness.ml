@@ -82,6 +82,74 @@ let attach_trace name bus =
       Weakset_obs.Jsonl.note w name;
       Weakset_obs.Bus.attach bus ~name:"bench-jsonl" (Weakset_obs.Jsonl.sink w)
 
+(* --- simulated-time profiles ---------------------------------------- *)
+
+(* When a profile path is set, every world built afterwards attaches a
+   fresh profiler to its bus (one engine per world, as Profile assumes).
+   Worlds register under a descriptive name; re-registering replaces the
+   previous entry, mirroring [register_metrics]. *)
+let profile_path : string option ref = ref None
+let profiles : (string * Weakset_obs.Profile.t) list ref = ref []
+
+let set_profile_path path = profile_path := Some path
+
+let attach_profile name bus =
+  match !profile_path with
+  | None -> ()
+  | Some _ ->
+      let p = Weakset_obs.Profile.create () in
+      Weakset_obs.Bus.attach bus ~name:"bench-profile" (Weakset_obs.Profile.sink p);
+      profiles := List.filter (fun (n, _) -> n <> name) !profiles @ [ (name, p) ]
+
+let export_profiles () =
+  match !profile_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc "{";
+      List.iteri
+        (fun i (name, p) ->
+          if i > 0 then output_string oc ",";
+          Printf.fprintf oc "\n  \"%s\": %s" name (Weakset_obs.Profile.to_json p))
+        !profiles;
+      output_string oc "\n}\n";
+      close_out oc;
+      note "profiles for %d worlds written to %s" (List.length !profiles) path
+
+(* --- SLO tracking ---------------------------------------------------- *)
+
+(* Default objectives for the client-visible ops: with unit link latency
+   a healthy fetch/dir-read completes in ~2 time units, so 5.0 is a
+   generous latency SLO that only partition/crash scenarios breach. *)
+let slo_objectives =
+  [
+    { Weakset_obs.Slo.op = "client.fetch"; max_latency = 5.0; target = 0.9; window = 200.0 };
+    { Weakset_obs.Slo.op = "client.dir-read"; max_latency = 5.0; target = 0.9; window = 200.0 };
+  ]
+
+let slo_enabled = ref false
+let slos : (string * Weakset_obs.Slo.t) list ref = ref []
+
+let enable_slo () = slo_enabled := true
+
+let attach_slo name bus =
+  if !slo_enabled then begin
+    let s = Weakset_obs.Slo.create ~bus slo_objectives in
+    Weakset_obs.Bus.attach bus ~name:"bench-slo" (Weakset_obs.Slo.sink s);
+    slos := List.filter (fun (n, _) -> n <> name) !slos @ [ (name, s) ]
+  end
+
+let slo_report () =
+  if !slo_enabled then begin
+    Printf.printf "\n%s\nSLO report (per world)\n%s\n" hr hr;
+    List.iter
+      (fun (name, s) ->
+        Printf.printf "  == %s ==\n%s" name (Weakset_obs.Slo.report s))
+      !slos;
+    let total = List.fold_left (fun acc (_, s) -> acc + Weakset_obs.Slo.alert_count s) 0 !slos in
+    Printf.printf "  %d burn-rate alert(s) across %d world(s)\n" total (List.length !slos)
+  end
+
 (* Once the writer is closed, re-read the file one world segment at a
    time and report each world's slowest request with its critical-path
    phase split — the per-experiment latency-attribution summary. *)

@@ -10,14 +10,30 @@
                                                      registries as JSON
      dune exec bench/main.exe -- --trace-jsonl t.jsonl
                                                   -- also write the full
-                                                     typed event stream  *)
+                                                     typed event stream
+     dune exec bench/main.exe -- --baseline b.json
+                                                  -- run only the seeded
+                                                     baseline suite
+     dune exec bench/main.exe -- --compare OLD NEW
+                                                  -- regression gate      *)
 
 let usage =
-  "usage: weakset_bench [--no-micro] [--metrics-json FILE] [--trace-jsonl FILE]\n\n\
+  "usage: weakset_bench [--no-micro] [--metrics-json FILE] [--trace-jsonl FILE]\n\
+  \                     [--profile-json FILE] [--slo-report]\n\
+  \                     [--baseline FILE] [--compare OLD NEW] [--tolerance T]\n\n\
   \  --no-micro           skip the bechamel microbenchmarks (M1)\n\
   \  --metrics-json FILE  dump every world's metrics registry as JSON\n\
   \  --trace-jsonl FILE   write the full typed event stream as JSONL\n\
-  \                       (analyse with weakset_trace)\n"
+  \                       (analyse with weakset_trace)\n\
+  \  --profile-json FILE  dump every world's simulated-time profile as JSON\n\
+  \                       (deterministic; same seed => identical bytes)\n\
+  \  --slo-report         attach SLO trackers to every world and print the\n\
+  \                       per-world burn-rate report at the end\n\
+  \  --baseline FILE      run only the seeded baseline suite and write its\n\
+  \                       tracked metrics to FILE (see BENCH_baseline.json)\n\
+  \  --compare OLD NEW    compare two baseline files; exit 1 when a tracked\n\
+  \                       metric regresses beyond the tolerance\n\
+  \  --tolerance T        relative compare tolerance (default 0.10)\n"
 
 let usage_die fmt =
   Printf.ksprintf
@@ -26,37 +42,94 @@ let usage_die fmt =
       exit 2)
     fmt
 
+type opts = {
+  mutable no_micro : bool;
+  mutable metrics_json : string option;
+  mutable trace_jsonl : string option;
+  mutable profile_json : string option;
+  mutable slo_report : bool;
+  mutable baseline : string option;
+  mutable compare : (string * string) option;
+  mutable tolerance : float;
+}
+
 (* Strict parsing: an unknown or malformed argument aborts with usage
    instead of being silently ignored. *)
 let parse_args () =
-  let no_micro = ref false and metrics_json = ref None and trace_jsonl = ref None in
+  let o =
+    {
+      no_micro = false;
+      metrics_json = None;
+      trace_jsonl = None;
+      profile_json = None;
+      slo_report = false;
+      baseline = None;
+      compare = None;
+      tolerance = 0.10;
+    }
+  in
   let rec go = function
     | [] -> ()
     | "--no-micro" :: rest ->
-        no_micro := true;
+        o.no_micro <- true;
+        go rest
+    | "--slo-report" :: rest ->
+        o.slo_report <- true;
         go rest
     | "--metrics-json" :: v :: rest ->
-        metrics_json := Some v;
+        o.metrics_json <- Some v;
         go rest
     | "--trace-jsonl" :: v :: rest ->
-        trace_jsonl := Some v;
+        o.trace_jsonl <- Some v;
         go rest
-    | [ ("--metrics-json" | "--trace-jsonl") as flag ] ->
+    | "--profile-json" :: v :: rest ->
+        o.profile_json <- Some v;
+        go rest
+    | "--baseline" :: v :: rest ->
+        o.baseline <- Some v;
+        go rest
+    | "--compare" :: a :: b :: rest ->
+        o.compare <- Some (a, b);
+        go rest
+    | "--tolerance" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t when t >= 0.0 ->
+            o.tolerance <- t;
+            go rest
+        | _ -> usage_die "--tolerance expects a non-negative float, got %S" v)
+    | [ ("--metrics-json" | "--trace-jsonl" | "--profile-json" | "--baseline"
+        | "--tolerance") as flag ] ->
         usage_die "%s expects a file argument" flag
+    | "--compare" :: _ -> usage_die "--compare expects two file arguments"
     | ("--help" | "-h") :: _ ->
         print_string usage;
         exit 0
     | a :: _ -> usage_die "unknown argument %S" a
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!no_micro, !metrics_json, !trace_jsonl)
+  o
 
 let () =
-  let no_micro, metrics_json, trace_jsonl = parse_args () in
-  Option.iter Bench_lib.Harness.set_trace_path trace_jsonl;
-  Printf.printf "Weak sets (Wing & Steere, ICDCS 1995) - experiment suite\n";
-  Printf.printf "All latencies are simulated virtual time units unless noted.\n";
-  Bench_lib.Experiments.run_all ();
-  if not no_micro then Bench_lib.Micro.run ();
-  Option.iter (fun path -> Bench_lib.Harness.export_metrics_json ~path) metrics_json;
-  Bench_lib.Harness.close_trace ()
+  let o = parse_args () in
+  match o.compare with
+  | Some (old_path, new_path) ->
+      exit (Bench_lib.Baseline.run_compare ~tolerance:o.tolerance old_path new_path)
+  | None ->
+      Option.iter Bench_lib.Harness.set_trace_path o.trace_jsonl;
+      Option.iter Bench_lib.Harness.set_profile_path o.profile_json;
+      if o.slo_report then Bench_lib.Harness.enable_slo ();
+      (match o.baseline with
+      | Some path ->
+          Printf.printf "Weak sets (Wing & Steere, ICDCS 1995) - baseline suite\n";
+          let metrics = Bench_lib.Baseline.collect () in
+          Bench_lib.Baseline.write ~path metrics;
+          Printf.printf "%d tracked metrics written to %s\n" (List.length metrics) path
+      | None ->
+          Printf.printf "Weak sets (Wing & Steere, ICDCS 1995) - experiment suite\n";
+          Printf.printf "All latencies are simulated virtual time units unless noted.\n";
+          Bench_lib.Experiments.run_all ();
+          if not o.no_micro then Bench_lib.Micro.run ());
+      Option.iter (fun path -> Bench_lib.Harness.export_metrics_json ~path) o.metrics_json;
+      Bench_lib.Harness.export_profiles ();
+      Bench_lib.Harness.slo_report ();
+      Bench_lib.Harness.close_trace ()

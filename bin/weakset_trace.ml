@@ -3,6 +3,7 @@
    byte-identically, so CI can diff runs. *)
 
 module Trace = Weakset_obs.Trace
+module Profile = Weakset_obs.Profile
 
 let usage =
   "usage: weakset_trace <command> [options] FILE...\n\n\
@@ -10,6 +11,8 @@ let usage =
   \  tree FILE        print the reconstructed span forest of each world\n\
   \  critpath FILE    critical path and per-phase attribution per request\n\
   \  stats FILE       event/span/rpc/lamport summary per world\n\
+  \  profile FILE     simulated-time profile: top-k hot fibers and hot ops\n\
+  \  flame FILE       folded-stack flamegraph text (fiber;span;...;wait dur)\n\
   \  anomalies FILE   flag unclosed spans, orphan parents, unfinished rpcs,\n\
   \                   lamport violations (exit 1 if any found)\n\
   \  diff FILE FILE   digest-aligned prefix diff of two traces\n\n\
@@ -17,6 +20,7 @@ let usage =
   \  --world NAME     restrict to the named world segment\n\
   \  --no-times       (tree) structure only: no ids, times or durations\n\
   \  --max-depth N    (tree) truncate below depth N\n\
+  \  --top K          (profile) table depth, default 10\n\
   \  --slow-pct P     (anomalies) also flag spans above their name's\n\
   \                   P-th duration percentile\n"
 
@@ -35,12 +39,15 @@ type opts = {
   mutable world : string option;
   mutable times : bool;
   mutable max_depth : int option;
+  mutable top : int;
   mutable slow_pct : float option;
   mutable files : string list;
 }
 
 let parse_args args =
-  let o = { world = None; times = true; max_depth = None; slow_pct = None; files = [] } in
+  let o =
+    { world = None; times = true; max_depth = None; top = 10; slow_pct = None; files = [] }
+  in
   let rec go = function
     | [] -> ()
     | "--world" :: v :: rest ->
@@ -55,13 +62,19 @@ let parse_args args =
             o.max_depth <- Some n;
             go rest
         | _ -> usage_die "--max-depth expects a non-negative integer, got %S" v)
+    | "--top" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 ->
+            o.top <- n;
+            go rest
+        | _ -> usage_die "--top expects a positive integer, got %S" v)
     | "--slow-pct" :: v :: rest -> (
         match float_of_string_opt v with
         | Some p when p >= 0.0 && p <= 100.0 ->
             o.slow_pct <- Some p;
             go rest
         | _ -> usage_die "--slow-pct expects a percentile in [0,100], got %S" v)
-    | [ ("--world" | "--max-depth" | "--slow-pct") ] ->
+    | [ ("--world" | "--max-depth" | "--top" | "--slow-pct") ] ->
         usage_die "missing value for final option"
     | f :: _ when String.length f > 0 && f.[0] = '-' -> usage_die "unknown option %S" f
     | f :: rest ->
@@ -109,6 +122,19 @@ let () =
             (one_file o o.files)
       | "critpath" -> per_segment Trace.render_critpath (one_file o o.files)
       | "stats" -> per_segment Trace.render_stats (one_file o o.files)
+      | "profile" ->
+          List.iter
+            (fun seg ->
+              print_string (header seg);
+              print_string
+                (Profile.render_top ~k:o.top (Profile.of_events seg.Trace.events)))
+            (one_file o o.files)
+      | "flame" ->
+          List.iter
+            (fun seg ->
+              print_string (header seg);
+              print_string (Profile.folded (Profile.of_events seg.Trace.events)))
+            (one_file o o.files)
       | "anomalies" ->
           let segs = one_file o o.files in
           let found = ref 0 in

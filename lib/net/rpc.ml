@@ -20,7 +20,11 @@ type ('req, 'resp) frame =
   | Request of { id : int; reply_to : Nodeid.t; parent : int option; req : 'req }
   | Response of { id : int; resp : 'resp }
 
-type ('req, 'resp) handler = { service_time : 'req -> float; fn : 'req -> 'resp }
+type ('req, 'resp) handler = {
+  service_time : 'req -> float;
+  op : ('req -> string) option;
+  fn : 'req -> 'resp;
+}
 
 (* A call waiting for its response.  [dst] is kept so the failure
    detector can fail pending calls when their destination crashes. *)
@@ -104,11 +108,19 @@ let handle_frame t node (env : ('req, 'resp) frame Transport.envelope) =
       | None -> () (* no service here: the request is silently lost *)
       | Some h ->
           if Topology.node_up (topology t) node then
+            (* The serve span carries the op label when the service
+               provides one ("rpc.serve.fetch"), so per-op profiling and
+               SLO tracking see server time split by request type. *)
+            let span_name =
+              match h.op with
+              | None -> "rpc.serve"
+              | Some label -> "rpc.serve." ^ label req
+            in
             Engine.spawn eng ~name:(Printf.sprintf "rpc-handler-%s-%d" (Nodeid.to_string node) id)
               (fun () ->
                 Bus.with_span_id (bus t)
                   ~time:(fun () -> Engine.now eng)
-                  ~node:(Nodeid.to_int node) ?parent "rpc.serve"
+                  ~node:(Nodeid.to_int node) ?parent span_name
                   (fun span ->
                     let d = h.service_time req in
                     if d > 0.0 then Engine.sleep eng d;
@@ -145,8 +157,8 @@ let ensure_demux t node =
         loop ())
   end
 
-let serve t node ?(service_time = fun _ -> 0.0) fn =
-  Hashtbl.replace t.handlers (Nodeid.to_int node) { service_time; fn };
+let serve t node ?(service_time = fun _ -> 0.0) ?op fn =
+  Hashtbl.replace t.handlers (Nodeid.to_int node) { service_time; op; fn };
   ensure_demux t node
 
 let call t ?parent ~src ~dst ~timeout req =

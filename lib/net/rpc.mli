@@ -31,13 +31,21 @@ val bus : ('req, 'resp) t -> Weakset_obs.Bus.t
 (** Current counter values, read back from the metrics registry. *)
 val stats : ('req, 'resp) t -> Netstat.t
 
-(** [serve t node ?service_time handler] installs [handler] for requests
-    addressed to [node].  Each request runs in its own fiber after
-    [service_time req] units of virtual service time (default 0), so
-    handlers may themselves sleep or make nested calls.  Requests arriving
-    while the node is down are dropped. *)
+(** [serve t node ?service_time ?op handler] installs [handler] for
+    requests addressed to [node].  Each request runs in its own fiber
+    after [service_time req] units of virtual service time (default 0),
+    so handlers may themselves sleep or make nested calls.  Requests
+    arriving while the node is down are dropped.  When [op] is given,
+    each request's serve span is named ["rpc.serve." ^ op req] instead
+    of plain ["rpc.serve"], so profilers and SLO trackers see server
+    time split by request type. *)
 val serve :
-  ('req, 'resp) t -> Nodeid.t -> ?service_time:('req -> float) -> ('req -> 'resp) -> unit
+  ('req, 'resp) t ->
+  Nodeid.t ->
+  ?service_time:('req -> float) ->
+  ?op:('req -> string) ->
+  ('req -> 'resp) ->
+  unit
 
 (** The [rpc.serve] span of the handler invocation currently executing,
     for servers to stamp as the [parent] of their [Store_op] events.

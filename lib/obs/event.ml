@@ -12,8 +12,19 @@ type spec_phase =
   | Phase_suspends of elem
   | Phase_mutation of spec_op
 
+type park =
+  | Park_yield
+  | Park_sleep of float
+  | Park_suspend
+  | Park_done
+  | Park_crash
+
+type alert_severity = Sev_warn | Sev_crit
+
 type kind =
-  | Fiber_spawn of { fiber : string }
+  | Fiber_spawn of { fid : int; fiber : string }
+  | Run_begin of { fid : int; fiber : string }
+  | Run_end of { fid : int; fiber : string; park : park }
   | Fiber_crash of { fiber : string; exn_text : string }
   | Sched of { at : float }
   | Fault_node_crash of { node : int }
@@ -36,6 +47,15 @@ type kind =
       s : elem list;
       accessible : elem list;
     }
+  | Alert of {
+      source : string;
+      op : string;
+      severity : alert_severity;
+      burn : float;
+      window : float;
+      detail : string;
+    }
+  | Spec_violation of { set_id : int; where : string; message : string }
   | Custom of { label : string; detail : string }
 
 type t = { seq : int; time : float; kind : kind }
@@ -74,8 +94,23 @@ let phase_string = function
   | Phase_mutation (Spec_add _) -> "add"
   | Phase_mutation (Spec_remove _) -> "remove"
 
+let park_base = function
+  | Park_yield -> "yield"
+  | Park_sleep _ -> "sleep"
+  | Park_suspend -> "suspend"
+  | Park_done -> "done"
+  | Park_crash -> "crash"
+
+let severity_string = function Sev_warn -> "warn" | Sev_crit -> "crit"
+
+let severity_of_string = function
+  | "warn" -> Some Sev_warn
+  | "crit" -> Some Sev_crit
+  | _ -> None
+
 let label = function
   | Fiber_spawn _ -> "fiber"
+  | Run_begin _ | Run_end _ -> "run"
   | Fiber_crash _ -> "fiber-crash"
   | Sched _ -> "sched"
   | Fault_node_crash _ | Fault_node_recover _ | Fault_link_cut _
@@ -86,6 +121,8 @@ let label = function
   | Span_start _ | Span_end _ -> "span"
   | Store_op _ -> "store"
   | Spec_observe _ -> "spec"
+  | Alert _ -> "alert"
+  | Spec_violation _ -> "spec-violation"
   | Custom { label; _ } -> label
 
 (* Exact, locale-independent float rendering: hex notation round-trips
@@ -99,8 +136,15 @@ let elem_string e = Printf.sprintf "%d:%s" e.elem_id e.elem_label
 
 let elems_string es = String.concat "," (List.map elem_string es)
 
+let park_string = function
+  | Park_sleep wake -> "sleep until=" ^ hexf wake
+  | p -> park_base p
+
 let detail = function
-  | Fiber_spawn { fiber } -> "spawn " ^ fiber
+  | Fiber_spawn { fid; fiber } -> Printf.sprintf "spawn #%d %s" fid fiber
+  | Run_begin { fid; fiber } -> Printf.sprintf "begin #%d %s" fid fiber
+  | Run_end { fid; fiber; park } ->
+      Printf.sprintf "end #%d %s %s" fid fiber (park_string park)
   | Fiber_crash { fiber; exn_text } -> fiber ^ ": " ^ exn_text
   | Sched { at } -> "at=" ^ hexf at
   | Fault_node_crash { node } -> "crash " ^ node_str node
@@ -143,16 +187,12 @@ let detail = function
       in
       Printf.sprintf "set#%d %s%s s=[%s] acc=[%s]" set_id (phase_string phase)
         extra (elems_string s) (elems_string accessible)
+  | Alert { source; op; severity; burn; window; detail } ->
+      Printf.sprintf "[%s] %s/%s burn=%s window=%s %s" (severity_string severity)
+        source op (hexf burn) (hexf window) detail
+  | Spec_violation { set_id; where; message } ->
+      Printf.sprintf "set#%d %s: %s" set_id where message
   | Custom { detail; _ } -> detail
-
-let tracer_view = function
-  | Fiber_crash { fiber; exn_text } ->
-      Some ("fiber-crash", fiber ^ ": " ^ exn_text)
-  | ( Fault_node_crash _ | Fault_node_recover _ | Fault_link_cut _
-    | Fault_link_heal _ | Fault_partition | Fault_heal_all ) as k ->
-      Some ("fault", detail k)
-  | Custom { label; detail } -> Some (label, detail)
-  | _ -> None
 
 let to_canonical t =
   Printf.sprintf "%d|%s|%s|%s" t.seq (hexf t.time) (label t.kind)
@@ -189,7 +229,16 @@ let jelems es = "[" ^ String.concat "," (List.map jelem es) ^ "]"
 (* Kind-specific fields, as ["k":v,...] pairs (no braces).  [parent]-like
    options are omitted when [None]. *)
 let kind_fields = function
-  | Fiber_spawn { fiber } -> Printf.sprintf {|"kind":"fiber_spawn","fiber":%s|} (jstr fiber)
+  | Fiber_spawn { fid; fiber } ->
+      Printf.sprintf {|"kind":"fiber_spawn","fid":%d,"fiber":%s|} fid (jstr fiber)
+  | Run_begin { fid; fiber } ->
+      Printf.sprintf {|"kind":"run_begin","fid":%d,"fiber":%s|} fid (jstr fiber)
+  | Run_end { fid; fiber; park } ->
+      Printf.sprintf {|"kind":"run_end","fid":%d,"fiber":%s,"park":%s%s|} fid (jstr fiber)
+        (jstr (park_base park))
+        (match park with
+        | Park_sleep wake -> Printf.sprintf {|,"wake":%s|} (jfloat wake)
+        | _ -> "")
   | Fiber_crash { fiber; exn_text } ->
       Printf.sprintf {|"kind":"fiber_crash","fiber":%s,"exn":%s|} (jstr fiber)
         (jstr exn_text)
@@ -242,6 +291,15 @@ let kind_fields = function
         set_id
         (jstr (phase_string phase))
         elem_field (jelems s) (jelems accessible)
+  | Alert { source; op; severity; burn; window; detail } ->
+      Printf.sprintf
+        {|"kind":"alert","source":%s,"op":%s,"severity":%s,"burn":%s,"window":%s,"detail":%s|}
+        (jstr source) (jstr op)
+        (jstr (severity_string severity))
+        (jfloat burn) (jfloat window) (jstr detail)
+  | Spec_violation { set_id; where; message } ->
+      Printf.sprintf {|"kind":"spec_violation","set_id":%d,"where":%s,"message":%s|} set_id
+        (jstr where) (jstr message)
   | Custom { label; detail } ->
       Printf.sprintf {|"kind":"custom","clabel":%s,"detail":%s|} (jstr label) (jstr detail)
 
@@ -273,7 +331,19 @@ let felems j k =
 
 let kind_of_json j =
   match fstr j "kind" with
-  | "fiber_spawn" -> Fiber_spawn { fiber = fstr j "fiber" }
+  | "fiber_spawn" -> Fiber_spawn { fid = fint j "fid"; fiber = fstr j "fiber" }
+  | "run_begin" -> Run_begin { fid = fint j "fid"; fiber = fstr j "fiber" }
+  | "run_end" ->
+      let park =
+        match fstr j "park" with
+        | "yield" -> Park_yield
+        | "sleep" -> Park_sleep (ffloat j "wake")
+        | "suspend" -> Park_suspend
+        | "done" -> Park_done
+        | "crash" -> Park_crash
+        | p -> raise (Bad ("park " ^ p))
+      in
+      Run_end { fid = fint j "fid"; fiber = fstr j "fiber"; park }
   | "fiber_crash" -> Fiber_crash { fiber = fstr j "fiber"; exn_text = fstr j "exn" }
   | "sched" -> Sched { at = ffloat j "at" }
   | "fault_node_crash" -> Fault_node_crash { node = fint j "node" }
@@ -351,6 +421,19 @@ let kind_of_json j =
       in
       Spec_observe
         { set_id = fint j "set_id"; phase; s = felems j "s"; accessible = felems j "acc" }
+  | "alert" ->
+      Alert
+        {
+          source = fstr j "source";
+          op = fstr j "op";
+          severity = req "severity" (severity_of_string (fstr j "severity"));
+          burn = ffloat j "burn";
+          window = ffloat j "window";
+          detail = fstr j "detail";
+        }
+  | "spec_violation" ->
+      Spec_violation
+        { set_id = fint j "set_id"; where = fstr j "where"; message = fstr j "message" }
   | "custom" -> Custom { label = fstr j "clabel"; detail = fstr j "detail" }
   | k -> raise (Bad ("kind " ^ k))
 

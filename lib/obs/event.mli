@@ -50,8 +50,23 @@ type spec_phase =
   | Phase_suspends of elem
   | Phase_mutation of spec_op
 
+(** Why a fiber's run slice ended (see {!Run_end}). *)
+type park =
+  | Park_yield           (** rescheduled at the same instant ([sleep 0.0]) *)
+  | Park_sleep of float  (** sleeping; the payload is the absolute wake time *)
+  | Park_suspend         (** parked on an external resume (ivar, RPC reply) *)
+  | Park_done            (** fiber body returned *)
+  | Park_crash           (** fiber body raised *)
+
+type alert_severity = Sev_warn | Sev_crit
+
 type kind =
-  | Fiber_spawn of { fiber : string }
+  | Fiber_spawn of { fid : int; fiber : string }
+      (** [fid] is the engine-unique fiber id; [fiber] its display name. *)
+  | Run_begin of { fid : int; fiber : string }
+      (** the scheduler handed control to fiber [fid]; the slice runs at
+          zero virtual duration and ends with a matching {!Run_end} *)
+  | Run_end of { fid : int; fiber : string; park : park }
   | Fiber_crash of { fiber : string; exn_text : string }
   | Sched of { at : float }  (** an engine callback was scheduled for [at] *)
   | Fault_node_crash of { node : int }
@@ -79,22 +94,33 @@ type kind =
       s : elem list;           (** value of the set at this state *)
       accessible : elem list;  (** accessible ever-members at this state *)
     }
-  | Custom of { label : string; detail : string }  (** legacy tracer entries *)
+  | Alert of {
+      source : string;    (** emitting monitor, e.g. ["slo"] *)
+      op : string;        (** objective identifier, e.g. a span name *)
+      severity : alert_severity;
+      burn : float;       (** error-budget burn rate at trigger time *)
+      window : float;     (** rolling-window length the rate was computed over *)
+      detail : string;
+    }  (** published by health monitors (see [Slo]) back onto the bus *)
+  | Spec_violation of { set_id : int; where : string; message : string }
+      (** the online conformance monitor caught a specification violation *)
+  | Custom of { label : string; detail : string }  (** free-form entries *)
 
 type t = { seq : int; time : float; kind : kind }
 
-(** Short category of a kind: ["fiber"], ["fiber-crash"], ["sched"],
-    ["fault"], ["net"], ["rpc"], ["span"], ["store"], ["spec"], or the
-    [Custom] label. *)
+(** Short category of a kind: ["fiber"], ["run"], ["fiber-crash"],
+    ["sched"], ["fault"], ["net"], ["rpc"], ["span"], ["store"],
+    ["spec"], ["alert"], ["spec-violation"], or the [Custom] label. *)
 val label : kind -> string
 
 (** Deterministic human-readable payload rendering (no seq/time). *)
 val detail : kind -> string
 
-(** [tracer_view k] is [Some (label, detail)] for the low-rate kinds that
-    the legacy {!Weakset_sim.Tracer} used to record (crashes, faults,
-    custom entries); [None] for high-rate kinds. *)
-val tracer_view : kind -> (string * string) option
+val severity_string : alert_severity -> string
+
+(** Escape a string for inclusion in a JSON string literal (used by the
+    other JSON writers in this library). *)
+val json_escape : string -> string
 
 (** Injective single-line rendering; equal canonical strings iff the
     events are equal (floats are rendered exactly, in hex). *)

@@ -1,0 +1,150 @@
+(* Rolling-window latency SLOs with burn-rate alerting.
+
+   Each objective watches one op (span name): a completed span is
+   "good" iff its duration is within [max_latency].  Over a rolling
+   window of virtual time the error rate is compared against the error
+   budget (1 - target); the ratio is the burn rate.  Burn >= 1 means the
+   budget is being consumed exactly as fast as it is provisioned; an
+   alert latches on the upward crossing of the warn threshold and
+   re-arms once burn drops back below it, so a sustained breach emits
+   one Alert, not one per sample. *)
+
+type objective = {
+  op : string;
+  max_latency : float;
+  target : float;  (* required good fraction, e.g. 0.99 *)
+  window : float;  (* rolling window, virtual time *)
+}
+
+type tracked = {
+  obj : objective;
+  samples : (float * bool) Queue.t;  (* (time, good), oldest first *)
+  mutable bad_in_window : int;
+  mutable seen : int;       (* lifetime sample count *)
+  mutable bad_total : int;
+  mutable worst_burn : float;
+  mutable alerting : bool;
+  mutable alerts : int;
+}
+
+type t = {
+  bus : Bus.t option;
+  min_samples : int;
+  warn_burn : float;
+  crit_burn : float;
+  objectives : tracked list;  (* in creation order *)
+  by_op : (string, tracked) Hashtbl.t;
+  mutable alert_log : Event.kind list;  (* newest first *)
+}
+
+let budget obj = 1.0 -. obj.target
+
+let create ?bus ?(min_samples = 5) ?(warn_burn = 1.0) ?(crit_burn = 4.0) objectives =
+  if objectives = [] then invalid_arg "Slo.create: no objectives";
+  List.iter
+    (fun o ->
+      if o.target <= 0.0 || o.target >= 1.0 then
+        invalid_arg "Slo.create: target must be in (0, 1)";
+      if o.window <= 0.0 then invalid_arg "Slo.create: window must be positive")
+    objectives;
+  let objectives =
+    List.map
+      (fun obj ->
+        {
+          obj;
+          samples = Queue.create ();
+          bad_in_window = 0;
+          seen = 0;
+          bad_total = 0;
+          worst_burn = 0.0;
+          alerting = false;
+          alerts = 0;
+        })
+      objectives
+  in
+  let by_op = Hashtbl.create 8 in
+  List.iter (fun tr -> Hashtbl.replace by_op tr.obj.op tr) objectives;
+  { bus; min_samples; warn_burn; crit_burn; objectives; by_op; alert_log = [] }
+
+let evict tr now =
+  let horizon = now -. tr.obj.window in
+  let continue_evict = ref true in
+  while !continue_evict do
+    match Queue.peek_opt tr.samples with
+    | Some (time, good) when time < horizon ->
+        ignore (Queue.pop tr.samples);
+        if not good then tr.bad_in_window <- tr.bad_in_window - 1
+    | _ -> continue_evict := false
+  done
+
+let observe t tr ~time ~dur =
+  let good = dur <= tr.obj.max_latency in
+  tr.seen <- tr.seen + 1;
+  if not good then tr.bad_total <- tr.bad_total + 1;
+  Queue.push (time, good) tr.samples;
+  if not good then tr.bad_in_window <- tr.bad_in_window + 1;
+  evict tr time;
+  let n = Queue.length tr.samples in
+  let error_rate = float_of_int tr.bad_in_window /. float_of_int n in
+  let burn = error_rate /. budget tr.obj in
+  tr.worst_burn <- Float.max tr.worst_burn burn;
+  if n >= t.min_samples then
+    if burn >= t.warn_burn then begin
+      if not tr.alerting then begin
+        tr.alerting <- true;
+        tr.alerts <- tr.alerts + 1;
+        let severity =
+          if burn >= t.crit_burn then Event.Sev_crit else Event.Sev_warn
+        in
+        let kind =
+          Event.Alert
+            {
+              source = "slo";
+              op = tr.obj.op;
+              severity;
+              burn;
+              window = tr.obj.window;
+              detail =
+                Printf.sprintf "err=%d/%d target=%g max_latency=%g" tr.bad_in_window n
+                  tr.obj.target tr.obj.max_latency;
+            }
+        in
+        t.alert_log <- kind :: t.alert_log;
+        match t.bus with None -> () | Some bus -> Bus.emit bus ~time kind
+      end
+    end
+    else tr.alerting <- false
+
+let handle t (e : Event.t) =
+  match e.kind with
+  | Event.Span_end { name; dur; _ } -> (
+      match Hashtbl.find_opt t.by_op name with
+      | None -> ()
+      | Some tr -> observe t tr ~time:e.time ~dur)
+  | _ -> ()
+
+let sink t = handle t
+
+let alerts t = List.rev t.alert_log
+
+let alert_count t = List.length t.alert_log
+
+(* --- deterministic report ------------------------------------------- *)
+
+let report t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "slo report (warn>=%.2fx burn, crit>=%.2fx, min %d samples)\n"
+       t.warn_burn t.crit_burn t.min_samples);
+  Buffer.add_string buf
+    (Printf.sprintf "  %-28s %9s %8s %8s %7s %7s %10s %7s\n" "op" "max_lat" "target"
+       "window" "n" "bad" "worst_burn" "alerts");
+  List.iter
+    (fun tr ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-28s %9.2f %8.3f %8.1f %7d %7d %10.2f %7d%s\n" tr.obj.op
+           tr.obj.max_latency tr.obj.target tr.obj.window tr.seen tr.bad_total
+           tr.worst_burn tr.alerts
+           (if tr.alerting then "  [ALERTING]" else "")))
+    t.objectives;
+  Buffer.contents buf

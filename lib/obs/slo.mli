@@ -1,0 +1,52 @@
+(** Live SLO tracking with error-budget burn-rate alerts.
+
+    An {!objective} watches one op (a span name, e.g. ["client.fetch"]):
+    a completed span is {e good} iff its duration is at most
+    [max_latency].  Over a rolling window of virtual time the error
+    rate is divided by the error budget [1 - target], giving the burn
+    rate: burn 1 means the budget is consumed exactly as provisioned,
+    burn 4 means four times too fast.
+
+    Alerts latch: one {!Event.Alert} is published on the upward crossing
+    of the warn threshold (severity [Sev_crit] if the crit threshold is
+    also crossed), and the objective re-arms once burn falls back below
+    warn.  Nothing fires before [min_samples] samples are in the window,
+    so a single slow first request cannot page. *)
+
+type t
+
+type objective = {
+  op : string;           (** span name to watch *)
+  max_latency : float;   (** a span this slow (or slower) is an error *)
+  target : float;        (** required good fraction, in (0, 1) *)
+  window : float;        (** rolling window length, virtual time *)
+}
+
+(** [create ?bus ?min_samples ?warn_burn ?crit_burn objectives] — when
+    [bus] is given, alerts are published back onto it (the tracker is
+    typically also attached to that same bus; re-entrant emits are safe
+    because sinks are called synchronously and [Alert] triggers no
+    further alerts).  Defaults: [min_samples = 5], [warn_burn = 1.0],
+    [crit_burn = 4.0].  Raises [Invalid_argument] on an empty list or
+    out-of-range targets/windows. *)
+val create :
+  ?bus:Bus.t ->
+  ?min_samples:int ->
+  ?warn_burn:float ->
+  ?crit_burn:float ->
+  objective list ->
+  t
+
+(** Feed one event (only [Span_end] matters). *)
+val handle : t -> Event.t -> unit
+
+(** [sink t] is [handle t], for [Bus.attach]. *)
+val sink : t -> Bus.sink
+
+(** Alert kinds fired so far, oldest first. *)
+val alerts : t -> Event.kind list
+
+val alert_count : t -> int
+
+(** Deterministic per-objective summary table. *)
+val report : t -> string

@@ -11,7 +11,6 @@ type t = {
   mutable seq : int;
   heap : event Pqueue.t;
   root_rng : Rng.t;
-  tracer : Tracer.t;
   bus : Weakset_obs.Bus.t;
   mutable live : int;
   mutable fiber_counter : int;
@@ -26,21 +25,11 @@ let leq_event a b = a.time < b.time || (a.time = b.time && a.seq <= b.seq)
 
 let create ?(seed = 1L) ?bus () =
   let bus = match bus with Some b -> b | None -> Weakset_obs.Bus.create () in
-  let tracer = Tracer.create () in
-  (* Low-rate events (crashes, faults, legacy Custom entries) are
-     mirrored into the bounded legacy tracer so existing tests and
-     debugging habits keep working; high-rate kinds are bus-only. *)
-  Weakset_obs.Bus.attach bus ~name:"tracer-mirror" (fun e ->
-      match Weakset_obs.Event.tracer_view e.Weakset_obs.Event.kind with
-      | Some (label, detail) ->
-          Tracer.emit tracer ~time:e.Weakset_obs.Event.time ~label detail
-      | None -> ());
   {
     now = 0.0;
     seq = 0;
     heap = Pqueue.create ~leq:leq_event;
     root_rng = Rng.create seed;
-    tracer;
     bus;
     live = 0;
     fiber_counter = 0;
@@ -49,7 +38,6 @@ let create ?(seed = 1L) ?bus () =
 
 let now t = t.now
 let rng t = t.root_rng
-let tracer t = t.tracer
 let bus t = t.bus
 let metrics t = Weakset_obs.Bus.metrics t.bus
 let live_fibers t = t.live
@@ -66,44 +54,71 @@ let sleep _t d = Effect.perform (Sleep d)
 let yield _t = Effect.perform (Sleep 0.0)
 let suspend _t register = Effect.perform (Suspend register)
 
-let run_fiber t name body =
+(* Each scheduler handoff to a fiber is bracketed by Run_begin/Run_end
+   events so a profiler can reconstruct per-fiber wait intervals.  Run
+   slices have zero virtual duration (time only advances between queue
+   pops), so the interesting payload is the *park reason* on Run_end:
+   it classifies the wait that follows. *)
+let run_fiber t fid name body =
   let open Effect.Deep in
+  let emit_begin () =
+    Weakset_obs.Bus.emit t.bus ~time:t.now
+      (Weakset_obs.Event.Run_begin { fid; fiber = name })
+  in
+  let emit_end park =
+    Weakset_obs.Bus.emit t.bus ~time:t.now
+      (Weakset_obs.Event.Run_end { fid; fiber = name; park })
+  in
   t.live <- t.live + 1;
-  let retc () = t.live <- t.live - 1 in
+  let retc () =
+    t.live <- t.live - 1;
+    emit_end Weakset_obs.Event.Park_done
+  in
   let exnc e =
     t.live <- t.live - 1;
     Weakset_obs.Bus.emit t.bus ~time:t.now
       (Weakset_obs.Event.Fiber_crash
          { fiber = name; exn_text = Printexc.to_string e });
+    emit_end Weakset_obs.Event.Park_crash;
     t.crashed <- { crash_time = t.now; crash_fiber = name; crash_exn = e } :: t.crashed
   in
   let effc : type b. b Effect.t -> ((b, unit) continuation -> unit) option = function
     | Sleep d ->
-        Some (fun k -> schedule t ~after:(Float.max 0.0 d) (fun () -> continue k ()))
+        Some
+          (fun k ->
+            let d = Float.max 0.0 d in
+            emit_end
+              (if d = 0.0 then Weakset_obs.Event.Park_yield
+               else Weakset_obs.Event.Park_sleep (t.now +. d));
+            schedule t ~after:d (fun () ->
+                emit_begin ();
+                continue k ()))
     | Suspend register ->
         Some
           (fun k ->
+            emit_end Weakset_obs.Event.Park_suspend;
             let resumed = ref false in
             let resume r =
               if not !resumed then begin
                 resumed := true;
                 schedule t ~after:0.0 (fun () ->
+                    emit_begin ();
                     match r with Ok v -> continue k v | Error e -> discontinue k e)
               end
             in
             register resume)
     | _ -> None
   in
+  emit_begin ();
   match_with body () { retc; exnc; effc }
 
 let spawn t ?name body =
   t.fiber_counter <- t.fiber_counter + 1;
-  let name =
-    match name with Some n -> n | None -> Printf.sprintf "fiber-%d" t.fiber_counter
-  in
+  let fid = t.fiber_counter in
+  let name = match name with Some n -> n | None -> Printf.sprintf "fiber-%d" fid in
   Weakset_obs.Bus.emit t.bus ~time:t.now
-    (Weakset_obs.Event.Fiber_spawn { fiber = name });
-  schedule t ~after:0.0 (fun () -> run_fiber t name body)
+    (Weakset_obs.Event.Fiber_spawn { fid; fiber = name });
+  schedule t ~after:0.0 (fun () -> run_fiber t fid name body)
 
 let run ?(until = infinity) ?(max_steps = max_int) t =
   let steps = ref 0 in

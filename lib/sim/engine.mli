@@ -33,15 +33,12 @@ val now : t -> float
 (** The engine's root random stream.  Subsystems should {!Rng.split} it. *)
 val rng : t -> Rng.t
 
-(** Legacy string-trace sink.  The bus mirrors crash/fault/custom events
-    into it, so existing tests and debugging keep working; new code
-    should consume {!bus} instead.
-    @deprecated Attach a sink to {!bus} for structured events. *)
-val tracer : t -> Tracer.t
-
 (** The engine's typed event bus.  All subsystems (net, store, dynamic,
     spec instrumentation) publish {!Weakset_obs.Event.t}s here; attach
-    ring/JSONL/digest sinks to observe a run. *)
+    ring/JSONL/digest sinks to observe a run.  Every scheduler handoff
+    to a fiber is bracketed by [Run_begin]/[Run_end] events (the legacy
+    [Tracer] mirror is gone), so profilers can attribute waiting time
+    per fiber. *)
 val bus : t -> Weakset_obs.Bus.t
 
 (** Shorthand for [Weakset_obs.Bus.metrics (bus t)]. *)

@@ -166,7 +166,8 @@ let create ?fetch_service ?(dir_service = 0.02) rpc node =
       dir_service;
     }
   in
-  Rpc.serve rpc node ~service_time:(service_time t) (handle t);
+  Rpc.serve rpc node ~service_time:(service_time t) ~op:Protocol.request_label
+    (handle t);
   t
 
 let host_directory t ~set_id ~policy =

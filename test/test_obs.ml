@@ -98,6 +98,22 @@ let test_ring_as_bus_sink () =
   Alcotest.(check (list int)) "last two events" [ 3; 4 ] (seqs r);
   check_int "drop count" 3 (Obs.Ring.dropped r)
 
+let test_ring_overwrite_at_capacity () =
+  (* Exactly at capacity nothing is dropped; each further push then
+     overwrites the oldest slot, and ordering survives multiple full
+     wrap-arounds of the underlying circular buffer. *)
+  let r = Obs.Ring.create ~capacity:3 in
+  List.iter (fun i -> Obs.Ring.push r (ev i)) [ 0; 1; 2 ];
+  check_int "full, nothing dropped" 0 (Obs.Ring.dropped r);
+  Alcotest.(check (list int)) "at capacity, in order" [ 0; 1; 2 ] (seqs r);
+  Obs.Ring.push r (ev 3);
+  check_int "one dropped on overflow" 1 (Obs.Ring.dropped r);
+  Alcotest.(check (list int)) "oldest overwritten first" [ 1; 2; 3 ] (seqs r);
+  List.iter (fun i -> Obs.Ring.push r (ev i)) [ 4; 5; 6; 7; 8 ];
+  check_int "length stays capped" 3 (Obs.Ring.length r);
+  check_int "drop count accumulates" 6 (Obs.Ring.dropped r);
+  Alcotest.(check (list int)) "ordered after two wrap-arounds" [ 6; 7; 8 ] (seqs r)
+
 let test_ring_rejects_nonpositive_capacity () =
   Alcotest.check_raises "zero capacity"
     (Invalid_argument "Ring.create: capacity must be positive") (fun () ->
@@ -229,6 +245,32 @@ let test_stats_percentile_linear () =
   Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile_linear: empty")
     (fun () -> ignore (Stats.percentile_linear (Stats.create ()) 50.0))
 
+let test_stats_percentile_edges () =
+  (* Degenerate sample counts: with one sample every percentile is that
+     sample; with two, nearest-rank snaps to an endpoint while linear
+     interpolates between them.  p=0 / p=100 are exact endpoints. *)
+  let one = Stats.create () in
+  Stats.add one 7.0;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "1 sample, p%g" p) 7.0 (Stats.percentile one p);
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "1 sample, linear p%g" p)
+        7.0
+        (Stats.percentile_linear one p))
+    [ 0.0; 50.0; 100.0 ];
+  let two = Stats.create () in
+  Stats.add two 10.0;
+  Stats.add two 20.0;
+  Alcotest.(check (float 1e-9)) "2 samples, p0" 10.0 (Stats.percentile two 0.0);
+  Alcotest.(check (float 1e-9)) "2 samples, p100" 20.0 (Stats.percentile two 100.0);
+  Alcotest.(check (float 1e-9)) "2 samples, linear p0" 10.0 (Stats.percentile_linear two 0.0);
+  Alcotest.(check (float 1e-9)) "2 samples, linear p100" 20.0 (Stats.percentile_linear two 100.0);
+  Alcotest.(check (float 1e-9)) "2 samples, linear p25 interpolates" 12.5
+    (Stats.percentile_linear two 25.0);
+  Alcotest.(check (float 1e-9)) "2 samples, linear p50 is midpoint" 15.0
+    (Stats.percentile_linear two 50.0)
+
 (* ------------------------------------------------------------------ *)
 (* Metrics registry: interned-but-never-observed histograms           *)
 (* ------------------------------------------------------------------ *)
@@ -263,7 +305,13 @@ let roundtrip_examples =
   let e1 = { elem_id = 3; elem_label = "f\"oo\\bar\n" } in
   let e2 = { elem_id = 0; elem_label = "" } in
   [
-    Fiber_spawn { fiber = "worker-1" };
+    Fiber_spawn { fid = 1; fiber = "worker-1" };
+    Run_begin { fid = 1; fiber = "worker-1" };
+    Run_end { fid = 1; fiber = "worker-1"; park = Park_yield };
+    Run_end { fid = 1; fiber = "worker-1"; park = Park_sleep (1.0 /. 3.0) };
+    Run_end { fid = 1; fiber = "worker-1"; park = Park_suspend };
+    Run_end { fid = 1; fiber = "worker-1"; park = Park_done };
+    Run_end { fid = 1; fiber = "worker-1"; park = Park_crash };
     Fiber_crash { fiber = "w"; exn_text = "Failure(\"boom\")" };
     Sched { at = 1.0 /. 3.0 };
     Fault_node_crash { node = 2 };
@@ -296,6 +344,25 @@ let roundtrip_examples =
     Spec_observe { set_id = 1; phase = Phase_suspends e1; s = [ e1 ]; accessible = [ e1 ] };
     Spec_observe { set_id = 1; phase = Phase_mutation (Spec_add e2); s = [ e2 ]; accessible = [ e2 ] };
     Spec_observe { set_id = 1; phase = Phase_mutation (Spec_remove e2); s = []; accessible = [ e2 ] };
+    Alert
+      {
+        source = "slo";
+        op = "client.fetch";
+        severity = Sev_warn;
+        burn = 2.5;
+        window = 100.0;
+        detail = "err=0.25 target=0.9";
+      };
+    Alert
+      {
+        source = "slo";
+        op = "client.dir-read";
+        severity = Sev_crit;
+        burn = 40.0;
+        window = 50.0;
+        detail = "";
+      };
+    Spec_violation { set_id = 2; where = "constraint:2.3"; message = "s not within acc" };
     Custom { label = "x"; detail = "free \"text\" with\nnewlines\tand \\slashes" };
   ]
 
@@ -332,7 +399,17 @@ let gen_event =
     let open Obs.Event in
     oneof
       [
-        map (fun fiber -> Fiber_spawn { fiber }) str;
+        map2 (fun fid fiber -> Fiber_spawn { fid; fiber }) small_nat str;
+        map2 (fun fid fiber -> Run_begin { fid; fiber }) small_nat str;
+        ( small_nat >>= fun fid ->
+          str >>= fun fiber ->
+          map
+            (fun park -> Run_end { fid; fiber; park })
+            (oneof
+               [
+                 oneofl [ Park_yield; Park_suspend; Park_done; Park_crash ];
+                 map (fun w -> Park_sleep w) fin;
+               ]) );
         map2 (fun fiber exn_text -> Fiber_crash { fiber; exn_text }) str str;
         map (fun at -> Sched { at }) fin;
         map (fun node -> Fault_node_crash { node }) small_nat;
@@ -377,6 +454,15 @@ let gen_event =
           map
             (fun accessible -> Spec_observe { set_id; phase; s; accessible })
             (list_size (int_bound 4) elem) );
+        ( str >>= fun source ->
+          str >>= fun op ->
+          oneofl [ Sev_warn; Sev_crit ] >>= fun severity ->
+          fin >>= fun burn ->
+          fin >>= fun window ->
+          map (fun detail -> Alert { source; op; severity; burn; window; detail }) str );
+        ( small_nat >>= fun set_id ->
+          str >>= fun where ->
+          map (fun message -> Spec_violation { set_id; where; message }) str );
         map2 (fun label detail -> Custom { label; detail }) str str;
       ]
   in
@@ -487,6 +573,8 @@ let () =
           Alcotest.test_case "below capacity" `Quick test_ring_below_capacity;
           Alcotest.test_case "drops oldest in order" `Quick test_ring_drops_oldest_in_order;
           Alcotest.test_case "as a bus sink" `Quick test_ring_as_bus_sink;
+          Alcotest.test_case "overwrite at capacity keeps order" `Quick
+            test_ring_overwrite_at_capacity;
           Alcotest.test_case "rejects bad capacity" `Quick test_ring_rejects_nonpositive_capacity;
         ] );
       ( "metrics",
@@ -513,6 +601,7 @@ let () =
         [
           Alcotest.test_case "empty min/max raise" `Quick test_stats_empty_min_max_raise;
           Alcotest.test_case "linear percentiles" `Quick test_stats_percentile_linear;
+          Alcotest.test_case "percentile edge cases" `Quick test_stats_percentile_edges;
         ] );
       ( "monitor-adapter",
         [

@@ -1,0 +1,277 @@
+(* Acceptance tests for the online-observability layer (profiler, SLO
+   burn-rate tracker, online spec monitor, bench baseline gate):
+
+   - same-seed runs produce byte-identical profile JSON and folded
+     stacks (the profile determinism contract behind --profile-json);
+   - per-fiber attributed wait time sums to the fiber's lifetime under
+     the profiler's accounting rules (sleep + blocked + rpc + runnable
+     = end - spawn);
+   - a seeded network-brownout scenario fires at least one SLO
+     burn-rate Alert, published back onto the bus;
+   - the online monitor reproduces every violation Monitor_adapter's
+     post-hoc replay finds on the same recorded trace, and catches
+     constraint violations before the final check;
+   - the baseline compare flags regressions and misses, and the file
+     format round-trips. *)
+
+open Weakset_sim
+open Weakset_net
+open Weakset_store
+module Obs = Weakset_obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Profile determinism and accounting                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A seeded distributed run with Rng-driven sleeps, RPC traffic and a
+   crash/recover fault, profiled from its own bus. *)
+let profiled_run seed =
+  let eng = Engine.create ~seed:(Int64.of_int seed) () in
+  let profile = Obs.Profile.create () in
+  Obs.Bus.attach (Engine.bus eng) ~name:"profile" (Obs.Profile.sink profile);
+  let topo = Topology.create () in
+  let nodes = Topology.clique topo 5 ~latency:1.0 in
+  let rpc = Rpc.create eng topo in
+  let servers = Array.map (fun n -> Node_server.create rpc n) nodes in
+  Node_server.host_directory servers.(0) ~set_id:1 ~policy:Node_server.Immediate;
+  let client = Client.create rpc nodes.(4) in
+  let sref = { Protocol.set_id = 1; coordinator = nodes.(0); replicas = [] } in
+  let fault = Fault.create eng topo in
+  let wrng = Rng.split (Engine.rng eng) in
+  Engine.spawn eng ~name:"workload" (fun () ->
+      for i = 1 to 10 do
+        Engine.sleep eng (Rng.exponential wrng ~mean:2.0);
+        let home_ix = 1 + (i mod 3) in
+        let oid = Oid.make ~num:i ~home:nodes.(home_ix) in
+        Node_server.put_object servers.(home_ix) oid (Svalue.make (Printf.sprintf "v%d" i));
+        (match Client.dir_add client sref oid with Ok () | Error _ -> ());
+        match Client.fetch client oid with Ok _ | Error _ -> ()
+      done);
+  Fault.schedule_crash fault ~at:8.0 nodes.(2);
+  Fault.schedule_recover fault ~at:14.0 nodes.(2);
+  let (_ : int) = Engine.run eng in
+  Obs.Profile.finish profile;
+  profile
+
+let test_profile_json_deterministic () =
+  let p1 = profiled_run 42 and p2 = profiled_run 42 in
+  check_bool "profile is non-trivial" true (Obs.Profile.events p1 > 50);
+  check_string "byte-identical JSON" (Obs.Profile.to_json p1) (Obs.Profile.to_json p2);
+  check_string "byte-identical folded stacks" (Obs.Profile.folded p1) (Obs.Profile.folded p2);
+  let p3 = profiled_run 43 in
+  check_bool "different seed, different JSON" true
+    (Obs.Profile.to_json p1 <> Obs.Profile.to_json p3)
+
+let test_profile_accounting_invariant () =
+  let p = profiled_run 42 in
+  let _, stop = Obs.Profile.span p in
+  let fibers = Obs.Profile.fiber_infos p in
+  check_bool "several fibers profiled" true (List.length fibers > 5);
+  List.iter
+    (fun f ->
+      let open Obs.Profile in
+      let lifetime = (match f.i_ended with Some e -> e | None -> stop) -. f.i_spawned in
+      let attributed = f.i_sleep +. f.i_blocked +. f.i_rpc +. f.i_runnable in
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "fiber %d (%s): waits sum to lifetime" f.i_fid f.i_name)
+        lifetime attributed;
+      check_bool
+        (Printf.sprintf "fiber %d: no negative category" f.i_fid)
+        true
+        (f.i_sleep >= 0.0 && f.i_blocked >= 0.0 && f.i_rpc >= 0.0 && f.i_runnable >= 0.0))
+    fibers;
+  (* The workload fiber spends real time waiting on its RPCs. *)
+  let w = List.find (fun f -> f.Obs.Profile.i_name = "workload") fibers in
+  check_bool "workload fiber attributes rpc wait" true (w.Obs.Profile.i_rpc > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* SLO burn-rate alerts under network brownout                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_brownout_fires_slo_alert () =
+  let eng = Engine.create ~seed:11L () in
+  let ring = Obs.Ring.create ~capacity:100_000 in
+  Obs.Bus.attach (Engine.bus eng) ~name:"ring" (Obs.Ring.sink ring);
+  let slo =
+    Obs.Slo.create ~bus:(Engine.bus eng)
+      [ { Obs.Slo.op = "client.fetch"; max_latency = 5.0; target = 0.9; window = 500.0 } ]
+  in
+  Obs.Bus.attach (Engine.bus eng) ~name:"slo" (Obs.Slo.sink slo);
+  let topo = Topology.create () in
+  let nodes = Topology.clique topo 4 ~latency:1.0 in
+  let rpc = Rpc.create eng topo in
+  let servers = Array.map (fun n -> Node_server.create rpc n) nodes in
+  let client = Client.create ~timeout:10.0 rpc nodes.(3) in
+  let oid = Oid.make ~num:1 ~home:nodes.(1) in
+  Node_server.put_object servers.(1) oid (Svalue.make "v");
+  (* Healthy fetches complete in ~2 time units; the transport routes
+     around single cut links, so a brownout degrading every link out of
+     the client node is what pushes round trips past the 5.0 SLO. *)
+  Engine.spawn eng ~name:"prober" (fun () ->
+      for _ = 1 to 20 do
+        (match Client.fetch client oid with Ok _ | Error _ -> ());
+        Engine.sleep eng 3.0
+      done);
+  let set_client_latency l =
+    for i = 0 to 2 do
+      Topology.add_link topo nodes.(3) nodes.(i) ~latency:l
+    done
+  in
+  Engine.spawn eng ~name:"brownout" (fun () ->
+      Engine.sleep eng 20.0;
+      set_client_latency 4.0;
+      Engine.sleep eng 100.0;
+      set_client_latency 1.0);
+  let (_ : int) = Engine.run eng in
+  check_bool "at least one burn-rate alert" true (Obs.Slo.alert_count slo >= 1);
+  let bus_alerts =
+    List.filter
+      (fun e -> match e.Obs.Event.kind with Obs.Event.Alert _ -> true | _ -> false)
+      (Obs.Ring.to_list ring)
+  in
+  check_int "alerts were published on the bus" (Obs.Slo.alert_count slo)
+    (List.length bus_alerts);
+  List.iter
+    (fun e ->
+      match e.Obs.Event.kind with
+      | Obs.Event.Alert { source; op; burn; _ } ->
+          check_string "alert source" "slo" source;
+          check_string "alert op" "client.fetch" op;
+          check_bool "burn at or above warn threshold" true (burn >= 1.0)
+      | _ -> ())
+    bus_alerts
+
+(* ------------------------------------------------------------------ *)
+(* Online monitor vs post-hoc replay                                  *)
+(* ------------------------------------------------------------------ *)
+
+let viol_key (v : Weakset_spec.Figures.violation) =
+  Printf.sprintf "%s|%s|%d" v.Weakset_spec.Figures.where v.Weakset_spec.Figures.message
+    (match v.Weakset_spec.Figures.state with
+    | Some st -> st.Weakset_spec.Sstate.index
+    | None -> -1)
+
+let test_online_monitor_matches_replay () =
+  let open Bench_lib in
+  (* A mutating optimistic run violates the immutable fig1 spec, so the
+     recorded trace carries real violations for both checkers to find. *)
+  let w = Scenarios.clique_world ~seed:7 ~size:6 () in
+  let ring = Obs.Ring.create ~capacity:200_000 in
+  Obs.Bus.attach (Engine.bus w.Scenarios.eng) ~name:"ring" (Obs.Ring.sink ring);
+  Scenarios.set_mutator w ~add_rate:0.2 ~remove_rate:0.1 ~until:1_000.0;
+  let (_ : Scenarios.run) =
+    Scenarios.run_iteration ~instrument:true ~think:2.0 ~deadline:5_000.0 w
+      Weakset_core.Semantics.optimistic
+  in
+  check_int "ring kept the whole stream" 0 (Obs.Ring.dropped ring);
+  let events = Obs.Ring.to_list ring in
+  let spec = Weakset_spec.Figures.fig1 in
+  (* Post-hoc truth: replay the stream, then check the computation. *)
+  let adapter = Weakset_spec.Monitor_adapter.replay ~set_id:1 events in
+  let replay_violations =
+    match Weakset_spec.Figures.check spec (Weakset_spec.Monitor_adapter.computation adapter) with
+    | Weakset_spec.Figures.Conforms -> []
+    | Weakset_spec.Figures.Violates vs -> vs
+  in
+  check_bool "scenario produces real violations" true (replay_violations <> []);
+  (* Online: same stream through the sampling monitor, violations
+     published as Spec_violation events. *)
+  let bus = Obs.Bus.create () in
+  let published = ref 0 in
+  Obs.Bus.attach bus ~name:"count" (fun e ->
+      match e.Obs.Event.kind with
+      | Obs.Event.Spec_violation _ -> incr published
+      | _ -> ());
+  let online = Weakset_spec.Monitor_online.create ~bus ~sample_every:8 ~set_id:1 spec in
+  List.iter (Weakset_spec.Monitor_online.handle online) events;
+  check_bool "constraint violations caught before the final check" true
+    (Weakset_spec.Monitor_online.violations online <> []);
+  let last_time = match List.rev events with e :: _ -> e.Obs.Event.time | [] -> 0.0 in
+  let (_ : Weakset_spec.Figures.verdict) =
+    Weakset_spec.Monitor_online.finish online ~time:last_time
+  in
+  let online_keys =
+    List.map viol_key (Weakset_spec.Monitor_online.violations online)
+  in
+  List.iter
+    (fun v ->
+      check_bool
+        (Printf.sprintf "replay violation also found online: %s" (viol_key v))
+        true
+        (List.mem (viol_key v) online_keys))
+    replay_violations;
+  check_int "every distinct violation was published" (List.length online_keys) !published;
+  check_bool "full checks were sampled, not run per event" true
+    (Weakset_spec.Monitor_online.full_checks online
+    < Weakset_spec.Monitor_online.observes online)
+
+(* ------------------------------------------------------------------ *)
+(* Baseline compare gate                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_baseline_compare_verdicts () =
+  let open Bench_lib in
+  let old_m = [ ("a.total", 10.0); ("a.msgs", 100.0); ("b.total", 4.0); ("gone", 1.0) ] in
+  let new_m = [ ("a.total", 10.5); ("a.msgs", 150.0); ("b.total", 2.0); ("fresh", 9.0) ] in
+  let cmps = Baseline.compare_metrics ~tolerance:0.10 old_m new_m in
+  let verdict_of metric =
+    let c = List.find (fun c -> c.Baseline.metric = metric) cmps in
+    c.Baseline.verdict
+  in
+  check_bool "within tolerance" true (verdict_of "a.total" = Baseline.Ok_within);
+  check_bool "regression flagged" true (verdict_of "a.msgs" = Baseline.Regressed);
+  check_bool "improvement noted" true (verdict_of "b.total" = Baseline.Improved);
+  check_bool "missing metric flagged" true (verdict_of "gone" = Baseline.Missing);
+  check_bool "regressions fail the gate" true (Baseline.failed cmps);
+  let clean = Baseline.compare_metrics ~tolerance:0.10 [ ("a", 1.0) ] [ ("a", 1.05) ] in
+  check_bool "clean compare passes" false (Baseline.failed clean)
+
+let test_baseline_file_roundtrip () =
+  let open Bench_lib in
+  let path = Filename.temp_file "baseline" ".json" in
+  let metrics = [ ("iter.x.n16.first", 6.0901800000000001); ("iter.x.n16.msgs", 38.0) ] in
+  Baseline.write ~path metrics;
+  (match Baseline.read path with
+  | Error m -> Alcotest.fail m
+  | Ok read_back ->
+      check_int "metric count survives" (List.length metrics) (List.length read_back);
+      List.iter2
+        (fun (k1, v1) (k2, v2) ->
+          check_string "key order preserved" k1 k2;
+          check_bool "value exact after %.17g roundtrip" true (v1 = v2))
+        metrics read_back);
+  Sys.remove path;
+  match Baseline.read "/nonexistent/baseline.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "reading a missing file must error"
+
+let () =
+  Alcotest.run "weakset_profile"
+    [
+      ( "profile",
+        [
+          Alcotest.test_case "same seed, byte-identical JSON" `Quick
+            test_profile_json_deterministic;
+          Alcotest.test_case "waits sum to fiber lifetime" `Quick
+            test_profile_accounting_invariant;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "network brownout fires burn-rate alert" `Quick
+            test_brownout_fires_slo_alert;
+        ] );
+      ( "online-monitor",
+        [
+          Alcotest.test_case "reproduces replay violations" `Quick
+            test_online_monitor_matches_replay;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "compare verdicts" `Quick test_baseline_compare_verdicts;
+          Alcotest.test_case "file roundtrip" `Quick test_baseline_file_roundtrip;
+        ] );
+    ]

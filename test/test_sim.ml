@@ -565,37 +565,74 @@ let prop_stats_mean_bounded =
       Stats.mean s >= Stats.min s -. 1e-9 && Stats.mean s <= Stats.max s +. 1e-9)
 
 (* ------------------------------------------------------------------ *)
-(* Tracer                                                             *)
+(* Run-slice events                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let test_tracer_records () =
-  let tr = Tracer.create () in
-  Tracer.emit tr ~time:1.0 ~label:"a" "one";
-  Tracer.emit tr ~time:2.0 ~label:"b" "two";
-  Tracer.emit tr ~time:3.0 ~label:"a" "three";
-  check_int "length" 3 (Tracer.length tr);
-  check_int "filtered" 2 (List.length (Tracer.entries_with_label tr "a"));
-  (match Tracer.entries tr with
-  | { Tracer.time; label; detail } :: _ ->
-      check_float "first time" 1.0 time;
-      Alcotest.(check string) "first label" "a" label;
-      Alcotest.(check string) "first detail" "one" detail
-  | [] -> Alcotest.fail "no entries")
+(* Records the Run_begin/Run_end stream of a small three-fiber run and
+   checks the bracketing invariants the profiler depends on. *)
+let record_run_slices () =
+  let module Obs = Weakset_obs in
+  let eng = Engine.create () in
+  let ring = Obs.Ring.create ~capacity:10_000 in
+  Obs.Bus.attach (Engine.bus eng) ~name:"ring" (Obs.Ring.sink ring);
+  let iv = Ivar.create () in
+  Engine.spawn eng ~name:"sleeper" (fun () ->
+      Engine.sleep eng 2.0;
+      Engine.yield eng;
+      Ivar.fill eng iv 7);
+  Engine.spawn eng ~name:"waiter" (fun () -> ignore (Ivar.read eng iv));
+  Engine.spawn eng ~name:"crasher" (fun () -> failwith "boom");
+  let (_ : int) = Engine.run eng in
+  Obs.Ring.to_list ring
 
-let test_tracer_disable () =
-  let tr = Tracer.create () in
-  Tracer.set_enabled tr false;
-  Tracer.emit tr ~time:1.0 ~label:"x" "ignored";
-  check_int "nothing recorded" 0 (Tracer.length tr);
-  Tracer.set_enabled tr true;
-  Tracer.emit tr ~time:2.0 ~label:"x" "kept";
-  check_int "recorded" 1 (Tracer.length tr)
+let test_run_slices_balanced () =
+  let module E = Weakset_obs.Event in
+  let events = record_run_slices () in
+  (* Every Run_begin is matched by exactly one Run_end of the same fid,
+     and a fiber is never "running" twice at once. *)
+  let running = Hashtbl.create 8 in
+  let ends = Hashtbl.create 8 in
+  List.iter
+    (fun (e : E.t) ->
+      match e.kind with
+      | E.Run_begin { fid; _ } ->
+          if Hashtbl.mem running fid then
+            Alcotest.failf "fiber %d began a slice while already running" fid;
+          Hashtbl.replace running fid ()
+      | E.Run_end { fid; park; _ } ->
+          if not (Hashtbl.mem running fid) then
+            Alcotest.failf "fiber %d ended a slice it never began" fid;
+          Hashtbl.remove running fid;
+          Hashtbl.replace ends fid
+            (park :: Option.value ~default:[] (Hashtbl.find_opt ends fid))
+      | _ -> ())
+    events;
+  check_int "no slice left open" 0 (Hashtbl.length running);
+  check_int "three fibers ran" 3 (Hashtbl.length ends);
+  (* Terminal park reasons: one crash, two dones. *)
+  let finals = Hashtbl.fold (fun _ parks acc -> List.hd parks :: acc) ends [] in
+  check_int "one crash" 1
+    (List.length (List.filter (fun p -> p = E.Park_crash) finals));
+  check_int "two clean exits" 2
+    (List.length (List.filter (fun p -> p = E.Park_done) finals))
 
-let test_tracer_clear () =
-  let tr = Tracer.create () in
-  Tracer.emit tr ~time:1.0 ~label:"x" "a";
-  Tracer.clear tr;
-  check_int "cleared" 0 (Tracer.length tr)
+let test_run_slices_park_reasons () =
+  let module E = Weakset_obs.Event in
+  let events = record_run_slices () in
+  let parks_of name =
+    List.filter_map
+      (fun (e : E.t) ->
+        match e.kind with
+        | E.Run_end { fiber; park; _ } when fiber = name -> Some park
+        | _ -> None)
+      events
+  in
+  (match parks_of "sleeper" with
+  | [ E.Park_sleep wake; E.Park_yield; E.Park_done ] -> check_float "wake time" 2.0 wake
+  | parks -> Alcotest.failf "sleeper parks unexpected (%d)" (List.length parks));
+  match parks_of "waiter" with
+  | [ E.Park_suspend; E.Park_done ] -> ()
+  | parks -> Alcotest.failf "waiter parks unexpected (%d)" (List.length parks)
 
 (* ------------------------------------------------------------------ *)
 
@@ -673,10 +710,9 @@ let () =
         :: Alcotest.test_case "empty percentile" `Quick test_stats_empty_percentile
         :: Alcotest.test_case "histogram" `Quick test_histogram
         :: qcheck [ prop_stats_percentile_in_samples; prop_stats_mean_bounded ] );
-      ( "tracer",
+      ( "run-slices",
         [
-          Alcotest.test_case "records" `Quick test_tracer_records;
-          Alcotest.test_case "disable" `Quick test_tracer_disable;
-          Alcotest.test_case "clear" `Quick test_tracer_clear;
+          Alcotest.test_case "balanced begin/end" `Quick test_run_slices_balanced;
+          Alcotest.test_case "park reasons" `Quick test_run_slices_park_reasons;
         ] );
     ]

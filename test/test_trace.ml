@@ -133,15 +133,15 @@ let test_strict_ls_span_tree () =
     "ls.strict @n0\n\
     \  client.dir-read @n0\n\
     \    rpc n0->n1 ok\n\
-    \    rpc.serve @n1\n\
+    \    rpc.serve.dir-read @n1\n\
     \      op dir-read\n\
     \  client.fetch @n0\n\
     \    rpc n0->n2 ok\n\
-    \    rpc.serve @n2\n\
+    \    rpc.serve.fetch @n2\n\
     \      op fetch\n\
     \  client.fetch @n0\n\
     \    rpc n0->n3 ok\n\
-    \    rpc.serve @n3\n\
+    \    rpc.serve.fetch @n3\n\
     \      op fetch\n"
   in
   check_string "reconstructed tree" expected (Trace.render_tree ~times:false tr);
