@@ -1,9 +1,9 @@
 # One-command tier-1 verification: build + tests (including the trace
 # determinism suite in test/test_obs.ml) + formatting check.
 
-.PHONY: check build test fmt fmt-fix bench bench-compare clean
+.PHONY: check build test fmt fmt-fix bench bench-compare vopr-smoke clean
 
-check: build test fmt bench-compare
+check: build test fmt bench-compare vopr-smoke
 
 build:
 	dune build @all
@@ -30,6 +30,16 @@ bench:
 # clean against itself (schema readable, every metric within tolerance).
 bench-compare:
 	dune exec bench/main.exe -- --compare BENCH_baseline.json BENCH_baseline.json
+
+# Bounded VOPR swarm: 32 seed-derived scenarios (virtual-time budgets keep
+# this well under a minute of wall clock), plus the mutation test — the
+# planted grow-only bug must be caught within the same seed range.  Repro
+# bundles for any failure land in vopr-bundles/ (CI uploads them).
+vopr-smoke:
+	rm -rf vopr-bundles && mkdir -p vopr-bundles
+	dune exec bin/weakset_vopr.exe -- run --seeds 0..32 --bundle-dir vopr-bundles --quiet
+	dune exec bin/weakset_vopr.exe -- run --seeds 0..32 --planted-bug --no-shrink --quiet; \
+	  test $$? -eq 1 || { echo "vopr-smoke: planted bug was NOT detected"; exit 1; }
 
 clean:
 	dune clean

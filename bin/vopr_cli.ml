@@ -1,0 +1,276 @@
+(* VOPR-style deterministic simulation fuzzer for the weak-set stack.
+
+     weakset_vopr run --seeds 0..32          -- bounded swarm (CI smoke)
+     weakset_vopr run --seed 7 --planted-bug -- one seed, bug armed
+     weakset_vopr replay bundle.json         -- byte-identical reproduction
+     weakset_vopr shrink bundle.json -o min.json
+
+   Every run is a pure function of its seed: the same seed produces the
+   same cluster, workload, fault schedule and — via the chained event
+   digest — the same trace fingerprint.  Failing seeds are shrunk with
+   delta debugging and written as JSON repro bundles. *)
+
+module Gen = Weakset_vopr.Gen
+module Oracle = Weakset_vopr.Oracle
+module Runner = Weakset_vopr.Runner
+module Shrink = Weakset_vopr.Shrink
+
+let usage =
+  "usage: weakset_vopr COMMAND [options]\n\n\
+   commands:\n\
+  \  run      sweep seeds, judge each run, bundle (shrunk) failures\n\
+  \  replay   re-execute a repro bundle and verify digest + verdict\n\
+  \  shrink   minimise a repro bundle's schedule\n\n\
+   run options:\n\
+  \  --seeds A..B         half-open seed range [A, B)  (e.g. 0..32)\n\
+  \  --seed N             a single seed (may repeat)\n\
+  \  --step-cap N         engine step budget per run (default 1000000)\n\
+  \  --bundle-dir DIR     write vopr-seed-N.json for each failing seed\n\
+  \  --no-shrink          bundle the original, unshrunk schedule\n\
+  \  --planted-bug        arm the planted grow-only drop (mutation test)\n\
+  \  --quiet              only print failures and the summary\n\n\
+   replay options:\n\
+  \  --step-cap N         engine step budget (default 1000000)\n\
+  \  BUNDLE               repro bundle written by run/shrink\n\n\
+   shrink options:\n\
+  \  --max-runs N         candidate execution budget (default 200)\n\
+  \  -o FILE              output bundle (default: overwrite input)\n\
+  \  BUNDLE               repro bundle to minimise\n"
+
+let usage_die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_string ("weakset_vopr: " ^ s ^ "\n\n" ^ usage);
+      exit 2)
+    fmt
+
+let parse_seeds spec =
+  match String.index_opt spec '.' with
+  | Some i
+    when i + 1 < String.length spec
+         && spec.[i + 1] = '.'
+         && (not (String.contains spec '-'))
+         && i > 0 -> (
+      let lo = String.sub spec 0 i in
+      let hi = String.sub spec (i + 2) (String.length spec - i - 2) in
+      match (Int64.of_string_opt lo, Int64.of_string_opt hi) with
+      | Some a, Some b when b >= a ->
+          List.init (Int64.to_int (Int64.sub b a)) (fun k -> Int64.add a (Int64.of_int k))
+      | _ -> usage_die "--seeds expects A..B with integers B >= A, got %S" spec)
+  | _ -> usage_die "--seeds expects a range A..B, got %S" spec
+
+let int_arg flag v =
+  match int_of_string_opt v with
+  | Some n when n > 0 -> n
+  | _ -> usage_die "%s expects a positive integer, got %S" flag v
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type run_opts = {
+  mutable seeds : int64 list;  (** reverse accumulation order *)
+  mutable step_cap : int option;
+  mutable bundle_dir : string option;
+  mutable no_shrink : bool;
+  mutable planted_bug : bool;
+  mutable quiet : bool;
+}
+
+let parse_run_args args =
+  let o =
+    {
+      seeds = [];
+      step_cap = None;
+      bundle_dir = None;
+      no_shrink = false;
+      planted_bug = false;
+      quiet = false;
+    }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--seeds" :: v :: rest ->
+        o.seeds <- List.rev_append (parse_seeds v) o.seeds;
+        go rest
+    | "--seed" :: v :: rest -> (
+        match Int64.of_string_opt v with
+        | Some s ->
+            o.seeds <- s :: o.seeds;
+            go rest
+        | None -> usage_die "--seed expects an integer, got %S" v)
+    | "--step-cap" :: v :: rest ->
+        o.step_cap <- Some (int_arg "--step-cap" v);
+        go rest
+    | "--bundle-dir" :: v :: rest ->
+        o.bundle_dir <- Some v;
+        go rest
+    | "--no-shrink" :: rest ->
+        o.no_shrink <- true;
+        go rest
+    | "--planted-bug" :: rest ->
+        o.planted_bug <- true;
+        go rest
+    | "--quiet" :: rest ->
+        o.quiet <- true;
+        go rest
+    | [ (("--seeds" | "--seed" | "--step-cap" | "--bundle-dir") as flag) ] ->
+        usage_die "%s expects an argument" flag
+    | a :: _ -> usage_die "run: unknown argument %S" a
+  in
+  go args;
+  if o.seeds = [] then usage_die "run: no seeds given (use --seeds A..B or --seed N)";
+  o.seeds <- List.rev o.seeds;
+  o
+
+let cmd_run args =
+  let o = parse_run_args args in
+  Weakset_core.Impl_common.planted_grow_only_drop := o.planted_bug;
+  let failures = ref 0 in
+  let progress seed (r : Runner.result) =
+    if r.issues = [] then begin
+      if not o.quiet then
+        Printf.printf "seed %Ld: PASS  (%d events, digest %s)\n%!" seed r.events
+          (String.sub r.digest 0 12)
+    end
+    else begin
+      incr failures;
+      Printf.printf "seed %Ld: FAIL  (%d events)\n%!" seed r.events;
+      List.iter (fun i -> Printf.printf "  - %s\n%!" (Oracle.describe i)) r.issues;
+      let bundled =
+        if o.no_shrink then r
+        else begin
+          let run p = (Runner.execute ?step_cap:o.step_cap p).issues in
+          let plan', _issues', st = Shrink.minimize ~run ~issues:r.issues r.plan in
+          let r' = Runner.execute ?step_cap:o.step_cap plan' in
+          Printf.printf "  shrunk %d -> %d schedule events in %d runs\n%!" st.initial_events
+            st.final_events st.runs;
+          r'
+        end
+      in
+      Option.iter
+        (fun dir ->
+          let path = Filename.concat dir (Printf.sprintf "vopr-seed-%Ld.json" seed) in
+          Runner.write_bundle ~path (Runner.bundle_of_result bundled);
+          Printf.printf "  bundle: %s\n%!" path)
+        o.bundle_dir
+    end
+  in
+  let results = Runner.sweep ?step_cap:o.step_cap ~progress o.seeds in
+  Printf.printf "vopr: %d seed(s), %d failure(s)\n%!" (List.length results) !failures;
+  exit (if !failures > 0 then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
+(* replay                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type replay_opts = { mutable r_step_cap : int option; mutable r_bundle : string option }
+
+let parse_replay_args args =
+  let o = { r_step_cap = None; r_bundle = None } in
+  let rec go = function
+    | [] -> ()
+    | "--step-cap" :: v :: rest ->
+        o.r_step_cap <- Some (int_arg "--step-cap" v);
+        go rest
+    | [ "--step-cap" ] -> usage_die "--step-cap expects an argument"
+    | a :: _ when String.length a > 0 && a.[0] = '-' -> usage_die "replay: unknown option %S" a
+    | path :: rest ->
+        if o.r_bundle <> None then usage_die "replay: more than one bundle given";
+        o.r_bundle <- Some path;
+        go rest
+  in
+  go args;
+  o
+
+let load_bundle path =
+  match Runner.read_bundle ~path with
+  | Ok b -> b
+  | Error m ->
+      prerr_endline (Printf.sprintf "weakset_vopr: cannot load %s: %s" path m);
+      exit 1
+
+let cmd_replay args =
+  let o = parse_replay_args args in
+  let path = match o.r_bundle with Some p -> p | None -> usage_die "replay: no bundle given" in
+  let b = load_bundle path in
+  match Runner.replay ?step_cap:o.r_step_cap b with
+  | Runner.Reproduced r ->
+      Printf.printf "reproduced: seed %Ld, digest %s over %d events, %d issue(s)\n" b.b_plan.seed
+        r.digest r.events (List.length r.issues);
+      List.iter (fun i -> Printf.printf "  - %s\n" (Oracle.describe i)) r.issues;
+      exit 0
+  | Runner.Digest_mismatch { got; expected } ->
+      Printf.printf "DIGEST MISMATCH: expected %s over %d events, got %s over %d events\n"
+        expected b.b_events got.digest got.events;
+      exit 1
+  | Runner.Verdict_mismatch got ->
+      Printf.printf "VERDICT MISMATCH: digest matches but issues differ\n";
+      Printf.printf "  recorded:\n";
+      List.iter (fun i -> Printf.printf "    - %s\n" (Oracle.describe i)) b.b_issues;
+      Printf.printf "  replayed:\n";
+      List.iter (fun i -> Printf.printf "    - %s\n" (Oracle.describe i)) got.issues;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* shrink                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type shrink_opts = {
+  mutable s_max_runs : int option;
+  mutable s_out : string option;
+  mutable s_bundle : string option;
+}
+
+let parse_shrink_args args =
+  let o = { s_max_runs = None; s_out = None; s_bundle = None } in
+  let rec go = function
+    | [] -> ()
+    | "--max-runs" :: v :: rest ->
+        o.s_max_runs <- Some (int_arg "--max-runs" v);
+        go rest
+    | "-o" :: v :: rest ->
+        o.s_out <- Some v;
+        go rest
+    | [ (("--max-runs" | "-o") as flag) ] -> usage_die "%s expects an argument" flag
+    | a :: _ when String.length a > 0 && a.[0] = '-' -> usage_die "shrink: unknown option %S" a
+    | path :: rest ->
+        if o.s_bundle <> None then usage_die "shrink: more than one bundle given";
+        o.s_bundle <- Some path;
+        go rest
+  in
+  go args;
+  o
+
+let cmd_shrink args =
+  let o = parse_shrink_args args in
+  let path = match o.s_bundle with Some p -> p | None -> usage_die "shrink: no bundle given" in
+  let b = load_bundle path in
+  Weakset_core.Impl_common.planted_grow_only_drop := b.b_planted;
+  let issues =
+    match b.b_issues with
+    | [] ->
+        prerr_endline "weakset_vopr: bundle records a passing run; nothing to shrink";
+        exit 1
+    | l -> l
+  in
+  let run p = (Runner.execute p).issues in
+  let plan', _, st = Shrink.minimize ?max_runs:o.s_max_runs ~run ~issues b.b_plan in
+  let r' = Runner.execute plan' in
+  Printf.printf "shrunk %d -> %d schedule events (%d candidate runs, %d kept)\n"
+    st.initial_events st.final_events st.runs st.kept;
+  let out = Option.value o.s_out ~default:path in
+  Runner.write_bundle ~path:out (Runner.bundle_of_result r');
+  Printf.printf "bundle: %s (%d issue(s))\n" out (List.length r'.issues);
+  exit 0
+
+let main () =
+  match Array.to_list Sys.argv with
+  | _ :: "run" :: rest -> cmd_run rest
+  | _ :: "replay" :: rest -> cmd_replay rest
+  | _ :: "shrink" :: rest -> cmd_shrink rest
+  | _ :: (("--help" | "-h") :: _ | []) ->
+      print_string usage;
+      exit 0
+  | _ :: cmd :: _ -> usage_die "unknown command %S" cmd
+  | [] -> usage_die "no command"

@@ -33,8 +33,9 @@ let usage_die fmt =
       exit 2)
     fmt
 
-(* Strict parsing: every flag must be known, every known flag must get a
-   well-formed value, and the positional count must match. *)
+(* Strict parsing: every flag must be known to the subcommand at hand,
+   every known flag must get a well-formed non-flag value, and the
+   positional count must match. *)
 type opts = {
   mutable world : string option;
   mutable times : bool;
@@ -44,39 +45,60 @@ type opts = {
   mutable files : string list;
 }
 
-let parse_args args =
+let flag_like v = String.length v > 0 && v.[0] = '-'
+
+(* Which options each subcommand understands; --world applies to all. *)
+let allowed_for = function
+  | "tree" -> [ "--no-times"; "--max-depth" ]
+  | "profile" -> [ "--top" ]
+  | "anomalies" -> [ "--slow-pct" ]
+  | _ -> []
+
+let parse_args cmd args =
   let o =
     { world = None; times = true; max_depth = None; top = 10; slow_pct = None; files = [] }
+  in
+  let allowed = "--world" :: allowed_for cmd in
+  let permit flag =
+    if not (List.mem flag allowed) then usage_die "%s does not apply to %S" flag cmd
+  in
+  let value flag v =
+    if flag_like v then usage_die "%s expects a value, got option %S" flag v;
+    v
   in
   let rec go = function
     | [] -> ()
     | "--world" :: v :: rest ->
-        o.world <- Some v;
+        o.world <- Some (value "--world" v);
         go rest
     | "--no-times" :: rest ->
+        permit "--no-times";
         o.times <- false;
         go rest
     | "--max-depth" :: v :: rest -> (
-        match int_of_string_opt v with
+        permit "--max-depth";
+        match int_of_string_opt (value "--max-depth" v) with
         | Some n when n >= 0 ->
             o.max_depth <- Some n;
             go rest
         | _ -> usage_die "--max-depth expects a non-negative integer, got %S" v)
     | "--top" :: v :: rest -> (
-        match int_of_string_opt v with
+        permit "--top";
+        match int_of_string_opt (value "--top" v) with
         | Some n when n > 0 ->
             o.top <- n;
             go rest
         | _ -> usage_die "--top expects a positive integer, got %S" v)
     | "--slow-pct" :: v :: rest -> (
-        match float_of_string_opt v with
+        permit "--slow-pct";
+        match float_of_string_opt (value "--slow-pct" v) with
         | Some p when p >= 0.0 && p <= 100.0 ->
             o.slow_pct <- Some p;
             go rest
         | _ -> usage_die "--slow-pct expects a percentile in [0,100], got %S" v)
     | [ ("--world" | "--max-depth" | "--top" | "--slow-pct") ] ->
         usage_die "missing value for final option"
-    | f :: _ when String.length f > 0 && f.[0] = '-' -> usage_die "unknown option %S" f
+    | f :: _ when flag_like f -> usage_die "unknown option %S" f
     | f :: rest ->
         o.files <- o.files @ [ f ];
         go rest
@@ -114,7 +136,7 @@ let per_segment render =
 let () =
   match Array.to_list Sys.argv with
   | _ :: cmd :: rest -> (
-      let o = parse_args rest in
+      let o = parse_args cmd rest in
       match cmd with
       | "tree" ->
           per_segment

@@ -1,0 +1,3 @@
+(* Entry point only: the CLI lives in [Vopr_cli] because this unit's own
+   module name (Weakset_vopr) shadows the weakset_vopr library alias. *)
+let () = Vopr_cli.main ()

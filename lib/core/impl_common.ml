@@ -18,6 +18,8 @@ let make_ctx ?instrument ?heal_signal ?(retry_backoff = 1.0) ?(lock_timeout = 60
     ?(max_fetch_attempts = 5) client sref =
   { client; sref; instrument; heal_signal; retry_backoff; lock_timeout; max_fetch_attempts }
 
+let planted_grow_only_drop = ref false
+
 let engine ctx = Client.engine ctx.client
 
 let pick_reachable ctx candidates =
@@ -49,9 +51,13 @@ let wait_for_change ctx ~seen_generation =
 
 let inst_detach ctx = Option.iter Instrument.detach ctx.instrument
 
-let inst_first ctx = Option.iter Instrument.observe_first ctx.instrument
+let inst_first ?version ?linearised ctx =
+  Option.iter (Instrument.observe_first ?version ?linearised) ctx.instrument
+
 let inst_started ctx = Option.iter Instrument.invocation_started ctx.instrument
-let inst_retry ctx = Option.iter Instrument.invocation_retry ctx.instrument
+
+let inst_retry ?version ?linearised ctx =
+  Option.iter (Instrument.invocation_retry ?version ?linearised) ctx.instrument
 
 let inst_completed ctx term =
   Option.iter (fun i -> Instrument.invocation_completed i term) ctx.instrument

@@ -27,6 +27,13 @@ val make_ctx :
 
 val engine : ctx -> Weakset_sim.Engine.t
 
+(** Mutation-testing hook (off by default, and in all production paths):
+    when set, the grow-only iterator silently marks un-yielded members
+    whose homes are unreachable as yielded and returns instead of
+    signalling failure — a deliberately planted partition-window bug the
+    VOPR swarm must detect, shrink and replay (see [lib/vopr]). *)
+val planted_grow_only_drop : bool ref
+
 (** Pick the un-yielded candidate with the closest (cheapest-path)
     reachable home; ties break on oid number.  [None] if no candidate's
     home is reachable. *)
@@ -48,9 +55,19 @@ val signal_generation : ctx -> int
     outside the recorded computation. *)
 val inst_detach : ctx -> unit
 
-val inst_first : ctx -> unit
+(** [?linearised] is the member list the implementation's membership
+    read delivered; the instrument records it as [s] instead of the
+    directory-at-receipt, so the monitored pre-state is exactly the view
+    the decision linearised on.  Pass the reply's [?version] with it so
+    the instrument can cross-check the view against the directory's
+    recorded membership at that version (see {!Instrument}). *)
+val inst_first :
+  ?version:Weakset_store.Version.t -> ?linearised:Weakset_store.Oid.Set.t -> ctx -> unit
+
 val inst_started : ctx -> unit
-val inst_retry : ctx -> unit
+
+val inst_retry :
+  ?version:Weakset_store.Version.t -> ?linearised:Weakset_store.Oid.Set.t -> ctx -> unit
 val inst_completed : ctx -> Weakset_spec.Sstate.termination -> unit
 
 (** [inst_yield ctx oid] = [inst_completed ctx (Suspends oid)]. *)

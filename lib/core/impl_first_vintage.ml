@@ -39,9 +39,12 @@ let ensure_open st =
           Client.dir_read c ~from:st.ctx.sref.Weakset_store.Protocol.coordinator
             ~set_id:st.ctx.sref.Weakset_store.Protocol.set_id
         with
-        | Ok (_version, members) ->
+        | Ok (version, members) ->
             st.pool <- Oid.Set.of_list members;
-            inst_first st.ctx
+            (* The vintage is the membership this reply delivered, not the
+               directory at receipt — a mutation landing while the reply
+               was in flight is not part of the pool we iterate. *)
+            inst_first ~version ~linearised:st.pool st.ctx
         | Error e -> st.open_failure <- Some e)
   end
 

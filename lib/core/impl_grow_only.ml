@@ -45,17 +45,27 @@ let next st () =
             (* Pessimistic: if we cannot even read the membership, fail. *)
             inst_completed st.ctx Weakset_spec.Sstate.Fails;
             Iterator.Failed e
-        | Ok (_version, members) -> (
-            (* Linearise here: the invocation acts on this read, so the
-               recorded pre-state is refreshed to the receipt instant. *)
-            inst_retry st.ctx;
-            let remaining = Oid.Set.diff (Oid.Set.of_list members) st.yielded in
+        | Ok (version, members) -> (
+            let members = Oid.Set.of_list members in
+            (* Linearise here: the invocation acts on exactly this reply's
+               membership, so record it as the pre-state rather than the
+               directory at receipt (which in-flight mutations may have
+               already changed). *)
+            inst_retry ~version ~linearised:members st.ctx;
+            let remaining = Oid.Set.diff members st.yielded in
             if Oid.Set.is_empty remaining then begin
               inst_completed st.ctx Weakset_spec.Sstate.Returns;
               Iterator.Done
             end
             else
               match pick_reachable st.ctx remaining with
+              | None when !planted_grow_only_drop ->
+                  (* Planted bug (mutation testing): silently drop the
+                     unreachable members and pretend the iteration is
+                     complete instead of signalling the failure. *)
+                  st.yielded <- Oid.Set.union st.yielded remaining;
+                  inst_completed st.ctx Weakset_spec.Sstate.Returns;
+                  Iterator.Done
               | None ->
                   inst_completed st.ctx Weakset_spec.Sstate.Fails;
                   Iterator.Failed Client.Unreachable

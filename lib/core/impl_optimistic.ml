@@ -55,12 +55,18 @@ let next st () =
             ~set_id:st.ctx.sref.Weakset_store.Protocol.set_id
         with
         | Error _ -> block_and_retry ()
-        | Ok (_version, members) -> (
-            (* Linearise at the decisive membership read. *)
-            inst_retry st.ctx;
-            let remaining =
-              Oid.Set.diff (Oid.Set.diff (Oid.Set.of_list members) st.yielded) st.dead
-            in
+        | Ok (version, members) -> (
+            let members = Oid.Set.of_list members in
+            (* Linearise at the decisive membership read.  A coordinator
+               reply is authoritative, so record exactly what it delivered
+               as the pre-state; a replica reply is deliberately stale and
+               its gap from the directory is the measured quantity, so
+               keep the omniscient capture there. *)
+            let coord = st.ctx.sref.Weakset_store.Protocol.coordinator in
+            if Weakset_net.Nodeid.equal host coord then
+              inst_retry ~version ~linearised:members st.ctx
+            else inst_retry st.ctx;
+            let remaining = Oid.Set.diff (Oid.Set.diff members st.yielded) st.dead in
             if Oid.Set.is_empty remaining then begin
               inst_completed st.ctx Weakset_spec.Sstate.Returns;
               Iterator.Done

@@ -5,12 +5,15 @@ module Oid = Weakset_store.Oid
 module Engine = Weakset_sim.Engine
 module Spec = Weakset_spec
 
+module Version = Weakset_store.Version
+
 type t = {
   client : Client.t;
   server : Node_server.t;
   set_id : int;
   monitor : Spec.Monitor.t;
   mutable universe : Oid.Set.t; (* every oid ever observed as a member *)
+  mutable history : (Version.t * Oid.Set.t) list; (* membership per version, newest first *)
   mutable unhook : unit -> unit;
 }
 
@@ -23,9 +26,41 @@ let now t = Engine.now (Client.engine t.client)
 let truth t = Directory.members (Node_server.directory_truth t.server ~set_id:t.set_id)
 
 (* The paper's reachable(): which ever-member elements are accessible from
-   the client's node in the current state. *)
-let capture t =
-  let members = truth t in
+   the client's node in the current state.
+
+   [linearised] is the member list an implementation's membership read
+   actually delivered.  When given it becomes the recorded [s]: a
+   mutation that lands while the reply is in flight would otherwise make
+   the coordinator's directory diverge from the view the implementation
+   linearised on, and the monitor would judge the decision against a
+   state it never saw.
+
+   [version] is the directory version the reply carried.  Since the type
+   constraint no longer scans these views (see Constraint_clause), a
+   read path that corrupts membership would go unnoticed — so the
+   instrument cross-checks the view against its own per-version record of
+   the directory, which is exact: a serve returns precisely the
+   directory at its version. *)
+exception Corrupt_view of string
+
+let verify_view t version members =
+  match List.find_opt (fun (v, _) -> Version.equal v version) t.history with
+  | None -> () (* version predates this instrument's attachment *)
+  | Some (_, recorded) ->
+      if not (Oid.Set.equal members recorded) then
+        raise
+          (Corrupt_view
+             (Format.asprintf "instrument: membership reply diverges from directory@%a"
+                Version.pp version))
+
+let capture ?version ?linearised t =
+  let members =
+    match linearised with
+    | Some m ->
+        Option.iter (fun v -> verify_view t v m) version;
+        m
+    | None -> truth t
+  in
   t.universe <- Oid.Set.union t.universe members;
   let accessible = Client.reachable_oids t.client t.universe in
   (to_eset members, to_eset accessible)
@@ -55,7 +90,7 @@ let emit_observe t phase s accessible =
 
 let attach ~client ~server ~set_id =
   (* Fail fast if the server does not coordinate this set. *)
-  let (_ : Directory.t) = Node_server.directory_truth server ~set_id in
+  let dir = Node_server.directory_truth server ~set_id in
   let t =
     {
       client;
@@ -63,6 +98,7 @@ let attach ~client ~server ~set_id =
       set_id;
       monitor = Spec.Monitor.create ();
       universe = Oid.Set.empty;
+      history = [ (Directory.version dir, Directory.members dir) ];
       unhook = (fun () -> ());
     }
   in
@@ -72,6 +108,7 @@ let attach ~client ~server ~set_id =
            its (in)accessibility keeps being recorded. *)
         (match op with
         | Directory.Remove o | Directory.Add o -> t.universe <- Oid.Set.add o t.universe);
+        t.history <- (Directory.version dir, Directory.members dir) :: t.history;
         let s, accessible = capture t in
         let mop = mutation_op op in
         let ephase =
@@ -92,8 +129,8 @@ let detach t = t.unhook ()
 let monitor t = t.monitor
 let computation t = Spec.Monitor.computation t.monitor
 
-let observe_first t =
-  let s, accessible = capture t in
+let observe_first ?version ?linearised t =
+  let s, accessible = capture ?version ?linearised t in
   emit_observe t Weakset_obs.Event.Phase_first s accessible;
   Spec.Monitor.observe_first t.monitor ~time:(now t) ~s ~accessible
 
@@ -102,8 +139,8 @@ let invocation_started t =
   emit_observe t Weakset_obs.Event.Phase_invocation_start s accessible;
   Spec.Monitor.invocation_started t.monitor ~time:(now t) ~s ~accessible
 
-let invocation_retry t =
-  let s, accessible = capture t in
+let invocation_retry ?version ?linearised t =
+  let s, accessible = capture ?version ?linearised t in
   emit_observe t Weakset_obs.Event.Phase_invocation_retry s accessible;
   Spec.Monitor.invocation_retry t.monitor ~time:(now t) ~s ~accessible
 

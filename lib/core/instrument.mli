@@ -6,7 +6,22 @@
     exact value of [s] in that state, so recorded computations are
     ground truth even though the implementation under test only ever sees
     RPC responses.  Mutations by any process are captured via the
-    coordinator's mutation hook. *)
+    coordinator's mutation hook.
+
+    Capture points that correspond to a membership {e read} accept the
+    member list the reply delivered as [?linearised]: a mutation landing
+    while that reply is in flight makes the directory-at-receipt diverge
+    from the view the implementation decides on, and judging the decision
+    against a state it never saw produces phantom violations.  With
+    [?linearised] the recorded [s] is the linearisation-point value;
+    [accessible] is still computed at the capture instant.
+
+    Because linearised views are excluded from the type-constraint scan
+    (see {!Weakset_spec.Constraint_clause}), the instrument keeps a
+    per-version record of the coordinator's membership and, when the
+    reply's [?version] is supplied alongside [?linearised], cross-checks
+    the delivered view against it — a corrupt read path raises
+    {!Corrupt_view} instead of silently skewing the computation. *)
 
 type t
 
@@ -28,9 +43,18 @@ val elem_of_oid : Weakset_store.Oid.t -> Weakset_spec.Elem.t
 
 (** {1 Capture points, called by iterator implementations} *)
 
-val observe_first : t -> unit
+(** Raised when a linearised view contradicts the directory's recorded
+    membership at the reply's version. *)
+exception Corrupt_view of string
+
+val observe_first :
+  ?version:Weakset_store.Version.t -> ?linearised:Weakset_store.Oid.Set.t -> t -> unit
+
 val invocation_started : t -> unit
-val invocation_retry : t -> unit
+
+val invocation_retry :
+  ?version:Weakset_store.Version.t -> ?linearised:Weakset_store.Oid.Set.t -> t -> unit
+
 val invocation_completed : t -> Weakset_spec.Sstate.termination -> unit
 
 (** Spec termination value for yielding [oid]. *)

@@ -54,6 +54,9 @@ let schedule_recover t ~at n =
   Engine.schedule t.engine ~after:delay (fun () -> recover_node t n)
 
 let schedule_partition t ~at ~heal_at groups =
+  if heal_at <= at then
+    invalid_arg
+      (Printf.sprintf "Fault.schedule_partition: heal_at (%g) must be after at (%g)" heal_at at);
   let d1 = Float.max 0.0 (at -. Engine.now t.engine) in
   let d2 = Float.max 0.0 (heal_at -. Engine.now t.engine) in
   Engine.schedule t.engine ~after:d1 (fun () -> partition t groups);
@@ -74,6 +77,40 @@ let crash_restart_process t ~rng ~mttf ~mttr ~until node =
       in
       loop ();
       if not (Topology.node_up t.topo node) then recover_node t node)
+
+(* Random recurring partitions: the same Exp(mttf)/Exp(mttr) shape as
+   [crash_restart_process], so generated fault schedules (Vopr) and
+   hand-written scenarios drive partitions through one code path.  Each
+   episode splits the current node population in two uniformly random
+   non-empty groups. *)
+let random_partition_process t ~rng ~mttf ~mttr ~until =
+  Engine.spawn t.engine ~name:"faultproc-partition" (fun () ->
+      let partitioned = ref false in
+      let rec loop () =
+        if Engine.now t.engine < until then begin
+          Engine.sleep t.engine (Rng.exponential rng ~mean:mttf);
+          if Engine.now t.engine < until then begin
+            let nodes = Array.of_list (Topology.nodes t.topo) in
+            let n = Array.length nodes in
+            if n >= 2 then begin
+              Rng.shuffle rng nodes;
+              let cut = 1 + Rng.int rng (n - 1) in
+              partition t
+                [
+                  Array.to_list (Array.sub nodes 0 cut);
+                  Array.to_list (Array.sub nodes cut (n - cut));
+                ];
+              partitioned := true;
+              Engine.sleep t.engine (Rng.exponential rng ~mean:mttr);
+              heal_all t;
+              partitioned := false
+            end;
+            loop ()
+          end
+        end
+      in
+      loop ();
+      if !partitioned then heal_all t)
 
 let flaky_link_process t ~rng ~mttf ~mttr ~until a b =
   Engine.spawn t.engine

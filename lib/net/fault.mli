@@ -31,7 +31,9 @@ val schedule_crash : t -> at:float -> Nodeid.t -> unit
 val schedule_recover : t -> at:float -> Nodeid.t -> unit
 
 (** [schedule_partition t ~at ~heal_at groups] installs the partition at
-    virtual time [at] and heals everything at [heal_at]. *)
+    virtual time [at] and heals everything at [heal_at].  Raises
+    [Invalid_argument] if [heal_at <= at] (which would silently install a
+    never-healed partition). *)
 val schedule_partition : t -> at:float -> heal_at:float -> Nodeid.t list list -> unit
 
 (** {1 Random fault processes} *)
@@ -43,8 +45,17 @@ val schedule_partition : t -> at:float -> heal_at:float -> Nodeid.t list list ->
 val crash_restart_process :
   t -> rng:Weakset_sim.Rng.t -> mttf:float -> mttr:float -> until:float -> Nodeid.t -> unit
 
-(** [flaky_link_process t ~rng ~mttf ~mttr ~until a b] does the same for a
-    link. *)
+(** [random_partition_process t ~rng ~mttf ~mttr ~until] runs a fiber that
+    repeatedly partitions the topology into two uniformly random non-empty
+    groups after an Exp(mttf) healthy period and heals everything after an
+    Exp(mttr) partitioned period, stopping (healed) at virtual time
+    [until].  Generated fault schedules and hand-written scenarios share
+    this one code path. *)
+val random_partition_process :
+  t -> rng:Weakset_sim.Rng.t -> mttf:float -> mttr:float -> until:float -> unit
+
+(** [flaky_link_process t ~rng ~mttf ~mttr ~until a b] does the same as
+    {!crash_restart_process} for a link. *)
 val flaky_link_process :
   t ->
   rng:Weakset_sim.Rng.t ->

@@ -23,10 +23,21 @@ let scan_states t states =
   in
   scan states
 
-let check t comp = scan_states t (Computation.states comp)
+(* The constraint clause governs the evolution of the set value itself, so
+   it is evaluated over the states where that value is authoritative:
+   first/mutation/completion observations.  Invocation pre-states record
+   the membership a reply delivered (the implementation's linearisation
+   point) and may lag the directory by the mutations that landed while the
+   reply was in flight; including them would flag that recording skew as a
+   type violation. *)
+let evolution_state st =
+  match st.Sstate.kind with Sstate.Invocation_pre _ -> false | _ -> true
+
+let check t comp = scan_states t (List.filter evolution_state (Computation.states comp))
 
 let check_between t comp ~from_ ~to_ =
   scan_states t
-    (List.filter
-       (fun st -> st.Sstate.index >= from_ && st.Sstate.index <= to_)
-       (Computation.states comp))
+    (List.filter evolution_state
+       (List.filter
+          (fun st -> st.Sstate.index >= from_ && st.Sstate.index <= to_)
+          (Computation.states comp)))

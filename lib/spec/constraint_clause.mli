@@ -29,9 +29,19 @@ type violation = { clause : string; si : Sstate.t; sj : Sstate.t }
 
 val pp_violation : Format.formatter -> violation -> unit
 
-(** [check t comp] returns the first violated pair, if any. *)
+(** [check t comp] returns the first violated pair, if any.
+
+    The scan covers the states where the set value is authoritative
+    (first, mutation and completion observations).  Invocation pre-states
+    are excluded: they record the membership a reply delivered — the
+    implementation's linearisation point — which may lag the directory by
+    the mutations that landed while the reply was in flight, and that
+    recording skew is not an evolution of the set.  Read-path integrity
+    of those views is enforced separately by the instrument (see
+    {!Weakset_core.Instrument}). *)
 val check : t -> Computation.t -> violation option
 
 (** [check_between t comp ~from_ ~to_] checks only the states whose index
-    lies in [[from_, to_]] — the §3.1/§3.3 per-run constraint scope. *)
+    lies in [[from_, to_]] — the §3.1/§3.3 per-run constraint scope.
+    Same state coverage as {!check}. *)
 val check_between : t -> Computation.t -> from_:int -> to_:int -> violation option

@@ -99,11 +99,16 @@ let dir_size ?parent t (sref : Protocol.set_ref) =
 
 let lock_acquire ?parent t (sref : Protocol.set_ref) kind =
   let owner = fresh_owner () in
+  (* The server stops waiting slightly before our own RPC timeout, so
+     its denial reaches us rather than racing the timer — and a grant is
+     never issued to a caller that has already given up. *)
+  let patience = t.timeout *. 0.9 in
   match
     call ?parent t sref.coordinator
-      (Protocol.Lock_acquire { set_id = sref.set_id; kind; owner })
+      (Protocol.Lock_acquire { set_id = sref.set_id; kind; owner; patience })
   with
   | Ok Protocol.Locked -> Ok owner
+  | Ok Protocol.Lock_timeout -> Error Timeout
   | Ok Protocol.No_service -> Error No_service
   | Ok _ -> Error No_service
   | Error e -> Error e

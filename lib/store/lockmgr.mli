@@ -15,6 +15,14 @@ val create : Weakset_sim.Engine.t -> t
     Raises [Invalid_argument] if [owner] already holds or waits. *)
 val acquire : t -> kind -> owner:int -> unit
 
+(** [acquire_within t kind ~owner ~patience] is {!acquire} with a
+    virtual-time bound: when the grant has not arrived after [patience]
+    the waiter is withdrawn from the queue and [false] is returned.
+    A withdrawn waiter can never be granted later, so a caller that gave
+    up (e.g. an RPC client that timed out) cannot end up holding the
+    lock in absentia and wedging it forever. *)
+val acquire_within : t -> kind -> owner:int -> patience:float -> bool
+
 (** [release t ~owner] releases [owner]'s hold and grants any now-compatible
     waiters.  Unknown owners are ignored (a crashed client's release may
     race its timeout). *)

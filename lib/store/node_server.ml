@@ -116,11 +116,14 @@ let handle t req : Protocol.response =
       match dir_state t set_id with
       | Some d -> Size (Directory.size d.dir)
       | None -> No_service)
-  | Lock_acquire { set_id; kind; owner } -> (
+  | Lock_acquire { set_id; kind; owner; patience } -> (
       match dir_state t set_id with
       | Some d ->
-          Lockmgr.acquire d.lock kind ~owner;
-          Locked
+          (* Bounded by the caller's declared patience: once the client
+             has given up waiting, granting it the lock anyway would
+             wedge the lock behind an absent holder. *)
+          if Lockmgr.acquire_within d.lock kind ~owner ~patience then Locked
+          else Lock_timeout
       | None -> No_service)
   | Lock_release { set_id; owner } -> (
       match dir_state t set_id with

@@ -13,7 +13,7 @@ type request =
   | Dir_add of { set_id : int; oid : Oid.t }
   | Dir_remove of { set_id : int; oid : Oid.t }
   | Dir_size of { set_id : int }
-  | Lock_acquire of { set_id : int; kind : Lockmgr.kind; owner : int }
+  | Lock_acquire of { set_id : int; kind : Lockmgr.kind; owner : int; patience : float }
   | Lock_release of { set_id : int; owner : int }
   | Iter_open of { set_id : int }
   | Iter_close of { set_id : int }
@@ -27,6 +27,7 @@ type response =
   | Size of int
   | Ack
   | Locked
+  | Lock_timeout
   | No_service
 
 let request_label = function
@@ -47,10 +48,10 @@ let pp_request fmt = function
   | Dir_add { set_id; oid } -> Format.fprintf fmt "dir-add set%d %a" set_id Oid.pp oid
   | Dir_remove { set_id; oid } -> Format.fprintf fmt "dir-remove set%d %a" set_id Oid.pp oid
   | Dir_size { set_id } -> Format.fprintf fmt "dir-size set%d" set_id
-  | Lock_acquire { set_id; kind; owner } ->
-      Format.fprintf fmt "lock-acquire set%d %s owner=%d" set_id
+  | Lock_acquire { set_id; kind; owner; patience } ->
+      Format.fprintf fmt "lock-acquire set%d %s owner=%d patience=%g" set_id
         (match kind with Lockmgr.Read -> "read" | Lockmgr.Write -> "write")
-        owner
+        owner patience
   | Lock_release { set_id; owner } -> Format.fprintf fmt "lock-release set%d owner=%d" set_id owner
   | Iter_open { set_id } -> Format.fprintf fmt "iter-open set%d" set_id
   | Iter_close { set_id } -> Format.fprintf fmt "iter-close set%d" set_id
@@ -66,4 +67,5 @@ let pp_response fmt = function
   | Size n -> Format.fprintf fmt "size %d" n
   | Ack -> Format.pp_print_string fmt "ack"
   | Locked -> Format.pp_print_string fmt "locked"
+  | Lock_timeout -> Format.pp_print_string fmt "lock-timeout"
   | No_service -> Format.pp_print_string fmt "no-service"

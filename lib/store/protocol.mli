@@ -20,7 +20,7 @@ type request =
   | Dir_add of { set_id : int; oid : Oid.t }
   | Dir_remove of { set_id : int; oid : Oid.t }
   | Dir_size of { set_id : int }
-  | Lock_acquire of { set_id : int; kind : Lockmgr.kind; owner : int }
+  | Lock_acquire of { set_id : int; kind : Lockmgr.kind; owner : int; patience : float }
   | Lock_release of { set_id : int; owner : int }
   | Iter_open of { set_id : int }                       (** ghost refcount +1 *)
   | Iter_close of { set_id : int }                      (** ghost refcount -1 *)
@@ -34,6 +34,7 @@ type response =
   | Size of int
   | Ack
   | Locked
+  | Lock_timeout
   | No_service  (** the target node does not host the requested object/set *)
 
 (** Short operation name of a request ("fetch", "dir-read", ...), used

@@ -1,0 +1,284 @@
+module Figures = Weakset_spec.Figures
+module Computation = Weakset_spec.Computation
+module Json = Weakset_obs.Json
+
+type issue =
+  | Spec_violation of { iteration : int; semantics : string; where : string; message : string }
+  | Monitor_mismatch of { iteration : int; semantics : string; detail : string }
+  | Fiber_crash of { fiber : string; exn_text : string }
+  | Stuck_iterator of { iteration : int; semantics : string }
+  | Steps_exhausted of { steps : int }
+  | Leaked_fibers of { count : int; fibers : string list }
+  | Lost_rpc of { count : int }
+
+type iteration_input = {
+  index : int;
+  semantics : string;
+  faulty : bool;
+  spec : Figures.spec;
+  outcome : [ `Done | `Failed of string | `Limit | `Unfinished ];
+  computation : Computation.t;
+  online_violations : Figures.violation list;
+}
+
+type input = {
+  iterations : iteration_input list;
+  engine_crashes : (string * string) list;
+  parked_fibers : string list;
+  steps : int;
+  step_cap : int;
+  unmatched_rpcs : int;
+}
+
+let category = function
+  | Spec_violation _ -> "spec-violation"
+  | Monitor_mismatch _ -> "monitor-mismatch"
+  | Fiber_crash _ -> "fiber-crash"
+  | Stuck_iterator _ -> "stuck-iterator"
+  | Steps_exhausted _ -> "steps-exhausted"
+  | Leaked_fibers _ -> "leaked-fibers"
+  | Lost_rpc _ -> "lost-rpc"
+
+let severity = function
+  | Spec_violation _ -> 7
+  | Monitor_mismatch _ -> 6
+  | Fiber_crash _ -> 5
+  | Stuck_iterator _ -> 4
+  | Steps_exhausted _ -> 3
+  | Leaked_fibers _ -> 2
+  | Lost_rpc _ -> 1
+
+let sort issues =
+  List.stable_sort (fun a b -> Int.compare (severity b) (severity a)) issues
+
+let describe = function
+  | Spec_violation { iteration; semantics; where; message } ->
+      Printf.sprintf "spec violation (iteration %d, %s): [%s] %s" iteration semantics where
+        message
+  | Monitor_mismatch { iteration; semantics; detail } ->
+      Printf.sprintf "online/replay monitor mismatch (iteration %d, %s): %s" iteration
+        semantics detail
+  | Fiber_crash { fiber; exn_text } -> Printf.sprintf "fiber %S crashed: %s" fiber exn_text
+  | Stuck_iterator { iteration; semantics } ->
+      Printf.sprintf "iterator stuck (iteration %d, %s): suspended after all faults healed"
+        iteration semantics
+  | Steps_exhausted { steps } -> Printf.sprintf "step cap hit after %d events: livelock" steps
+  | Leaked_fibers { count; fibers } ->
+      Printf.sprintf "%d fiber(s) leaked (parked at quiescence): %s" count
+        (String.concat ", " fibers)
+  | Lost_rpc { count } -> Printf.sprintf "%d RPC call(s) lost: no reply and no timeout" count
+
+(* ------------------------------------------------------------------ *)
+(* Judging                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Mismatch classes that are judge artifacts, not implementation bugs.
+   The checker evaluates its expectation against the invocation's
+   recorded PRE-state, but a fault (or heal) landing between that capture
+   and the invocation's outcome makes the expectation stale:
+
+   - a pessimistic iterator times out on a fetch because the partition
+     arrived after the pre-state said the element was reachable
+     ("expected suspends but iterator fails", and its dual where a heal
+     lets a fetch succeed after the pre-state said nothing was);
+   - a yield whose element the pre-state considered unreachable because
+     the heal arrived mid-fetch;
+   - an optimistic-stale iterator returning while coordinator truth still
+     holds members its (legitimately stale, §3 / ablation A1) replica
+     view has never heard of.
+
+   All are gated on the plan actually injecting faults, except the stale
+   early return, which replica lag alone can produce. *)
+let tolerable it (v : Figures.violation) =
+  let msg = v.Figures.message in
+  let pessimistic =
+    match it.semantics with "immutable" | "snapshot" | "grow-only" -> true | _ -> false
+  in
+  (it.faulty && pessimistic
+  && (msg = "expected suspends but iterator fails"
+     || msg = "expected fails but iterator suspends"))
+  || (it.faulty && msg = "suspends obligations > e ∈ reachable(s)_pre")
+  || (it.semantics = "optimistic-stale" && msg = "expected suspends but iterator returns")
+
+let judge_iteration it =
+  (* An iteration that could not even record a first state (e.g. the
+     coordinator was unreachable at open) produced no computation to
+     check: a legitimate pessimistic failure, not a violation. *)
+  match Computation.first_state it.computation with
+  | None -> []
+  | Some _ ->
+      let verdict = Figures.check it.spec it.computation in
+      let replay_violations =
+        (match verdict with Figures.Conforms -> [] | Figures.Violates vs -> vs)
+        |> List.filter (fun v -> not (tolerable it v))
+      in
+      let spec_issues =
+        List.map
+          (fun (v : Figures.violation) ->
+            Spec_violation
+              {
+                iteration = it.index;
+                semantics = it.semantics;
+                where = v.Figures.where;
+                message = v.Figures.message;
+              })
+          replay_violations
+      in
+      (* Cross-check: the always-on online monitor saw the same stream of
+         Spec_observe events, so it must agree at least on pass/fail. *)
+      let online_violations = List.filter (fun v -> not (tolerable it v)) it.online_violations in
+      let mismatch =
+        match (replay_violations, online_violations) with
+        | [], [] -> []
+        | _ :: _, [] ->
+            [
+              Monitor_mismatch
+                {
+                  iteration = it.index;
+                  semantics = it.semantics;
+                  detail =
+                    Printf.sprintf "replay check found %d violation(s), online monitor none"
+                      (List.length replay_violations);
+                }
+            ]
+        | [], _ :: _ ->
+            [
+              Monitor_mismatch
+                {
+                  iteration = it.index;
+                  semantics = it.semantics;
+                  detail =
+                    Printf.sprintf "online monitor latched %d violation(s), replay check none"
+                      (List.length online_violations);
+                }
+            ]
+        | _ :: _, _ :: _ -> []
+      in
+      spec_issues @ mismatch
+
+let judge input =
+  let iteration_issues = List.concat_map judge_iteration input.iterations in
+  let crash_issues =
+    List.map
+      (fun (fiber, exn_text) -> Fiber_crash { fiber; exn_text })
+      input.engine_crashes
+  in
+  let exhausted = input.steps >= input.step_cap in
+  let liveness_issues =
+    if exhausted then [ Steps_exhausted { steps = input.steps } ]
+    else if input.parked_fibers <> [] then
+      (* The event queue drained with fibers still parked: nothing can
+         ever wake them again.  Blame unfinished iterations first (the
+         schedule healed every fault, so a suspended iterator is a
+         liveness bug); anything else is a leak. *)
+      let stuck =
+        List.filter_map
+          (fun it ->
+            match it.outcome with
+            | `Unfinished ->
+                Some (Stuck_iterator { iteration = it.index; semantics = it.semantics })
+            | `Done | `Failed _ | `Limit -> None)
+          input.iterations
+      in
+      if stuck <> [] then stuck
+      else
+        [
+          Leaked_fibers
+            { count = List.length input.parked_fibers; fibers = input.parked_fibers }
+        ]
+    else []
+  in
+  let rpc_issues =
+    if input.unmatched_rpcs > 0 && not exhausted then
+      [ Lost_rpc { count = input.unmatched_rpcs } ]
+    else []
+  in
+  sort (iteration_issues @ crash_issues @ liveness_issues @ rpc_issues)
+
+let same_failure a b =
+  let cats l = List.sort_uniq compare (List.map category l) in
+  List.exists (fun c -> List.mem c (cats b)) (cats a)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let esc = Weakset_obs.Event.json_escape
+
+let issue_to_json = function
+  | Spec_violation { iteration; semantics; where; message } ->
+      Printf.sprintf
+        {|{"issue":"spec-violation","iteration":%d,"semantics":"%s","where":"%s","message":"%s"}|}
+        iteration (esc semantics) (esc where) (esc message)
+  | Monitor_mismatch { iteration; semantics; detail } ->
+      Printf.sprintf
+        {|{"issue":"monitor-mismatch","iteration":%d,"semantics":"%s","detail":"%s"}|}
+        iteration (esc semantics) (esc detail)
+  | Fiber_crash { fiber; exn_text } ->
+      Printf.sprintf {|{"issue":"fiber-crash","fiber":"%s","exn":"%s"}|} (esc fiber)
+        (esc exn_text)
+  | Stuck_iterator { iteration; semantics } ->
+      Printf.sprintf {|{"issue":"stuck-iterator","iteration":%d,"semantics":"%s"}|} iteration
+        (esc semantics)
+  | Steps_exhausted { steps } ->
+      Printf.sprintf {|{"issue":"steps-exhausted","steps":%d}|} steps
+  | Leaked_fibers { count; fibers } ->
+      Printf.sprintf {|{"issue":"leaked-fibers","count":%d,"fibers":[%s]}|} count
+        (String.concat "," (List.map (fun f -> Printf.sprintf {|"%s"|} (esc f)) fibers))
+  | Lost_rpc { count } -> Printf.sprintf {|{"issue":"lost-rpc","count":%d}|} count
+
+let ( let* ) = Result.bind
+
+let str name j =
+  match Json.member name j with
+  | Some v -> (
+      match Json.to_string v with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "issue field %S: expected string" name))
+  | None -> Error (Printf.sprintf "issue: missing field %S" name)
+
+let int_ name j =
+  match Json.member name j with
+  | Some v -> (
+      match Json.to_int v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "issue field %S: expected int" name))
+  | None -> Error (Printf.sprintf "issue: missing field %S" name)
+
+let issue_of_json j =
+  let* kind = str "issue" j in
+  match kind with
+  | "spec-violation" ->
+      let* iteration = int_ "iteration" j in
+      let* semantics = str "semantics" j in
+      let* where = str "where" j in
+      let* message = str "message" j in
+      Ok (Spec_violation { iteration; semantics; where; message })
+  | "monitor-mismatch" ->
+      let* iteration = int_ "iteration" j in
+      let* semantics = str "semantics" j in
+      let* detail = str "detail" j in
+      Ok (Monitor_mismatch { iteration; semantics; detail })
+  | "fiber-crash" ->
+      let* fiber = str "fiber" j in
+      let* exn_text = str "exn" j in
+      Ok (Fiber_crash { fiber; exn_text })
+  | "stuck-iterator" ->
+      let* iteration = int_ "iteration" j in
+      let* semantics = str "semantics" j in
+      Ok (Stuck_iterator { iteration; semantics })
+  | "steps-exhausted" ->
+      let* steps = int_ "steps" j in
+      Ok (Steps_exhausted { steps })
+  | "leaked-fibers" ->
+      let* count = int_ "count" j in
+      let fibers =
+        match Option.bind (Json.member "fibers" j) Json.to_list with
+        | Some l -> List.filter_map Json.to_string l
+        | None -> []
+      in
+      Ok (Leaked_fibers { count; fibers })
+  | "lost-rpc" ->
+      let* count = int_ "count" j in
+      Ok (Lost_rpc { count })
+  | k -> Error (Printf.sprintf "unknown issue kind %S" k)

@@ -1,0 +1,75 @@
+(** The VOPR judge: decides whether a finished simulated run behaved.
+
+    Safety is judged by replaying {!Weakset_spec.Figures.check} over each
+    instrumented iteration's recorded computation and cross-checking the
+    verdict against the always-on {!Weakset_spec.Monitor_online} that
+    watched the same event stream (the two must agree — a disagreement
+    means the event pipeline lost or distorted spec observations).
+    Liveness verdicts cover what the spec monitors cannot see: an iterator
+    still suspended after every fault healed, fibers parked forever
+    (engine deadlock / leaks), fiber crashes, and RPC calls whose replies
+    vanished without any fault to blame.
+
+    The issue constructors form a severity lattice (see {!severity});
+    an empty issue list means the run passed. *)
+
+type issue =
+  | Spec_violation of { iteration : int; semantics : string; where : string; message : string }
+      (** the replayed {!Weakset_spec.Figures.check} found a violation *)
+  | Monitor_mismatch of { iteration : int; semantics : string; detail : string }
+      (** online monitor and post-hoc replay check disagree *)
+  | Fiber_crash of { fiber : string; exn_text : string }
+  | Stuck_iterator of { iteration : int; semantics : string }
+      (** iteration never finished although every fault was healed *)
+  | Steps_exhausted of { steps : int }  (** the run hit the step cap: livelock *)
+  | Leaked_fibers of { count : int; fibers : string list }
+      (** fibers still parked at quiescence, outside any iteration *)
+  | Lost_rpc of { count : int }
+      (** RPC calls that never completed (no reply, no timeout) *)
+
+(** What the runner hands the judge about one executed iteration. *)
+type iteration_input = {
+  index : int;
+  semantics : string;
+  faulty : bool;
+      (** did the plan inject any faults?  Gates the tolerated
+          mid-invocation race classes (see {!judge}). *)
+  spec : Weakset_spec.Figures.spec;
+  outcome : [ `Done | `Failed of string | `Limit | `Unfinished ];
+  computation : Weakset_spec.Computation.t;
+  online_violations : Weakset_spec.Figures.violation list;
+      (** distinct violations the online monitor latched (after finish) *)
+}
+
+type input = {
+  iterations : iteration_input list;
+  engine_crashes : (string * string) list;  (** fiber name, exception text *)
+  parked_fibers : string list;
+      (** names of fibers still alive (parked) after the run drained *)
+  steps : int;
+  step_cap : int;
+  unmatched_rpcs : int;  (** [Rpc_call] events without a matching [Rpc_done] *)
+}
+
+val judge : input -> issue list
+
+(** Category slug of an issue ("spec-violation", "stuck-iterator", ...);
+    the shrinker preserves categories, not exact messages. *)
+val category : issue -> string
+
+(** Lattice rank; higher is worse.  0 is reserved for "no issue". *)
+val severity : issue -> int
+
+(** Issues sorted most severe first. *)
+val sort : issue list -> issue list
+
+val describe : issue -> string
+
+(** {1 JSON} (for repro bundles) *)
+
+val issue_to_json : issue -> string
+val issue_of_json : Weakset_obs.Json.t -> (issue, string) result
+
+(** Do two issue lists fail in an overlapping way?  True when some
+    category appears in both — the shrinker's preservation criterion. *)
+val same_failure : issue list -> issue list -> bool

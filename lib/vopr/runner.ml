@@ -1,0 +1,441 @@
+module Engine = Weakset_sim.Engine
+module Topology = Weakset_net.Topology
+module Fault = Weakset_net.Fault
+module Rpc = Weakset_net.Rpc
+module Node_server = Weakset_store.Node_server
+module Directory = Weakset_store.Directory
+module Client = Weakset_store.Client
+module Oid = Weakset_store.Oid
+module Svalue = Weakset_store.Svalue
+module Protocol = Weakset_store.Protocol
+module Semantics = Weakset_core.Semantics
+module Weak_set = Weakset_core.Weak_set
+module Iterator = Weakset_core.Iterator
+module Instrument = Weakset_core.Instrument
+module Monitor_online = Weakset_spec.Monitor_online
+module Figures = Weakset_spec.Figures
+module Bus = Weakset_obs.Bus
+module Event = Weakset_obs.Event
+module Digest = Weakset_obs.Digest
+module Json = Weakset_obs.Json
+
+type result = {
+  plan : Gen.plan;
+  digest : string;
+  events : int;
+  steps : int;
+  issues : Oracle.issue list;
+}
+
+let default_step_cap = 1_000_000
+let set_id = 1
+
+(* ------------------------------------------------------------------ *)
+(* Plan validation (fail fast with a message instead of mid-sim)       *)
+(* ------------------------------------------------------------------ *)
+
+let link_exists shape n a b =
+  a <> b && a >= 0 && b >= 0 && a < n && b < n
+  &&
+  match shape with
+  | Gen.Clique -> true
+  | Gen.Star -> a = 0 || b = 0
+  | Gen.Line -> abs (a - b) = 1
+
+let validate plan =
+  let c = plan.Gen.config in
+  let n = c.Gen.nodes in
+  if n < 4 then invalid_arg "Vopr.Runner: config.nodes must be >= 4";
+  List.iter
+    (fun ix ->
+      if ix < 1 || ix > n - 2 then
+        invalid_arg (Printf.sprintf "Vopr.Runner: replica index %d is not a home node" ix))
+    c.Gen.replica_ixs;
+  List.iter
+    (function
+      | Gen.Iterate { semantics; _ } when not (List.mem_assoc semantics Semantics.all) ->
+          invalid_arg (Printf.sprintf "Vopr.Runner: unknown semantics %S" semantics)
+      | _ -> ())
+    plan.Gen.ops;
+  List.iter
+    (function
+      | Gen.Crash { node; _ } ->
+          if node < 1 || node > n - 2 then
+            invalid_arg (Printf.sprintf "Vopr.Runner: crash target %d is not a home node" node)
+      | Gen.Cut { a; b; _ } ->
+          if not (link_exists c.Gen.shape n a b) then
+            invalid_arg (Printf.sprintf "Vopr.Runner: no link %d-%d in this topology" a b)
+      | Gen.Partition { groups; _ } ->
+          List.iter
+            (List.iter (fun ix ->
+                 if ix < 0 || ix >= n then
+                   invalid_arg (Printf.sprintf "Vopr.Runner: partition node %d out of range" ix)))
+            groups)
+    plan.Gen.faults
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type iter_record = {
+  ir_index : int;
+  ir_semantics : string;
+  ir_spec : Figures.spec;
+  ir_online : Monitor_online.t;
+  mutable ir_outcome : [ `Done | `Failed of string | `Limit | `Unfinished ];
+  mutable ir_computation : Weakset_spec.Computation.t option;
+  mutable ir_finished : bool;
+}
+
+(* The spec each iteration is judged against: the paper figure of its
+   semantics; Figure 1 when the plan injects no faults at all; the §3.4
+   window relaxation when reading possibly-stale replicas (ablation A1
+   showed literal Figure 6 is the wrong judge for those) — and likewise
+   for any optimistic run racing removals, where a remove landing between
+   the membership read an invocation linearises on and its yield makes
+   literal Figure 6's current-vintage clause unsatisfiable (the repo's
+   own integration suite judges that combination against the window
+   spec). *)
+let spec_for plan sem =
+  let has_removes = List.exists (function Gen.Remove _ -> true | _ -> false) plan.Gen.ops in
+  if sem.Semantics.read_nearest_replica then Semantics.window_spec_of sem
+  else if sem.Semantics.failure_handling = Semantics.Optimistic && has_removes then
+    Semantics.window_spec_of sem
+  else Semantics.spec_of ~no_failures:(plan.Gen.faults = []) sem
+
+let execute ?(step_cap = default_step_cap) plan =
+  validate plan;
+  let c = plan.Gen.config in
+  let n = c.Gen.nodes in
+  let eng = Engine.create ~seed:plan.Gen.seed () in
+  let bus = Engine.bus eng in
+  let digest = Digest.create () in
+  Bus.attach bus ~name:"vopr-digest" (Digest.sink digest);
+  let rpc_calls = ref 0 and rpc_dones = ref 0 in
+  (* Track which fibers are still alive, by name, so a leak verdict can
+     say who leaked.  A fiber is alive from Fiber_spawn until a Run_end
+     whose park is Park_done/Park_crash. *)
+  let fiber_state : (int, string) Hashtbl.t = Hashtbl.create 32 in
+  Bus.attach bus ~name:"vopr-rpc" (fun ev ->
+      match ev.Event.kind with
+      | Event.Rpc_call _ -> incr rpc_calls
+      | Event.Rpc_done _ -> incr rpc_dones
+      | Event.Fiber_spawn { fid; fiber } -> Hashtbl.replace fiber_state fid fiber
+      | Event.Run_end { fid; park = Event.Park_done | Event.Park_crash; _ } ->
+          Hashtbl.remove fiber_state fid
+      | _ -> ());
+  let topo = Topology.create () in
+  let nodes =
+    match c.Gen.shape with
+    | Gen.Clique -> Topology.clique topo n ~latency:c.Gen.latency
+    | Gen.Star ->
+        let hub, leaves = Topology.star topo (n - 1) ~latency:c.Gen.latency in
+        Array.append [| hub |] leaves
+    | Gen.Line -> Topology.line topo n ~latency:c.Gen.latency
+  in
+  let rpc = Rpc.create eng topo in
+  let servers = Array.map (fun node -> Node_server.create rpc node) nodes in
+  let fault = Fault.create eng topo in
+  (* Ghost-copy policy unconditionally: it only defers removals while
+     grow-only iterators are registered, and without it a grow-only run
+     concurrent with removals violates its own type constraint — an
+     environment bug, not an implementation bug. *)
+  Node_server.host_directory servers.(0) ~set_id
+    ~policy:Node_server.Defer_removes_while_iterating;
+  List.iter
+    (fun ix ->
+      Node_server.host_replica servers.(ix) ~set_id ~of_:nodes.(0)
+        ~interval:c.Gen.replica_interval ~until:plan.Gen.budget)
+    c.Gen.replica_ixs;
+  let client = Client.create rpc nodes.(n - 1) in
+  let sref =
+    {
+      Protocol.set_id;
+      coordinator = nodes.(0);
+      replicas = List.map (fun ix -> nodes.(ix)) c.Gen.replica_ixs;
+    }
+  in
+  (* Seed membership. *)
+  let next_num = ref 0 in
+  let homes = n - 2 in
+  let fresh_member () =
+    incr next_num;
+    let home_ix = 1 + (!next_num mod homes) in
+    let oid = Oid.make ~num:!next_num ~home:nodes.(home_ix) in
+    Node_server.put_object servers.(home_ix) oid
+      (Svalue.make (Printf.sprintf "element-%d" !next_num));
+    oid
+  in
+  for _ = 1 to c.Gen.initial_size do
+    let oid = fresh_member () in
+    ignore (Directory.apply (Node_server.directory_truth servers.(0) ~set_id) (Directory.Add oid))
+  done;
+  (* Fault schedule, through the Fault scheduled API (the code path
+     hand-written scenarios use). *)
+  List.iter
+    (function
+      | Gen.Crash { node; at; recover_at } ->
+          Fault.schedule_crash fault ~at nodes.(node);
+          Fault.schedule_recover fault ~at:recover_at nodes.(node)
+      | Gen.Cut { a; b; at; heal_at } ->
+          Engine.schedule eng ~after:at (fun () -> Fault.cut_link fault nodes.(a) nodes.(b));
+          Engine.schedule eng ~after:heal_at (fun () ->
+              Fault.heal_link fault nodes.(a) nodes.(b))
+      | Gen.Partition { groups; at; heal_at } ->
+          Fault.schedule_partition fault ~at ~heal_at
+            (List.map (List.map (fun ix -> nodes.(ix))) groups))
+    plan.Gen.faults;
+  (* Mutator driver: add/remove/size at their scheduled times.  When the
+     plan contains an immutable iteration, every mutation must honour the
+     write lock (§3.1) — the handle's semantics enforces that. *)
+  let mutator_ops =
+    List.filter (function Gen.Iterate _ -> false | _ -> true) plan.Gen.ops
+  in
+  let has_immutable =
+    List.exists
+      (function Gen.Iterate { semantics = "immutable"; _ } -> true | _ -> false)
+      plan.Gen.ops
+  in
+  let mutator_sem = if has_immutable then Semantics.immutable else Semantics.optimistic in
+  if mutator_ops <> [] then begin
+    let handle = Weak_set.make client sref mutator_sem in
+    Engine.spawn eng ~name:"vopr-mutator" (fun () ->
+        List.iter
+          (fun op ->
+            let at = Gen.op_time op in
+            let now = Engine.now eng in
+            if at > now then Engine.sleep eng (at -. now);
+            match op with
+            | Gen.Add _ ->
+                let oid = fresh_member () in
+                ignore (Weak_set.add handle oid)
+            | Gen.Remove _ -> (
+                let truth = Node_server.directory_truth servers.(0) ~set_id in
+                match Oid.Set.min_elt_opt (Directory.members truth) with
+                | Some victim -> ignore (Weak_set.remove handle victim)
+                | None -> ())
+            | Gen.Size _ -> ignore (Weak_set.size handle)
+            | Gen.Iterate _ -> ())
+          mutator_ops)
+  end;
+  (* Iteration driver: every Iterate runs sequentially, instrumented,
+     with an online conformance monitor attached for its duration. *)
+  let iter_ops =
+    List.filter (function Gen.Iterate _ -> true | _ -> false) plan.Gen.ops
+  in
+  let records = ref [] in
+  if iter_ops <> [] then
+    Engine.spawn eng ~name:"vopr-iter" (fun () ->
+        List.iteri
+          (fun i op ->
+            match op with
+            | Gen.Iterate { at; semantics; think; limit } ->
+                let now = Engine.now eng in
+                if at > now then Engine.sleep eng (at -. now);
+                let sem = List.assoc semantics Semantics.all in
+                let spec = spec_for plan sem in
+                let online = Monitor_online.create ~bus ~set_id spec in
+                Bus.attach bus ~name:"vopr-online" (Monitor_online.sink online);
+                let r =
+                  {
+                    ir_index = i;
+                    ir_semantics = semantics;
+                    ir_spec = spec;
+                    ir_online = online;
+                    ir_outcome = `Unfinished;
+                    ir_computation = None;
+                    ir_finished = false;
+                  }
+                in
+                records := r :: !records;
+                let set =
+                  Weak_set.make ~heal_signal:(Fault.signal fault)
+                    ~coordinator_server:servers.(0) client sref sem
+                in
+                let iter, inst = Weak_set.elements ~instrument:true set in
+                r.ir_computation <- Option.map Instrument.computation inst;
+                let rec loop yields =
+                  if yields >= limit then `Limit
+                  else
+                    match Iterator.next iter with
+                    | Iterator.Yield _ ->
+                        if think > 0.0 then Engine.sleep eng think;
+                        loop (yields + 1)
+                    | Iterator.Done -> `Done
+                    | Iterator.Failed e -> `Failed (Client.error_to_string e)
+                in
+                let outcome = loop 0 in
+                Iterator.close iter;
+                Bus.detach bus ~name:"vopr-online";
+                let (_ : Figures.verdict) =
+                  Monitor_online.finish online ~time:(Engine.now eng)
+                in
+                r.ir_finished <- true;
+                r.ir_outcome <- outcome
+            | _ -> ())
+          iter_ops)
+  ;
+  let steps = Engine.run ~max_steps:step_cap eng in
+  (* Iterations still open (stuck or cut off by the step cap): close the
+     books so the oracle can judge what was recorded. *)
+  List.iter
+    (fun r ->
+      if not r.ir_finished then begin
+        let (_ : Figures.verdict) = Monitor_online.finish r.ir_online ~time:(Engine.now eng) in
+        r.ir_finished <- true
+      end)
+    !records;
+  let iterations =
+    List.rev_map
+      (fun r ->
+        {
+          Oracle.index = r.ir_index;
+          semantics = r.ir_semantics;
+          faulty = plan.Gen.faults <> [];
+          spec = r.ir_spec;
+          outcome = r.ir_outcome;
+          computation =
+            (match r.ir_computation with
+            | Some comp -> comp
+            | None -> Weakset_spec.Computation.create ());
+          online_violations = Monitor_online.violations r.ir_online;
+        })
+      !records
+  in
+  let engine_crashes =
+    List.map
+      (fun c -> (c.Engine.crash_fiber, Printexc.to_string c.Engine.crash_exn))
+      (Engine.crashes eng)
+  in
+  let parked_fibers =
+    if Engine.live_fibers eng = 0 then []
+    else Hashtbl.fold (fun _ name acc -> name :: acc) fiber_state [] |> List.sort compare
+  in
+  let issues =
+    Oracle.judge
+      {
+        Oracle.iterations;
+        engine_crashes;
+        parked_fibers;
+        steps;
+        step_cap;
+        unmatched_rpcs = !rpc_calls - !rpc_dones;
+      }
+  in
+  { plan; digest = Digest.value digest; events = Digest.count digest; steps; issues }
+
+let sweep ?step_cap ?(progress = fun _ _ -> ()) seeds =
+  List.map
+    (fun seed ->
+      let r = execute ?step_cap (Gen.generate seed) in
+      progress seed r;
+      (seed, r))
+    seeds
+
+(* ------------------------------------------------------------------ *)
+(* Repro bundles                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type bundle = {
+  b_plan : Gen.plan;
+  b_planted : bool;
+  b_digest : string;
+  b_events : int;
+  b_issues : Oracle.issue list;
+}
+
+let bundle_of_result r =
+  {
+    b_plan = r.plan;
+    b_planted = !Weakset_core.Impl_common.planted_grow_only_drop;
+    b_digest = r.digest;
+    b_events = r.events;
+    b_issues = r.issues;
+  }
+
+let bundle_to_json b =
+  Printf.sprintf
+    {|{"version":1,"planted_bug":%b,"plan":%s,"digest":"%s","events":%d,"issues":[%s]}|}
+    b.b_planted (Gen.plan_to_json b.b_plan) b.b_digest b.b_events
+    (String.concat "," (List.map Oracle.issue_to_json b.b_issues))
+
+let ( let* ) = Result.bind
+
+let map_result f l =
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    (Ok []) l
+  |> Result.map List.rev
+
+let bundle_of_string s =
+  match Json.of_string_opt s with
+  | None -> Error "malformed JSON"
+  | Some j ->
+      let* plan_j =
+        match Json.member "plan" j with Some p -> Ok p | None -> Error "missing field \"plan\""
+      in
+      let* plan = Gen.plan_of_json plan_j in
+      let* digest =
+        match Option.bind (Json.member "digest" j) Json.to_string with
+        | Some d -> Ok d
+        | None -> Error "missing field \"digest\""
+      in
+      let* events =
+        match Option.bind (Json.member "events" j) Json.to_int with
+        | Some e -> Ok e
+        | None -> Error "missing field \"events\""
+      in
+      let* issues =
+        match Option.bind (Json.member "issues" j) Json.to_list with
+        | Some l -> map_result Oracle.issue_of_json l
+        | None -> Error "missing field \"issues\""
+      in
+      let planted =
+        match Json.member "planted_bug" j with Some (Json.Bool b) -> b | _ -> false
+      in
+      Ok
+        {
+          b_plan = plan;
+          b_planted = planted;
+          b_digest = digest;
+          b_events = events;
+          b_issues = issues;
+        }
+
+let write_bundle ~path b =
+  let oc = open_out path in
+  output_string oc (bundle_to_json b);
+  output_char oc '\n';
+  close_out oc
+
+let read_bundle ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | s -> bundle_of_string s
+
+type replay_outcome =
+  | Reproduced of result
+  | Digest_mismatch of { got : result; expected : string }
+  | Verdict_mismatch of result
+
+(* The bundle records whether the planted bug was armed at record time,
+   so a replay in a fresh process reproduces the same binary behaviour. *)
+let replay ?step_cap b =
+  let flag = Weakset_core.Impl_common.planted_grow_only_drop in
+  let saved = !flag in
+  flag := b.b_planted;
+  let got =
+    Fun.protect ~finally:(fun () -> flag := saved) (fun () -> execute ?step_cap b.b_plan)
+  in
+  if got.digest <> b.b_digest || got.events <> b.b_events then
+    Digest_mismatch { got; expected = b.b_digest }
+  else
+    let matches =
+      match (b.b_issues, got.issues) with
+      | [], [] -> true
+      | recorded, now -> Oracle.same_failure recorded now
+    in
+    if matches then Reproduced got else Verdict_mismatch got

@@ -1,0 +1,62 @@
+(** Executes generated plans in the deterministic simulator, judges them,
+    sweeps seed ranges and reads/writes replayable repro bundles.
+
+    A plan executes in a fresh engine seeded with the plan's seed: the
+    topology is built from the config (coordinator at index 0, client
+    last, homes in between, ghost-copy directory policy so grow-only runs
+    are well-posed), the fault schedule is installed through the
+    {!Weakset_net.Fault} scheduled API — the same code path hand-written
+    scenarios use — and two driver fibers walk the workload: a mutator
+    for add/remove/size (honouring the write lock iff the plan contains
+    an immutable iteration) and a sequential iteration driver that runs
+    every [Iterate] with full spec instrumentation plus an online monitor
+    attached to the bus.  The whole run streams into a chained
+    {!Weakset_obs.Digest}, whose final value fingerprints the run:
+    re-executing the same plan must reproduce it byte-identically. *)
+
+type result = {
+  plan : Gen.plan;
+  digest : string;  (** chained digest of the full event stream *)
+  events : int;  (** events fed to the digest *)
+  steps : int;  (** engine events processed *)
+  issues : Oracle.issue list;  (** empty = run passed *)
+}
+
+(** Default step cap (events processed) before a run is declared a
+    livelock. *)
+val default_step_cap : int
+
+val execute : ?step_cap:int -> Gen.plan -> result
+
+(** [sweep ?step_cap ?progress seeds] generates and executes one plan per
+    seed, calling [progress] after each. *)
+val sweep :
+  ?step_cap:int -> ?progress:(int64 -> result -> unit) -> int64 list -> (int64 * result) list
+
+(** {1 Repro bundles} *)
+
+type bundle = {
+  b_plan : Gen.plan;
+  b_planted : bool;
+      (** was {!Weakset_core.Impl_common.planted_grow_only_drop} armed when
+          this bundle was recorded?  {!replay} restores it for the rerun. *)
+  b_digest : string;  (** expected trace digest of replaying [b_plan] *)
+  b_events : int;
+  b_issues : Oracle.issue list;  (** the recorded oracle verdict *)
+}
+
+val bundle_of_result : result -> bundle
+val bundle_to_json : bundle -> string
+val bundle_of_string : string -> (bundle, string) Stdlib.result
+val write_bundle : path:string -> bundle -> unit
+val read_bundle : path:string -> (bundle, string) Stdlib.result
+
+(** Re-execute a bundle's plan and compare against its recorded digest
+    and verdict.  [`Reproduced] means digest, event count and failure
+    categories all match. *)
+type replay_outcome =
+  | Reproduced of result
+  | Digest_mismatch of { got : result; expected : string }
+  | Verdict_mismatch of result
+
+val replay : ?step_cap:int -> bundle -> replay_outcome

@@ -429,6 +429,43 @@ let test_fault_schedule_partition_and_heal () =
   check_bool "partitioned during" false !during;
   check_bool "healed after" true !after
 
+let test_fault_schedule_partition_rejects_bad_window () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let ids = Topology.clique topo 4 ~latency:1.0 in
+  let fault = Fault.create eng topo in
+  let groups = [ [ ids.(0); ids.(1) ]; [ ids.(2); ids.(3) ] ] in
+  Alcotest.check_raises "heal before start"
+    (Invalid_argument "Fault.schedule_partition: heal_at (3) must be after at (5)")
+    (fun () -> Fault.schedule_partition fault ~at:5.0 ~heal_at:3.0 groups);
+  Alcotest.check_raises "zero-length window"
+    (Invalid_argument "Fault.schedule_partition: heal_at (5) must be after at (5)")
+    (fun () -> Fault.schedule_partition fault ~at:5.0 ~heal_at:5.0 groups);
+  (* Nothing was scheduled by the rejected calls. *)
+  Engine.run_and_check eng;
+  check_bool "still connected" true (Topology.reachable topo ids.(0) ids.(2))
+
+let test_fault_random_partition_process () =
+  let eng = Engine.create ~seed:7L () in
+  let topo = Topology.create () in
+  let ids = Topology.clique topo 4 ~latency:1.0 in
+  let fault = Fault.create eng topo in
+  let rng = Rng.split (Engine.rng eng) in
+  Fault.random_partition_process fault ~rng ~mttf:5.0 ~mttr:5.0 ~until:100.0;
+  let all_reachable () =
+    List.for_all
+      (fun a -> List.for_all (fun b -> Topology.reachable topo a b) (Array.to_list ids))
+      (Array.to_list ids)
+  in
+  let splits = ref 0 in
+  for i = 1 to 99 do
+    Engine.schedule eng ~after:(float_of_int i) (fun () ->
+        if not (all_reachable ()) then incr splits)
+  done;
+  let (_ : int) = Engine.run ~until:200.0 eng in
+  check_bool "partitioned sometimes" true (!splits > 0);
+  check_bool "healed at the end" true (all_reachable ())
+
 let test_fault_crash_restart_process () =
   let eng = Engine.create () in
   let topo = Topology.create () in
@@ -556,6 +593,10 @@ let () =
         [
           Alcotest.test_case "signal on change" `Quick test_fault_signal_on_change;
           Alcotest.test_case "scheduled partition" `Quick test_fault_schedule_partition_and_heal;
+          Alcotest.test_case "scheduled partition rejects bad window" `Quick
+            test_fault_schedule_partition_rejects_bad_window;
+          Alcotest.test_case "random partition process" `Quick
+            test_fault_random_partition_process;
           Alcotest.test_case "crash/restart process" `Quick test_fault_crash_restart_process;
           Alcotest.test_case "flaky link process" `Quick test_fault_flaky_link_process;
         ] );

@@ -1,0 +1,216 @@
+(* Tests for weakset_vopr: generator determinism and stream independence
+   (qcheck), plan/bundle JSON round-trips, digest-stable re-execution,
+   and the mutation test the fuzzer must pass to be trusted: with the
+   planted grow-only bug armed it finds, shrinks and replays a violation
+   within a bounded seed range; with the bug off the same range is clean. *)
+
+module Gen = Weakset_vopr.Gen
+module Runner = Weakset_vopr.Runner
+module Oracle = Weakset_vopr.Oracle
+module Shrink = Weakset_vopr.Shrink
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let seeds first count = List.init count (fun i -> Int64.of_int (first + i))
+
+(* The mutation-test seed range (§ISSUE): the planted bug must surface
+   within at most 64 seeds. *)
+let mutation_range = seeds 0 64
+
+let with_planted_bug armed f =
+  let flag = Weakset_core.Impl_common.planted_grow_only_drop in
+  let saved = !flag in
+  flag := armed;
+  Fun.protect ~finally:(fun () -> flag := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_shape_sanity () =
+  List.iter
+    (fun seed ->
+      let plan = Gen.generate seed in
+      check_bool "nodes >= 4" true (plan.Gen.config.Gen.nodes >= 4);
+      check_bool "has ops" true (plan.Gen.ops <> []);
+      check_bool "has an iteration" true
+        (List.exists (function Gen.Iterate _ -> true | _ -> false) plan.Gen.ops);
+      (* Schedules are time-sorted and faults heal inside the budget. *)
+      let sorted times = List.sort compare times = times in
+      check_bool "ops time-sorted" true (sorted (List.map Gen.op_time plan.Gen.ops));
+      check_bool "faults time-sorted" true (sorted (List.map Gen.fault_time plan.Gen.faults));
+      List.iter
+        (fun f ->
+          let heal =
+            match f with
+            | Gen.Crash { recover_at; _ } -> recover_at
+            | Gen.Cut { heal_at; _ } | Gen.Partition { heal_at; _ } -> heal_at
+          in
+          check_bool "fault starts before heal" true (Gen.fault_time f < heal);
+          check_bool "fault heals inside budget" true (heal < plan.Gen.budget))
+        plan.Gen.faults)
+    (seeds 0 16)
+
+let prop_generate_deterministic =
+  QCheck.Test.make ~name:"generate is a pure function of the seed" ~count:50
+    QCheck.(int_bound 100_000)
+    (fun n ->
+      let seed = Int64.of_int n in
+      Gen.plan_to_json (Gen.generate seed) = Gen.plan_to_json (Gen.generate seed))
+
+let prop_config_stream_independent =
+  QCheck.Test.make ~name:"config_of_seed equals (generate seed).config" ~count:50
+    QCheck.(int_bound 100_000)
+    (fun n ->
+      let seed = Int64.of_int n in
+      Gen.config_of_seed seed = (Gen.generate seed).Gen.config)
+
+let prop_plan_json_roundtrip =
+  QCheck.Test.make ~name:"plan JSON round-trips byte-exactly" ~count:50
+    QCheck.(int_bound 100_000)
+    (fun n ->
+      let plan = Gen.generate (Int64.of_int n) in
+      let json = Gen.plan_to_json plan in
+      match Gen.plan_of_string json with
+      | Error e -> QCheck.Test.fail_reportf "parse error: %s" e
+      | Ok plan' -> plan' = plan && Gen.plan_to_json plan' = json)
+
+(* ------------------------------------------------------------------ *)
+(* Runner determinism                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_execute_digest_stable () =
+  let plan = Gen.generate 3L in
+  let a = Runner.execute plan and b = Runner.execute plan in
+  check_string "same digest" a.Runner.digest b.Runner.digest;
+  check_int "same event count" a.Runner.events b.Runner.events;
+  check_int "same step count" a.Runner.steps b.Runner.steps
+
+let test_bundle_roundtrip () =
+  let result = Runner.execute (Gen.generate 5L) in
+  let bundle = Runner.bundle_of_result result in
+  match Runner.bundle_of_string (Runner.bundle_to_json bundle) with
+  | Error e -> Alcotest.failf "bundle parse error: %s" e
+  | Ok bundle' ->
+      check_string "re-serialization identical" (Runner.bundle_to_json bundle)
+        (Runner.bundle_to_json bundle');
+      check_string "digest preserved" bundle.Runner.b_digest bundle'.Runner.b_digest;
+      check_bool "plan preserved" true (bundle'.Runner.b_plan = bundle.Runner.b_plan)
+
+let test_replay_reproduces () =
+  let result = Runner.execute (Gen.generate 7L) in
+  match Runner.replay (Runner.bundle_of_result result) with
+  | Runner.Reproduced r -> check_string "replay digest" result.Runner.digest r.Runner.digest
+  | Runner.Digest_mismatch _ -> Alcotest.fail "digest mismatch on replay"
+  | Runner.Verdict_mismatch _ -> Alcotest.fail "verdict mismatch on replay"
+
+(* ------------------------------------------------------------------ *)
+(* Mutation test                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_swarm_clean_without_bug () =
+  with_planted_bug false (fun () ->
+      List.iter
+        (fun (seed, r) ->
+          if r.Runner.issues <> [] then
+            Alcotest.failf "seed %Ld flagged a healthy build: %s" seed
+              (String.concat "; " (List.map Oracle.describe r.Runner.issues)))
+        (Runner.sweep mutation_range))
+
+let test_swarm_finds_shrinks_and_replays_planted_bug () =
+  with_planted_bug true (fun () ->
+      let failures =
+        List.filter (fun (_, r) -> r.Runner.issues <> []) (Runner.sweep mutation_range)
+      in
+      check_bool "planted bug found within 64 seeds" true (failures <> []);
+      (* Shrink the first failure to a handful of schedule events. *)
+      let _, failing = List.hd failures in
+      let shrunk, issues, stats =
+        Shrink.minimize
+          ~run:(fun p -> (Runner.execute p).Runner.issues)
+          ~issues:failing.Runner.issues failing.Runner.plan
+      in
+      check_bool "shrunk to at most 10 events" true (Gen.event_count shrunk <= 10);
+      check_int "stats report the shrunk size" (Gen.event_count shrunk) stats.Shrink.final_events;
+      check_bool "shrunk plan still fails the same way" true
+        (Oracle.same_failure failing.Runner.issues issues);
+      (* The shrunk repro bundle replays byte-identically. *)
+      let result = Runner.execute shrunk in
+      match Runner.replay (Runner.bundle_of_result result) with
+      | Runner.Reproduced r ->
+          check_bool "replay reports the same failure" true
+            (Oracle.same_failure result.Runner.issues r.Runner.issues)
+      | Runner.Digest_mismatch _ -> Alcotest.fail "digest mismatch replaying shrunk bundle"
+      | Runner.Verdict_mismatch _ -> Alcotest.fail "verdict mismatch replaying shrunk bundle")
+
+(* ------------------------------------------------------------------ *)
+(* Oracle                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_oracle_issue_json_roundtrip () =
+  let issues =
+    [
+      Oracle.Spec_violation
+        { iteration = 2; semantics = "grow-only"; where = "[x]"; message = "m" };
+      Oracle.Monitor_mismatch { iteration = 0; semantics = "snapshot"; detail = "d" };
+      Oracle.Fiber_crash { fiber = "f"; exn_text = "boom" };
+      Oracle.Stuck_iterator { iteration = 1; semantics = "immutable" };
+      Oracle.Steps_exhausted { steps = 9 };
+      Oracle.Leaked_fibers { count = 2; fibers = [ "a"; "b" ] };
+      Oracle.Lost_rpc { count = 3 };
+    ]
+  in
+  List.iter
+    (fun issue ->
+      match Weakset_obs.Json.of_string_opt (Oracle.issue_to_json issue) with
+      | None -> Alcotest.fail "issue JSON did not parse"
+      | Some json -> (
+          match Oracle.issue_of_json json with
+          | Error e -> Alcotest.failf "issue JSON did not decode: %s" e
+          | Ok issue' ->
+              check_string "issue round-trips" (Oracle.describe issue) (Oracle.describe issue')))
+    issues
+
+let test_oracle_same_failure_is_category_overlap () =
+  let spec i =
+    Oracle.Spec_violation { iteration = i; semantics = "optimistic"; where = "[y]"; message = "n" }
+  in
+  check_bool "same category overlaps" true (Oracle.same_failure [ spec 0 ] [ spec 5 ]);
+  check_bool "disjoint categories do not" false
+    (Oracle.same_failure [ spec 0 ] [ Oracle.Lost_rpc { count = 1 } ]);
+  check_bool "empty lists never overlap" false (Oracle.same_failure [] [])
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "weakset_vopr"
+    [
+      ( "gen",
+        Alcotest.test_case "shape sanity" `Quick test_gen_shape_sanity
+        :: qcheck
+             [
+               prop_generate_deterministic;
+               prop_config_stream_independent;
+               prop_plan_json_roundtrip;
+             ] );
+      ( "runner",
+        [
+          Alcotest.test_case "digest-stable re-execution" `Quick test_execute_digest_stable;
+          Alcotest.test_case "bundle JSON roundtrip" `Quick test_bundle_roundtrip;
+          Alcotest.test_case "replay reproduces" `Quick test_replay_reproduces;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "clean swarm without bug" `Quick test_swarm_clean_without_bug;
+          Alcotest.test_case "finds, shrinks, replays planted bug" `Quick
+            test_swarm_finds_shrinks_and_replays_planted_bug;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "issue JSON roundtrip" `Quick test_oracle_issue_json_roundtrip;
+          Alcotest.test_case "same_failure = category overlap" `Quick
+            test_oracle_same_failure_is_category_overlap;
+        ] );
+    ]
