@@ -32,14 +32,17 @@ bench-compare:
 	dune exec bench/main.exe -- --compare BENCH_baseline.json BENCH_baseline.json
 
 # Bounded VOPR swarm: 32 seed-derived scenarios (virtual-time budgets keep
-# this well under a minute of wall clock), plus the mutation test — the
-# planted grow-only bug must be caught within the same seed range.  Repro
-# bundles for any failure land in vopr-bundles/ (CI uploads them).
+# this well under a minute of wall clock), plus the mutation tests — the
+# planted grow-only bug and the planted cache Inval drop must each be
+# caught within the same seed range.  Repro bundles for any failure land
+# in vopr-bundles/ (CI uploads them).
 vopr-smoke:
 	rm -rf vopr-bundles && mkdir -p vopr-bundles
 	dune exec bin/weakset_vopr.exe -- run --seeds 0..32 --bundle-dir vopr-bundles --quiet
 	dune exec bin/weakset_vopr.exe -- run --seeds 0..32 --planted-bug --no-shrink --quiet; \
 	  test $$? -eq 1 || { echo "vopr-smoke: planted bug was NOT detected"; exit 1; }
+	dune exec bin/weakset_vopr.exe -- run --seeds 0..32 --planted-cache-bug --no-shrink --quiet; \
+	  test $$? -eq 1 || { echo "vopr-smoke: planted cache bug was NOT detected"; exit 1; }
 
 clean:
 	dune clean

@@ -37,6 +37,31 @@ let collect () =
           push (key "msgs") (float_of_int sent))
         Scenarios.named_semantics)
     sizes;
+  (* Lease-cache trajectory: a cold fill then a warm re-iteration of the
+     same seeded world.  The warm message count is the tracked win — it
+     must stay a fraction of the cold one. *)
+  List.iter
+    (fun size ->
+      let w =
+        Scenarios.clique_world ~seed:(9200 + size)
+          ~cache:{ Weakset_store.Cache.capacity = 256; ttl = 600.0 }
+          ~lease_ttl:600.0 ~size ()
+      in
+      let measure what =
+        let before = (Weakset_net.Rpc.stats w.Scenarios.rpc).Weakset_net.Netstat.sent in
+        let r = Scenarios.run_iteration ~think:1.0 w Weakset_core.Semantics.optimistic in
+        let sent =
+          (Weakset_net.Rpc.stats w.Scenarios.rpc).Weakset_net.Netstat.sent - before
+        in
+        let key k = Printf.sprintf "iter.cached-%s.n%d.%s" what size k in
+        (match r.Scenarios.total with
+        | Some t -> push (key "total") t
+        | None -> failwith ("baseline: run did not terminate for " ^ key "total"));
+        push (key "msgs") (float_of_int sent)
+      in
+      measure "cold";
+      measure "warm")
+    sizes;
   List.rev !metrics
 
 (* --- file format ----------------------------------------------------- *)

@@ -1,0 +1,117 @@
+(* Command-line parsing for the bench driver, factored out of main so
+   the test suite can exercise the strict-parsing rules directly.  An
+   unknown or malformed argument is an [`Error], never silently
+   ignored; [--lease-ttl] and [--warm-iters] only make sense for the
+   cache experiment and are rejected without [--cache]. *)
+
+let usage =
+  "usage: weakset_bench [--no-micro] [--metrics-json FILE] [--trace-jsonl FILE]\n\
+  \                     [--profile-json FILE] [--slo-report]\n\
+  \                     [--baseline FILE] [--compare OLD NEW] [--tolerance T]\n\
+  \                     [--cache] [--lease-ttl T] [--warm-iters N]\n\n\
+  \  --no-micro           skip the bechamel microbenchmarks (M1)\n\
+  \  --metrics-json FILE  dump every world's metrics registry as JSON\n\
+  \  --trace-jsonl FILE   write the full typed event stream as JSONL\n\
+  \                       (analyse with weakset_trace)\n\
+  \  --profile-json FILE  dump every world's simulated-time profile as JSON\n\
+  \                       (deterministic; same seed => identical bytes)\n\
+  \  --slo-report         attach SLO trackers to every world and print the\n\
+  \                       per-world burn-rate report at the end\n\
+  \  --baseline FILE      run only the seeded baseline suite and write its\n\
+  \                       tracked metrics to FILE (see BENCH_baseline.json)\n\
+  \  --compare OLD NEW    compare two baseline files; exit 1 when a tracked\n\
+  \                       metric regresses beyond the tolerance\n\
+  \  --tolerance T        relative compare tolerance (default 0.10)\n\
+  \  --cache              run only the lease-cache cold/warm experiment (E9)\n\
+  \  --lease-ttl T        lease TTL for --cache (positive, default 600)\n\
+  \  --warm-iters N       warm passes for --cache (positive, default 2)\n"
+
+type opts = {
+  mutable no_micro : bool;
+  mutable metrics_json : string option;
+  mutable trace_jsonl : string option;
+  mutable profile_json : string option;
+  mutable slo_report : bool;
+  mutable baseline : string option;
+  mutable compare : (string * string) option;
+  mutable tolerance : float;
+  mutable cache : bool;
+  mutable lease_ttl : float option;
+  mutable warm_iters : int option;
+}
+
+let defaults () =
+  {
+    no_micro = false;
+    metrics_json = None;
+    trace_jsonl = None;
+    profile_json = None;
+    slo_report = false;
+    baseline = None;
+    compare = None;
+    tolerance = 0.10;
+    cache = false;
+    lease_ttl = None;
+    warm_iters = None;
+  }
+
+let parse args =
+  let o = defaults () in
+  let error fmt = Printf.ksprintf (fun s -> `Error s) fmt in
+  let rec go = function
+    | [] ->
+        if o.lease_ttl <> None && not o.cache then
+          error "--lease-ttl only applies to the --cache experiment"
+        else if o.warm_iters <> None && not o.cache then
+          error "--warm-iters only applies to the --cache experiment"
+        else `Ok o
+    | "--no-micro" :: rest ->
+        o.no_micro <- true;
+        go rest
+    | "--slo-report" :: rest ->
+        o.slo_report <- true;
+        go rest
+    | "--cache" :: rest ->
+        o.cache <- true;
+        go rest
+    | "--metrics-json" :: v :: rest ->
+        o.metrics_json <- Some v;
+        go rest
+    | "--trace-jsonl" :: v :: rest ->
+        o.trace_jsonl <- Some v;
+        go rest
+    | "--profile-json" :: v :: rest ->
+        o.profile_json <- Some v;
+        go rest
+    | "--baseline" :: v :: rest ->
+        o.baseline <- Some v;
+        go rest
+    | "--compare" :: a :: b :: rest ->
+        o.compare <- Some (a, b);
+        go rest
+    | "--tolerance" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t when t >= 0.0 ->
+            o.tolerance <- t;
+            go rest
+        | _ -> error "--tolerance expects a non-negative float, got %S" v)
+    | "--lease-ttl" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t when t > 0.0 ->
+            o.lease_ttl <- Some t;
+            go rest
+        | _ -> error "--lease-ttl expects a positive float, got %S" v)
+    | "--warm-iters" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 ->
+            o.warm_iters <- Some n;
+            go rest
+        | _ -> error "--warm-iters expects a positive integer, got %S" v)
+    | [ (("--metrics-json" | "--trace-jsonl" | "--profile-json" | "--baseline"
+        | "--tolerance" | "--lease-ttl" | "--warm-iters") as flag) ] ->
+        error "%s expects an argument" flag
+    | "--compare" :: _ -> `Error "--compare expects two file arguments"
+    | ("--help" | "-h") :: _ -> `Help
+    | a :: _ -> error "unknown argument %S" a
+  in
+  go args

@@ -430,10 +430,10 @@ let e8_message_cost () =
             let w =
               clique_world ~seed:(9500 + size) ~ghost_policy:(sem = Semantics.grow_only) ~size ()
             in
-            let st = Weakset_net.Rpc.stats w.rpc in
-            let before = st.Weakset_net.Netstat.sent in
+            (* [Rpc.stats] is a snapshot, not a live view: take it twice. *)
+            let before = (Weakset_net.Rpc.stats w.rpc).Weakset_net.Netstat.sent in
             let r = run_iteration w sem in
-            let sent = st.Weakset_net.Netstat.sent - before in
+            let sent = (Weakset_net.Rpc.stats w.rpc).Weakset_net.Netstat.sent - before in
             [
               string_of_int size;
               name;
@@ -451,6 +451,57 @@ let e8_message_cost () =
     "membership read); current-vintage semantics re-read the membership each invocation";
   Harness.note
     "(~4 msgs/element); the immutable point adds lock acquire/release round trips on top."
+
+(* ------------------------------------------------------------------ *)
+(* E9: lease cache — cold vs warm re-iteration                        *)
+(* ------------------------------------------------------------------ *)
+
+let e9_cache_warm ?(lease_ttl = 600.0) ?(warm_iters = 2) () =
+  Harness.section ~id:"E9" ~title:"lease cache: cold vs warm re-iteration"
+    ~paper:"§3 ('cached data may be stale'): Coda-style callback leases on the fetch path";
+  let measure label w =
+    let rows = ref [] in
+    for pass = 1 to 1 + warm_iters do
+      let before = (Weakset_net.Rpc.stats w.rpc).Weakset_net.Netstat.sent in
+      let cb = Option.map Cache.stats (Client.lease_cache w.client) in
+      let r = run_iteration w Semantics.optimistic in
+      let sent = (Weakset_net.Rpc.stats w.rpc).Weakset_net.Netstat.sent - before in
+      let hits, misses =
+        match (cb, Option.map Cache.stats (Client.lease_cache w.client)) with
+        | Some b, Some a ->
+            ( Printf.sprintf "%d/%d" (a.Cache.hit_dir - b.Cache.hit_dir)
+                (a.Cache.hit_obj - b.Cache.hit_obj),
+              Printf.sprintf "%d/%d" (a.Cache.miss_dir - b.Cache.miss_dir)
+                (a.Cache.miss_obj - b.Cache.miss_obj) )
+        | _ -> ("-", "-")
+      in
+      rows :=
+        [
+          label;
+          (if pass = 1 then "cold" else Printf.sprintf "warm %d" (pass - 1));
+          string_of_int r.yields;
+          string_of_int sent;
+          hits;
+          misses;
+        ]
+        :: !rows
+    done;
+    List.rev !rows
+  in
+  let wc = clique_world ~seed:9100 ~size:24 () in
+  let ww =
+    clique_world ~seed:9100 ~cache:{ Cache.capacity = 256; ttl = lease_ttl } ~lease_ttl
+      ~size:24 ()
+  in
+  Harness.table
+    ~headers:[ "client"; "pass"; "yields"; "RPC msgs"; "hits dir/obj"; "misses dir/obj" ]
+    (measure "uncached" wc @ measure "cached" ww);
+  Harness.note
+    "same seed, one cold plus %d warm pass(es) over a 24-member set (optimistic semantics)."
+    warm_iters;
+  Harness.note
+    "the cold pass fills the cache at full RPC cost; warm passes serve memberships and";
+  Harness.note "values from leases and coalesce any residual misses into per-home batches."
 
 (* ------------------------------------------------------------------ *)
 (* E7: the Garcia-Molina/Wiederhold classification, observed          *)
@@ -690,6 +741,7 @@ let run_all () =
   e6_growth_race ();
   e7_gmw ();
   e8_message_cost ();
+  e9_cache_warm ();
   a1_replica_staleness ();
   a2_ghosts ();
   a3_quorum ();

@@ -1,5 +1,5 @@
 (* Benchmark/experiment driver.  Running with no arguments regenerates
-   every experiment table (F1..F6, E1..E7, A1..A3) and the bechamel
+   every experiment table (F1..F6, E1..E9, A1..A4) and the bechamel
    microbenchmarks (M1); see DESIGN.md section 4 for the experiment index
    and EXPERIMENTS.md for paper-vs-measured commentary.
 
@@ -15,121 +15,48 @@
                                                   -- run only the seeded
                                                      baseline suite
      dune exec bench/main.exe -- --compare OLD NEW
-                                                  -- regression gate      *)
-
-let usage =
-  "usage: weakset_bench [--no-micro] [--metrics-json FILE] [--trace-jsonl FILE]\n\
-  \                     [--profile-json FILE] [--slo-report]\n\
-  \                     [--baseline FILE] [--compare OLD NEW] [--tolerance T]\n\n\
-  \  --no-micro           skip the bechamel microbenchmarks (M1)\n\
-  \  --metrics-json FILE  dump every world's metrics registry as JSON\n\
-  \  --trace-jsonl FILE   write the full typed event stream as JSONL\n\
-  \                       (analyse with weakset_trace)\n\
-  \  --profile-json FILE  dump every world's simulated-time profile as JSON\n\
-  \                       (deterministic; same seed => identical bytes)\n\
-  \  --slo-report         attach SLO trackers to every world and print the\n\
-  \                       per-world burn-rate report at the end\n\
-  \  --baseline FILE      run only the seeded baseline suite and write its\n\
-  \                       tracked metrics to FILE (see BENCH_baseline.json)\n\
-  \  --compare OLD NEW    compare two baseline files; exit 1 when a tracked\n\
-  \                       metric regresses beyond the tolerance\n\
-  \  --tolerance T        relative compare tolerance (default 0.10)\n"
-
-let usage_die fmt =
-  Printf.ksprintf
-    (fun s ->
-      prerr_string ("weakset_bench: " ^ s ^ "\n\n" ^ usage);
-      exit 2)
-    fmt
-
-type opts = {
-  mutable no_micro : bool;
-  mutable metrics_json : string option;
-  mutable trace_jsonl : string option;
-  mutable profile_json : string option;
-  mutable slo_report : bool;
-  mutable baseline : string option;
-  mutable compare : (string * string) option;
-  mutable tolerance : float;
-}
-
-(* Strict parsing: an unknown or malformed argument aborts with usage
-   instead of being silently ignored. *)
-let parse_args () =
-  let o =
-    {
-      no_micro = false;
-      metrics_json = None;
-      trace_jsonl = None;
-      profile_json = None;
-      slo_report = false;
-      baseline = None;
-      compare = None;
-      tolerance = 0.10;
-    }
-  in
-  let rec go = function
-    | [] -> ()
-    | "--no-micro" :: rest ->
-        o.no_micro <- true;
-        go rest
-    | "--slo-report" :: rest ->
-        o.slo_report <- true;
-        go rest
-    | "--metrics-json" :: v :: rest ->
-        o.metrics_json <- Some v;
-        go rest
-    | "--trace-jsonl" :: v :: rest ->
-        o.trace_jsonl <- Some v;
-        go rest
-    | "--profile-json" :: v :: rest ->
-        o.profile_json <- Some v;
-        go rest
-    | "--baseline" :: v :: rest ->
-        o.baseline <- Some v;
-        go rest
-    | "--compare" :: a :: b :: rest ->
-        o.compare <- Some (a, b);
-        go rest
-    | "--tolerance" :: v :: rest -> (
-        match float_of_string_opt v with
-        | Some t when t >= 0.0 ->
-            o.tolerance <- t;
-            go rest
-        | _ -> usage_die "--tolerance expects a non-negative float, got %S" v)
-    | [ ("--metrics-json" | "--trace-jsonl" | "--profile-json" | "--baseline"
-        | "--tolerance") as flag ] ->
-        usage_die "%s expects a file argument" flag
-    | "--compare" :: _ -> usage_die "--compare expects two file arguments"
-    | ("--help" | "-h") :: _ ->
-        print_string usage;
-        exit 0
-    | a :: _ -> usage_die "unknown argument %S" a
-  in
-  go (List.tl (Array.to_list Sys.argv));
-  o
+                                                  -- regression gate
+     dune exec bench/main.exe -- --cache --warm-iters 4
+                                                  -- cache cold/warm only  *)
 
 let () =
-  let o = parse_args () in
-  match o.compare with
-  | Some (old_path, new_path) ->
-      exit (Bench_lib.Baseline.run_compare ~tolerance:o.tolerance old_path new_path)
-  | None ->
-      Option.iter Bench_lib.Harness.set_trace_path o.trace_jsonl;
-      Option.iter Bench_lib.Harness.set_profile_path o.profile_json;
-      if o.slo_report then Bench_lib.Harness.enable_slo ();
-      (match o.baseline with
-      | Some path ->
-          Printf.printf "Weak sets (Wing & Steere, ICDCS 1995) - baseline suite\n";
-          let metrics = Bench_lib.Baseline.collect () in
-          Bench_lib.Baseline.write ~path metrics;
-          Printf.printf "%d tracked metrics written to %s\n" (List.length metrics) path
+  match Bench_lib.Cli.parse (List.tl (Array.to_list Sys.argv)) with
+  | `Help ->
+      print_string Bench_lib.Cli.usage;
+      exit 0
+  | `Error msg ->
+      prerr_string ("weakset_bench: " ^ msg ^ "\n\n" ^ Bench_lib.Cli.usage);
+      exit 2
+  | `Ok o -> (
+      match o.Bench_lib.Cli.compare with
+      | Some (old_path, new_path) ->
+          exit
+            (Bench_lib.Baseline.run_compare ~tolerance:o.Bench_lib.Cli.tolerance old_path
+               new_path)
       | None ->
-          Printf.printf "Weak sets (Wing & Steere, ICDCS 1995) - experiment suite\n";
-          Printf.printf "All latencies are simulated virtual time units unless noted.\n";
-          Bench_lib.Experiments.run_all ();
-          if not o.no_micro then Bench_lib.Micro.run ());
-      Option.iter (fun path -> Bench_lib.Harness.export_metrics_json ~path) o.metrics_json;
-      Bench_lib.Harness.export_profiles ();
-      Bench_lib.Harness.slo_report ();
-      Bench_lib.Harness.close_trace ()
+          Option.iter Bench_lib.Harness.set_trace_path o.Bench_lib.Cli.trace_jsonl;
+          Option.iter Bench_lib.Harness.set_profile_path o.Bench_lib.Cli.profile_json;
+          if o.Bench_lib.Cli.slo_report then Bench_lib.Harness.enable_slo ();
+          (match o.Bench_lib.Cli.baseline with
+          | Some path ->
+              Printf.printf "Weak sets (Wing & Steere, ICDCS 1995) - baseline suite\n";
+              let metrics = Bench_lib.Baseline.collect () in
+              Bench_lib.Baseline.write ~path metrics;
+              Printf.printf "%d tracked metrics written to %s\n" (List.length metrics) path
+          | None when o.Bench_lib.Cli.cache ->
+              Printf.printf "Weak sets (Wing & Steere, ICDCS 1995) - lease-cache experiment\n";
+              Printf.printf "All latencies are simulated virtual time units unless noted.\n";
+              Bench_lib.Experiments.e9_cache_warm
+                ?lease_ttl:o.Bench_lib.Cli.lease_ttl
+                ?warm_iters:o.Bench_lib.Cli.warm_iters ()
+          | None ->
+              Printf.printf "Weak sets (Wing & Steere, ICDCS 1995) - experiment suite\n";
+              Printf.printf "All latencies are simulated virtual time units unless noted.\n";
+              Bench_lib.Experiments.run_all ();
+              if not o.Bench_lib.Cli.no_micro then Bench_lib.Micro.run ());
+          Option.iter
+            (fun path -> Bench_lib.Harness.export_metrics_json ~path)
+            o.Bench_lib.Cli.metrics_json;
+          Bench_lib.Harness.export_profiles ();
+          Bench_lib.Harness.slo_report ();
+          Bench_lib.Harness.close_trace ())

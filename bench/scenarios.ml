@@ -23,14 +23,16 @@ type world = {
 let set_id = 1
 
 (* [clique_world] — n nodes fully connected with unit latency: node 0
-   coordinates, the last node is the client, the rest home objects. *)
+   coordinates, the last node is the client, the rest home objects.
+   [cache] equips the client with a lease cache; [lease_ttl] is what the
+   servers grant with leased membership answers. *)
 let clique_world ?(seed = 1) ?(n = 8) ?(ghost_policy = false) ?(replica_ixs = [])
-    ?(replica_interval = 10.0) ~size () =
+    ?(replica_interval = 10.0) ?cache ?(lease_ttl = 30.0) ~size () =
   let eng = Engine.create ~seed:(Int64.of_int seed) () in
   let topo = Topology.create () in
   let nodes = Topology.clique topo n ~latency:1.0 in
   let rpc = Rpc.create eng topo in
-  let servers = Array.map (fun node -> Node_server.create rpc node) nodes in
+  let servers = Array.map (fun node -> Node_server.create ~lease_ttl rpc node) nodes in
   let fault = Fault.create eng topo in
   let policy =
     if ghost_policy then Node_server.Defer_removes_while_iterating else Node_server.Immediate
@@ -41,7 +43,7 @@ let clique_world ?(seed = 1) ?(n = 8) ?(ghost_policy = false) ?(replica_ixs = []
       Node_server.host_replica servers.(ix) ~set_id ~of_:nodes.(0) ~interval:replica_interval
         ~until:1.0e9)
     replica_ixs;
-  let client = Client.create rpc nodes.(n - 1) in
+  let client = Client.create ?cache rpc nodes.(n - 1) in
   let sref =
     { Protocol.set_id; coordinator = nodes.(0); replicas = List.map (fun i -> nodes.(i)) replica_ixs }
   in

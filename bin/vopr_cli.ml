@@ -28,6 +28,7 @@ let usage =
   \  --bundle-dir DIR     write vopr-seed-N.json for each failing seed\n\
   \  --no-shrink          bundle the original, unshrunk schedule\n\
   \  --planted-bug        arm the planted grow-only drop (mutation test)\n\
+  \  --planted-cache-bug  arm the planted cache Inval drop (mutation test)\n\
   \  --quiet              only print failures and the summary\n\n\
    replay options:\n\
   \  --step-cap N         engine step budget (default 1000000)\n\
@@ -74,6 +75,7 @@ type run_opts = {
   mutable bundle_dir : string option;
   mutable no_shrink : bool;
   mutable planted_bug : bool;
+  mutable planted_cache_bug : bool;
   mutable quiet : bool;
 }
 
@@ -85,6 +87,7 @@ let parse_run_args args =
       bundle_dir = None;
       no_shrink = false;
       planted_bug = false;
+      planted_cache_bug = false;
       quiet = false;
     }
   in
@@ -111,6 +114,9 @@ let parse_run_args args =
     | "--planted-bug" :: rest ->
         o.planted_bug <- true;
         go rest
+    | "--planted-cache-bug" :: rest ->
+        o.planted_cache_bug <- true;
+        go rest
     | "--quiet" :: rest ->
         o.quiet <- true;
         go rest
@@ -126,6 +132,7 @@ let parse_run_args args =
 let cmd_run args =
   let o = parse_run_args args in
   Weakset_core.Impl_common.planted_grow_only_drop := o.planted_bug;
+  Weakset_store.Cache.planted_inval_drop := o.planted_cache_bug;
   let failures = ref 0 in
   let progress seed (r : Runner.result) =
     if r.issues = [] then begin
@@ -247,6 +254,7 @@ let cmd_shrink args =
   let path = match o.s_bundle with Some p -> p | None -> usage_die "shrink: no bundle given" in
   let b = load_bundle path in
   Weakset_core.Impl_common.planted_grow_only_drop := b.b_planted;
+  Weakset_store.Cache.planted_inval_drop := b.b_planted_cache;
   let issues =
     match b.b_issues with
     | [] ->

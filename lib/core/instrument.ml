@@ -43,6 +43,9 @@ let truth t = Directory.members (Node_server.directory_truth t.server ~set_id:t.
    directory at its version. *)
 exception Corrupt_view of string
 
+let membership_at t version =
+  Option.map snd (List.find_opt (fun (v, _) -> Version.equal v version) t.history)
+
 let verify_view t version members =
   match List.find_opt (fun (v, _) -> Version.equal v version) t.history with
   | None -> () (* version predates this instrument's attachment *)

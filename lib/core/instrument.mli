@@ -41,6 +41,14 @@ val computation : t -> Weakset_spec.Computation.t
 (** Oid → spec element (id = oid number, label = printed oid). *)
 val elem_of_oid : Weakset_store.Oid.t -> Weakset_spec.Elem.t
 
+(** The authoritative membership at a directory version, from this
+    instrument's per-version history; [None] for versions predating its
+    attachment.  This is the ground truth cache-coherence properties are
+    checked against: a cache-served view at version [v] must equal
+    [membership_at v]. *)
+val membership_at :
+  t -> Weakset_store.Version.t -> Weakset_store.Oid.Set.t option
+
 (** {1 Capture points, called by iterator implementations} *)
 
 (** Raised when a linearised view contradicts the directory's recorded

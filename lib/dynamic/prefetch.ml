@@ -7,9 +7,12 @@ module Mailbox = Weakset_sim.Mailbox
 
 type stats = {
   started_at : float;
+  membership_read_at : float option;
   first_result_at : float option;
   finished_at : float option;
   fetched : int;
+  cache_hits : int;
+  batches : int;
   missed : int;
   membership : int;
   open_failed : bool;
@@ -24,6 +27,7 @@ type t = {
   order : [ `Closest_first | `By_id ];
   max_retries : int;
   retry_backoff : float;
+  batch : int; (* max oids coalesced into one Fetch_batch *)
   results : item Mailbox.t;
   mutable pending : (Oid.t * int) list; (* (member, retries so far) *)
   mutable live_fetchers : int;
@@ -31,18 +35,28 @@ type t = {
   mutable exhausted_seen : bool;
   (* stats *)
   started_at : float;
+  mutable membership_read_at : float option;
   mutable first_result_at : float option;
   mutable finished_at : float option;
   mutable fetched : int;
+  mutable cache_hits : int;
+  mutable batches : int;
   mutable missed : int;
   mutable membership : int;
   mutable open_failed : bool;
 }
 
-(* Claim the best pending item whose home is currently reachable; [None]
-   if nothing pending is reachable ([`Blocked]) or nothing pends at all
-   ([`Empty]). *)
-let claim t =
+let rec take n = function
+  | x :: tl when n > 0 ->
+      let a, b = take (n - 1) tl in
+      (x :: a, b)
+  | l -> ([], l)
+
+(* Claim the best pending item whose home is currently reachable, plus
+   up to [t.batch - 1] more pending items homed at the same node: one
+   destination, one coalesced request.  [`Blocked] if nothing pending is
+   reachable, [`Empty] if nothing pends at all. *)
+let claim_batch t =
   match t.pending with
   | [] -> `Empty
   | pending -> (
@@ -70,9 +84,16 @@ let claim t =
       in
       match best with
       | None -> `Blocked
-      | Some (oid, retries, _) ->
-          t.pending <- List.filter (fun (o, _) -> not (Oid.equal o oid)) t.pending;
-          `Claimed (oid, retries))
+      | Some (best_oid, _, _) ->
+          let home = Oid.home best_oid in
+          let mine, rest =
+            List.partition
+              (fun (o, _) -> Weakset_net.Nodeid.equal (Oid.home o) home)
+              pending
+          in
+          let claimed, left = take t.batch mine in
+          t.pending <- left @ rest;
+          `Claimed claimed)
 
 let push_result t r =
   if t.first_result_at = None then t.first_result_at <- Some (Engine.now t.engine);
@@ -101,7 +122,7 @@ let fetcher_finished t =
 let rec fetcher_loop t =
   if t.cancelled then fetcher_finished t
   else
-    match claim t with
+    match claim_batch t with
     | `Empty -> fetcher_finished t
     | `Blocked -> (
         (* Everything left is unreachable: back off, charge a retry to each
@@ -113,24 +134,26 @@ let rec fetcher_loop t =
         t.pending <- List.map (fun (o, r) -> (o, r + 1)) keep;
         t.missed <- t.missed + List.length drop;
         match t.pending with [] -> fetcher_finished t | _ -> fetcher_loop t)
-    | `Claimed (oid, retries) -> (
-        match Client.fetch ~parent:t.span t.client oid with
-        | Ok v ->
-            push_result t (oid, v);
-            fetcher_loop t
-        | Error Client.No_such_object ->
-            (* Contents gone: skip permanently. *)
-            t.missed <- t.missed + 1;
-            fetcher_loop t
-        | Error (Client.Unreachable | Client.Timeout | Client.No_service) ->
-            if retries + 1 > t.max_retries then begin
-              t.missed <- t.missed + 1;
-              fetcher_loop t
-            end
-            else begin
-              t.pending <- (oid, retries + 1) :: t.pending;
-              fetcher_loop t
-            end)
+    | `Claimed items ->
+        t.batches <- t.batches + 1;
+        let retries_of oid =
+          match List.find_opt (fun (o, _) -> Oid.equal o oid) items with
+          | Some (_, r) -> r
+          | None -> 0
+        in
+        List.iter
+          (fun (oid, outcome) ->
+            match outcome with
+            | Ok v -> push_result t (oid, v)
+            | Error Client.No_such_object ->
+                (* Contents gone: skip permanently. *)
+                t.missed <- t.missed + 1
+            | Error (Client.Unreachable | Client.Timeout | Client.No_service) ->
+                let retries = retries_of oid in
+                if retries + 1 > t.max_retries then t.missed <- t.missed + 1
+                else t.pending <- (oid, retries + 1) :: t.pending)
+          (Client.fetch_many ~parent:t.span t.client (List.map fst items));
+        fetcher_loop t
 
 let read_membership ~parent client (sref : Weakset_store.Protocol.set_ref) =
   match Client.dir_read ~parent client ~from:sref.coordinator ~set_id:sref.set_id with
@@ -148,7 +171,7 @@ let read_membership ~parent client (sref : Weakset_store.Protocol.set_ref) =
         sref.replicas
 
 let start ?parent ?(parallelism = 4) ?(order = `Closest_first) ?(max_retries = 2)
-    ?(retry_backoff = 2.0) client sref =
+    ?(retry_backoff = 2.0) ?(batch = 8) client sref =
   let engine = Client.engine client in
   let bus = Engine.bus engine in
   let span = Weakset_obs.Bus.fresh_span bus in
@@ -163,15 +186,19 @@ let start ?parent ?(parallelism = 4) ?(order = `Closest_first) ?(max_retries = 2
       order;
       max_retries;
       retry_backoff;
+      batch = Stdlib.max 1 batch;
       results = Mailbox.create ();
       pending = [];
       live_fetchers = 0;
       cancelled = false;
       exhausted_seen = false;
       started_at = Engine.now engine;
+      membership_read_at = None;
       first_result_at = None;
       finished_at = None;
       fetched = 0;
+      cache_hits = 0;
+      batches = 0;
       missed = 0;
       membership = 0;
       open_failed = false;
@@ -184,7 +211,20 @@ let start ?parent ?(parallelism = 4) ?(order = `Closest_first) ?(max_retries = 2
           finish t
       | Some members ->
           t.membership <- List.length members;
-          t.pending <- List.map (fun o -> (o, 0)) members;
+          t.membership_read_at <- Some (Engine.now engine);
+          (* Claim lease-cache hits synchronously — zero RPCs, results
+             available before any fetcher even spawns. *)
+          let hits, misses =
+            List.partition_map
+              (fun o ->
+                match Client.peek client o with
+                | Some v -> Either.Left (o, v)
+                | None -> Either.Right o)
+              members
+          in
+          t.cache_hits <- List.length hits;
+          List.iter (push_result t) hits;
+          t.pending <- List.map (fun o -> (o, 0)) misses;
           if t.pending = [] then finish t
           else begin
             let k = Stdlib.max 1 parallelism in
@@ -212,9 +252,12 @@ let drain t =
 let stats t =
   {
     started_at = t.started_at;
+    membership_read_at = t.membership_read_at;
     first_result_at = t.first_result_at;
     finished_at = t.finished_at;
     fetched = t.fetched;
+    cache_hits = t.cache_hits;
+    batches = t.batches;
     missed = t.missed;
     membership = t.membership;
     open_failed = t.open_failed;

@@ -16,9 +16,17 @@
 
 type stats = {
   started_at : float;
+  membership_read_at : float option;
+      (** when the membership read completed — the point fetching could
+          begin.  Separate from {!first_result_at} so a warm cache's win
+          (first result at essentially the membership-read instant) is
+          measurable against the membership read itself, which
+          [started_at]-relative numbers used to fold in. *)
   first_result_at : float option;  (** when the first yield was produced *)
   finished_at : float option;
-  fetched : int;
+  fetched : int;      (** results produced, cache hits included *)
+  cache_hits : int;   (** members served synchronously from the lease cache *)
+  batches : int;      (** coalesced [Fetch_batch] round trips issued *)
   missed : int;       (** members skipped as unreachable *)
   membership : int;   (** members listed at open *)
   open_failed : bool; (** no membership host was reachable *)
@@ -31,13 +39,20 @@ type t
     (default 2) spaced [retry_backoff] (default 2.0) apart.  [parent]
     parents the whole prefetch's trace span (e.g. under an [ls.weak]
     request span); the membership read and every fetch are traced as its
-    children. *)
+    children.
+
+    After the membership read, members already in the client's lease
+    cache are claimed synchronously (zero RPCs) and streamed first; the
+    misses are then claimed closest-destination-first and coalesced into
+    [Fetch_batch] requests of up to [batch] oids (default 8) per round
+    trip. *)
 val start :
   ?parent:int ->
   ?parallelism:int ->
   ?order:[ `Closest_first | `By_id ] ->
   ?max_retries:int ->
   ?retry_backoff:float ->
+  ?batch:int ->
   Weakset_store.Client.t ->
   Weakset_store.Protocol.set_ref ->
   t

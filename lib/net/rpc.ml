@@ -26,6 +26,16 @@ type ('req, 'resp) handler = {
   fn : 'req -> 'resp;
 }
 
+(* A client-side request tap, consulted before the node's [handler].
+   Lets a client cache answer server-pushed messages (lease callbacks)
+   on a node that also runs a full store service: the interceptor
+   claims exactly the requests [i_handles] labels, everything else
+   falls through. *)
+type ('req, 'resp) interceptor = {
+  i_handles : 'req -> string option;
+  i_fn : 'req -> 'resp;
+}
+
 (* A call waiting for its response.  [dst] is kept so the failure
    detector can fail pending calls when their destination crashes. *)
 type 'resp pending_call = {
@@ -38,6 +48,7 @@ type ('req, 'resp) t = {
   detect_delay : float;
   pending : (int, 'resp pending_call) Hashtbl.t;
   handlers : (int, ('req, 'resp) handler) Hashtbl.t;
+  interceptors : (int, ('req, 'resp) interceptor) Hashtbl.t;
   c_calls : Metrics.counter;
   c_ok : Metrics.counter;
   c_timeout : Metrics.counter;
@@ -86,6 +97,7 @@ let create ?(detect_delay = 0.5) engine topo =
       detect_delay;
       pending = Hashtbl.create 64;
       handlers = Hashtbl.create 16;
+      interceptors = Hashtbl.create 4;
       c_calls = Metrics.counter m ~labels "rpc.calls";
       c_ok = Metrics.counter m ~labels "rpc.ok";
       c_timeout = Metrics.counter m ~labels "rpc.timeout";
@@ -104,33 +116,51 @@ let handle_frame t node (env : ('req, 'resp) frame Transport.envelope) =
   let eng = engine t in
   match env.payload with
   | Request { id; reply_to; parent; req } -> (
-      match Hashtbl.find_opt t.handlers (Nodeid.to_int node) with
-      | None -> () (* no service here: the request is silently lost *)
-      | Some h ->
+      let key = Nodeid.to_int node in
+      let intercepted =
+        match Hashtbl.find_opt t.interceptors key with
+        | None -> None
+        | Some i -> (
+            match i.i_handles req with
+            | None -> None
+            | Some label -> Some (label, i.i_fn))
+      in
+      (* The serve span carries the op label when the service provides
+         one ("rpc.serve.fetch"), so per-op profiling and SLO tracking
+         see server time split by request type.  Interceptors serve in
+         zero virtual time: they answer from local state. *)
+      let serve_plan =
+        match intercepted with
+        | Some (label, fn) -> Some ("rpc.serve." ^ label, 0.0, fn)
+        | None -> (
+            match Hashtbl.find_opt t.handlers key with
+            | None -> None (* no service here: the request is silently lost *)
+            | Some h ->
+                let span_name =
+                  match h.op with
+                  | None -> "rpc.serve"
+                  | Some label -> "rpc.serve." ^ label req
+                in
+                Some (span_name, h.service_time req, h.fn))
+      in
+      match serve_plan with
+      | None -> ()
+      | Some (span_name, service, fn) ->
           if Topology.node_up (topology t) node then
-            (* The serve span carries the op label when the service
-               provides one ("rpc.serve.fetch"), so per-op profiling and
-               SLO tracking see server time split by request type. *)
-            let span_name =
-              match h.op with
-              | None -> "rpc.serve"
-              | Some label -> "rpc.serve." ^ label req
-            in
             Engine.spawn eng ~name:(Printf.sprintf "rpc-handler-%s-%d" (Nodeid.to_string node) id)
               (fun () ->
                 Bus.with_span_id (bus t)
                   ~time:(fun () -> Engine.now eng)
                   ~node:(Nodeid.to_int node) ?parent span_name
                   (fun span ->
-                    let d = h.service_time req in
-                    if d > 0.0 then Engine.sleep eng d;
+                    if service > 0.0 then Engine.sleep eng service;
                     (* Expose the serve span for the synchronous handler
                        prefix, where servers emit their Store_op. *)
                     t.serving_span <- Some span;
                     let resp =
                       Fun.protect
                         ~finally:(fun () -> t.serving_span <- None)
-                        (fun () -> h.fn req)
+                        (fun () -> fn req)
                     in
                     Transport.send t.transport ~src:node ~dst:reply_to
                       (Response { id; resp }))))
@@ -159,6 +189,10 @@ let ensure_demux t node =
 
 let serve t node ?(service_time = fun _ -> 0.0) ?op fn =
   Hashtbl.replace t.handlers (Nodeid.to_int node) { service_time; op; fn };
+  ensure_demux t node
+
+let intercept t node ~handles fn =
+  Hashtbl.replace t.interceptors (Nodeid.to_int node) { i_handles = handles; i_fn = fn };
   ensure_demux t node
 
 let call t ?parent ~src ~dst ~timeout req =

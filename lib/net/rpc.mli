@@ -47,6 +47,22 @@ val serve :
   ('req -> 'resp) ->
   unit
 
+(** [intercept t node ~handles fn] installs a client-side request tap on
+    [node], consulted {e before} the node's {!serve} handler.  For each
+    incoming request, [handles req] returns [Some label] to claim it —
+    it is then answered by [fn req] in zero virtual service time under a
+    ["rpc.serve." ^ label] span — or [None] to let it fall through to
+    the ordinary handler.  This is how a client cache colocated with a
+    full store service receives server-pushed lease callbacks ([Inval])
+    without shadowing the store.  At most one interceptor per node;
+    installing another replaces it. *)
+val intercept :
+  ('req, 'resp) t ->
+  Nodeid.t ->
+  handles:('req -> string option) ->
+  ('req -> 'resp) ->
+  unit
+
 (** The [rpc.serve] span of the handler invocation currently executing,
     for servers to stamp as the [parent] of their [Store_op] events.
     Only meaningful during the synchronous prefix of a handler body

@@ -20,6 +20,7 @@ type park =
   | Park_crash
 
 type alert_severity = Sev_warn | Sev_crit
+type cache_kind = Cache_dir | Cache_obj
 
 type kind =
   | Fiber_spawn of { fid : int; fiber : string }
@@ -41,6 +42,10 @@ type kind =
   | Span_start of { span : int; parent : int option; name : string; node : int option }
   | Span_end of { span : int; name : string; node : int option; dur : float }
   | Store_op of { node : int; op : string; parent : int option }
+  | Cache_hit of { node : int; ckind : cache_kind; id : int; version : int; age : float }
+  | Cache_miss of { node : int; ckind : cache_kind; id : int }
+  | Cache_inval of { node : int; set_id : int; version : int }
+  | Lease_expire of { node : int; ckind : cache_kind; id : int }
   | Spec_observe of {
       set_id : int;
       phase : spec_phase;
@@ -103,6 +108,13 @@ let park_base = function
 
 let severity_string = function Sev_warn -> "warn" | Sev_crit -> "crit"
 
+let cache_kind_string = function Cache_dir -> "dir" | Cache_obj -> "obj"
+
+let cache_kind_of_string = function
+  | "dir" -> Some Cache_dir
+  | "obj" -> Some Cache_obj
+  | _ -> None
+
 let severity_of_string = function
   | "warn" -> Some Sev_warn
   | "crit" -> Some Sev_crit
@@ -120,6 +132,7 @@ let label = function
   | Rpc_call _ | Rpc_done _ -> "rpc"
   | Span_start _ | Span_end _ -> "span"
   | Store_op _ -> "store"
+  | Cache_hit _ | Cache_miss _ | Cache_inval _ | Lease_expire _ -> "cache"
   | Spec_observe _ -> "spec"
   | Alert _ -> "alert"
   | Spec_violation _ -> "spec-violation"
@@ -177,6 +190,15 @@ let detail = function
         (hexf dur)
   | Store_op { node; op; parent } ->
       Printf.sprintf "%s @%s parent=%s" op (node_str node) (opt_int_str parent)
+  | Cache_hit { node; ckind; id; version; age } ->
+      Printf.sprintf "hit %s#%d @%s v=%d age=%s" (cache_kind_string ckind) id
+        (node_str node) version (hexf age)
+  | Cache_miss { node; ckind; id } ->
+      Printf.sprintf "miss %s#%d @%s" (cache_kind_string ckind) id (node_str node)
+  | Cache_inval { node; set_id; version } ->
+      Printf.sprintf "inval dir#%d @%s v=%d" set_id (node_str node) version
+  | Lease_expire { node; ckind; id } ->
+      Printf.sprintf "expire %s#%d @%s" (cache_kind_string ckind) id (node_str node)
   | Spec_observe { set_id; phase; s; accessible } ->
       let extra =
         match phase with
@@ -279,6 +301,22 @@ let kind_fields = function
   | Store_op { node; op; parent } ->
       Printf.sprintf {|"kind":"store_op","node":%d,"op":%s%s|} node (jstr op)
         (match parent with None -> "" | Some p -> Printf.sprintf {|,"parent":%d|} p)
+  | Cache_hit { node; ckind; id; version; age } ->
+      Printf.sprintf
+        {|"kind":"cache_hit","node":%d,"ckind":%s,"id":%d,"version":%d,"age":%s|} node
+        (jstr (cache_kind_string ckind))
+        id version (jfloat age)
+  | Cache_miss { node; ckind; id } ->
+      Printf.sprintf {|"kind":"cache_miss","node":%d,"ckind":%s,"id":%d|} node
+        (jstr (cache_kind_string ckind))
+        id
+  | Cache_inval { node; set_id; version } ->
+      Printf.sprintf {|"kind":"cache_inval","node":%d,"set_id":%d,"version":%d|} node
+        set_id version
+  | Lease_expire { node; ckind; id } ->
+      Printf.sprintf {|"kind":"lease_expire","node":%d,"ckind":%s,"id":%d|} node
+        (jstr (cache_kind_string ckind))
+        id
   | Spec_observe { set_id; phase; s; accessible } ->
       let elem_field =
         match phase with
@@ -405,6 +443,32 @@ let kind_of_json j =
         }
   | "store_op" ->
       Store_op { node = fint j "node"; op = fstr j "op"; parent = fint_opt j "parent" }
+  | "cache_hit" ->
+      Cache_hit
+        {
+          node = fint j "node";
+          ckind = req "ckind" (cache_kind_of_string (fstr j "ckind"));
+          id = fint j "id";
+          version = fint j "version";
+          age = ffloat j "age";
+        }
+  | "cache_miss" ->
+      Cache_miss
+        {
+          node = fint j "node";
+          ckind = req "ckind" (cache_kind_of_string (fstr j "ckind"));
+          id = fint j "id";
+        }
+  | "cache_inval" ->
+      Cache_inval
+        { node = fint j "node"; set_id = fint j "set_id"; version = fint j "version" }
+  | "lease_expire" ->
+      Lease_expire
+        {
+          node = fint j "node";
+          ckind = req "ckind" (cache_kind_of_string (fstr j "ckind"));
+          id = fint j "id";
+        }
   | "spec_observe" ->
       let elem () = felem (req "elem" (Json.member "elem" j)) in
       let phase =

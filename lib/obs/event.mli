@@ -60,6 +60,10 @@ type park =
 
 type alert_severity = Sev_warn | Sev_crit
 
+(** Which pool of the client lease cache an event concerns: directory
+    membership entries or immutable object values. *)
+type cache_kind = Cache_dir | Cache_obj
+
 type kind =
   | Fiber_spawn of { fid : int; fiber : string }
       (** [fid] is the engine-unique fiber id; [fiber] its display name. *)
@@ -88,6 +92,19 @@ type kind =
   | Span_end of { span : int; name : string; node : int option; dur : float }
   | Store_op of { node : int; op : string; parent : int option }
       (** server handled a request; [parent] is the serving span *)
+  | Cache_hit of { node : int; ckind : cache_kind; id : int; version : int; age : float }
+      (** a lookup was served locally: [id] is the set id ([Cache_dir])
+          or object number ([Cache_obj]); [version] is the directory
+          version the entry was granted at (0 for objects, which are
+          immutable); [age] is virtual time since the lease grant *)
+  | Cache_miss of { node : int; ckind : cache_kind; id : int }
+  | Cache_inval of { node : int; set_id : int; version : int }
+      (** a server callback invalidated the cached membership of
+          [set_id]; [version] is the directory version after the
+          mutation that broke the lease *)
+  | Lease_expire of { node : int; ckind : cache_kind; id : int }
+      (** a cached entry was found past its lease and discarded — the
+          partition-tolerant fallback when invalidations cannot arrive *)
   | Spec_observe of {
       set_id : int;
       phase : spec_phase;
@@ -110,8 +127,11 @@ type t = { seq : int; time : float; kind : kind }
 
 (** Short category of a kind: ["fiber"], ["run"], ["fiber-crash"],
     ["sched"], ["fault"], ["net"], ["rpc"], ["span"], ["store"],
-    ["spec"], ["alert"], ["spec-violation"], or the [Custom] label. *)
+    ["cache"], ["spec"], ["alert"], ["spec-violation"], or the [Custom]
+    label. *)
 val label : kind -> string
+
+val cache_kind_string : cache_kind -> string
 
 (** Deterministic human-readable payload rendering (no seq/time). *)
 val detail : kind -> string

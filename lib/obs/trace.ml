@@ -78,6 +78,18 @@ type rpc = {
   mutable outcome : Event.rpc_outcome option;
 }
 
+type cache_counts = {
+  cc_hit_dir : int;
+  cc_hit_obj : int;
+  cc_miss_dir : int;
+  cc_miss_obj : int;
+  cc_inval : int;
+  cc_expire : int;
+}
+
+let no_cache_activity =
+  { cc_hit_dir = 0; cc_hit_obj = 0; cc_miss_dir = 0; cc_miss_obj = 0; cc_inval = 0; cc_expire = 0 }
+
 type t = {
   event_count : int;
   span_tbl : (int, span) Hashtbl.t;
@@ -85,6 +97,7 @@ type t = {
   root_ids : int list; (* parentless spans, stream order *)
   orphan_ids : int list; (* spans whose parent never started, stream order *)
   label_counts : (string * int) list; (* per event label, sorted *)
+  cache : cache_counts;
   (* (seq, node, lc) of every Lamport-stamped event, stream order *)
   stamped : (int * int * int) list;
   (* (seq, src, dst, send_lc, lc) of every delivery, stream order *)
@@ -100,6 +113,7 @@ let build events =
   let label_counts = Hashtbl.create 16 in
   let stamped = ref [] in
   let delivers = ref [] in
+  let cache = ref no_cache_activity in
   let n = ref 0 in
   let bump_label k =
     let l = Event.label k in
@@ -176,6 +190,16 @@ let build events =
               | Some ps -> ps.ops <- op :: ps.ops
               | None -> ())
             parent
+      | Event.Cache_hit { ckind = Event.Cache_dir; _ } ->
+          cache := { !cache with cc_hit_dir = !cache.cc_hit_dir + 1 }
+      | Event.Cache_hit { ckind = Event.Cache_obj; _ } ->
+          cache := { !cache with cc_hit_obj = !cache.cc_hit_obj + 1 }
+      | Event.Cache_miss { ckind = Event.Cache_dir; _ } ->
+          cache := { !cache with cc_miss_dir = !cache.cc_miss_dir + 1 }
+      | Event.Cache_miss { ckind = Event.Cache_obj; _ } ->
+          cache := { !cache with cc_miss_obj = !cache.cc_miss_obj + 1 }
+      | Event.Cache_inval _ -> cache := { !cache with cc_inval = !cache.cc_inval + 1 }
+      | Event.Lease_expire _ -> cache := { !cache with cc_expire = !cache.cc_expire + 1 }
       | _ -> ())
     events;
   Hashtbl.iter
@@ -205,6 +229,7 @@ let build events =
     label_counts =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) label_counts []
       |> List.sort (fun (a, _) (b, _) -> compare a b);
+    cache = !cache;
     stamped = List.rev !stamped;
     delivers = List.rev !delivers;
   }
@@ -433,6 +458,18 @@ let render_tree ?(times = true) ?max_depth t =
   List.iter (pr 0) (roots t);
   Buffer.contents buf
 
+let cache_counts t = t.cache
+
+(* "cache: dir 12/14 hit, obj 30/40 hit, 2 invals, 1 expiries" — shared
+   by the critpath and stats renderings; empty when no cache ran. *)
+let cache_line t =
+  let c = t.cache in
+  if c = no_cache_activity then ""
+  else
+    Printf.sprintf "cache: dir %d/%d hit, obj %d/%d hit, %d invals, %d expiries\n"
+      c.cc_hit_dir (c.cc_hit_dir + c.cc_miss_dir) c.cc_hit_obj
+      (c.cc_hit_obj + c.cc_miss_obj) c.cc_inval c.cc_expire
+
 let render_critpath t =
   let buf = Buffer.create 1024 in
   let phase_totals = Hashtbl.create 16 in
@@ -473,6 +510,9 @@ let render_critpath t =
              (if total > 0.0 then 100.0 *. v /. total else 0.0)))
       entries
   end;
+  (* Hit time shows up above as client.*.cached phases (≈0 self time);
+     this line gives the ratio those phases were won at. *)
+  Buffer.add_string buf (cache_line t);
   Buffer.contents buf
 
 let render_stats t =
@@ -541,6 +581,7 @@ let render_stats t =
       (fun (node, lc) -> Buffer.add_string buf (Printf.sprintf "  n%-4d %d\n" node lc))
       clocks
   end;
+  Buffer.add_string buf (cache_line t);
   Buffer.contents buf
 
 let render_anomalies ?slow_pct t =

@@ -55,6 +55,21 @@ val build : Event.t list -> t
 val of_segment : segment -> t
 
 val event_count : t -> int
+
+(** Aggregated cache activity of the trace: hits, misses, wire
+    invalidations and lease expiries, split dir/obj where the event
+    carries the kind.  All zero when no lease cache ran. *)
+type cache_counts = {
+  cc_hit_dir : int;
+  cc_hit_obj : int;
+  cc_miss_dir : int;
+  cc_miss_obj : int;
+  cc_inval : int;
+  cc_expire : int;
+}
+
+val cache_counts : t -> cache_counts
+
 val span : t -> int -> span option
 val spans : t -> span list  (** all spans, in start order *)
 

@@ -18,10 +18,31 @@ type t = {
   rpc : rpc;
   node : Nodeid.t;
   timeout : float;
-  cache : (int, Svalue.t) Hashtbl.t; (* hoarded object contents, by oid num *)
+  hoard : (int, Svalue.t) Hashtbl.t; (* hoarded object contents, by oid num *)
+  lease : Cache.t option; (* coherent lease cache (None: every read is remote) *)
 }
 
-let create ?(timeout = 30.0) rpc node = { rpc; node; timeout; cache = Hashtbl.create 32 }
+let create ?(timeout = 30.0) ?cache rpc node =
+  let lease =
+    Option.map
+      (fun config ->
+        let c = Cache.create ~config (Rpc.engine rpc) ~node:(Nodeid.to_int node) in
+        (* Lease callbacks arrive as ordinary requests addressed to this
+           node; the interceptor claims exactly those, so a full store
+           service colocated on the node keeps serving everything else. *)
+        Rpc.intercept rpc node
+          ~handles:(function Protocol.Inval _ -> Some "inval" | _ -> None)
+          (function
+            | Protocol.Inval { set_id; version } ->
+                Cache.wire_inval c ~set_id ~version;
+                Protocol.Ack
+            | _ -> Protocol.No_service);
+        c)
+      cache
+  in
+  { rpc; node; timeout; hoard = Hashtbl.create 32; lease }
+
+let lease_cache t = t.lease
 
 let node t = t.node
 let rpc t = t.rpc
@@ -52,30 +73,130 @@ let call ?parent t dst req =
       | Ok resp -> Ok resp
       | Error e -> Error (of_rpc_error e))
 
-let fetch ?parent t oid =
+(* Fill caches with a fetched value: the unbounded hoard (disconnected
+   operation) always; the bounded lease cache when enabled.  Objects are
+   immutable, so the lease on a value only bounds cache occupancy, not
+   staleness. *)
+let remember t oid v =
+  Hashtbl.replace t.hoard (Oid.num oid) v;
+  Option.iter (fun c -> Cache.store_obj c oid v ~lease:(Cache.config c).Cache.ttl) t.lease
+
+let remote_fetch ?parent t oid =
   match call ?parent t (Oid.home oid) (Protocol.Fetch oid) with
   | Ok (Protocol.Value v) ->
-      Hashtbl.replace t.cache (Oid.num oid) v;
+      remember t oid v;
       Ok v
   | Ok Protocol.Not_found -> Error No_such_object
   | Ok _ -> Error No_service
   | Error e -> Error e
 
-let cached t oid = Hashtbl.find_opt t.cache (Oid.num oid)
+(* A zero-duration span marking a locally served (cache-hit) operation.
+   Gives the critical-path analyzer a named phase to attribute hit time
+   to, against the RPC-bound span of the corresponding miss path. *)
+let cached_span ?parent t name v =
+  let eng = Rpc.engine t.rpc in
+  Weakset_obs.Bus.with_span_id (Rpc.bus t.rpc)
+    ~time:(fun () -> Weakset_sim.Engine.now eng)
+    ~node:(Nodeid.to_int t.node) ?parent name
+    (fun _ -> v)
+
+let fetch ?parent t oid =
+  match t.lease with
+  | None -> remote_fetch ?parent t oid
+  | Some c -> (
+      match Cache.find_obj c oid with
+      | Some v -> cached_span ?parent t "client.fetch.cached" (Ok v)
+      | None -> remote_fetch ?parent t oid)
+
+let peek t oid =
+  match t.lease with None -> None | Some c -> Cache.find_obj ~count_miss:false c oid
+
+(* Coalesced fetch: answer what the lease cache holds, then one
+   Fetch_batch round trip per distinct home node for the rest.  Results
+   come back in input order. *)
+let fetch_many ?parent t oids =
+  let hits, misses =
+    List.partition_map
+      (fun oid ->
+        match t.lease with
+        | Some c -> (
+            match Cache.find_obj c oid with
+            | Some v -> Either.Left (oid, Ok v)
+            | None -> Either.Right oid)
+        | None -> Either.Right oid)
+      oids
+  in
+  let by_home = Hashtbl.create 4 in
+  List.iter
+    (fun oid ->
+      let home = Nodeid.to_int (Oid.home oid) in
+      let prev = Option.value (Hashtbl.find_opt by_home home) ~default:[] in
+      Hashtbl.replace by_home home (oid :: prev))
+    misses;
+  (* Iterate the miss list (not the table) so batch issue order is the
+     deterministic input order, one batch per first-seen home. *)
+  let fetched = Hashtbl.create 16 in
+  List.iter
+    (fun oid ->
+      let home = Nodeid.to_int (Oid.home oid) in
+      match Hashtbl.find_opt by_home home with
+      | None -> () (* this home's batch already went out *)
+      | Some batch ->
+          Hashtbl.remove by_home home;
+          let batch = List.rev batch in
+          let outcome : (Oid.t * (Svalue.t, error) result) list =
+            match call ?parent t (Oid.home oid) (Protocol.Fetch_batch { oids = batch }) with
+            | Ok (Protocol.Batch { found; missing }) ->
+                List.iter (fun (o, v) -> remember t o v) found;
+                List.map (fun (o, v) -> (o, Ok v)) found
+                @ List.map (fun o -> (o, Error No_such_object)) missing
+            | Ok _ -> List.map (fun o -> (o, Error No_service)) batch
+            | Error e -> List.map (fun o -> (o, Error e)) batch
+          in
+          List.iter (fun (o, r) -> Hashtbl.replace fetched (Oid.num o) r) outcome)
+    misses;
+  List.iter (fun (o, r) -> Hashtbl.replace fetched (Oid.num o) r) hits;
+  List.map
+    (fun oid ->
+      match Hashtbl.find_opt fetched (Oid.num oid) with
+      | Some r -> (oid, r)
+      | None -> (oid, Error No_service))
+    oids
+
+let cached t oid = Hashtbl.find_opt t.hoard (Oid.num oid)
 
 let fetch_cached ?parent t oid =
   match cached t oid with Some v -> Ok v | None -> fetch ?parent t oid
 
-let cache_size t = Hashtbl.length t.cache
+let cache_size t = Hashtbl.length t.hoard
 
-let drop_cache t = Hashtbl.reset t.cache
+let drop_cache t = Hashtbl.reset t.hoard
 
-let dir_read ?parent t ~from ~set_id =
-  match call ?parent t from (Protocol.Dir_read { set_id }) with
+let remote_dir_read ?parent ~leased t ~from ~set_id =
+  let req =
+    if leased then Protocol.Dir_read_leased { set_id; lessee = t.node }
+    else Protocol.Dir_read { set_id }
+  in
+  match call ?parent t from req with
   | Ok (Protocol.Members { version; members }) -> Ok (version, members)
+  | Ok (Protocol.Members_leased { version; members; lease }) ->
+      Option.iter (fun c -> Cache.store_dir c ~set_id ~version ~members ~lease) t.lease;
+      Ok (version, members)
   | Ok Protocol.No_service -> Error No_service
   | Ok _ -> Error No_service
   | Error e -> Error e
+
+let dir_read ?parent t ~from ~set_id =
+  match t.lease with
+  | None -> remote_dir_read ?parent ~leased:false t ~from ~set_id
+  | Some c -> (
+      (* The cached view stands in for the read wherever it was hosted:
+         it is at least as fresh as any replica and, under its lease, a
+         faithful stand-in for the coordinator. *)
+      match Cache.find_dir c ~set_id with
+      | Some (version, members) ->
+          cached_span ?parent t "client.dir-read.cached" (Ok (version, members))
+      | None -> remote_dir_read ?parent ~leased:true t ~from ~set_id)
 
 let expect_ack ?parent t dst req =
   match call ?parent t dst req with
@@ -84,11 +205,24 @@ let expect_ack ?parent t dst req =
   | Ok _ -> Error No_service
   | Error e -> Error e
 
+(* Mutations drop our own cached membership immediately (read-your-
+   writes); the server-pushed callback covers every other holder. *)
+let self_inval t set_id = Option.iter (fun c -> Cache.self_inval c ~set_id) t.lease
+
 let dir_add ?parent t (sref : Protocol.set_ref) oid =
-  expect_ack ?parent t sref.coordinator (Protocol.Dir_add { set_id = sref.set_id; oid })
+  let r =
+    expect_ack ?parent t sref.coordinator (Protocol.Dir_add { set_id = sref.set_id; oid })
+  in
+  if r = Ok () then self_inval t sref.set_id;
+  r
 
 let dir_remove ?parent t (sref : Protocol.set_ref) oid =
-  expect_ack ?parent t sref.coordinator (Protocol.Dir_remove { set_id = sref.set_id; oid })
+  let r =
+    expect_ack ?parent t sref.coordinator
+      (Protocol.Dir_remove { set_id = sref.set_id; oid })
+  in
+  if r = Ok () then self_inval t sref.set_id;
+  r
 
 let dir_size ?parent t (sref : Protocol.set_ref) =
   match call ?parent t sref.coordinator (Protocol.Dir_size { set_id = sref.set_id }) with

@@ -18,8 +18,17 @@ type rpc = (Protocol.request, Protocol.response) Weakset_net.Rpc.t
 
 type t
 
-(** [create ?timeout rpc node] — [timeout] (default 30) bounds each call. *)
-val create : ?timeout:float -> rpc -> Weakset_net.Nodeid.t -> t
+(** [create ?timeout ?cache rpc node] — [timeout] (default 30) bounds
+    each call.  [cache] enables the coherent lease cache ({!Cache}):
+    membership reads become [Dir_read_leased] and are served locally
+    while leased, object fetches fill a bounded LRU pool, and an RPC
+    interceptor is installed on [node] to receive the server's [Inval]
+    callbacks.  At most one lease-cached client per node (a second
+    [create ?cache] on the same node replaces the interceptor). *)
+val create : ?timeout:float -> ?cache:Cache.config -> rpc -> Weakset_net.Nodeid.t -> t
+
+(** The lease cache enabled at {!create} time, if any. *)
+val lease_cache : t -> Cache.t option
 
 val node : t -> Weakset_net.Nodeid.t
 val rpc : t -> rpc
@@ -34,13 +43,26 @@ val fresh_owner : unit -> int
 
 (** {1 Objects} *)
 
-(** [fetch t oid] retrieves the contents from the home node; successful
-    fetches are hoarded into the client's cache.  [parent] (here and on
+(** [fetch t oid] retrieves the contents — from the lease cache when it
+    holds them, otherwise from the home node; successful fetches fill
+    both the lease cache and the unbounded hoard.  [parent] (here and on
     every other operation) is an enclosing span id: each operation runs
     in its own [client.*] span, parented under it, and the span in turn
     parents the RPC — so a whole request reconstructs as one trace
     tree. *)
 val fetch : ?parent:int -> t -> Oid.t -> (Svalue.t, error) result
+
+(** [fetch_many t oids] coalesces fetches: lease-cache hits are answered
+    with zero RPCs, and the misses go out as one [Fetch_batch] round
+    trip per distinct home node.  Results are returned in input order,
+    each with its own outcome. *)
+val fetch_many :
+  ?parent:int -> t -> Oid.t list -> (Oid.t * (Svalue.t, error) result) list
+
+(** Lease-cache-only probe: the cached value if present and inside its
+    lease (bumping its LRU position), with no network and no recorded
+    miss.  [None] when the client has no lease cache. *)
+val peek : t -> Oid.t -> Svalue.t option
 
 (** Cache-first fetch: serve hoarded contents without touching the
     network (possibly stale), fall back to {!fetch}.  This is what lets a
@@ -57,7 +79,10 @@ val drop_cache : t -> unit
 
 (** [dir_read t ~from ~set_id] reads membership from node [from] (the
     coordinator for an authoritative read, a replica for a possibly stale
-    one). *)
+    one).  With a lease cache, a valid cached view is served instead —
+    zero RPCs — and a miss asks [from] for a leased read; coordinators
+    grant a lease (and promise an [Inval] callback), replicas answer
+    unleased so stale replica views are never cached. *)
 val dir_read :
   ?parent:int ->
   t ->

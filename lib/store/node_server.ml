@@ -13,14 +13,8 @@ type dir_state = {
   mutable open_iters : int;
   mutable deferred : Oid.t list; (* ghost copies awaiting GC, newest first *)
   mutable hooks : (Directory.op -> unit) list; (* fired on every applied mutation *)
+  mutable lessees : (int * float) list; (* callback promises: node, server-side expiry *)
 }
-
-(* Apply [op] and fire mutation hooks only if the directory actually
-   changed (idempotent re-adds/re-removes are invisible to observers). *)
-let apply_and_notify d op =
-  let before = Directory.version d.dir in
-  let after = Directory.apply d.dir op in
-  if not (Version.equal before after) then List.iter (fun h -> h op) d.hooks
 
 type replica_state = {
   set_id : int;
@@ -37,7 +31,57 @@ type t = {
   replicas : (int, replica_state) Hashtbl.t;
   fetch_service : Svalue.t -> float;
   dir_service : float;
+  lease_ttl : float;
 }
+
+(* Server-side lessee records outlive the granted TTL by this slack: the
+   client clocks its lease from the moment the answer {e arrives}, so
+   its entry expires one message flight later than the grant time.
+   Without the slack, a mutation landing inside that flight-time window
+   would skip a callback the client still relies on. *)
+let lease_slack = 5.0
+
+(* How long an Inval push fiber waits for the lessee's ack.  Best
+   effort: a partitioned lessee cannot be reached, and its lease expiry
+   bounds the staleness instead — Coda's callbacks degraded gracefully. *)
+let inval_push_timeout = 5.0
+
+(* Break outstanding callbacks after a mutation: push one Inval to every
+   unexpired lessee, each from its own fiber so the mutating request
+   never blocks on its lessees, then forget them all (a lessee that
+   still cares re-registers with its next leased read). *)
+let break_callbacks t ~set_id d =
+  match d.lessees with
+  | [] -> ()
+  | lessees ->
+      d.lessees <- [];
+      let eng = Rpc.engine t.rpc in
+      let now = Engine.now eng in
+      let version = Directory.version d.dir in
+      List.iter
+        (fun (lessee, expires) ->
+          if expires > now then
+            Engine.spawn eng
+              ~name:
+                (Printf.sprintf "inval-push-%s-set%d-n%d" (Nodeid.to_string t.node)
+                   set_id lessee)
+              (fun () ->
+                ignore
+                  (Rpc.call t.rpc ~src:t.node ~dst:(Nodeid.of_int lessee)
+                     ~timeout:inval_push_timeout
+                     (Protocol.Inval { set_id; version }))))
+        lessees
+
+(* Apply [op] and fire mutation hooks only if the directory actually
+   changed (idempotent re-adds/re-removes are invisible to observers).
+   A real change also breaks outstanding lease callbacks. *)
+let apply_and_notify t ~set_id d op =
+  let before = Directory.version d.dir in
+  let after = Directory.apply d.dir op in
+  if not (Version.equal before after) then begin
+    List.iter (fun h -> h op) d.hooks;
+    break_callbacks t ~set_id d
+  end
 
 let node t = t.node
 
@@ -67,8 +111,10 @@ let open_iterators t ~set_id =
 let deferred_removes t ~set_id =
   match dir_state t set_id with Some d -> List.rev d.deferred | None -> raise Not_found
 
-let apply_deferred d =
-  List.iter (fun oid -> apply_and_notify d (Directory.Remove oid)) (List.rev d.deferred);
+let apply_deferred t ~set_id d =
+  List.iter
+    (fun oid -> apply_and_notify t ~set_id d (Directory.Remove oid))
+    (List.rev d.deferred);
   d.deferred <- []
 
 let handle t req : Protocol.response =
@@ -86,6 +132,40 @@ let handle t req : Protocol.response =
       match Hashtbl.find_opt t.objects (Oid.num oid) with
       | Some v -> Value v
       | None -> Not_found)
+  | Fetch_batch { oids } ->
+      let found, missing =
+        List.partition_map
+          (fun oid ->
+            match Hashtbl.find_opt t.objects (Oid.num oid) with
+            | Some v -> Either.Left (oid, v)
+            | None -> Either.Right oid)
+          oids
+      in
+      Batch { found; missing }
+  | Dir_read_leased { set_id; lessee } -> (
+      match dir_state t set_id with
+      | Some d ->
+          let now = Engine.now (Rpc.engine t.rpc) in
+          let lessee_i = Nodeid.to_int lessee in
+          d.lessees <-
+            (lessee_i, now +. t.lease_ttl +. lease_slack)
+            :: List.remove_assoc lessee_i d.lessees;
+          Members_leased
+            {
+              version = Directory.version d.dir;
+              members = Oid.Set.elements (Directory.members d.dir);
+              lease = t.lease_ttl;
+            }
+      | None -> (
+          (* Replicas serve already-stale views and never see the
+             mutations, so they cannot promise callbacks: no lease. *)
+          match Hashtbl.find_opt t.replicas set_id with
+          | Some r -> Members { version = r.r_version; members = Oid.Set.elements r.r_members }
+          | None -> No_service))
+  | Inval _ ->
+      (* Callbacks are addressed to client caches (which claim them via
+         an RPC interceptor); a bare server just acknowledges. *)
+      Ack
   | Dir_read { set_id } -> (
       match dir_state t set_id with
       | Some d ->
@@ -98,7 +178,7 @@ let handle t req : Protocol.response =
   | Dir_add { set_id; oid } -> (
       match dir_state t set_id with
       | Some d ->
-          apply_and_notify d (Directory.Add oid);
+          apply_and_notify t ~set_id d (Directory.Add oid);
           Ack
       | None -> No_service)
   | Dir_remove { set_id; oid } -> (
@@ -109,7 +189,7 @@ let handle t req : Protocol.response =
               if Directory.mem d.dir oid && not (List.exists (Oid.equal oid) d.deferred) then
                 d.deferred <- oid :: d.deferred
           | Immediate | Defer_removes_while_iterating ->
-              apply_and_notify d (Directory.Remove oid));
+              apply_and_notify t ~set_id d (Directory.Remove oid));
           Ack
       | None -> No_service)
   | Dir_size { set_id } -> (
@@ -141,7 +221,7 @@ let handle t req : Protocol.response =
       match dir_state t set_id with
       | Some d ->
           d.open_iters <- Stdlib.max 0 (d.open_iters - 1);
-          if d.open_iters = 0 then apply_deferred d;
+          if d.open_iters = 0 then apply_deferred t ~set_id d;
           Ack
       | None -> No_service)
   | Sync_pull { set_id; since } -> (
@@ -155,9 +235,18 @@ let service_time t req =
       match Hashtbl.find_opt t.objects (Oid.num oid) with
       | Some v -> t.fetch_service v
       | None -> t.dir_service)
+  | Protocol.Fetch_batch { oids } ->
+      (* One request's worth of dispatch overhead plus every hit's
+         transfer time: batching saves round trips, not bytes. *)
+      List.fold_left
+        (fun acc oid ->
+          match Hashtbl.find_opt t.objects (Oid.num oid) with
+          | Some v -> acc +. t.fetch_service v
+          | None -> acc)
+        t.dir_service oids
   | _ -> t.dir_service
 
-let create ?fetch_service ?(dir_service = 0.02) rpc node =
+let create ?fetch_service ?(dir_service = 0.02) ?(lease_ttl = 30.0) rpc node =
   let t =
     {
       rpc;
@@ -167,6 +256,7 @@ let create ?fetch_service ?(dir_service = 0.02) rpc node =
       replicas = Hashtbl.create 4;
       fetch_service = Option.value fetch_service ~default:default_fetch_service;
       dir_service;
+      lease_ttl;
     }
   in
   Rpc.serve rpc node ~service_time:(service_time t) ~op:Protocol.request_label
@@ -182,6 +272,7 @@ let host_directory t ~set_id ~policy =
       open_iters = 0;
       deferred = [];
       hooks = [];
+      lessees = [];
     }
 
 let on_directory_mutation t ~set_id hook =

@@ -20,12 +20,22 @@ type mutation_policy =
 
 type t
 
-(** [create rpc node ?fetch_service ?dir_service ()] installs the server on
-    [node].  [fetch_service v] is the virtual service time of an object
-    fetch (default [0.05 + size/50000]); [dir_service] that of any
-    directory operation (default 0.02). *)
+(** [create rpc node ?fetch_service ?dir_service ?lease_ttl ()] installs
+    the server on [node].  [fetch_service v] is the virtual service time
+    of an object fetch (default [0.05 + size/50000]); [dir_service] that
+    of any directory operation (default 0.02).  [lease_ttl] (default 30)
+    is the TTL granted with every [Dir_read_leased] answer: the server
+    remembers each lessee for that long (plus a flight-time slack) and
+    pushes an [Inval] callback to all of them on the next effective
+    mutation — Coda-style callbacks with lease expiry as the partition
+    fallback. *)
 val create :
-  ?fetch_service:(Svalue.t -> float) -> ?dir_service:float -> rpc -> Weakset_net.Nodeid.t -> t
+  ?fetch_service:(Svalue.t -> float) ->
+  ?dir_service:float ->
+  ?lease_ttl:float ->
+  rpc ->
+  Weakset_net.Nodeid.t ->
+  t
 
 val node : t -> Weakset_net.Nodeid.t
 

@@ -9,7 +9,10 @@ let pp_set_ref fmt r =
 
 type request =
   | Fetch of Oid.t
+  | Fetch_batch of { oids : Oid.t list }
   | Dir_read of { set_id : int }
+  | Dir_read_leased of { set_id : int; lessee : Nodeid.t }
+  | Inval of { set_id : int; version : Version.t }
   | Dir_add of { set_id : int; oid : Oid.t }
   | Dir_remove of { set_id : int; oid : Oid.t }
   | Dir_size of { set_id : int }
@@ -22,7 +25,9 @@ type request =
 type response =
   | Value of Svalue.t
   | Not_found
+  | Batch of { found : (Oid.t * Svalue.t) list; missing : Oid.t list }
   | Members of { version : Version.t; members : Oid.t list }
+  | Members_leased of { version : Version.t; members : Oid.t list; lease : float }
   | Delta of { version : Version.t; ops : (Version.t * Directory.op) list }
   | Size of int
   | Ack
@@ -32,7 +37,10 @@ type response =
 
 let request_label = function
   | Fetch _ -> "fetch"
+  | Fetch_batch _ -> "fetch-batch"
   | Dir_read _ -> "dir-read"
+  | Dir_read_leased _ -> "dir-read-leased"
+  | Inval _ -> "inval"
   | Dir_add _ -> "dir-add"
   | Dir_remove _ -> "dir-remove"
   | Dir_size _ -> "dir-size"
@@ -44,7 +52,12 @@ let request_label = function
 
 let pp_request fmt = function
   | Fetch o -> Format.fprintf fmt "fetch %a" Oid.pp o
+  | Fetch_batch { oids } -> Format.fprintf fmt "fetch-batch n=%d" (List.length oids)
   | Dir_read { set_id } -> Format.fprintf fmt "dir-read set%d" set_id
+  | Dir_read_leased { set_id; lessee } ->
+      Format.fprintf fmt "dir-read-leased set%d lessee=%a" set_id Nodeid.pp lessee
+  | Inval { set_id; version } ->
+      Format.fprintf fmt "inval set%d %a" set_id Version.pp version
   | Dir_add { set_id; oid } -> Format.fprintf fmt "dir-add set%d %a" set_id Oid.pp oid
   | Dir_remove { set_id; oid } -> Format.fprintf fmt "dir-remove set%d %a" set_id Oid.pp oid
   | Dir_size { set_id } -> Format.fprintf fmt "dir-size set%d" set_id
@@ -60,8 +73,14 @@ let pp_request fmt = function
 let pp_response fmt = function
   | Value v -> Format.fprintf fmt "value %a" Svalue.pp v
   | Not_found -> Format.pp_print_string fmt "not-found"
+  | Batch { found; missing } ->
+      Format.fprintf fmt "batch found=%d missing=%d" (List.length found)
+        (List.length missing)
   | Members { version; members } ->
       Format.fprintf fmt "members %a n=%d" Version.pp version (List.length members)
+  | Members_leased { version; members; lease } ->
+      Format.fprintf fmt "members-leased %a n=%d lease=%g" Version.pp version
+        (List.length members) lease
   | Delta { version; ops } ->
       Format.fprintf fmt "delta %a n=%d" Version.pp version (List.length ops)
   | Size n -> Format.fprintf fmt "size %d" n

@@ -16,7 +16,18 @@ val pp_set_ref : Format.formatter -> set_ref -> unit
 
 type request =
   | Fetch of Oid.t                                      (** object contents *)
+  | Fetch_batch of { oids : Oid.t list }
+      (** coalesced object fetch: all [oids] must be homed at the target
+          node; one round trip answers them all with a {!Batch} *)
   | Dir_read of { set_id : int }                        (** full membership *)
+  | Dir_read_leased of { set_id : int; lessee : Weakset_net.Nodeid.t }
+      (** membership read that also requests a TTL lease: a coordinator
+          answers {!Members_leased} and registers [lessee] for an
+          {!Inval} callback on the next mutation; replicas (which serve
+          stale views and see no mutations) answer plain {!Members} *)
+  | Inval of { set_id : int; version : Version.t }
+      (** server→client callback: the lessee's cached membership of
+          [set_id] is out of date as of directory [version] *)
   | Dir_add of { set_id : int; oid : Oid.t }
   | Dir_remove of { set_id : int; oid : Oid.t }
   | Dir_size of { set_id : int }
@@ -29,7 +40,13 @@ type request =
 type response =
   | Value of Svalue.t
   | Not_found
+  | Batch of { found : (Oid.t * Svalue.t) list; missing : Oid.t list }
+      (** answer to {!Fetch_batch}: values for the oids the node holds,
+          plus the oids it does not *)
   | Members of { version : Version.t; members : Oid.t list }
+  | Members_leased of { version : Version.t; members : Oid.t list; lease : float }
+      (** membership plus a lease: the view may be cached and reused for
+          [lease] units of virtual time unless an {!Inval} arrives first *)
   | Delta of { version : Version.t; ops : (Version.t * Directory.op) list }
   | Size of int
   | Ack

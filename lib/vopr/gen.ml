@@ -10,13 +10,15 @@ type config = {
   replica_ixs : int list;
   replica_interval : float;
   initial_size : int;
+  cache : bool;
+  lease_ttl : float;
 }
 
 type op =
   | Add of { at : float }
   | Remove of { at : float }
   | Size of { at : float }
-  | Iterate of { at : float; semantics : string; think : float; limit : int }
+  | Iterate of { at : float; semantics : string; think : float; limit : int; repeat : int }
 
 type fault =
   | Crash of { node : int; at : float; recover_at : float }
@@ -64,7 +66,11 @@ let gen_config rng =
   let replica_ixs = if Rng.chance rng 0.3 then [ replica_ix ] else [] in
   let replica_interval = Rng.uniform rng 5.0 20.0 in
   let initial_size = 4 + Rng.int rng 9 in
-  { shape; nodes; latency; replica_ixs; replica_interval; initial_size }
+  (* Both draws always happen, so flipping the cache knob never shifts
+     the rest of the config stream. *)
+  let cache = Rng.chance rng 0.6 in
+  let lease_ttl = Rng.uniform rng 10.0 40.0 in
+  { shape; nodes; latency; replica_ixs; replica_interval; initial_size; cache; lease_ttl }
 
 (* Weighted semantics mix; stale-replica reads only make sense when the
    config placed a replica. *)
@@ -96,7 +102,11 @@ let gen_ops rng config ~horizon =
         let at = 1.0 +. Rng.float rng (horizon -. 10.0) in
         let semantics = pick_semantics rng ~with_stale in
         let think = Rng.uniform rng 0.2 2.0 in
-        Iterate { at; semantics; think; limit = config.initial_size + n_adds + 8 })
+        (* Warm re-iteration only matters with a cache; the draw still
+           always happens so the knob doesn't shift the stream. *)
+        let again = Rng.chance rng 0.6 in
+        let repeat = if config.cache && again then 2 else 1 in
+        Iterate { at; semantics; think; limit = config.initial_size + n_adds + 8; repeat })
   in
   sort_ops (muts @ iters)
 
@@ -171,11 +181,12 @@ let op_to_json = function
   | Add { at } -> Printf.sprintf {|{"op":"add","at":%s}|} (fnum at)
   | Remove { at } -> Printf.sprintf {|{"op":"remove","at":%s}|} (fnum at)
   | Size { at } -> Printf.sprintf {|{"op":"size","at":%s}|} (fnum at)
-  | Iterate { at; semantics; think; limit } ->
-      Printf.sprintf {|{"op":"iterate","at":%s,"semantics":"%s","think":%s,"limit":%d}|}
+  | Iterate { at; semantics; think; limit; repeat } ->
+      Printf.sprintf
+        {|{"op":"iterate","at":%s,"semantics":"%s","think":%s,"limit":%d,"repeat":%d}|}
         (fnum at)
         (Weakset_obs.Event.json_escape semantics)
-        (fnum think) limit
+        (fnum think) limit repeat
 
 let fault_to_json = function
   | Crash { node; at; recover_at } ->
@@ -191,9 +202,9 @@ let fault_to_json = function
 
 let config_to_json c =
   Printf.sprintf
-    {|{"shape":"%s","nodes":%d,"latency":%s,"replica_ixs":%s,"replica_interval":%s,"initial_size":%d}|}
+    {|{"shape":"%s","nodes":%d,"latency":%s,"replica_ixs":%s,"replica_interval":%s,"initial_size":%d,"cache":%b,"lease_ttl":%s}|}
     (shape_name c.shape) c.nodes (fnum c.latency) (ints_to_json c.replica_ixs)
-    (fnum c.replica_interval) c.initial_size
+    (fnum c.replica_interval) c.initial_size c.cache (fnum c.lease_ttl)
 
 let plan_to_json p =
   Printf.sprintf {|{"seed":%Ld,"config":%s,"ops":[%s],"faults":[%s],"budget":%s}|} p.seed
@@ -266,7 +277,8 @@ let op_of_json j =
       let* semantics = string_field "semantics" j in
       let* think = float_field "think" j in
       let* limit = int_field "limit" j in
-      Ok (Iterate { at; semantics; think; limit })
+      let* repeat = int_field "repeat" j in
+      Ok (Iterate { at; semantics; think; limit; repeat })
   | k -> Error (Printf.sprintf "unknown op kind %S" k)
 
 let fault_of_json j =
@@ -304,6 +316,12 @@ let fault_of_json j =
       Ok (Partition { groups; at; heal_at })
   | k -> Error (Printf.sprintf "unknown fault kind %S" k)
 
+let bool_field name j =
+  let* v = field name j in
+  match v with
+  | Json.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "field %S: expected bool" name)
+
 let config_of_json j =
   let* shape_s = string_field "shape" j in
   let* shape =
@@ -316,7 +334,9 @@ let config_of_json j =
   let* replica_ixs = ints_of_json "replica_ixs" j in
   let* replica_interval = float_field "replica_interval" j in
   let* initial_size = int_field "initial_size" j in
-  Ok { shape; nodes; latency; replica_ixs; replica_interval; initial_size }
+  let* cache = bool_field "cache" j in
+  let* lease_ttl = float_field "lease_ttl" j in
+  Ok { shape; nodes; latency; replica_ixs; replica_interval; initial_size; cache; lease_ttl }
 
 let plan_of_json j =
   let* seed_j = field "seed" j in

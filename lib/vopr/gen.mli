@@ -27,16 +27,20 @@ type config = {
   replica_ixs : int list;  (** home indexes carrying directory replicas *)
   replica_interval : float;  (** anti-entropy pull period *)
   initial_size : int;  (** members provisioned before time 0 *)
+  cache : bool;  (** iterating client runs a lease cache *)
+  lease_ttl : float;  (** server-granted lease duration when [cache] *)
 }
 
 type op =
   | Add of { at : float }  (** store a fresh object and add it as a member *)
   | Remove of { at : float }  (** remove the smallest current member *)
   | Size of { at : float }  (** authoritative size query *)
-  | Iterate of { at : float; semantics : string; think : float; limit : int }
-      (** run one full (instrumented) iteration under the named semantics;
-          [think] is consumer think-time per yield, [limit] bounds yields
-          so grow-only races terminate *)
+  | Iterate of { at : float; semantics : string; think : float; limit : int; repeat : int }
+      (** run [repeat] full (instrumented) iterations back to back under
+          the named semantics; [think] is consumer think-time per yield,
+          [limit] bounds yields so grow-only races terminate.  [repeat]
+          exceeds 1 only on cache-enabled configs, so warm re-iteration
+          over leased state gets exercised under faults *)
 
 type fault =
   | Crash of { node : int; at : float; recover_at : float }

@@ -3,6 +3,13 @@ module Computation = Weakset_spec.Computation
 module Json = Weakset_obs.Json
 
 type issue =
+  | Stale_beyond_lease of {
+      time : float;
+      set_id : int;
+      served : int;
+      required : int;
+      age : float;
+    }
   | Spec_violation of { iteration : int; semantics : string; where : string; message : string }
   | Monitor_mismatch of { iteration : int; semantics : string; detail : string }
   | Fiber_crash of { fiber : string; exn_text : string }
@@ -21,6 +28,16 @@ type iteration_input = {
   online_violations : Figures.violation list;
 }
 
+type cache_hit = { h_time : float; h_set : int; h_version : int; h_age : float }
+
+type cache_evidence = {
+  hits : cache_hit list;
+  mutations : (float * int) list;
+  lease_ttl : float;
+  inval_grace : float;
+  fault_windows : (float * float) list;
+}
+
 type input = {
   iterations : iteration_input list;
   engine_crashes : (string * string) list;
@@ -28,9 +45,11 @@ type input = {
   steps : int;
   step_cap : int;
   unmatched_rpcs : int;
+  cache : cache_evidence option;
 }
 
 let category = function
+  | Stale_beyond_lease _ -> "stale-beyond-lease"
   | Spec_violation _ -> "spec-violation"
   | Monitor_mismatch _ -> "monitor-mismatch"
   | Fiber_crash _ -> "fiber-crash"
@@ -40,6 +59,7 @@ let category = function
   | Lost_rpc _ -> "lost-rpc"
 
 let severity = function
+  | Stale_beyond_lease _ -> 8
   | Spec_violation _ -> 7
   | Monitor_mismatch _ -> 6
   | Fiber_crash _ -> 5
@@ -52,6 +72,11 @@ let sort issues =
   List.stable_sort (fun a b -> Int.compare (severity b) (severity a)) issues
 
 let describe = function
+  | Stale_beyond_lease { time; set_id; served; required; age } ->
+      Printf.sprintf
+        "cache served set %d at t=%.3f with version %d (lease age %.3f) although the \
+         coordinator had reached version %d long enough ago for a callback to have landed"
+        set_id time served age required
   | Spec_violation { iteration; semantics; where; message } ->
       Printf.sprintf "spec violation (iteration %d, %s): [%s] %s" iteration semantics where
         message
@@ -156,8 +181,46 @@ let judge_iteration it =
       in
       spec_issues @ mismatch
 
+(* Cache coherence: with wire invalidations working, a cache-served
+   directory view can lag the coordinator only by a callback's flight
+   time.  Every hit must therefore serve at least the authoritative
+   version as it stood [inval_grace] before the hit — unless a fault
+   window (padded by the same grace) overlaps the lease's lifetime, in
+   which case the client is legitimately on its TTL fallback and any
+   in-lease view is allowed (the client enforces expiry itself, so a hit
+   with age > ttl cannot even reach the judge). *)
+let judge_cache ev =
+  let required_at cutoff =
+    List.fold_left (fun acc (t, v) -> if t <= cutoff then max acc v else acc) 0 ev.mutations
+  in
+  let disturbed ~granted_at ~hit =
+    List.exists
+      (fun (from_, till) ->
+        from_ -. ev.inval_grace <= hit && till +. ev.inval_grace >= granted_at)
+      ev.fault_windows
+  in
+  List.filter_map
+    (fun h ->
+      let required = required_at (h.h_time -. ev.inval_grace) in
+      if h.h_version >= required then None
+      else if disturbed ~granted_at:(h.h_time -. h.h_age) ~hit:h.h_time then None
+      else
+        Some
+          (Stale_beyond_lease
+             {
+               time = h.h_time;
+               set_id = h.h_set;
+               served = h.h_version;
+               required;
+               age = h.h_age;
+             }))
+    ev.hits
+
 let judge input =
   let iteration_issues = List.concat_map judge_iteration input.iterations in
+  let cache_issues =
+    match input.cache with None -> [] | Some ev -> judge_cache ev
+  in
   let crash_issues =
     List.map
       (fun (fiber, exn_text) -> Fiber_crash { fiber; exn_text })
@@ -193,7 +256,7 @@ let judge input =
       [ Lost_rpc { count = input.unmatched_rpcs } ]
     else []
   in
-  sort (iteration_issues @ crash_issues @ liveness_issues @ rpc_issues)
+  sort (cache_issues @ iteration_issues @ crash_issues @ liveness_issues @ rpc_issues)
 
 let same_failure a b =
   let cats l = List.sort_uniq compare (List.map category l) in
@@ -206,6 +269,10 @@ let same_failure a b =
 let esc = Weakset_obs.Event.json_escape
 
 let issue_to_json = function
+  | Stale_beyond_lease { time; set_id; served; required; age } ->
+      Printf.sprintf
+        {|{"issue":"stale-beyond-lease","time":%.17g,"set_id":%d,"served":%d,"required":%d,"age":%.17g}|}
+        time set_id served required age
   | Spec_violation { iteration; semantics; where; message } ->
       Printf.sprintf
         {|{"issue":"spec-violation","iteration":%d,"semantics":"%s","where":"%s","message":"%s"}|}
@@ -245,9 +312,24 @@ let int_ name j =
       | None -> Error (Printf.sprintf "issue field %S: expected int" name))
   | None -> Error (Printf.sprintf "issue: missing field %S" name)
 
+let flt name j =
+  match Json.member name j with
+  | Some v -> (
+      match Json.to_float v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "issue field %S: expected number" name))
+  | None -> Error (Printf.sprintf "issue: missing field %S" name)
+
 let issue_of_json j =
   let* kind = str "issue" j in
   match kind with
+  | "stale-beyond-lease" ->
+      let* time = flt "time" j in
+      let* set_id = int_ "set_id" j in
+      let* served = int_ "served" j in
+      let* required = int_ "required" j in
+      let* age = flt "age" j in
+      Ok (Stale_beyond_lease { time; set_id; served; required; age })
   | "spec-violation" ->
       let* iteration = int_ "iteration" j in
       let* semantics = str "semantics" j in

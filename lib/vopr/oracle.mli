@@ -14,6 +14,17 @@
     an empty issue list means the run passed. *)
 
 type issue =
+  | Stale_beyond_lease of {
+      time : float;  (** virtual time of the offending cache hit *)
+      set_id : int;
+      served : int;  (** directory version the cache served *)
+      required : int;  (** version a working callback would have forced *)
+      age : float;  (** how long the lease had been held at the hit *)
+    }
+      (** the lease cache served a directory view staler than its lease
+          allows: no fault excused the missing invalidation, yet the
+          served version lags what the coordinator had long enough ago
+          for a callback to have landed (see {!cache_evidence}) *)
   | Spec_violation of { iteration : int; semantics : string; where : string; message : string }
       (** the replayed {!Weakset_spec.Figures.check} found a violation *)
   | Monitor_mismatch of { iteration : int; semantics : string; detail : string }
@@ -41,6 +52,28 @@ type iteration_input = {
       (** distinct violations the online monitor latched (after finish) *)
 }
 
+(** One directory cache hit, as captured from the event stream. *)
+type cache_hit = {
+  h_time : float;
+  h_set : int;
+  h_version : int;  (** version the cache served *)
+  h_age : float;  (** virtual time since the lease was granted *)
+}
+
+(** Evidence for the cache-coherence rule.  [mutations] is the
+    coordinator's mutation log — (time, resulting version), ascending;
+    [inval_grace] bounds how long a wire invalidation can legitimately be
+    in flight (a function of topology diameter and link latency);
+    [fault_windows] are the plan's fault intervals, inside which (padded
+    by the grace) TTL-fallback staleness up to the lease is excused. *)
+type cache_evidence = {
+  hits : cache_hit list;
+  mutations : (float * int) list;
+  lease_ttl : float;
+  inval_grace : float;
+  fault_windows : (float * float) list;
+}
+
 type input = {
   iterations : iteration_input list;
   engine_crashes : (string * string) list;  (** fiber name, exception text *)
@@ -49,6 +82,7 @@ type input = {
   steps : int;
   step_cap : int;
   unmatched_rpcs : int;  (** [Rpc_call] events without a matching [Rpc_done] *)
+  cache : cache_evidence option;  (** [None]: the run had no lease cache *)
 }
 
 val judge : input -> issue list

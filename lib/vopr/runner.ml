@@ -4,7 +4,9 @@ module Fault = Weakset_net.Fault
 module Rpc = Weakset_net.Rpc
 module Node_server = Weakset_store.Node_server
 module Directory = Weakset_store.Directory
+module Version = Weakset_store.Version
 module Client = Weakset_store.Client
+module Cache = Weakset_store.Cache
 module Oid = Weakset_store.Oid
 module Svalue = Weakset_store.Svalue
 module Protocol = Weakset_store.Protocol
@@ -98,7 +100,13 @@ type iter_record = {
    spec). *)
 let spec_for plan sem =
   let has_removes = List.exists (function Gen.Remove _ -> true | _ -> false) plan.Gen.ops in
-  if sem.Semantics.read_nearest_replica then Semantics.window_spec_of sem
+  (* A lease cache makes every membership read potentially (boundedly)
+     stale — exactly the situation the §3.4 window relaxation models, so
+     cache-enabled plans are always judged against it.  Whether the
+     staleness stayed within its lease is the cache oracle's separate,
+     stricter question. *)
+  if plan.Gen.config.Gen.cache then Semantics.window_spec_of sem
+  else if sem.Semantics.read_nearest_replica then Semantics.window_spec_of sem
   else if sem.Semantics.failure_handling = Semantics.Optimistic && has_removes then
     Semantics.window_spec_of sem
   else Semantics.spec_of ~no_failures:(plan.Gen.faults = []) sem
@@ -134,7 +142,9 @@ let execute ?(step_cap = default_step_cap) plan =
     | Gen.Line -> Topology.line topo n ~latency:c.Gen.latency
   in
   let rpc = Rpc.create eng topo in
-  let servers = Array.map (fun node -> Node_server.create rpc node) nodes in
+  let servers =
+    Array.map (fun node -> Node_server.create ~lease_ttl:c.Gen.lease_ttl rpc node) nodes
+  in
   let fault = Fault.create eng topo in
   (* Ghost-copy policy unconditionally: it only defers removals while
      grow-only iterators are registered, and without it a grow-only run
@@ -147,7 +157,16 @@ let execute ?(step_cap = default_step_cap) plan =
       Node_server.host_replica servers.(ix) ~set_id ~of_:nodes.(0)
         ~interval:c.Gen.replica_interval ~until:plan.Gen.budget)
     c.Gen.replica_ixs;
-  let client = Client.create rpc nodes.(n - 1) in
+  (* The iterating client is the (only) lease-cache holder when the plan
+     enables caching.  The mutator gets its own uncached client: sharing
+     would let read-your-writes self-invalidation mask a broken wire
+     callback — exactly the bug class the cache oracle exists to catch. *)
+  let client =
+    if c.Gen.cache then
+      Client.create ~cache:{ Cache.capacity = 256; ttl = c.Gen.lease_ttl } rpc nodes.(n - 1)
+    else Client.create rpc nodes.(n - 1)
+  in
+  let mut_client = Client.create rpc nodes.(n - 1) in
   let sref =
     {
       Protocol.set_id;
@@ -170,6 +189,26 @@ let execute ?(step_cap = default_step_cap) plan =
     let oid = fresh_member () in
     ignore (Directory.apply (Node_server.directory_truth servers.(0) ~set_id) (Directory.Add oid))
   done;
+  (* Cache-coherence evidence: the coordinator's mutation log (time and
+     resulting version) and every directory cache hit the bus carries.
+     Both feed the oracle's stale-beyond-lease rule. *)
+  let mutation_log = ref [] in
+  let cache_hits = ref [] in
+  if c.Gen.cache then begin
+    let truth = Node_server.directory_truth servers.(0) ~set_id in
+    let (_ : unit -> unit) =
+      Node_server.on_directory_mutation servers.(0) ~set_id (fun _op ->
+          mutation_log :=
+            (Engine.now eng, Version.to_int (Directory.version truth)) :: !mutation_log)
+    in
+    Bus.attach bus ~name:"vopr-cache" (fun ev ->
+        match ev.Event.kind with
+        | Event.Cache_hit { ckind = Event.Cache_dir; id; version; age; _ } ->
+            cache_hits :=
+              { Oracle.h_time = ev.Event.time; h_set = id; h_version = version; h_age = age }
+              :: !cache_hits
+        | _ -> ())
+  end;
   (* Fault schedule, through the Fault scheduled API (the code path
      hand-written scenarios use). *)
   List.iter
@@ -198,7 +237,7 @@ let execute ?(step_cap = default_step_cap) plan =
   in
   let mutator_sem = if has_immutable then Semantics.immutable else Semantics.optimistic in
   if mutator_ops <> [] then begin
-    let handle = Weak_set.make client sref mutator_sem in
+    let handle = Weak_set.make mut_client sref mutator_sem in
     Engine.spawn eng ~name:"vopr-mutator" (fun () ->
         List.iter
           (fun op ->
@@ -229,49 +268,56 @@ let execute ?(step_cap = default_step_cap) plan =
         List.iteri
           (fun i op ->
             match op with
-            | Gen.Iterate { at; semantics; think; limit } ->
+            | Gen.Iterate { at; semantics; think; limit; repeat } ->
                 let now = Engine.now eng in
                 if at > now then Engine.sleep eng (at -. now);
                 let sem = List.assoc semantics Semantics.all in
                 let spec = spec_for plan sem in
-                let online = Monitor_online.create ~bus ~set_id spec in
-                Bus.attach bus ~name:"vopr-online" (Monitor_online.sink online);
-                let r =
-                  {
-                    ir_index = i;
-                    ir_semantics = semantics;
-                    ir_spec = spec;
-                    ir_online = online;
-                    ir_outcome = `Unfinished;
-                    ir_computation = None;
-                    ir_finished = false;
-                  }
-                in
-                records := r :: !records;
-                let set =
-                  Weak_set.make ~heal_signal:(Fault.signal fault)
-                    ~coordinator_server:servers.(0) client sref sem
-                in
-                let iter, inst = Weak_set.elements ~instrument:true set in
-                r.ir_computation <- Option.map Instrument.computation inst;
-                let rec loop yields =
-                  if yields >= limit then `Limit
-                  else
-                    match Iterator.next iter with
-                    | Iterator.Yield _ ->
-                        if think > 0.0 then Engine.sleep eng think;
-                        loop (yields + 1)
-                    | Iterator.Done -> `Done
-                    | Iterator.Failed e -> `Failed (Client.error_to_string e)
-                in
-                let outcome = loop 0 in
-                Iterator.close iter;
-                Bus.detach bus ~name:"vopr-online";
-                let (_ : Figures.verdict) =
-                  Monitor_online.finish online ~time:(Engine.now eng)
-                in
-                r.ir_finished <- true;
-                r.ir_outcome <- outcome
+                (* [repeat] > 1 re-runs the same iteration back to back:
+                   on cache-enabled plans the later passes read leased
+                   state warm, which is the path the cache oracle wants
+                   to see exercised under faults. *)
+                for rep = 1 to max 1 repeat do
+                  if rep > 1 then Engine.sleep eng (Float.max 1.0 think);
+                  let online = Monitor_online.create ~bus ~set_id spec in
+                  Bus.attach bus ~name:"vopr-online" (Monitor_online.sink online);
+                  let r =
+                    {
+                      ir_index = i;
+                      ir_semantics = semantics;
+                      ir_spec = spec;
+                      ir_online = online;
+                      ir_outcome = `Unfinished;
+                      ir_computation = None;
+                      ir_finished = false;
+                    }
+                  in
+                  records := r :: !records;
+                  let set =
+                    Weak_set.make ~heal_signal:(Fault.signal fault)
+                      ~coordinator_server:servers.(0) client sref sem
+                  in
+                  let iter, inst = Weak_set.elements ~instrument:true set in
+                  r.ir_computation <- Option.map Instrument.computation inst;
+                  let rec loop yields =
+                    if yields >= limit then `Limit
+                    else
+                      match Iterator.next iter with
+                      | Iterator.Yield _ ->
+                          if think > 0.0 then Engine.sleep eng think;
+                          loop (yields + 1)
+                      | Iterator.Done -> `Done
+                      | Iterator.Failed e -> `Failed (Client.error_to_string e)
+                  in
+                  let outcome = loop 0 in
+                  Iterator.close iter;
+                  Bus.detach bus ~name:"vopr-online";
+                  let (_ : Figures.verdict) =
+                    Monitor_online.finish online ~time:(Engine.now eng)
+                  in
+                  r.ir_finished <- true;
+                  r.ir_outcome <- outcome
+                done
             | _ -> ())
           iter_ops)
   ;
@@ -311,6 +357,33 @@ let execute ?(step_cap = default_step_cap) plan =
     if Engine.live_fibers eng = 0 then []
     else Hashtbl.fold (fun _ name acc -> name :: acc) fiber_state [] |> List.sort compare
   in
+  let cache_evidence =
+    if not c.Gen.cache then None
+    else
+      (* How long an Inval can legitimately be in flight: the topology
+         diameter's worth of link latency with headroom, plus a constant
+         for service time on either end. *)
+      let hops =
+        match c.Gen.shape with Gen.Clique -> 1 | Gen.Star -> 2 | Gen.Line -> n - 1
+      in
+      let inval_grace = (float_of_int hops *. c.Gen.latency *. 1.5) +. 1.0 in
+      let fault_windows =
+        List.map
+          (function
+            | Gen.Crash { at; recover_at; _ } -> (at, recover_at)
+            | Gen.Cut { at; heal_at; _ } -> (at, heal_at)
+            | Gen.Partition { at; heal_at; _ } -> (at, heal_at))
+          plan.Gen.faults
+      in
+      Some
+        {
+          Oracle.hits = List.rev !cache_hits;
+          mutations = List.rev !mutation_log;
+          lease_ttl = c.Gen.lease_ttl;
+          inval_grace;
+          fault_windows;
+        }
+  in
   let issues =
     Oracle.judge
       {
@@ -320,6 +393,7 @@ let execute ?(step_cap = default_step_cap) plan =
         steps;
         step_cap;
         unmatched_rpcs = !rpc_calls - !rpc_dones;
+        cache = cache_evidence;
       }
   in
   { plan; digest = Digest.value digest; events = Digest.count digest; steps; issues }
@@ -339,6 +413,7 @@ let sweep ?step_cap ?(progress = fun _ _ -> ()) seeds =
 type bundle = {
   b_plan : Gen.plan;
   b_planted : bool;
+  b_planted_cache : bool;
   b_digest : string;
   b_events : int;
   b_issues : Oracle.issue list;
@@ -348,6 +423,7 @@ let bundle_of_result r =
   {
     b_plan = r.plan;
     b_planted = !Weakset_core.Impl_common.planted_grow_only_drop;
+    b_planted_cache = !Cache.planted_inval_drop;
     b_digest = r.digest;
     b_events = r.events;
     b_issues = r.issues;
@@ -355,8 +431,8 @@ let bundle_of_result r =
 
 let bundle_to_json b =
   Printf.sprintf
-    {|{"version":1,"planted_bug":%b,"plan":%s,"digest":"%s","events":%d,"issues":[%s]}|}
-    b.b_planted (Gen.plan_to_json b.b_plan) b.b_digest b.b_events
+    {|{"version":1,"planted_bug":%b,"planted_cache_bug":%b,"plan":%s,"digest":"%s","events":%d,"issues":[%s]}|}
+    b.b_planted b.b_planted_cache (Gen.plan_to_json b.b_plan) b.b_digest b.b_events
     (String.concat "," (List.map Oracle.issue_to_json b.b_issues))
 
 let ( let* ) = Result.bind
@@ -396,10 +472,14 @@ let bundle_of_string s =
       let planted =
         match Json.member "planted_bug" j with Some (Json.Bool b) -> b | _ -> false
       in
+      let planted_cache =
+        match Json.member "planted_cache_bug" j with Some (Json.Bool b) -> b | _ -> false
+      in
       Ok
         {
           b_plan = plan;
           b_planted = planted;
+          b_planted_cache = planted_cache;
           b_digest = digest;
           b_events = events;
           b_issues = issues;
@@ -425,10 +505,16 @@ type replay_outcome =
    so a replay in a fresh process reproduces the same binary behaviour. *)
 let replay ?step_cap b =
   let flag = Weakset_core.Impl_common.planted_grow_only_drop in
-  let saved = !flag in
+  let cflag = Cache.planted_inval_drop in
+  let saved = !flag and csaved = !cflag in
   flag := b.b_planted;
+  cflag := b.b_planted_cache;
   let got =
-    Fun.protect ~finally:(fun () -> flag := saved) (fun () -> execute ?step_cap b.b_plan)
+    Fun.protect
+      ~finally:(fun () ->
+        flag := saved;
+        cflag := csaved)
+      (fun () -> execute ?step_cap b.b_plan)
   in
   if got.digest <> b.b_digest || got.events <> b.b_events then
     Digest_mismatch { got; expected = b.b_digest }

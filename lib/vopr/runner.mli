@@ -40,6 +40,8 @@ type bundle = {
   b_planted : bool;
       (** was {!Weakset_core.Impl_common.planted_grow_only_drop} armed when
           this bundle was recorded?  {!replay} restores it for the rerun. *)
+  b_planted_cache : bool;
+      (** likewise for {!Weakset_store.Cache.planted_inval_drop} *)
   b_digest : string;  (** expected trace digest of replaying [b_plan] *)
   b_events : int;
   b_issues : Oracle.issue list;  (** the recorded oracle verdict *)

@@ -1,0 +1,411 @@
+(* Cache-coherence test battery for the lease-based client cache
+   (DESIGN.md §12): LRU eviction determinism, lease expiry in virtual
+   time, wire and read-your-writes invalidation on every mutating
+   directory op, hit/miss accounting through the metrics registry, a
+   qcheck property that every cache-served membership equals the
+   authoritative directory at the served version, byte-identical digests
+   for seed-identical cached VOPR runs, the warm-vs-cold RPC acceptance
+   criterion, prefetch's membership-read instant, and the bench CLI's
+   strict cache-flag parsing. *)
+
+open Weakset_sim
+open Weakset_net
+open Weakset_store
+module Instrument = Weakset_core.Instrument
+module Prefetch = Weakset_dynamic.Prefetch
+module Gen = Weakset_vopr.Gen
+module Runner = Weakset_vopr.Runner
+module Scenarios = Bench_lib.Scenarios
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let mkoid ?(home = 0) num = Oid.make ~num ~home:(Nodeid.of_int home)
+
+(* ------------------------------------------------------------------ *)
+(* Standalone cache: LRU and lease expiry                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Eviction order must be a pure function of the access history, so a
+   replayed run makes identical eviction decisions. *)
+let lru_trace () =
+  let eng = Engine.create () in
+  let c = Cache.create ~config:{ Cache.capacity = 3; ttl = 100.0 } eng ~node:7 in
+  let o = Array.init 5 (fun i -> mkoid (i + 1)) in
+  Cache.store_obj c o.(1) (Svalue.make "one") ~lease:100.0;
+  Cache.store_obj c o.(2) (Svalue.make "two") ~lease:100.0;
+  Cache.store_obj c o.(3) (Svalue.make "three") ~lease:100.0;
+  (* Touch the oldest entry so it is no longer the LRU victim. *)
+  ignore (Cache.find_obj c o.(1));
+  Cache.store_obj c o.(4) (Svalue.make "four") ~lease:100.0;
+  let held = List.map (fun i -> Cache.contains_obj c o.(i)) [ 1; 2; 3; 4 ] in
+  (held, Cache.stats c)
+
+let test_lru_eviction () =
+  let held, st = lru_trace () in
+  check_bool "touched entry survives" true (List.nth held 0);
+  check_bool "true LRU entry evicted" false (List.nth held 1);
+  check_bool "younger entry survives" true (List.nth held 2);
+  check_bool "new entry present" true (List.nth held 3);
+  check_int "exactly one eviction" 1 st.Cache.evict;
+  (* Determinism: the same access history makes the same decisions. *)
+  let held', st' = lru_trace () in
+  check_bool "replayed history evicts identically" true (held = held');
+  check_int "replayed eviction count" st.Cache.evict st'.Cache.evict
+
+let test_lease_expiry_virtual_time () =
+  let eng = Engine.create () in
+  let c = Cache.create ~config:{ Cache.capacity = 8; ttl = 5.0 } eng ~node:7 in
+  let oid = mkoid 1 in
+  Engine.spawn eng (fun () ->
+      Cache.store_dir c ~set_id:1 ~version:(Version.of_int 1) ~members:[ oid ] ~lease:5.0;
+      check_bool "dir served inside lease" true (Cache.find_dir c ~set_id:1 <> None);
+      Engine.sleep eng 10.0;
+      check_bool "dir expired past lease" true (Cache.find_dir c ~set_id:1 = None);
+      Cache.store_obj c oid (Svalue.make "v") ~lease:5.0;
+      check_bool "obj served inside lease" true (Cache.find_obj c oid <> None);
+      Engine.sleep eng 10.0;
+      check_bool "obj expired past lease" true (Cache.find_obj c oid = None));
+  Engine.run_and_check eng;
+  let st = Cache.stats c in
+  check_int "one dir hit" 1 st.Cache.hit_dir;
+  check_int "one dir miss (the expiry probe)" 1 st.Cache.miss_dir;
+  check_int "one dir expiry" 1 st.Cache.expire_dir;
+  check_int "one obj hit" 1 st.Cache.hit_obj;
+  check_int "one obj miss" 1 st.Cache.miss_obj;
+  check_int "one obj expiry" 1 st.Cache.expire_obj;
+  check_int "nothing left cached" 0 (Cache.dir_count c + Cache.obj_count c)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster fixture                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type cluster = {
+  eng : Engine.t;
+  nodes : Nodeid.t array;
+  servers : Node_server.t array;
+  sref : Protocol.set_ref;
+  cached : Client.t;
+  mutator : Client.t;
+}
+
+let set_id = 7
+
+let make_cluster ?(seed = 1) ?(lease_ttl = 30.0) () =
+  let eng = Engine.create ~seed:(Int64.of_int seed) () in
+  let topo = Topology.create () in
+  let nodes = Topology.clique topo 4 ~latency:1.0 in
+  let rpc = Rpc.create eng topo in
+  let servers = Array.map (fun node -> Node_server.create ~lease_ttl rpc node) nodes in
+  Node_server.host_directory servers.(0) ~set_id ~policy:Node_server.Immediate;
+  let sref = { Protocol.set_id; coordinator = nodes.(0); replicas = [] } in
+  let cached =
+    Client.create ~cache:{ Cache.capacity = 32; ttl = lease_ttl } rpc nodes.(3)
+  in
+  let mutator = Client.create rpc nodes.(1) in
+  { eng; nodes; servers; sref; cached; mutator }
+
+let in_fiber cl body =
+  let result = ref None in
+  Engine.spawn cl.eng (fun () -> result := Some (body ()));
+  Engine.run_and_check cl.eng;
+  match !result with Some r -> r | None -> Alcotest.fail "fiber did not finish"
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s failed: %s" what (Client.error_to_string e)
+
+let lease_cache_of cl =
+  match Client.lease_cache cl.cached with
+  | Some c -> c
+  | None -> Alcotest.fail "client has no lease cache"
+
+(* ------------------------------------------------------------------ *)
+(* Invalidation on every mutating directory op                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_invalidation_on_every_mutating_op () =
+  let cl = make_cluster () in
+  let c = lease_cache_of cl in
+  in_fiber cl (fun () ->
+      let read () = ok_or_fail "dir_read" (Client.dir_read cl.cached ~from:cl.nodes.(0) ~set_id) in
+      let o1 = Oid.make ~num:1 ~home:cl.nodes.(1) in
+      let o2 = Oid.make ~num:2 ~home:cl.nodes.(2) in
+      ignore (read ());
+      check_int "membership cached after read" 1 (Cache.dir_count c);
+
+      (* Another client's add: the server must push a wire Inval. *)
+      ok_or_fail "dir_add" (Client.dir_add cl.mutator cl.sref o1);
+      Engine.sleep cl.eng 3.0;
+      check_int "wire inval after remote add" 1 (Cache.stats c).Cache.inval;
+      check_int "entry dropped" 0 (Cache.dir_count c);
+      let _, ms = read () in
+      check_bool "re-read serves the new membership" true (List.mem o1 ms);
+
+      (* Another client's remove: another wire Inval. *)
+      ok_or_fail "dir_remove" (Client.dir_remove cl.mutator cl.sref o1);
+      Engine.sleep cl.eng 3.0;
+      check_int "wire inval after remote remove" 2 (Cache.stats c).Cache.inval;
+      let _, ms = read () in
+      check_bool "removal visible after inval" false (List.mem o1 ms);
+
+      (* The cache owner's own add: dropped immediately, before the
+         server's callback can loop back (read-your-writes). *)
+      ok_or_fail "own dir_add" (Client.dir_add cl.cached cl.sref o2);
+      check_int "self inval after own add" 1 (Cache.stats c).Cache.self_inval;
+      check_int "entry dropped synchronously" 0 (Cache.dir_count c);
+      let _, ms = read () in
+      check_bool "own add visible immediately" true (List.mem o2 ms);
+
+      (* The cache owner's own remove. *)
+      ok_or_fail "own dir_remove" (Client.dir_remove cl.cached cl.sref o2);
+      check_int "self inval after own remove" 2 (Cache.stats c).Cache.self_inval;
+      let _, ms = read () in
+      check_bool "own remove visible immediately" false (List.mem o2 ms);
+      (* The looped-back callbacks for our own mutations raced local
+         drops: they must not have inflated the wire-inval count. *)
+      Engine.sleep cl.eng 3.0;
+      check_int "raced callbacks are no-ops" 2 (Cache.stats c).Cache.inval)
+
+(* ------------------------------------------------------------------ *)
+(* Hit/miss accounting through the metrics registry                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_hit_miss_metrics () =
+  let cl = make_cluster () in
+  let c = lease_cache_of cl in
+  let oid = Oid.make ~num:1 ~home:cl.nodes.(1) in
+  Node_server.put_object cl.servers.(1) oid (Svalue.make "menu: dumplings");
+  in_fiber cl (fun () ->
+      ignore (ok_or_fail "dir_read" (Client.dir_read cl.cached ~from:cl.nodes.(0) ~set_id));
+      ignore (ok_or_fail "dir_read" (Client.dir_read cl.cached ~from:cl.nodes.(0) ~set_id));
+      ignore (ok_or_fail "fetch" (Client.fetch cl.cached oid));
+      ignore (ok_or_fail "fetch" (Client.fetch cl.cached oid)));
+  let st = Cache.stats c in
+  check_int "one dir miss then" 1 st.Cache.miss_dir;
+  check_int "one dir hit" 1 st.Cache.hit_dir;
+  check_int "one obj miss then" 1 st.Cache.miss_obj;
+  check_int "one obj hit" 1 st.Cache.hit_obj;
+  (* [Cache.stats] must be exactly the registry's view. *)
+  let peek name =
+    Weakset_obs.Metrics.peek_counter
+      (Engine.metrics cl.eng)
+      ~labels:(Cache.labels ~node:(Cache.node c))
+      name
+  in
+  check_int "registry dir hits" st.Cache.hit_dir (peek "cache.hit.dir");
+  check_int "registry dir misses" st.Cache.miss_dir (peek "cache.miss.dir");
+  check_int "registry obj hits" st.Cache.hit_obj (peek "cache.hit.obj");
+  check_int "registry obj misses" st.Cache.miss_obj (peek "cache.miss.obj")
+
+(* ------------------------------------------------------------------ *)
+(* Coherence property                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Every membership the cached client is served — from the lease cache
+   or over the wire — must equal the coordinator's directory at exactly
+   the version the answer carried.  The instrument's per-version record
+   is ground truth (omniscient direct reads, paper-exact). *)
+let prop_cache_serves_authoritative_views =
+  QCheck.Test.make ~name:"cache-served memberships match the directory at their version"
+    ~count:30
+    QCheck.(list_of_size QCheck.Gen.(int_range 1 15) (int_bound 3))
+    (fun script ->
+      let cl = make_cluster ~seed:11 ~lease_ttl:15.0 () in
+      let inst = Instrument.attach ~client:cl.cached ~server:cl.servers.(0) ~set_id in
+      let ok = ref true in
+      let num = ref 0 and members = ref [] in
+      let failed = ref None in
+      let fail msg = if !failed = None then failed := Some msg in
+      Engine.spawn cl.eng (fun () ->
+          List.iter
+            (fun step ->
+              match step with
+              | 0 ->
+                  incr num;
+                  let oid = Oid.make ~num:!num ~home:cl.nodes.(1 + (!num mod 2)) in
+                  (match Client.dir_add cl.mutator cl.sref oid with
+                  | Ok () -> members := oid :: !members
+                  | Error e -> fail (Client.error_to_string e))
+              | 1 -> (
+                  match !members with
+                  | [] -> ()
+                  | oid :: rest -> (
+                      match Client.dir_remove cl.mutator cl.sref oid with
+                      | Ok () -> members := rest
+                      | Error e -> fail (Client.error_to_string e)))
+              | 2 -> (
+                  match Client.dir_read cl.cached ~from:cl.nodes.(0) ~set_id with
+                  | Error e -> fail (Client.error_to_string e)
+                  | Ok (v, ms) -> (
+                      match Instrument.membership_at inst v with
+                      | None -> ok := false
+                      | Some truth ->
+                          if not (Oid.Set.equal truth (Oid.Set.of_list ms)) then ok := false))
+              | _ -> Engine.sleep cl.eng 4.0)
+            script);
+      Engine.run_and_check cl.eng;
+      Instrument.detach inst;
+      (match !failed with
+      | Some msg -> QCheck.Test.fail_reportf "client op failed: %s" msg
+      | None -> ());
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Seed-identical cached runs are byte-identical                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_cached_run_digest_stable () =
+  let rec find s =
+    if s > 200 then Alcotest.fail "no cache-enabled seed in 0..200"
+    else if (Gen.config_of_seed (Int64.of_int s)).Gen.cache then Int64.of_int s
+    else find (s + 1)
+  in
+  let seed = find 0 in
+  let plan = Gen.generate seed in
+  check_bool "found a cache-enabled plan" true plan.Gen.config.Gen.cache;
+  let a = Runner.execute plan and b = Runner.execute plan in
+  check_string "byte-identical digest" a.Runner.digest b.Runner.digest;
+  check_int "same event count" a.Runner.events b.Runner.events;
+  check_int "same step count" a.Runner.steps b.Runner.steps
+
+(* ------------------------------------------------------------------ *)
+(* Warm re-iteration: the acceptance criterion                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A warm re-iteration must issue at least 2x fewer RPC messages than
+   the cold fill.  [Rpc.stats] reads the [net.*]/[rpc.*] counters back
+   out of the engine's metrics registry (see {!Weakset_net.Netstat}),
+   and returns an immutable snapshot: take it before and after. *)
+let test_warm_vs_cold_rpc_ratio () =
+  let w =
+    Scenarios.clique_world ~seed:4242
+      ~cache:{ Cache.capacity = 256; ttl = 600.0 }
+      ~lease_ttl:600.0 ~size:24 ()
+  in
+  let msgs_of f =
+    let before = (Rpc.stats w.Scenarios.rpc).Netstat.sent in
+    f ();
+    (Rpc.stats w.Scenarios.rpc).Netstat.sent - before
+  in
+  let run () =
+    ignore (Scenarios.run_iteration ~think:1.0 w Weakset_core.Semantics.optimistic)
+  in
+  let cold = msgs_of run in
+  let warm = msgs_of run in
+  check_bool "cold fill talks to the network" true (cold > 0);
+  check_bool
+    (Printf.sprintf "warm pass (%d msgs) uses >=2x fewer RPCs than cold (%d msgs)" warm cold)
+    true
+    (2 * warm <= cold)
+
+(* ------------------------------------------------------------------ *)
+(* Prefetch: membership-read instant vs first result                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_prefetch_membership_read_at () =
+  let w =
+    Scenarios.clique_world ~seed:4243
+      ~cache:{ Cache.capacity = 256; ttl = 600.0 }
+      ~lease_ttl:600.0 ~size:12 ()
+  in
+  let stats = ref [] in
+  Engine.spawn w.Scenarios.eng (fun () ->
+      for _ = 1 to 2 do
+        let p = Prefetch.start w.Scenarios.client w.Scenarios.sref in
+        ignore (Prefetch.drain p);
+        stats := Prefetch.stats p :: !stats
+      done);
+  Engine.run_and_check w.Scenarios.eng;
+  match List.rev !stats with
+  | [ cold; warm ] ->
+      let get what = function
+        | Some v -> v
+        | None -> Alcotest.failf "%s not recorded" what
+      in
+      let m1 = get "cold membership_read_at" cold.Prefetch.membership_read_at in
+      let f1 = get "cold first_result_at" cold.Prefetch.first_result_at in
+      check_bool "membership read completes after start" true (m1 >= cold.Prefetch.started_at);
+      check_bool "cold first result needs a fetch round trip after the read" true (f1 > m1);
+      let m2 = get "warm membership_read_at" warm.Prefetch.membership_read_at in
+      let f2 = get "warm first_result_at" warm.Prefetch.first_result_at in
+      check_int "warm pass served entirely from cache" warm.Prefetch.membership
+        warm.Prefetch.cache_hits;
+      check_int "warm pass issued no batches" 0 warm.Prefetch.batches;
+      check_bool "warm first result lands at the membership-read instant" true
+        (f2 <= m2 +. 1e-9)
+  | l -> Alcotest.failf "expected 2 prefetch runs, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Bench CLI: strict cache-flag parsing                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_bench_cli_cache_flags () =
+  let module Cli = Bench_lib.Cli in
+  (match Cli.parse [] with
+  | `Ok o ->
+      check_bool "cache defaults off" false o.Cli.cache;
+      check_bool "lease_ttl defaults unset" true (o.Cli.lease_ttl = None)
+  | _ -> Alcotest.fail "empty argv must parse");
+  (match Cli.parse [ "--cache" ] with
+  | `Ok o -> check_bool "--cache sets cache" true o.Cli.cache
+  | _ -> Alcotest.fail "--cache must parse");
+  (match Cli.parse [ "--cache"; "--lease-ttl"; "12.5"; "--warm-iters"; "3" ] with
+  | `Ok o ->
+      check_bool "--lease-ttl parsed" true (o.Cli.lease_ttl = Some 12.5);
+      check_bool "--warm-iters parsed" true (o.Cli.warm_iters = Some 3)
+  | _ -> Alcotest.fail "full cache invocation must parse");
+  let expect_error name args =
+    match Cli.parse args with
+    | `Error _ -> ()
+    | `Ok _ -> Alcotest.failf "%s: expected an error" name
+    | `Help -> Alcotest.failf "%s: unexpected help" name
+  in
+  expect_error "--lease-ttl without --cache" [ "--lease-ttl"; "5" ];
+  expect_error "--warm-iters without --cache" [ "--warm-iters"; "2" ];
+  expect_error "zero lease ttl" [ "--cache"; "--lease-ttl"; "0" ];
+  expect_error "malformed lease ttl" [ "--cache"; "--lease-ttl"; "soon" ];
+  expect_error "zero warm iters" [ "--cache"; "--warm-iters"; "0" ];
+  expect_error "negative warm iters" [ "--cache"; "--warm-iters"; "-1" ];
+  expect_error "trailing --lease-ttl without value" [ "--cache"; "--lease-ttl" ];
+  expect_error "trailing --warm-iters without value" [ "--cache"; "--warm-iters" ];
+  expect_error "unknown flag" [ "--frobnicate" ];
+  match Cli.parse [ "--help" ] with
+  | `Help -> ()
+  | _ -> Alcotest.fail "--help must yield `Help"
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "weakset_cache"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "LRU eviction is deterministic" `Quick test_lru_eviction;
+          Alcotest.test_case "leases expire in virtual time" `Quick
+            test_lease_expiry_virtual_time;
+        ] );
+      ( "coherence",
+        Alcotest.test_case "invalidation on every mutating op" `Quick
+          test_invalidation_on_every_mutating_op
+        :: qcheck [ prop_cache_serves_authoritative_views ] );
+      ( "accounting",
+        [ Alcotest.test_case "hit/miss counts in the registry" `Quick test_hit_miss_metrics ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "cached runs are digest-stable" `Quick
+            test_cached_run_digest_stable;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "warm re-iteration >=2x fewer RPCs" `Quick
+            test_warm_vs_cold_rpc_ratio;
+          Alcotest.test_case "prefetch membership-read instant" `Quick
+            test_prefetch_membership_read_at;
+        ] );
+      ( "bench-cli",
+        [ Alcotest.test_case "strict cache flags" `Quick test_bench_cli_cache_flags ] );
+    ]

@@ -336,6 +336,13 @@ let roundtrip_examples =
     Span_end { span = 8; name = "client.fetch"; node = Some 3; dur = 2.05 };
     Store_op { node = 3; op = "fetch"; parent = Some 8 };
     Store_op { node = 3; op = "fetch"; parent = None };
+    Cache_hit { node = 5; ckind = Cache_dir; id = 3; version = 7; age = 1.25 };
+    Cache_hit { node = 5; ckind = Cache_obj; id = 9; version = 0; age = 0.0 };
+    Cache_miss { node = 1; ckind = Cache_dir; id = 3 };
+    Cache_miss { node = 1; ckind = Cache_obj; id = 2 };
+    Cache_inval { node = 4; set_id = 1; version = 9 };
+    Lease_expire { node = 2; ckind = Cache_dir; id = 1 };
+    Lease_expire { node = 2; ckind = Cache_obj; id = 6 };
     Spec_observe { set_id = 1; phase = Phase_first; s = [ e1 ]; accessible = [ e1; e2 ] };
     Spec_observe { set_id = 1; phase = Phase_invocation_start; s = []; accessible = [] };
     Spec_observe { set_id = 1; phase = Phase_invocation_retry; s = [ e2 ]; accessible = [] };
@@ -448,6 +455,22 @@ let gen_event =
           opt small_nat >>= fun node ->
           map (fun dur -> Span_end { span; name; node; dur }) fin );
         map3 (fun node op parent -> Store_op { node; op; parent }) small_nat str (opt small_nat);
+        ( small_nat >>= fun node ->
+          oneofl [ Cache_dir; Cache_obj ] >>= fun ckind ->
+          small_nat >>= fun id ->
+          small_nat >>= fun version ->
+          map (fun age -> Cache_hit { node; ckind; id; version; age }) fin );
+        map3
+          (fun node ckind id -> Cache_miss { node; ckind; id })
+          small_nat
+          (oneofl [ Cache_dir; Cache_obj ])
+          small_nat;
+        map3 (fun node set_id version -> Cache_inval { node; set_id; version }) small_nat small_nat small_nat;
+        map3
+          (fun node ckind id -> Lease_expire { node; ckind; id })
+          small_nat
+          (oneofl [ Cache_dir; Cache_obj ])
+          small_nat;
         ( small_nat >>= fun set_id ->
           phase >>= fun phase ->
           list_size (int_bound 4) elem >>= fun s ->

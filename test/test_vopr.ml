@@ -25,6 +25,12 @@ let with_planted_bug armed f =
   flag := armed;
   Fun.protect ~finally:(fun () -> flag := saved) f
 
+let with_planted_cache_bug armed f =
+  let flag = Weakset_store.Cache.planted_inval_drop in
+  let saved = !flag in
+  flag := armed;
+  Fun.protect ~finally:(fun () -> flag := saved) f
+
 (* ------------------------------------------------------------------ *)
 (* Generator                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -145,6 +151,38 @@ let test_swarm_finds_shrinks_and_replays_planted_bug () =
       | Runner.Digest_mismatch _ -> Alcotest.fail "digest mismatch replaying shrunk bundle"
       | Runner.Verdict_mismatch _ -> Alcotest.fail "verdict mismatch replaying shrunk bundle")
 
+(* The second half of the mutation test: drop wire [Inval] callbacks on
+   the floor and the cache oracle must convict the cache layer — the
+   [Stale_beyond_lease] verdict, not some incidental failure — within
+   the same 64-seed budget, and the failure must shrink and replay like
+   any other. *)
+let test_swarm_finds_shrinks_and_replays_planted_cache_bug () =
+  with_planted_cache_bug true (fun () ->
+      let stale issues =
+        List.exists (fun i -> Oracle.category i = "stale-beyond-lease") issues
+      in
+      let failures =
+        List.filter (fun (_, r) -> stale r.Runner.issues) (Runner.sweep mutation_range)
+      in
+      check_bool "planted cache bug found within 64 seeds" true (failures <> []);
+      let _, failing = List.hd failures in
+      let shrunk, issues, stats =
+        Shrink.minimize
+          ~run:(fun p -> (Runner.execute p).Runner.issues)
+          ~issues:failing.Runner.issues failing.Runner.plan
+      in
+      check_bool "shrunk to at most 10 events" true (Gen.event_count shrunk <= 10);
+      check_int "stats report the shrunk size" (Gen.event_count shrunk) stats.Shrink.final_events;
+      check_bool "shrunk plan still fails the same way" true
+        (Oracle.same_failure failing.Runner.issues issues);
+      let result = Runner.execute shrunk in
+      match Runner.replay (Runner.bundle_of_result result) with
+      | Runner.Reproduced r ->
+          check_bool "replay reports the same failure" true
+            (Oracle.same_failure result.Runner.issues r.Runner.issues)
+      | Runner.Digest_mismatch _ -> Alcotest.fail "digest mismatch replaying shrunk bundle"
+      | Runner.Verdict_mismatch _ -> Alcotest.fail "verdict mismatch replaying shrunk bundle")
+
 (* ------------------------------------------------------------------ *)
 (* Oracle                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -152,6 +190,7 @@ let test_swarm_finds_shrinks_and_replays_planted_bug () =
 let test_oracle_issue_json_roundtrip () =
   let issues =
     [
+      Oracle.Stale_beyond_lease { time = 12.5; set_id = 1; served = 3; required = 5; age = 2.25 };
       Oracle.Spec_violation
         { iteration = 2; semantics = "grow-only"; where = "[x]"; message = "m" };
       Oracle.Monitor_mismatch { iteration = 0; semantics = "snapshot"; detail = "d" };
@@ -206,6 +245,8 @@ let () =
           Alcotest.test_case "clean swarm without bug" `Quick test_swarm_clean_without_bug;
           Alcotest.test_case "finds, shrinks, replays planted bug" `Quick
             test_swarm_finds_shrinks_and_replays_planted_bug;
+          Alcotest.test_case "finds, shrinks, replays planted cache bug" `Quick
+            test_swarm_finds_shrinks_and_replays_planted_cache_bug;
         ] );
       ( "oracle",
         [
