@@ -1,9 +1,9 @@
 # One-command tier-1 verification: build + tests (including the trace
 # determinism suite in test/test_obs.ml) + formatting check.
 
-.PHONY: check build test fmt fmt-fix bench bench-compare vopr-smoke clean
+.PHONY: check build test fmt fmt-fix bench bench-compare e12-smoke vopr-smoke clean
 
-check: build test fmt bench-compare vopr-smoke
+check: build test fmt bench-compare e12-smoke vopr-smoke
 
 build:
 	dune build @all
@@ -31,11 +31,23 @@ bench:
 bench-compare:
 	dune exec bench/main.exe -- --compare BENCH_baseline.json BENCH_baseline.json
 
+# E12 head-to-head: all five design points (incl. the lin snapshot
+# iterator) on quiet + churn workloads, every row judged by the
+# parametric checker.  The gate demands conforming verdicts present
+# and no VIOLATES cell anywhere in the table.
+e12-smoke:
+	dune exec bench/main.exe -- --e12 | tee /tmp/e12-smoke.out
+	@grep -q "conforms" /tmp/e12-smoke.out \
+	  || { echo "e12-smoke: no verdicts in E12 output"; exit 1; }
+	@! grep -q "VIOLATES" /tmp/e12-smoke.out \
+	  || { echo "e12-smoke: E12 reported a spec violation"; exit 1; }
+
 # Bounded VOPR swarm: 32 seed-derived scenarios (virtual-time budgets keep
 # this well under a minute of wall clock), plus the mutation tests — the
-# planted grow-only bug and the planted cache Inval drop must each be
-# caught within the same seed range.  Repro bundles for any failure land
-# in vopr-bundles/ (CI uploads them).
+# planted grow-only bug, the planted cache Inval drop and the planted
+# membership-axiom flip in the parametric checker must each be caught
+# within the same seed range.  Repro bundles for any failure land in
+# vopr-bundles/ (CI uploads them).
 vopr-smoke:
 	rm -rf vopr-bundles && mkdir -p vopr-bundles
 	dune exec bin/weakset_vopr.exe -- run --seeds 0..32 --bundle-dir vopr-bundles --quiet
@@ -43,6 +55,8 @@ vopr-smoke:
 	  test $$? -eq 1 || { echo "vopr-smoke: planted bug was NOT detected"; exit 1; }
 	dune exec bin/weakset_vopr.exe -- run --seeds 0..32 --planted-cache-bug --no-shrink --quiet; \
 	  test $$? -eq 1 || { echo "vopr-smoke: planted cache bug was NOT detected"; exit 1; }
+	dune exec bin/weakset_vopr.exe -- run --seeds 0..32 --planted-spec-bug --no-shrink --quiet; \
+	  test $$? -eq 1 || { echo "vopr-smoke: planted spec bug was NOT detected"; exit 1; }
 
 clean:
 	dune clean

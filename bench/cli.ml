@@ -23,6 +23,7 @@ let usage =
   \                       metric regresses beyond the tolerance\n\
   \  --tolerance T        relative compare tolerance (default 0.10)\n\
   \  --cache              run only the lease-cache cold/warm experiment (E9)\n\
+  \  --e12                run only the five-semantics head-to-head (E12)\n\
   \  --lease-ttl T        lease TTL for --cache (positive, default 600)\n\
   \  --warm-iters N       warm passes for --cache (positive, default 2)\n"
 
@@ -36,6 +37,7 @@ type opts = {
   mutable compare : (string * string) option;
   mutable tolerance : float;
   mutable cache : bool;
+  mutable e12 : bool;
   mutable lease_ttl : float option;
   mutable warm_iters : int option;
 }
@@ -51,6 +53,7 @@ let defaults () =
     compare = None;
     tolerance = 0.10;
     cache = false;
+    e12 = false;
     lease_ttl = None;
     warm_iters = None;
   }
@@ -73,6 +76,9 @@ let parse args =
         go rest
     | "--cache" :: rest ->
         o.cache <- true;
+        go rest
+    | "--e12" :: rest ->
+        o.e12 <- true;
         go rest
     | "--metrics-json" :: v :: rest ->
         o.metrics_json <- Some v;

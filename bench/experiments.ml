@@ -143,7 +143,7 @@ let e1_latency () =
   in
   Harness.table
     ~headers:
-      [ "size"; "immutable"; "snapshot"; "grow-only"; "optimistic"; "dynamic(p=8)" ]
+      [ "size"; "immutable"; "snapshot"; "grow-only"; "optimistic"; "lin"; "dynamic(p=8)" ]
     rows;
   Harness.note "cells are first-yield/completion in virtual time units";
   Harness.note
@@ -504,6 +504,83 @@ let e9_cache_warm ?(lease_ttl = 600.0) ?(warm_iters = 2) () =
   Harness.note "values from leases and coalesce any residual misses into per-home batches."
 
 (* ------------------------------------------------------------------ *)
+(* E12: all five design points head to head                           *)
+(* ------------------------------------------------------------------ *)
+
+let e12_five_semantics () =
+  Harness.section ~id:"E12" ~title:"all five design points head to head, quiet and churning"
+    ~paper:"Figures 1-6 plus the linearizable snapshot iterator (arXiv:1705.08885)";
+  let sizes = [ 16; 64 ] in
+  let workloads = [ ("quiet", 0.0); ("churn", 0.1) ] in
+  let rows =
+    List.concat_map
+      (fun (wname, add_rate) ->
+        List.concat_map
+          (fun size ->
+            List.map
+              (fun (name, sem) ->
+                let w =
+                  clique_world ~seed:(9000 + size)
+                    ~ghost_policy:(sem = Semantics.grow_only) ~size ()
+                in
+                if add_rate > 0.0 then
+                  set_mutator ~via:sem w ~add_rate ~remove_rate:(add_rate /. 2.0)
+                    ~until:5_000.0;
+                let before = (Weakset_net.Rpc.stats w.rpc).Weakset_net.Netstat.sent in
+                let r = run_iteration ~instrument:true ~think:1.0 ~deadline:8_000.0 w sem in
+                let sent = (Weakset_net.Rpc.stats w.rpc).Weakset_net.Netstat.sent - before in
+                let st =
+                  match r.inst with
+                  | Some inst -> staleness_of (Instrument.computation inst)
+                  | None ->
+                      { adds_during = 0; adds_yielded = 0; removes_during = 0; stale_yields = 0 }
+                in
+                (* Every run is judged by the one parametric checker, through
+                   the spec appropriate to its workload: the exact figure on a
+                   quiet fault-free world, the §3.4 window relaxation once
+                   concurrent mutation makes bounded staleness legitimate —
+                   and always the lin spec for the linearizable point, which
+                   no amount of churn is allowed to weaken. *)
+                let spec =
+                  if add_rate > 0.0 then Semantics.window_spec_of sem
+                  else Semantics.spec_of ~no_failures:true sem
+                in
+                [
+                  wname;
+                  string_of_int size;
+                  name;
+                  string_of_int r.yields;
+                  Harness.fopt r.first_at;
+                  Harness.fopt r.total;
+                  string_of_int sent;
+                  string_of_int st.stale_yields;
+                  outcome_cell r.outcome;
+                  spec.Weakset_spec.Figures.spec_name ^ ": " ^ check_inst r spec;
+                ])
+              named_semantics)
+          sizes)
+      workloads
+  in
+  Harness.table
+    ~headers:
+      [
+        "workload"; "size"; "semantics"; "yields"; "first"; "total"; "msgs"; "stale"; "outcome";
+        "spec verdict";
+      ]
+    rows;
+  Harness.note
+    "one table, one checker: every row's verdict comes from the same parametric";
+  Harness.note
+    "visibility engine, configured per design point.  lin's 'stale' yields are";
+  Harness.note
+    "members removed after its pin - snapshot staleness, never inconsistency: its";
+  Harness.note
+    "yields always equal one directory state.  The weak points trade anchored";
+  Harness.note
+    "consistency for fewer messages and the mid-run adds/removes they observe,";
+  Harness.note "which is the paper's design-space argument end to end."
+
+(* ------------------------------------------------------------------ *)
 (* E7: the Garcia-Molina/Wiederhold classification, observed          *)
 (* ------------------------------------------------------------------ *)
 
@@ -742,6 +819,7 @@ let run_all () =
   e7_gmw ();
   e8_message_cost ();
   e9_cache_warm ();
+  e12_five_semantics ();
   a1_replica_staleness ();
   a2_ghosts ();
   a3_quorum ();

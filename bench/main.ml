@@ -49,6 +49,11 @@ let () =
               Bench_lib.Experiments.e9_cache_warm
                 ?lease_ttl:o.Bench_lib.Cli.lease_ttl
                 ?warm_iters:o.Bench_lib.Cli.warm_iters ()
+          | None when o.Bench_lib.Cli.e12 ->
+              Printf.printf
+                "Weak sets (Wing & Steere, ICDCS 1995) - five-semantics head-to-head\n";
+              Printf.printf "All latencies are simulated virtual time units unless noted.\n";
+              Bench_lib.Experiments.e12_five_semantics ()
           | None ->
               Printf.printf "Weak sets (Wing & Steere, ICDCS 1995) - experiment suite\n";
               Printf.printf "All latencies are simulated virtual time units unless noted.\n";

@@ -228,4 +228,5 @@ let named_semantics =
     ("snapshot", Semantics.snapshot);
     ("grow-only", Semantics.grow_only);
     ("optimistic", Semantics.optimistic);
+    ("lin", Semantics.lin);
   ]

@@ -29,6 +29,7 @@ let usage =
   \  --no-shrink          bundle the original, unshrunk schedule\n\
   \  --planted-bug        arm the planted grow-only drop (mutation test)\n\
   \  --planted-cache-bug  arm the planted cache Inval drop (mutation test)\n\
+  \  --planted-spec-bug   arm the planted membership-axiom flip (mutation test)\n\
   \  --quiet              only print failures and the summary\n\n\
    replay options:\n\
   \  --step-cap N         engine step budget (default 1000000)\n\
@@ -76,6 +77,7 @@ type run_opts = {
   mutable no_shrink : bool;
   mutable planted_bug : bool;
   mutable planted_cache_bug : bool;
+  mutable planted_spec_bug : bool;
   mutable quiet : bool;
 }
 
@@ -88,6 +90,7 @@ let parse_run_args args =
       no_shrink = false;
       planted_bug = false;
       planted_cache_bug = false;
+      planted_spec_bug = false;
       quiet = false;
     }
   in
@@ -117,6 +120,9 @@ let parse_run_args args =
     | "--planted-cache-bug" :: rest ->
         o.planted_cache_bug <- true;
         go rest
+    | "--planted-spec-bug" :: rest ->
+        o.planted_spec_bug <- true;
+        go rest
     | "--quiet" :: rest ->
         o.quiet <- true;
         go rest
@@ -133,6 +139,7 @@ let cmd_run args =
   let o = parse_run_args args in
   Weakset_core.Impl_common.planted_grow_only_drop := o.planted_bug;
   Weakset_store.Cache.planted_inval_drop := o.planted_cache_bug;
+  Weakset_spec.Visibility.planted_axiom_mutation := o.planted_spec_bug;
   let failures = ref 0 in
   let progress seed (r : Runner.result) =
     if r.issues = [] then begin
@@ -255,6 +262,7 @@ let cmd_shrink args =
   let b = load_bundle path in
   Weakset_core.Impl_common.planted_grow_only_drop := b.b_planted;
   Weakset_store.Cache.planted_inval_drop := b.b_planted_cache;
+  Weakset_spec.Visibility.planted_axiom_mutation := b.b_planted_spec;
   let issues =
     match b.b_issues with
     | [] ->

@@ -1,0 +1,14 @@
+(** Linearizable snapshot iterator (arXiv:1705.08885): the fifth design
+    point.
+
+    The first call pins the directory at one version with an
+    authoritative uncached read; every later invocation re-derives the
+    pinned membership with a snapshot-at-version read
+    ([Protocol.Dir_read_at]), so concurrent mutation can never change
+    what the iterator yields.  No locks anywhere — the coordinator's
+    mutation log below the pinned version is immutable, which is all
+    the read needs.  On any failure the invocation blocks until repair
+    (never signals); the run linearizes at the pin read, satisfying
+    [Figures.lin]: yields ⊆ s_σ and the returned set equals s_σ. *)
+
+val open_ : Impl_common.ctx -> Iterator.t

@@ -9,6 +9,7 @@ type t = {
   vintage : vintage;
   failure_handling : failure_handling;
   read_nearest_replica : bool;
+  linearizable : bool;
 }
 
 let immutable =
@@ -17,6 +18,7 @@ let immutable =
     vintage = First_vintage;
     failure_handling = Pessimistic;
     read_nearest_replica = false;
+    linearizable = false;
   }
 
 let snapshot =
@@ -25,6 +27,7 @@ let snapshot =
     vintage = First_vintage;
     failure_handling = Pessimistic;
     read_nearest_replica = false;
+    linearizable = false;
   }
 
 let grow_only =
@@ -33,6 +36,7 @@ let grow_only =
     vintage = Current_vintage;
     failure_handling = Pessimistic;
     read_nearest_replica = false;
+    linearizable = false;
   }
 
 let optimistic =
@@ -41,9 +45,23 @@ let optimistic =
     vintage = Current_vintage;
     failure_handling = Optimistic;
     read_nearest_replica = false;
+    linearizable = false;
   }
 
 let optimistic_stale = { optimistic with read_nearest_replica = true }
+
+(* The fifth design point: iterate a pinned directory version via
+   snapshot-at-version reads, blocking (never failing) until every
+   pinned member is fetched.  Judged against [Figures.lin]
+   (arXiv:1705.08885). *)
+let lin =
+  {
+    mutability = Mutable_any;
+    vintage = First_vintage;
+    failure_handling = Optimistic;
+    read_nearest_replica = false;
+    linearizable = true;
+  }
 
 let all =
   [
@@ -52,6 +70,7 @@ let all =
     ("grow-only", grow_only);
     ("optimistic", optimistic);
     ("optimistic-stale", optimistic_stale);
+    ("lin", lin);
   ]
 
 let name t =
@@ -70,19 +89,27 @@ let pp fmt t =
   let fh =
     match t.failure_handling with Pessimistic -> "pessimistic" | Optimistic -> "optimistic"
   in
-  Format.fprintf fmt "%s(%s vintage, %s%s)" mut vin fh
-    (if t.read_nearest_replica then ", stale replicas" else "")
+  (* The linearizable flag overrides every other knob in dispatch, so
+     describing those knobs would mislead. *)
+  if t.linearizable then Format.fprintf fmt "mutable(snapshot pinned at open, never fails)"
+  else
+    Format.fprintf fmt "%s(%s vintage, %s%s)" mut vin fh
+      (if t.read_nearest_replica then ", stale replicas" else "")
 
 let spec_of ?(no_failures = false) t =
   let open Weakset_spec.Figures in
-  match (t.mutability, t.vintage, t.failure_handling) with
-  | Immutable, _, _ -> if no_failures then fig1 else fig3
-  | Mutable_any, First_vintage, _ -> fig4
-  | Grow_only, _, _ -> fig5
-  | Mutable_any, Current_vintage, Optimistic -> fig6
-  | Mutable_any, Current_vintage, Pessimistic -> fig5 (* closest published point *)
+  if t.linearizable then lin
+  else
+    match (t.mutability, t.vintage, t.failure_handling) with
+    | Immutable, _, _ -> if no_failures then fig1 else fig3
+    | Mutable_any, First_vintage, _ -> fig4
+    | Grow_only, _, _ -> fig5
+    | Mutable_any, Current_vintage, Optimistic -> fig6
+    | Mutable_any, Current_vintage, Pessimistic -> fig5 (* closest published point *)
 
 let window_spec_of t =
-  match (t.mutability, t.vintage, t.failure_handling) with
-  | Mutable_any, Current_vintage, Optimistic -> Weakset_spec.Figures.fig6_window
-  | _ -> spec_of t
+  if t.linearizable then Weakset_spec.Figures.lin
+  else
+    match (t.mutability, t.vintage, t.failure_handling) with
+    | Mutable_any, Current_vintage, Optimistic -> Weakset_spec.Figures.fig6_window
+    | _ -> spec_of t

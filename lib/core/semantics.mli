@@ -27,6 +27,11 @@ type t = {
       (** optimistic iterators may read membership from the nearest
           (possibly stale) directory replica instead of the coordinator —
           the availability/consistency knob of ablation A1 *)
+  linearizable : bool;
+      (** pin a directory version at open and iterate exactly that
+          snapshot via versioned reads, blocking (never failing) until
+          every pinned member is fetched — the fifth design point
+          (arXiv:1705.08885), judged against [Figures.lin] *)
 }
 
 (** Figure 3: distributed read lock held for the whole iteration. *)
@@ -45,6 +50,10 @@ val optimistic : t
 
 (** [optimistic] reading stale nearby replicas. *)
 val optimistic_stale : t
+
+(** The linearizable snapshot iterator: versioned-snapshot reads against
+    a version pinned at open, no global locks, never fails. *)
+val lin : t
 
 (** All named points with their names, strongest first. *)
 val all : (string * t) list

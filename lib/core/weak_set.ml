@@ -82,11 +82,13 @@ let elements ?(instrument = false) t =
       ~retry_backoff:t.retry_backoff ~lock_timeout:t.lock_timeout t.client t.sref
   in
   let iter =
-    match
-      ( t.semantics.Semantics.mutability,
-        t.semantics.Semantics.vintage,
-        t.semantics.Semantics.failure_handling )
-    with
+    if t.semantics.Semantics.linearizable then Impl_lin.open_ ctx
+    else
+      match
+        ( t.semantics.Semantics.mutability,
+          t.semantics.Semantics.vintage,
+          t.semantics.Semantics.failure_handling )
+      with
     | Semantics.Immutable, _, _ -> Impl_first_vintage.open_locking ctx
     | Semantics.Mutable_any, Semantics.First_vintage, _ -> Impl_first_vintage.open_snapshot ctx
     | Semantics.Grow_only, _, _ -> Impl_grow_only.open_ ctx

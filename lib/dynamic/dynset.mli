@@ -26,6 +26,22 @@ val open_set :
   unit ->
   t
 
+(** [open_snapshot dfs ~client dir ()] — linearizable snapshot open (the
+    fifth design point): pin the directory at one version with an
+    authoritative read, or pass [?version] to reconstruct the membership
+    as it stood at a past version (snapshot-at-version, no locks), and
+    stream exactly that member list.  Returns the pinned version with
+    the handle; [Error] if the coordinator cannot be reached at open. *)
+val open_snapshot :
+  Dfs.t ->
+  client:Weakset_store.Client.t ->
+  Fpath.t ->
+  ?version:Weakset_store.Version.t ->
+  ?select:(string -> bool) ->
+  ?parallelism:int ->
+  unit ->
+  (Weakset_store.Version.t * t, Weakset_store.Client.error) result
+
 (** [open_query dfs ~client dir pred] — contents-predicate query: members
     stream through [pred] after fetch ("finding all files that satisfy a
     given predicate"). *)

@@ -170,7 +170,7 @@ let read_membership ~parent client (sref : Weakset_store.Protocol.set_ref) =
           else None)
         sref.replicas
 
-let start ?parent ?(parallelism = 4) ?(order = `Closest_first) ?(max_retries = 2)
+let start ?parent ?members ?(parallelism = 4) ?(order = `Closest_first) ?(max_retries = 2)
     ?(retry_backoff = 2.0) ?(batch = 8) client sref =
   let engine = Client.engine client in
   let bus = Engine.bus engine in
@@ -205,7 +205,13 @@ let start ?parent ?(parallelism = 4) ?(order = `Closest_first) ?(max_retries = 2
     }
   in
   Engine.spawn engine ~name:"prefetch-open" (fun () ->
-      match read_membership ~parent:span client sref with
+      (* A caller-pinned member list (e.g. a versioned snapshot read by
+         Dynset.open_snapshot) replaces the open-time membership read. *)
+      match
+        match members with
+        | Some m -> Some m
+        | None -> read_membership ~parent:span client sref
+      with
       | None ->
           t.open_failed <- true;
           finish t

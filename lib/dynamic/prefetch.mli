@@ -45,9 +45,14 @@ type t
     cache are claimed synchronously (zero RPCs) and streamed first; the
     misses are then claimed closest-destination-first and coalesced into
     [Fetch_batch] requests of up to [batch] oids (default 8) per round
-    trip. *)
+    trip.
+
+    [members] replaces the open-time membership read with a
+    caller-pinned list — how {!Dynset.open_snapshot} feeds a versioned
+    snapshot through the same fetch machinery. *)
 val start :
   ?parent:int ->
+  ?members:Weakset_store.Oid.t list ->
   ?parallelism:int ->
   ?order:[ `Closest_first | `By_id ] ->
   ?max_retries:int ->

@@ -1,6 +1,6 @@
-type vintage = First_vintage | Current_vintage
+type vintage = First_vintage | Current_vintage | Snapshot_vintage
 
-type failure_mode = No_failures | Pessimistic | Optimistic
+type failure_mode = Visibility.failure_mode = No_failures | Pessimistic | Optimistic
 
 (* Scope of the type constraint (paper §3.1, §3.3): the figures as printed
    constrain every pair of states in the computation; the discussed
@@ -110,242 +110,55 @@ let fig5_relaxed =
     constraint_scope = During_run;
   }
 
-let all_specs = [ fig1; fig3; fig3_relaxed; fig4; fig5; fig5_relaxed; fig6; fig6_window ]
+(* The fifth design point (ROADMAP item 5): a linearizable snapshot
+   iterator per arXiv:1705.08885.  Snapshot visibility with total
+   arbitration — some single state σ between the first call and the
+   last must explain every yield and the returned set — and failures
+   are impossible (the implementation pins a directory version and
+   blocks until every pinned member is fetchable again). *)
+let lin =
+  {
+    spec_name = "lin";
+    paper_figure = "arXiv:1705.08885";
+    description = "linearizable snapshot iterator; never fails";
+    constraint_ = Constraint_clause.unconstrained;
+    constraint_scope = Whole_computation;
+    vintage = Snapshot_vintage;
+    failure_mode = No_failures;
+    membership_window = false;
+  }
 
-type violation = { where : string; state : Sstate.t option; message : string }
+let all_specs = [ fig1; fig3; fig3_relaxed; fig4; fig5; fig5_relaxed; fig6; fig6_window; lin ]
 
-type verdict = Conforms | Violates of violation list
-
-let verdict_ok = function Conforms -> true | Violates _ -> false
-
-let pp_violation fmt v =
-  match v.state with
-  | Some st -> Format.fprintf fmt "[%s] %s@ at %a" v.where v.message Sstate.pp st
-  | None -> Format.fprintf fmt "[%s] %s" v.where v.message
-
-let pp_verdict fmt = function
-  | Conforms -> Format.pp_print_string fmt "CONFORMS"
-  | Violates vs ->
-      Format.fprintf fmt "VIOLATES (%d):@." (List.length vs);
-      List.iter (fun v -> Format.fprintf fmt "  %a@." pp_violation v) vs
-
-(* ------------------------------------------------------------------ *)
-(* Per-invocation checking                                            *)
-(* ------------------------------------------------------------------ *)
-
-type inv_ctx = {
-  spec : spec;
-  first : Sstate.t;
-  pre : Sstate.t;
-  post : Sstate.t;
-  term : Sstate.termination;
-  comp : Computation.t;
+type violation = Visibility.violation = {
+  where : string;
+  state : Sstate.t option;
+  message : string;
 }
 
-let base_of ctx =
-  match ctx.spec.vintage with
-  | First_vintage -> ctx.first.Sstate.s_value
-  | Current_vintage -> ctx.pre.Sstate.s_value
+type verdict = Visibility.verdict = Conforms | Violates of violation list
 
-(* reachable(base) evaluated in the pre-state. *)
-let reach_of ctx = Sstate.reachable_of ctx.pre (base_of ctx)
+let verdict_ok = Visibility.verdict_ok
+let pp_violation = Visibility.pp_violation
+let pp_verdict = Visibility.pp_verdict
 
-let unyielded_base ctx = Elem.Set.diff (base_of ctx) ctx.pre.Sstate.yielded
-let unyielded_reach ctx = Elem.Set.diff (reach_of ctx) ctx.pre.Sstate.yielded
+(* Each spec is one point of the visibility/arbitration design space:
+   the whole checker is a table lookup into the parametric engine. *)
+let config_of spec =
+  {
+    Visibility.name = spec.spec_name;
+    constraint_ = spec.constraint_;
+    scope =
+      (match spec.constraint_scope with
+      | Whole_computation -> Visibility.All_pairs
+      | During_run -> Visibility.During_run);
+    anchor =
+      (match spec.vintage with
+      | First_vintage -> Visibility.First_state
+      | Current_vintage -> Visibility.Pre_state
+      | Snapshot_vintage -> Visibility.Snapshot);
+    failure = spec.failure_mode;
+    window = spec.membership_window;
+  }
 
-(* The membership pool a yielded element may legally come from. *)
-let legal_pool ctx =
-  if ctx.spec.membership_window then
-    Computation.s_union_between ctx.comp ~from_:ctx.first.Sstate.index
-      ~to_:ctx.pre.Sstate.index
-  else base_of ctx
-
-open Assertion
-
-let a_yield_disciplined e =
-  all "yielded_post - yielded_pre = {e}"
-    [
-      pred "e not already yielded" (fun ctx -> not (Elem.Set.mem e ctx.pre.Sstate.yielded));
-      pred "yielded grows by exactly e" (fun ctx ->
-          Elem.Set.equal ctx.post.Sstate.yielded (Elem.Set.add e ctx.pre.Sstate.yielded));
-    ]
-
-let a_yield_member e =
-  pred "e ∈ s (at the spec's vintage)" (fun ctx -> Elem.Set.mem e (legal_pool ctx))
-
-let a_yield_reachable e =
-  pred "e ∈ reachable(s)_pre" (fun ctx -> Elem.Set.mem e ctx.pre.Sstate.accessible)
-
-(* Figures 1/3/4 require yielded_post ⊆ s_first and Figure 5 requires
-   yielded_post ⊆ s_pre; Figure 6 deliberately has no such clause (yielded
-   may retain elements that were removed after being yielded). *)
-let a_yielded_bounded =
-  pred "yielded_post ⊆ s (at the spec's vintage)" (fun ctx ->
-      ctx.spec.failure_mode = Optimistic
-      || Elem.Set.subset ctx.post.Sstate.yielded (base_of ctx))
-
-let a_suspends_ok e =
-  all "suspends obligations"
-    [ a_yield_disciplined e; a_yield_member e; a_yield_reachable e; a_yielded_bounded ]
-
-(* Which terminations does the spec allow given the pre-state? *)
-type expectation = Expect_suspends | Expect_returns | Expect_fails | Expect_either_suspend_return
-
-let expectation ctx =
-  match ctx.spec.failure_mode with
-  | No_failures ->
-      if not (Elem.Set.is_empty (unyielded_base ctx)) then Expect_suspends else Expect_returns
-  | Pessimistic ->
-      if not (Elem.Set.is_empty (unyielded_reach ctx)) then Expect_suspends
-      else if not (Elem.Set.is_empty (unyielded_base ctx)) then Expect_fails
-      else Expect_returns
-  | Optimistic ->
-      if ctx.spec.membership_window then
-        (* Both a window-yield and (once all current members are yielded) a
-           return can be legal; see the disjunction below. *)
-        if Elem.Set.is_empty (unyielded_base ctx) then Expect_either_suspend_return
-        else Expect_suspends
-      else if not (Elem.Set.is_empty (unyielded_base ctx)) then Expect_suspends
-      else Expect_returns
-
-let term_name = function
-  | Sstate.Suspends _ -> "suspends"
-  | Sstate.Returns -> "returns"
-  | Sstate.Fails -> "fails"
-
-let check_invocation ctx : result =
-  let expect = expectation ctx in
-  match (expect, ctx.term) with
-  | (Expect_suspends | Expect_either_suspend_return), Sstate.Suspends e ->
-      check (a_suspends_ok e) ctx
-  | Expect_returns, Sstate.Returns -> Holds
-  | Expect_either_suspend_return, Sstate.Returns -> Holds
-  | Expect_fails, Sstate.Fails ->
-      (* The paper's fails branch ("a failure occurs if everything
-         reachable has been yielded and the reachable set of elements is a
-         subset of the original set").  Note ⊆, not =: elements already
-         yielded may themselves have become unreachable since. *)
-      check
-        (all "fails obligations"
-           [
-             pred "reachable(base)_pre ⊆ yielded_pre" (fun ctx ->
-                 Elem.Set.subset (reach_of ctx) ctx.pre.Sstate.yielded);
-             pred "yielded_pre ⊆ base" (fun ctx ->
-                 Elem.Set.subset ctx.pre.Sstate.yielded (base_of ctx));
-           ])
-        ctx
-  | expected, got ->
-      let expected_str =
-        match expected with
-        | Expect_suspends -> "suspends"
-        | Expect_returns -> "returns"
-        | Expect_fails -> "fails"
-        | Expect_either_suspend_return -> "suspends-or-returns"
-      in
-      Fails_because
-        [ Printf.sprintf "expected %s but iterator %s" expected_str (term_name got) ]
-
-(* ------------------------------------------------------------------ *)
-(* Whole-computation checking                                         *)
-(* ------------------------------------------------------------------ *)
-
-let structural_violations comp =
-  let vs = ref [] in
-  let add where state message = vs := { where; state; message } :: !vs in
-  (match Computation.first_state comp with
-  | None -> add "structure" None "no first-state recorded"
-  | Some first ->
-      if not (Elem.Set.is_empty first.Sstate.yielded) then
-        add "remembers yielded initially {}" (Some first) "yielded non-empty in first-state");
-  (* yielded evolves only at suspends, by exactly the yielded element. *)
-  let rec walk = function
-    | a :: (b :: _ as rest) ->
-        (match b.Sstate.kind with
-        | Sstate.Invocation_post (_, Sstate.Suspends e) ->
-            if not (Elem.Set.equal b.Sstate.yielded (Elem.Set.add e a.Sstate.yielded)) then
-              add "history object discipline" (Some b)
-                (Format.asprintf "yielded changed by something other than +%a" Elem.pp e)
-        | Sstate.Invocation_post (_, (Sstate.Returns | Sstate.Fails))
-        | Sstate.First | Sstate.Invocation_pre _ | Sstate.Mutation _ ->
-            if not (Elem.Set.equal b.Sstate.yielded a.Sstate.yielded) then
-              add "history object discipline" (Some b) "yielded changed outside a suspends");
-        walk rest
-    | [ _ ] | [] -> ()
-  in
-  walk (Computation.states comp);
-  (* No invocation activity after a terminating post-state. *)
-  let terminal_seen = ref false in
-  List.iter
-    (fun st ->
-      (match st.Sstate.kind with
-      | Sstate.Invocation_pre _ | Sstate.Invocation_post _ ->
-          if !terminal_seen then
-            add "termination is terminal" (Some st) "invocation after returns/fails"
-      | Sstate.First | Sstate.Mutation _ -> ());
-      match st.Sstate.kind with
-      | Sstate.Invocation_post (_, (Sstate.Returns | Sstate.Fails)) -> terminal_seen := true
-      | _ -> ())
-    (Computation.states comp);
-  List.rev !vs
-
-let check spec comp =
-  let vs = ref [] in
-  let add where state message = vs := { where; state; message } :: !vs in
-  (* 1. Structure. *)
-  List.iter (fun v -> vs := v :: !vs) (List.rev (structural_violations comp));
-  (* 2. Constraint clause (scoped per §3.1/§3.3 for the relaxed variants). *)
-  (let result =
-     match spec.constraint_scope with
-     | Whole_computation -> Constraint_clause.check spec.constraint_ comp
-     | During_run -> (
-         match (Computation.first_state comp, Computation.last_state comp) with
-         | Some first, Some last ->
-             Constraint_clause.check_between spec.constraint_ comp ~from_:first.Sstate.index
-               ~to_:last.Sstate.index
-         | _ -> None)
-   in
-   match result with
-   | None -> ()
-   | Some { Constraint_clause.clause; si = _; sj } ->
-       add clause (Some sj) "set value violated the type constraint");
-  (* 3. Per-invocation ensures clauses. *)
-  (match Computation.first_state comp with
-  | None -> ()
-  | Some first ->
-      List.iter
-        (fun (pre, post) ->
-          match post.Sstate.kind with
-          | Sstate.Invocation_post (i, term) -> (
-              let ctx = { spec; first; pre; post; term; comp } in
-              match check_invocation ctx with
-              | Holds -> ()
-              | Fails_because path ->
-                  add
-                    (Printf.sprintf "ensures (invocation %d)" i)
-                    (Some post) (String.concat " > " path))
-          | Sstate.First | Sstate.Invocation_pre _ | Sstate.Mutation _ -> ())
-        (Computation.invocations comp));
-  (* 4. Optimistic specs never signal failure. *)
-  (if spec.failure_mode = Optimistic then
-     List.iter
-       (fun st ->
-         match st.Sstate.kind with
-         | Sstate.Invocation_post (_, Sstate.Fails) ->
-             add "signals" (Some st) "optimistic iterator signalled failure"
-         | _ -> ())
-       (Computation.states comp));
-  (* 5. Global membership guarantee for optimistic specs: every yielded
-        element was in s at some state between first and last. *)
-  (if spec.failure_mode = Optimistic then
-     match (Computation.first_state comp, Computation.last_state comp) with
-     | Some first, Some last ->
-         let window =
-           Computation.s_union_between comp ~from_:first.Sstate.index ~to_:last.Sstate.index
-         in
-         let stray = Elem.Set.diff (Computation.final_yielded comp) window in
-         if not (Elem.Set.is_empty stray) then
-           add "∀e ∈ yielded. ∃σ ∈ [first,last]. e ∈ s_σ" (Some last)
-             (Format.asprintf "yielded elements never members during the run: %a" Elem.Set.pp
-                stray)
-     | _ -> ());
-  match List.rev !vs with [] -> Conforms | l -> Violates l
+let check spec comp = Visibility.check (config_of spec) comp

@@ -1,14 +1,18 @@
 (** Executable versions of the paper's figure specifications.
 
-    Each {!spec} value is one point in the weak-set design space; {!check}
-    validates a recorded {!Computation.t} of an [elements] iterator run
-    against it and reports violations with the offending states.
+    Each {!spec} value is one point in the weak-set design space;
+    {!check} validates a recorded {!Computation.t} of an [elements]
+    iterator run against it and reports violations with the offending
+    states.  All judging is done by the single parametric engine in
+    {!Visibility}: {!config_of} maps a spec's design dimensions onto a
+    visibility/arbitration config and {!check} is a thin table lookup.
 
     The figures are parameterised by three design dimensions (§3):
     - the {!Constraint_clause.t} on the set's value over the computation,
     - the {e vintage}: whether invocations are judged against the set's
-      value in the first-state (Figures 1/3/4) or the current pre-state
-      (Figures 5/6),
+      value in the first-state (Figures 1/3/4), the current pre-state
+      (Figures 5/6), or a single snapshot state somewhere in the run
+      ([lin], arXiv:1705.08885),
     - the {e failure mode}: failures impossible (Figure 1), pessimistic
       ([fails] as soon as an un-yielded element is unreachable, Figures
       3/4/5), or optimistic (never [fails]; blocks instead, Figure 6).
@@ -21,9 +25,9 @@
     the gap between the two is measurable when iterators read stale
     directory replicas (ablation A1). *)
 
-type vintage = First_vintage | Current_vintage
+type vintage = First_vintage | Current_vintage | Snapshot_vintage
 
-type failure_mode = No_failures | Pessimistic | Optimistic
+type failure_mode = Visibility.failure_mode = No_failures | Pessimistic | Optimistic
 
 (** Scope of the type constraint: the figures as printed constrain every
     pair of states; §3.1/§3.3 discuss relaxations where only states
@@ -69,24 +73,27 @@ val fig3_relaxed : spec
     run. *)
 val fig5_relaxed : spec
 
+(** The fifth design point: linearizable snapshot iterator
+    (arXiv:1705.08885) — some single state σ in [first,last] explains
+    every yield and the returned set; failures are impossible. *)
+val lin : spec
+
 val all_specs : spec list
 
-type violation = {
+type violation = Visibility.violation = {
   where : string;                (** which clause failed *)
   state : Sstate.t option;       (** the state it failed at, if localisable *)
   message : string;
 }
 
-type verdict = Conforms | Violates of violation list
+type verdict = Visibility.verdict = Conforms | Violates of violation list
 
 val verdict_ok : verdict -> bool
 val pp_violation : Format.formatter -> violation -> unit
 val pp_verdict : Format.formatter -> verdict -> unit
 
-(** [check spec comp] validates every obligation: the [constraint] clause
-    over all state pairs, the [yielded] history-object discipline, each
-    completed invocation's branch of the [ensures] clause, terminality of
-    [returns]/[fails], and (for optimistic specs) the global guarantee
-    that every yielded element was a member of [s] in some state between
-    the first-state and last-state. *)
+(** The spec's design dimensions as a {!Visibility.config}. *)
+val config_of : spec -> Visibility.config
+
+(** [check spec comp] = [Visibility.check (config_of spec) comp]. *)
 val check : spec -> Computation.t -> verdict

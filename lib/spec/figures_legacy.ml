@@ -1,0 +1,222 @@
+(* The pre-refactor figure checker, frozen verbatim.
+
+   This is the bespoke per-figure checking code [Figures.check] used
+   before the parametric {!Visibility} engine replaced it.  It exists
+   only as the reference side of the equivalence regression suite
+   (test/test_equivalence.ml): recorded traces and VOPR corpora are
+   replayed through both checkers and the verdicts must be identical,
+   field for field.  Do not extend it — new design points (e.g.
+   [Figures.lin]) are deliberately out of its domain. *)
+
+open Figures
+
+exception Out_of_domain of string
+
+(* ------------------------------------------------------------------ *)
+(* Per-invocation checking                                            *)
+(* ------------------------------------------------------------------ *)
+
+type inv_ctx = {
+  spec : spec;
+  first : Sstate.t;
+  pre : Sstate.t;
+  post : Sstate.t;
+  term : Sstate.termination;
+  comp : Computation.t;
+}
+
+let base_of ctx =
+  match ctx.spec.vintage with
+  | First_vintage -> ctx.first.Sstate.s_value
+  | Current_vintage -> ctx.pre.Sstate.s_value
+  | Snapshot_vintage -> raise (Out_of_domain "Figures_legacy: no snapshot-vintage checker")
+
+(* reachable(base) evaluated in the pre-state. *)
+let reach_of ctx = Sstate.reachable_of ctx.pre (base_of ctx)
+
+let unyielded_base ctx = Elem.Set.diff (base_of ctx) ctx.pre.Sstate.yielded
+let unyielded_reach ctx = Elem.Set.diff (reach_of ctx) ctx.pre.Sstate.yielded
+
+(* The membership pool a yielded element may legally come from. *)
+let legal_pool ctx =
+  if ctx.spec.membership_window then
+    Computation.s_union_between ctx.comp ~from_:ctx.first.Sstate.index
+      ~to_:ctx.pre.Sstate.index
+  else base_of ctx
+
+open Assertion
+
+let a_yield_disciplined e =
+  all "yielded_post - yielded_pre = {e}"
+    [
+      pred "e not already yielded" (fun ctx -> not (Elem.Set.mem e ctx.pre.Sstate.yielded));
+      pred "yielded grows by exactly e" (fun ctx ->
+          Elem.Set.equal ctx.post.Sstate.yielded (Elem.Set.add e ctx.pre.Sstate.yielded));
+    ]
+
+let a_yield_member e =
+  pred "e ∈ s (at the spec's vintage)" (fun ctx -> Elem.Set.mem e (legal_pool ctx))
+
+let a_yield_reachable e =
+  pred "e ∈ reachable(s)_pre" (fun ctx -> Elem.Set.mem e ctx.pre.Sstate.accessible)
+
+let a_yielded_bounded =
+  pred "yielded_post ⊆ s (at the spec's vintage)" (fun ctx ->
+      ctx.spec.failure_mode = Optimistic
+      || Elem.Set.subset ctx.post.Sstate.yielded (base_of ctx))
+
+let a_suspends_ok e =
+  all "suspends obligations"
+    [ a_yield_disciplined e; a_yield_member e; a_yield_reachable e; a_yielded_bounded ]
+
+type expectation = Expect_suspends | Expect_returns | Expect_fails | Expect_either_suspend_return
+
+let expectation ctx =
+  match ctx.spec.failure_mode with
+  | No_failures ->
+      if not (Elem.Set.is_empty (unyielded_base ctx)) then Expect_suspends else Expect_returns
+  | Pessimistic ->
+      if not (Elem.Set.is_empty (unyielded_reach ctx)) then Expect_suspends
+      else if not (Elem.Set.is_empty (unyielded_base ctx)) then Expect_fails
+      else Expect_returns
+  | Optimistic ->
+      if ctx.spec.membership_window then
+        if Elem.Set.is_empty (unyielded_base ctx) then Expect_either_suspend_return
+        else Expect_suspends
+      else if not (Elem.Set.is_empty (unyielded_base ctx)) then Expect_suspends
+      else Expect_returns
+
+let term_name = function
+  | Sstate.Suspends _ -> "suspends"
+  | Sstate.Returns -> "returns"
+  | Sstate.Fails -> "fails"
+
+let check_invocation ctx : result =
+  let expect = expectation ctx in
+  match (expect, ctx.term) with
+  | (Expect_suspends | Expect_either_suspend_return), Sstate.Suspends e ->
+      check (a_suspends_ok e) ctx
+  | Expect_returns, Sstate.Returns -> Holds
+  | Expect_either_suspend_return, Sstate.Returns -> Holds
+  | Expect_fails, Sstate.Fails ->
+      check
+        (all "fails obligations"
+           [
+             pred "reachable(base)_pre ⊆ yielded_pre" (fun ctx ->
+                 Elem.Set.subset (reach_of ctx) ctx.pre.Sstate.yielded);
+             pred "yielded_pre ⊆ base" (fun ctx ->
+                 Elem.Set.subset ctx.pre.Sstate.yielded (base_of ctx));
+           ])
+        ctx
+  | expected, got ->
+      let expected_str =
+        match expected with
+        | Expect_suspends -> "suspends"
+        | Expect_returns -> "returns"
+        | Expect_fails -> "fails"
+        | Expect_either_suspend_return -> "suspends-or-returns"
+      in
+      Fails_because
+        [ Printf.sprintf "expected %s but iterator %s" expected_str (term_name got) ]
+
+(* ------------------------------------------------------------------ *)
+(* Whole-computation checking                                         *)
+(* ------------------------------------------------------------------ *)
+
+let structural_violations comp =
+  let vs = ref [] in
+  let add where state message = vs := { where; state; message } :: !vs in
+  (match Computation.first_state comp with
+  | None -> add "structure" None "no first-state recorded"
+  | Some first ->
+      if not (Elem.Set.is_empty first.Sstate.yielded) then
+        add "remembers yielded initially {}" (Some first) "yielded non-empty in first-state");
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+        (match b.Sstate.kind with
+        | Sstate.Invocation_post (_, Sstate.Suspends e) ->
+            if not (Elem.Set.equal b.Sstate.yielded (Elem.Set.add e a.Sstate.yielded)) then
+              add "history object discipline" (Some b)
+                (Format.asprintf "yielded changed by something other than +%a" Elem.pp e)
+        | Sstate.Invocation_post (_, (Sstate.Returns | Sstate.Fails))
+        | Sstate.First | Sstate.Invocation_pre _ | Sstate.Mutation _ ->
+            if not (Elem.Set.equal b.Sstate.yielded a.Sstate.yielded) then
+              add "history object discipline" (Some b) "yielded changed outside a suspends");
+        walk rest
+    | [ _ ] | [] -> ()
+  in
+  walk (Computation.states comp);
+  let terminal_seen = ref false in
+  List.iter
+    (fun st ->
+      (match st.Sstate.kind with
+      | Sstate.Invocation_pre _ | Sstate.Invocation_post _ ->
+          if !terminal_seen then
+            add "termination is terminal" (Some st) "invocation after returns/fails"
+      | Sstate.First | Sstate.Mutation _ -> ());
+      match st.Sstate.kind with
+      | Sstate.Invocation_post (_, (Sstate.Returns | Sstate.Fails)) -> terminal_seen := true
+      | _ -> ())
+    (Computation.states comp);
+  List.rev !vs
+
+let check spec comp =
+  let vs = ref [] in
+  let add where state message = vs := { where; state; message } :: !vs in
+  (* 1. Structure. *)
+  List.iter (fun v -> vs := v :: !vs) (List.rev (structural_violations comp));
+  (* 2. Constraint clause (scoped per §3.1/§3.3 for the relaxed variants). *)
+  (let result =
+     match spec.constraint_scope with
+     | Whole_computation -> Constraint_clause.check spec.constraint_ comp
+     | During_run -> (
+         match (Computation.first_state comp, Computation.last_state comp) with
+         | Some first, Some last ->
+             Constraint_clause.check_between spec.constraint_ comp ~from_:first.Sstate.index
+               ~to_:last.Sstate.index
+         | _ -> None)
+   in
+   match result with
+   | None -> ()
+   | Some { Constraint_clause.clause; si = _; sj } ->
+       add clause (Some sj) "set value violated the type constraint");
+  (* 3. Per-invocation ensures clauses. *)
+  (match Computation.first_state comp with
+  | None -> ()
+  | Some first ->
+      List.iter
+        (fun (pre, post) ->
+          match post.Sstate.kind with
+          | Sstate.Invocation_post (i, term) -> (
+              let ctx = { spec; first; pre; post; term; comp } in
+              match check_invocation ctx with
+              | Holds -> ()
+              | Fails_because path ->
+                  add
+                    (Printf.sprintf "ensures (invocation %d)" i)
+                    (Some post) (String.concat " > " path))
+          | Sstate.First | Sstate.Invocation_pre _ | Sstate.Mutation _ -> ())
+        (Computation.invocations comp));
+  (* 4. Optimistic specs never signal failure. *)
+  (if spec.failure_mode = Optimistic then
+     List.iter
+       (fun st ->
+         match st.Sstate.kind with
+         | Sstate.Invocation_post (_, Sstate.Fails) ->
+             add "signals" (Some st) "optimistic iterator signalled failure"
+         | _ -> ())
+       (Computation.states comp));
+  (* 5. Global membership guarantee for optimistic specs. *)
+  (if spec.failure_mode = Optimistic then
+     match (Computation.first_state comp, Computation.last_state comp) with
+     | Some first, Some last ->
+         let window =
+           Computation.s_union_between comp ~from_:first.Sstate.index ~to_:last.Sstate.index
+         in
+         let stray = Elem.Set.diff (Computation.final_yielded comp) window in
+         if not (Elem.Set.is_empty stray) then
+           add "∀e ∈ yielded. ∃σ ∈ [first,last]. e ∈ s_σ" (Some last)
+             (Format.asprintf "yielded elements never members during the run: %a" Elem.Set.pp
+                stray)
+     | _ -> ());
+  match List.rev !vs with [] -> Conforms | l -> Violates l

@@ -1,0 +1,11 @@
+(** The pre-refactor figure checker, frozen verbatim.
+
+    Reference side of the equivalence regression suite only: replay
+    traces through both this and {!Figures.check} (the parametric
+    {!Visibility} engine) and assert identical verdicts.  Raises
+    {!Out_of_domain} on specs the legacy code never supported
+    ([Snapshot_vintage], i.e. {!Figures.lin}). *)
+
+exception Out_of_domain of string
+
+val check : Figures.spec -> Computation.t -> Figures.verdict

@@ -17,6 +17,9 @@ let base_sym (spec : Figures.spec) =
   match spec.Figures.vintage with
   | Figures.First_vintage -> "s_first"
   | Figures.Current_vintage -> "s_pre"
+  (* The lin design point: one snapshot σ ∈ [first, last] explains the
+     whole run (arXiv:1705.08885). *)
+  | Figures.Snapshot_vintage -> "s_σ"
 
 let signature (spec : Figures.spec) =
   match spec.Figures.failure_mode with

@@ -3,6 +3,7 @@ module Bus = Weakset_obs.Bus
 
 type t = {
   spec : Figures.spec;
+  config : Visibility.config;  (* the spec's design point, judged by the unified engine *)
   set_id : int;
   adapter : Monitor_adapter.t;
   bus : Bus.t option;
@@ -19,6 +20,7 @@ let create ?bus ?(sample_every = 16) ~set_id spec =
   if sample_every <= 0 then invalid_arg "Monitor_online.create: sample_every <= 0";
   {
     spec;
+    config = Figures.config_of spec;
     set_id;
     adapter = Monitor_adapter.create ~set_id;
     bus;
@@ -53,9 +55,9 @@ let note t ~time (v : Figures.violation) =
 
 let full_check t ~time =
   t.full_checks <- t.full_checks + 1;
-  match Figures.check t.spec (computation t) with
-  | Figures.Conforms -> ()
-  | Figures.Violates vs -> List.iter (note t ~time) vs
+  match Visibility.check t.config (computation t) with
+  | Visibility.Conforms -> ()
+  | Visibility.Violates vs -> List.iter (note t ~time) vs
 
 (* The constraint clauses are reflexive and transitive, so checking each
    new state against its predecessor is exactly the pairwise check — this
@@ -63,17 +65,17 @@ let full_check t ~time =
    yielded discipline, optimistic guarantees) runs on the sampled full
    checks and once more at [finish]. *)
 let incremental_constraint t ~time =
-  match (t.spec.Figures.constraint_scope, Computation.last_state (computation t)) with
-  | Figures.During_run, _ | _, None -> ()
-  | Figures.Whole_computation, Some last ->
+  match (t.config.Visibility.scope, Computation.last_state (computation t)) with
+  | Visibility.During_run, _ | _, None -> ()
+  | Visibility.All_pairs, Some last ->
       let cur = last.Sstate.s_value in
       (match t.prev_s with
       | Some prev
-        when not (Constraint_clause.holds_between t.spec.Figures.constraint_ prev cur)
+        when not (Constraint_clause.holds_between t.config.Visibility.constraint_ prev cur)
         ->
           note t ~time
             {
-              Figures.where = Constraint_clause.name t.spec.Figures.constraint_;
+              Figures.where = Constraint_clause.name t.config.Visibility.constraint_;
               state = Some last;
               message = "set value violated the type constraint";
             }
@@ -97,7 +99,7 @@ let finish t ~time =
     full_check t ~time;
     t.finished <- true
   end;
-  Figures.check t.spec (computation t)
+  Visibility.check t.config (computation t)
 
 let violations t = List.rev t.found
 

@@ -186,6 +186,21 @@ let remote_dir_read ?parent ~leased t ~from ~set_id =
   | Ok _ -> Error No_service
   | Error e -> Error e
 
+(* Authoritative, never-cached membership read: what a linearizable
+   iterator pins its snapshot on.  A lease-cached view would do for
+   freshness but not for pinning — the pinned version must be one the
+   coordinator can replay with [Dir_read_at]. *)
+let dir_read_direct ?parent t ~from ~set_id = remote_dir_read ?parent ~leased:false t ~from ~set_id
+
+(* Snapshot-at-version read; never consults nor populates the lease
+   cache (the reply is a historical view, not the current one). *)
+let dir_read_at ?parent t ~from ~set_id ~version =
+  match call ?parent t from (Protocol.Dir_read_at { set_id; version }) with
+  | Ok (Protocol.Members { version = v; members }) -> Ok (v, members)
+  | Ok Protocol.No_service -> Error No_service
+  | Ok _ -> Error No_service
+  | Error e -> Error e
+
 let dir_read ?parent t ~from ~set_id =
   match t.lease with
   | None -> remote_dir_read ?parent ~leased:false t ~from ~set_id

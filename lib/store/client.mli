@@ -90,6 +90,29 @@ val dir_read :
   set_id:int ->
   (Version.t * Oid.t list, error) result
 
+(** [dir_read_direct] is an authoritative uncached read: it always goes
+    to [from] and never consults nor populates the lease cache.  A
+    linearizable iterator pins its snapshot on the version this
+    returns. *)
+val dir_read_direct :
+  ?parent:int ->
+  t ->
+  from:Weakset_net.Nodeid.t ->
+  set_id:int ->
+  (Version.t * Oid.t list, error) result
+
+(** [dir_read_at t ~from ~set_id ~version] asks the coordinator to
+    reconstruct the membership exactly as it stood at [version]
+    (snapshot-at-version, {!Protocol.request.Dir_read_at}).  Never
+    cached; replicas answer [No_service]. *)
+val dir_read_at :
+  ?parent:int ->
+  t ->
+  from:Weakset_net.Nodeid.t ->
+  set_id:int ->
+  version:Version.t ->
+  (Version.t * Oid.t list, error) result
+
 val dir_add : ?parent:int -> t -> Protocol.set_ref -> Oid.t -> (unit, error) result
 val dir_remove : ?parent:int -> t -> Protocol.set_ref -> Oid.t -> (unit, error) result
 val dir_size : ?parent:int -> t -> Protocol.set_ref -> (int, error) result

@@ -175,6 +175,16 @@ let handle t req : Protocol.response =
           match Hashtbl.find_opt t.replicas set_id with
           | Some r -> Members { version = r.r_version; members = Oid.Set.elements r.r_members }
           | None -> No_service))
+  | Dir_read_at { set_id; version } -> (
+      (* Snapshot-at-version: reconstruct the membership exactly as it
+         stood at [version] from the authoritative mutation log.  Only
+         the coordinator can answer — replicas hold flattened views with
+         no history — and no lock is taken: the log is immutable below
+         the current version. *)
+      match dir_state t set_id with
+      | Some d ->
+          Members { version; members = Oid.Set.elements (Directory.members_at d.dir version) }
+      | None -> No_service)
   | Dir_add { set_id; oid } -> (
       match dir_state t set_id with
       | Some d ->

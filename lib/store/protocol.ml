@@ -11,6 +11,7 @@ type request =
   | Fetch of Oid.t
   | Fetch_batch of { oids : Oid.t list }
   | Dir_read of { set_id : int }
+  | Dir_read_at of { set_id : int; version : Version.t }
   | Dir_read_leased of { set_id : int; lessee : Nodeid.t }
   | Inval of { set_id : int; version : Version.t }
   | Dir_add of { set_id : int; oid : Oid.t }
@@ -39,6 +40,7 @@ let request_label = function
   | Fetch _ -> "fetch"
   | Fetch_batch _ -> "fetch-batch"
   | Dir_read _ -> "dir-read"
+  | Dir_read_at _ -> "dir-read-at"
   | Dir_read_leased _ -> "dir-read-leased"
   | Inval _ -> "inval"
   | Dir_add _ -> "dir-add"
@@ -54,6 +56,8 @@ let pp_request fmt = function
   | Fetch o -> Format.fprintf fmt "fetch %a" Oid.pp o
   | Fetch_batch { oids } -> Format.fprintf fmt "fetch-batch n=%d" (List.length oids)
   | Dir_read { set_id } -> Format.fprintf fmt "dir-read set%d" set_id
+  | Dir_read_at { set_id; version } ->
+      Format.fprintf fmt "dir-read-at set%d %a" set_id Version.pp version
   | Dir_read_leased { set_id; lessee } ->
       Format.fprintf fmt "dir-read-leased set%d lessee=%a" set_id Nodeid.pp lessee
   | Inval { set_id; version } ->

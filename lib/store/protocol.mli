@@ -20,6 +20,12 @@ type request =
       (** coalesced object fetch: all [oids] must be homed at the target
           node; one round trip answers them all with a {!Batch} *)
   | Dir_read of { set_id : int }                        (** full membership *)
+  | Dir_read_at of { set_id : int; version : Version.t }
+      (** snapshot-at-version membership read: the coordinator
+          reconstructs the directory exactly as it stood at [version]
+          from its mutation log (no locks; replicas answer
+          {!No_service}) — the read primitive of the linearizable
+          iterator *)
   | Dir_read_leased of { set_id : int; lessee : Weakset_net.Nodeid.t }
       (** membership read that also requests a TTL lease: a coordinator
           answers {!Members_leased} and registers [lessee] for an

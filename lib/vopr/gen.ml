@@ -79,6 +79,7 @@ let pick_semantics rng ~with_stale =
   if r < 0.15 then "immutable"
   else if r < 0.30 then "snapshot"
   else if r < 0.65 then "grow-only"
+  else if r < 0.73 then "lin"
   else if with_stale && r > 0.92 then "optimistic-stale"
   else "optimistic"
 

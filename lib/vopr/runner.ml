@@ -27,6 +27,7 @@ type result = {
   events : int;
   steps : int;
   issues : Oracle.issue list;
+  iterations : Oracle.iteration_input list;
 }
 
 let default_step_cap = 1_000_000
@@ -100,12 +101,16 @@ type iter_record = {
    spec). *)
 let spec_for plan sem =
   let has_removes = List.exists (function Gen.Remove _ -> true | _ -> false) plan.Gen.ops in
+  (* The linearizable iterator pins its snapshot with uncached
+     authoritative reads, so neither the lease cache nor stale replicas
+     weaken what it promises: always judge it against the lin spec. *)
+  if sem.Semantics.linearizable then Figures.lin
   (* A lease cache makes every membership read potentially (boundedly)
      stale — exactly the situation the §3.4 window relaxation models, so
      cache-enabled plans are always judged against it.  Whether the
      staleness stayed within its lease is the cache oracle's separate,
      stricter question. *)
-  if plan.Gen.config.Gen.cache then Semantics.window_spec_of sem
+  else if plan.Gen.config.Gen.cache then Semantics.window_spec_of sem
   else if sem.Semantics.read_nearest_replica then Semantics.window_spec_of sem
   else if sem.Semantics.failure_handling = Semantics.Optimistic && has_removes then
     Semantics.window_spec_of sem
@@ -396,7 +401,7 @@ let execute ?(step_cap = default_step_cap) plan =
         cache = cache_evidence;
       }
   in
-  { plan; digest = Digest.value digest; events = Digest.count digest; steps; issues }
+  { plan; digest = Digest.value digest; events = Digest.count digest; steps; issues; iterations }
 
 let sweep ?step_cap ?(progress = fun _ _ -> ()) seeds =
   List.map
@@ -414,6 +419,7 @@ type bundle = {
   b_plan : Gen.plan;
   b_planted : bool;
   b_planted_cache : bool;
+  b_planted_spec : bool;
   b_digest : string;
   b_events : int;
   b_issues : Oracle.issue list;
@@ -424,6 +430,7 @@ let bundle_of_result r =
     b_plan = r.plan;
     b_planted = !Weakset_core.Impl_common.planted_grow_only_drop;
     b_planted_cache = !Cache.planted_inval_drop;
+    b_planted_spec = !Weakset_spec.Visibility.planted_axiom_mutation;
     b_digest = r.digest;
     b_events = r.events;
     b_issues = r.issues;
@@ -431,8 +438,9 @@ let bundle_of_result r =
 
 let bundle_to_json b =
   Printf.sprintf
-    {|{"version":1,"planted_bug":%b,"planted_cache_bug":%b,"plan":%s,"digest":"%s","events":%d,"issues":[%s]}|}
-    b.b_planted b.b_planted_cache (Gen.plan_to_json b.b_plan) b.b_digest b.b_events
+    {|{"version":1,"planted_bug":%b,"planted_cache_bug":%b,"planted_spec_bug":%b,"plan":%s,"digest":"%s","events":%d,"issues":[%s]}|}
+    b.b_planted b.b_planted_cache b.b_planted_spec (Gen.plan_to_json b.b_plan) b.b_digest
+    b.b_events
     (String.concat "," (List.map Oracle.issue_to_json b.b_issues))
 
 let ( let* ) = Result.bind
@@ -475,11 +483,17 @@ let bundle_of_string s =
       let planted_cache =
         match Json.member "planted_cache_bug" j with Some (Json.Bool b) -> b | _ -> false
       in
+      (* Absent in bundles written before the parametric checker existed:
+         default to unarmed. *)
+      let planted_spec =
+        match Json.member "planted_spec_bug" j with Some (Json.Bool b) -> b | _ -> false
+      in
       Ok
         {
           b_plan = plan;
           b_planted = planted;
           b_planted_cache = planted_cache;
+          b_planted_spec = planted_spec;
           b_digest = digest;
           b_events = events;
           b_issues = issues;
@@ -506,14 +520,17 @@ type replay_outcome =
 let replay ?step_cap b =
   let flag = Weakset_core.Impl_common.planted_grow_only_drop in
   let cflag = Cache.planted_inval_drop in
-  let saved = !flag and csaved = !cflag in
+  let sflag = Weakset_spec.Visibility.planted_axiom_mutation in
+  let saved = !flag and csaved = !cflag and ssaved = !sflag in
   flag := b.b_planted;
   cflag := b.b_planted_cache;
+  sflag := b.b_planted_spec;
   let got =
     Fun.protect
       ~finally:(fun () ->
         flag := saved;
-        cflag := csaved)
+        cflag := csaved;
+        sflag := ssaved)
       (fun () -> execute ?step_cap b.b_plan)
   in
   if got.digest <> b.b_digest || got.events <> b.b_events then

@@ -20,6 +20,11 @@ type result = {
   events : int;  (** events fed to the digest *)
   steps : int;  (** engine events processed *)
   issues : Oracle.issue list;  (** empty = run passed *)
+  iterations : Oracle.iteration_input list;
+      (** every instrumented iteration with its recorded computation and
+          chosen spec — the raw material the oracle judged, exposed so
+          equivalence suites can re-judge the same runs under other
+          checkers *)
 }
 
 (** Default step cap (events processed) before a run is declared a
@@ -42,6 +47,9 @@ type bundle = {
           this bundle was recorded?  {!replay} restores it for the rerun. *)
   b_planted_cache : bool;
       (** likewise for {!Weakset_store.Cache.planted_inval_drop} *)
+  b_planted_spec : bool;
+      (** likewise for {!Weakset_spec.Visibility.planted_axiom_mutation}
+          (absent in older bundles; parses as [false]) *)
   b_digest : string;  (** expected trace digest of replaying [b_plan] *)
   b_events : int;
   b_issues : Oracle.issue list;  (** the recorded oracle verdict *)

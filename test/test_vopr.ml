@@ -31,6 +31,12 @@ let with_planted_cache_bug armed f =
   flag := armed;
   Fun.protect ~finally:(fun () -> flag := saved) f
 
+let with_planted_spec_bug armed f =
+  let flag = Weakset_spec.Visibility.planted_axiom_mutation in
+  let saved = !flag in
+  flag := armed;
+  Fun.protect ~finally:(fun () -> flag := saved) f
+
 (* ------------------------------------------------------------------ *)
 (* Generator                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -183,6 +189,137 @@ let test_swarm_finds_shrinks_and_replays_planted_cache_bug () =
       | Runner.Digest_mismatch _ -> Alcotest.fail "digest mismatch replaying shrunk bundle"
       | Runner.Verdict_mismatch _ -> Alcotest.fail "verdict mismatch replaying shrunk bundle")
 
+(* The third mutation test aims at the checker itself: flip the shared
+   membership axiom inside the parametric visibility engine and the
+   swarm must convict the spec layer — a [Spec_violation], since every
+   honest yield now reads as illegal — within the same 64-seed budget,
+   shrinking and replaying like any other failure.  This is what makes
+   the one-engine refactor safe: a single mutated axiom cannot hide. *)
+let test_swarm_finds_shrinks_and_replays_planted_spec_bug () =
+  with_planted_spec_bug true (fun () ->
+      let spec_viol issues =
+        List.exists (fun i -> Oracle.category i = "spec-violation") issues
+      in
+      let failures =
+        List.filter (fun (_, r) -> spec_viol r.Runner.issues) (Runner.sweep mutation_range)
+      in
+      check_bool "planted spec bug found within 64 seeds" true (failures <> []);
+      let _, failing = List.hd failures in
+      let shrunk, issues, stats =
+        Shrink.minimize
+          ~run:(fun p -> (Runner.execute p).Runner.issues)
+          ~issues:failing.Runner.issues failing.Runner.plan
+      in
+      check_bool "shrunk to at most 10 events" true (Gen.event_count shrunk <= 10);
+      check_int "stats report the shrunk size" (Gen.event_count shrunk) stats.Shrink.final_events;
+      check_bool "shrunk plan still fails the same way" true
+        (Oracle.same_failure failing.Runner.issues issues);
+      let result = Runner.execute shrunk in
+      match Runner.replay (Runner.bundle_of_result result) with
+      | Runner.Reproduced r ->
+          check_bool "replay reports the same failure" true
+            (Oracle.same_failure result.Runner.issues r.Runner.issues)
+      | Runner.Digest_mismatch _ -> Alcotest.fail "digest mismatch replaying shrunk bundle"
+      | Runner.Verdict_mismatch _ -> Alcotest.fail "verdict mismatch replaying shrunk bundle")
+
+(* ------------------------------------------------------------------ *)
+(* Shrink: unit tests against synthetic run predicates                *)
+(* ------------------------------------------------------------------ *)
+
+(* A fixed hand-written plan — [minimize] never executes it (the [run]
+   callbacks below are pure predicates on the plan's shape), so what
+   matters is only that it has droppable ops and shrinkable faults. *)
+let shrink_plan =
+  {
+    Gen.seed = 42L;
+    config =
+      {
+        Gen.shape = Gen.Clique;
+        nodes = 4;
+        latency = 1.0;
+        replica_ixs = [];
+        replica_interval = 10.0;
+        initial_size = 4;
+        cache = false;
+        lease_ttl = 30.0;
+      };
+    ops =
+      [
+        Gen.Add { at = 1.0 };
+        Gen.Size { at = 2.0 };
+        Gen.Iterate { at = 3.0; semantics = "optimistic"; think = 0.5; limit = 10; repeat = 1 };
+        Gen.Add { at = 4.0 };
+        Gen.Remove { at = 5.0 };
+      ];
+    faults =
+      [
+        Gen.Crash { node = 1; at = 5.0; recover_at = 25.0 };
+        Gen.Cut { a = 0; b = 1; at = 6.0; heal_at = 20.0 };
+      ];
+    budget = 100.0;
+  }
+
+let an_issue =
+  Oracle.Spec_violation { iteration = 0; semantics = "optimistic"; where = "[x]"; message = "m" }
+
+(* Fails iff any Iterate survives: the minimum is exactly one op (that
+   Iterate) and no faults — drop passes must reach it and terminate. *)
+let test_shrink_minimizes_to_single_op () =
+  let run p =
+    if List.exists (function Gen.Iterate _ -> true | _ -> false) p.Gen.ops then [ an_issue ]
+    else []
+  in
+  let shrunk, issues, stats = Shrink.minimize ~run ~issues:[ an_issue ] shrink_plan in
+  check_int "one op left" 1 (List.length shrunk.Gen.ops);
+  check_bool "the survivor is the Iterate" true
+    (match shrunk.Gen.ops with [ Gen.Iterate _ ] -> true | _ -> false);
+  check_int "no faults left" 0 (List.length shrunk.Gen.faults);
+  check_int "final event count" 1 (Gen.event_count shrunk);
+  check_int "stats agree" 1 stats.Shrink.final_events;
+  check_bool "verdict preserved" true (Oracle.same_failure [ an_issue ] issues);
+  check_bool "kept <= runs" true (stats.Shrink.kept <= stats.Shrink.runs)
+
+(* Fails iff a Crash survives: pass 2 must keep the crash (dropping it
+   loses the failure) while pass 3 halves its window to a fixpoint
+   strictly under one time unit — the documented floor. *)
+let test_shrink_halves_fault_window_to_floor () =
+  let run p =
+    if List.exists (function Gen.Crash _ -> true | _ -> false) p.Gen.faults then [ an_issue ]
+    else []
+  in
+  let shrunk, _, _ = Shrink.minimize ~run ~issues:[ an_issue ] shrink_plan in
+  check_int "ops all dropped" 0 (List.length shrunk.Gen.ops);
+  match shrunk.Gen.faults with
+  | [ Gen.Crash { at; recover_at; _ } ] ->
+      let window = recover_at -. at in
+      check_bool "window halved below one time unit" true (window < 1.0);
+      check_bool "heal still strictly after start" true (recover_at > at)
+  | _ -> Alcotest.fail "expected exactly the Crash fault to survive"
+
+(* Every smaller candidate fails in a DIFFERENT category: same_failure
+   must reject them all, so the plan comes back untouched. *)
+let test_shrink_rejects_category_drift () =
+  let run p = if p = shrink_plan then [ an_issue ] else [ Oracle.Lost_rpc { count = 1 } ] in
+  let shrunk, issues, stats = Shrink.minimize ~run ~issues:[ an_issue ] shrink_plan in
+  check_bool "plan unchanged" true (shrunk = shrink_plan);
+  check_int "nothing kept" 0 stats.Shrink.kept;
+  check_bool "original verdict retained" true (Oracle.same_failure [ an_issue ] issues)
+
+(* The candidate-execution budget is a hard bound, and an empty issue
+   list is a caller error. *)
+let test_shrink_budget_and_validation () =
+  let count = ref 0 in
+  let run _ =
+    incr count;
+    [ an_issue ]
+  in
+  let _, _, stats = Shrink.minimize ~max_runs:5 ~run ~issues:[ an_issue ] shrink_plan in
+  check_bool "stops at the budget" true (stats.Shrink.runs <= 5);
+  check_int "callback called once per run" stats.Shrink.runs !count;
+  Alcotest.check_raises "empty issues rejected"
+    (Invalid_argument "Vopr.Shrink.minimize: issue list is empty") (fun () ->
+      ignore (Shrink.minimize ~run ~issues:[] shrink_plan))
+
 (* ------------------------------------------------------------------ *)
 (* Oracle                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -247,6 +384,18 @@ let () =
             test_swarm_finds_shrinks_and_replays_planted_bug;
           Alcotest.test_case "finds, shrinks, replays planted cache bug" `Quick
             test_swarm_finds_shrinks_and_replays_planted_cache_bug;
+          Alcotest.test_case "finds, shrinks, replays planted spec bug" `Quick
+            test_swarm_finds_shrinks_and_replays_planted_spec_bug;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "minimizes to the single decisive op" `Quick
+            test_shrink_minimizes_to_single_op;
+          Alcotest.test_case "halves fault windows to the floor" `Quick
+            test_shrink_halves_fault_window_to_floor;
+          Alcotest.test_case "rejects category drift" `Quick test_shrink_rejects_category_drift;
+          Alcotest.test_case "budget bound and empty-issue validation" `Quick
+            test_shrink_budget_and_validation;
         ] );
       ( "oracle",
         [
