@@ -1,9 +1,9 @@
 # One-command tier-1 verification: build + tests (including the trace
 # determinism suite in test/test_obs.ml) + formatting check.
 
-.PHONY: check build test fmt fmt-fix bench bench-compare e12-smoke vopr-smoke clean
+.PHONY: check build test fmt fmt-fix bench bench-compare e12-smoke vopr-smoke blackbox-smoke clean
 
-check: build test fmt bench-compare e12-smoke vopr-smoke
+check: build test fmt bench-compare e12-smoke vopr-smoke blackbox-smoke
 
 build:
 	dune build @all
@@ -57,6 +57,21 @@ vopr-smoke:
 	  test $$? -eq 1 || { echo "vopr-smoke: planted cache bug was NOT detected"; exit 1; }
 	dune exec bin/weakset_vopr.exe -- run --seeds 0..32 --planted-spec-bug --no-shrink --quiet; \
 	  test $$? -eq 1 || { echo "vopr-smoke: planted spec bug was NOT detected"; exit 1; }
+
+# Flight-recorder end-to-end: an armed planted-bug run must trigger at
+# least one black-box dump, and rendering the dumps must resolve at
+# least one tail exemplar back to a full span tree.
+blackbox-smoke:
+	rm -rf blackbox-dumps && mkdir -p blackbox-dumps
+	dune exec bin/weakset_vopr.exe -- run --seeds 0..32 --planted-bug --no-shrink --quiet \
+	  --blackbox-dir blackbox-dumps; \
+	  test $$? -eq 1 || { echo "blackbox-smoke: planted bug was NOT detected"; exit 1; }
+	@ls blackbox-dumps/blackbox-seed-*.json >/dev/null 2>&1 \
+	  || { echo "blackbox-smoke: no black-box dump was written"; exit 1; }
+	dune exec bin/weakset_trace.exe -- blackbox blackbox-dumps/blackbox-seed-*.json \
+	  | tee /tmp/blackbox-smoke.out
+	@grep -q "exemplar span tree" /tmp/blackbox-smoke.out \
+	  || { echo "blackbox-smoke: no exemplar resolved to a span tree"; exit 1; }
 
 clean:
 	dune clean

@@ -6,7 +6,7 @@
 
 let usage =
   "usage: weakset_bench [--no-micro] [--metrics-json FILE] [--trace-jsonl FILE]\n\
-  \                     [--profile-json FILE] [--slo-report]\n\
+  \                     [--profile-json FILE] [--slo-report] [--blackbox-dir DIR]\n\
   \                     [--baseline FILE] [--compare OLD NEW] [--tolerance T]\n\
   \                     [--cache] [--lease-ttl T] [--warm-iters N]\n\n\
   \  --no-micro           skip the bechamel microbenchmarks (M1)\n\
@@ -17,6 +17,9 @@ let usage =
   \                       (deterministic; same seed => identical bytes)\n\
   \  --slo-report         attach SLO trackers to every world and print the\n\
   \                       per-world burn-rate report at the end\n\
+  \  --blackbox-dir DIR   attach a flight recorder to every world; write any\n\
+  \                       triggered black-box dumps to DIR (render them with\n\
+  \                       weakset_trace blackbox)\n\
   \  --baseline FILE      run only the seeded baseline suite and write its\n\
   \                       tracked metrics to FILE (see BENCH_baseline.json)\n\
   \  --compare OLD NEW    compare two baseline files; exit 1 when a tracked\n\
@@ -33,6 +36,7 @@ type opts = {
   mutable trace_jsonl : string option;
   mutable profile_json : string option;
   mutable slo_report : bool;
+  mutable blackbox_dir : string option;
   mutable baseline : string option;
   mutable compare : (string * string) option;
   mutable tolerance : float;
@@ -49,6 +53,7 @@ let defaults () =
     trace_jsonl = None;
     profile_json = None;
     slo_report = false;
+    blackbox_dir = None;
     baseline = None;
     compare = None;
     tolerance = 0.10;
@@ -89,6 +94,9 @@ let parse args =
     | "--profile-json" :: v :: rest ->
         o.profile_json <- Some v;
         go rest
+    | "--blackbox-dir" :: v :: rest ->
+        o.blackbox_dir <- Some v;
+        go rest
     | "--baseline" :: v :: rest ->
         o.baseline <- Some v;
         go rest
@@ -113,8 +121,8 @@ let parse args =
             o.warm_iters <- Some n;
             go rest
         | _ -> error "--warm-iters expects a positive integer, got %S" v)
-    | [ (("--metrics-json" | "--trace-jsonl" | "--profile-json" | "--baseline"
-        | "--tolerance" | "--lease-ttl" | "--warm-iters") as flag) ] ->
+    | [ (("--metrics-json" | "--trace-jsonl" | "--profile-json" | "--blackbox-dir"
+        | "--baseline" | "--tolerance" | "--lease-ttl" | "--warm-iters") as flag) ] ->
         error "%s expects an argument" flag
     | "--compare" :: _ -> `Error "--compare expects two file arguments"
     | ("--help" | "-h") :: _ -> `Help

@@ -150,6 +150,52 @@ let slo_report () =
     Printf.printf "  %d burn-rate alert(s) across %d world(s)\n" total (List.length !slos)
   end
 
+(* --- black-box flight recorders -------------------------------------- *)
+
+(* When a blackbox dir is set, every world built afterwards gets an
+   always-on flight recorder on its bus; any dump it triggers (SLO
+   alerts, spec violations, node crashes) is written out at the end.
+   Worlds register under a descriptive name; re-registering replaces the
+   previous entry, mirroring [register_metrics]. *)
+let blackbox_dir : string option ref = ref None
+let flights : (string * Weakset_obs.Flight.t) list ref = ref []
+
+let set_blackbox_dir dir = blackbox_dir := Some dir
+
+let attach_flight name bus =
+  match !blackbox_dir with
+  | None -> ()
+  | Some _ ->
+      let f = Weakset_obs.Flight.create bus in
+      flights := List.filter (fun (n, _) -> n <> name) !flights @ [ (name, f) ]
+
+(* World names carry spaces and '='; keep dump file names shell-safe. *)
+let slug name =
+  String.map
+    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.') as c -> c | _ -> '_')
+    name
+
+let export_blackbox () =
+  match !blackbox_dir with
+  | None -> ()
+  | Some dir ->
+      let written = ref 0 in
+      List.iter
+        (fun (name, f) ->
+          List.iteri
+            (fun k (d : Weakset_obs.Flight.dump) ->
+              incr written;
+              let path =
+                Filename.concat dir (Printf.sprintf "blackbox-%s-%d.json" (slug name) k)
+              in
+              let oc = open_out path in
+              output_string oc d.Weakset_obs.Flight.d_json;
+              output_char oc '\n';
+              close_out oc)
+            (Weakset_obs.Flight.dumps f))
+        !flights;
+      note "%d black-box dump(s) written to %s" !written dir
+
 (* Once the writer is closed, re-read the file one world segment at a
    time and report each world's slowest request with its critical-path
    phase split — the per-experiment latency-attribution summary. *)

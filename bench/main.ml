@@ -36,6 +36,7 @@ let () =
       | None ->
           Option.iter Bench_lib.Harness.set_trace_path o.Bench_lib.Cli.trace_jsonl;
           Option.iter Bench_lib.Harness.set_profile_path o.Bench_lib.Cli.profile_json;
+          Option.iter Bench_lib.Harness.set_blackbox_dir o.Bench_lib.Cli.blackbox_dir;
           if o.Bench_lib.Cli.slo_report then Bench_lib.Harness.enable_slo ();
           (match o.Bench_lib.Cli.baseline with
           | Some path ->
@@ -63,5 +64,6 @@ let () =
             (fun path -> Bench_lib.Harness.export_metrics_json ~path)
             o.Bench_lib.Cli.metrics_json;
           Bench_lib.Harness.export_profiles ();
+          Bench_lib.Harness.export_blackbox ();
           Bench_lib.Harness.slo_report ();
           Bench_lib.Harness.close_trace ())

@@ -73,6 +73,9 @@ let clique_world ?(seed = 1) ?(n = 8) ?(ghost_policy = false) ?(replica_ixs = []
   Harness.attach_slo
     (Printf.sprintf "clique_world seed=%d n=%d size=%d" seed n size)
     (Engine.bus eng);
+  Harness.attach_flight
+    (Printf.sprintf "clique_world seed=%d n=%d size=%d" seed n size)
+    (Engine.bus eng);
   let home_count = n - 2 in
   for _ = 1 to size do
     w.next_num <- w.next_num + 1;

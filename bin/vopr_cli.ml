@@ -26,6 +26,7 @@ let usage =
   \  --seed N             a single seed (may repeat)\n\
   \  --step-cap N         engine step budget per run (default 1000000)\n\
   \  --bundle-dir DIR     write vopr-seed-N.json for each failing seed\n\
+  \  --blackbox-dir DIR   write blackbox-seed-N-K.json flight dumps for failures\n\
   \  --no-shrink          bundle the original, unshrunk schedule\n\
   \  --planted-bug        arm the planted grow-only drop (mutation test)\n\
   \  --planted-cache-bug  arm the planted cache Inval drop (mutation test)\n\
@@ -74,6 +75,7 @@ type run_opts = {
   mutable seeds : int64 list;  (** reverse accumulation order *)
   mutable step_cap : int option;
   mutable bundle_dir : string option;
+  mutable blackbox_dir : string option;
   mutable no_shrink : bool;
   mutable planted_bug : bool;
   mutable planted_cache_bug : bool;
@@ -87,6 +89,7 @@ let parse_run_args args =
       seeds = [];
       step_cap = None;
       bundle_dir = None;
+      blackbox_dir = None;
       no_shrink = false;
       planted_bug = false;
       planted_cache_bug = false;
@@ -111,6 +114,9 @@ let parse_run_args args =
     | "--bundle-dir" :: v :: rest ->
         o.bundle_dir <- Some v;
         go rest
+    | "--blackbox-dir" :: v :: rest ->
+        o.blackbox_dir <- Some v;
+        go rest
     | "--no-shrink" :: rest ->
         o.no_shrink <- true;
         go rest
@@ -126,7 +132,7 @@ let parse_run_args args =
     | "--quiet" :: rest ->
         o.quiet <- true;
         go rest
-    | [ (("--seeds" | "--seed" | "--step-cap" | "--bundle-dir") as flag) ] ->
+    | [ (("--seeds" | "--seed" | "--step-cap" | "--bundle-dir" | "--blackbox-dir") as flag) ] ->
         usage_die "%s expects an argument" flag
     | a :: _ -> usage_die "run: unknown argument %S" a
   in
@@ -167,7 +173,24 @@ let cmd_run args =
           let path = Filename.concat dir (Printf.sprintf "vopr-seed-%Ld.json" seed) in
           Runner.write_bundle ~path (Runner.bundle_of_result bundled);
           Printf.printf "  bundle: %s\n%!" path)
-        o.bundle_dir
+        o.bundle_dir;
+      (* Flight dumps of the original failing run: the incident's own
+         forensics, before shrinking rewrote the schedule. *)
+      Option.iter
+        (fun dir ->
+          List.iteri
+            (fun k (d : Weakset_obs.Flight.dump) ->
+              let path =
+                Filename.concat dir (Printf.sprintf "blackbox-seed-%Ld-%d.json" seed k)
+              in
+              let oc = open_out path in
+              output_string oc d.d_json;
+              output_char oc '\n';
+              close_out oc;
+              Printf.printf "  blackbox: %s (%s)\n%!" path
+                (Weakset_obs.Flight.cause_label d.d_cause))
+            r.blackbox)
+        o.blackbox_dir
     end
   in
   let results = Runner.sweep ?step_cap:o.step_cap ~progress o.seeds in

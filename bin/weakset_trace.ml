@@ -15,7 +15,10 @@ let usage =
   \  flame FILE       folded-stack flamegraph text (fiber;span;...;wait dur)\n\
   \  anomalies FILE   flag unclosed spans, orphan parents, unfinished rpcs,\n\
   \                   lamport violations (exit 1 if any found)\n\
-  \  diff FILE FILE   digest-aligned prefix diff of two traces\n\n\
+  \  diff FILE FILE   digest-aligned prefix diff of two traces\n\
+  \  blackbox FILE..  render flight-recorder dumps (or the dumps embedded\n\
+  \                   in VOPR repro bundles): trigger, tail exemplars and\n\
+  \                   their reconstructed span trees\n\n\
    options:\n\
   \  --world NAME     restrict to the named world segment\n\
   \  --no-times       (tree) structure only: no ids, times or durations\n\
@@ -133,6 +136,114 @@ let per_segment render =
       print_string (header seg);
       print_string (render (Trace.of_segment seg)))
 
+(* --- blackbox dumps --------------------------------------------------- *)
+
+module Flight = Weakset_obs.Flight
+module Json = Weakset_obs.Json
+
+(* A file is either one dump document or a VOPR repro bundle carrying
+   dumps as escaped strings under "blackbox". *)
+let dumps_of_file file =
+  let text =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error m -> die "weakset_trace: %s" m
+  in
+  match Json.of_string_opt (String.trim text) with
+  | None -> die "weakset_trace: %s: not valid JSON" file
+  | Some j -> (
+      match Json.member "blackbox_version" j with
+      | Some _ -> [ String.trim text ]
+      | None -> (
+          match Json.member "blackbox" j with
+          | Some (Json.Arr l) -> List.filter_map Json.to_string l
+          | _ ->
+              die "weakset_trace: %s: neither a black-box dump nor a bundle with one"
+                file))
+
+let rec render_span buf tr depth (sp : Trace.span) =
+  let indent = String.make (2 * depth) ' ' in
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s [span %d%s] start=%g%s\n" indent sp.Trace.name sp.Trace.id
+       (match sp.Trace.node with None -> "" | Some n -> Printf.sprintf " node=%d" n)
+       sp.Trace.start_time
+       (match Trace.span_dur sp with
+       | Some d -> Printf.sprintf " dur=%g" d
+       | None -> " (unclosed)"));
+  List.iter
+    (fun cid -> Option.iter (render_span buf tr (depth + 1)) (Trace.span tr cid))
+    sp.Trace.children
+
+(* Climb to the highest ancestor still present in the ring: the ring may
+   have evicted the true root's Span_start, so we render from the oldest
+   retained ancestor. *)
+let rec resolve_root tr (sp : Trace.span) =
+  match sp.Trace.parent with
+  | None -> sp
+  | Some p -> (
+      match Trace.span tr p with None -> sp | Some up -> resolve_root tr up)
+
+let render_dump k doc =
+  match Flight.parse_dump doc with
+  | Error m -> die "weakset_trace: %s" m
+  | Ok p ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf
+        (Printf.sprintf "== blackbox dump %d: trigger=%s t=%g ==\n" k p.Flight.p_cause_kind
+           p.Flight.p_time);
+      Buffer.add_string buf (Printf.sprintf "cause: %s\n" p.Flight.p_cause_detail);
+      Buffer.add_string buf
+        (Printf.sprintf "suppressed=%d ring-dropped=%d events=%d inflight=%d\n"
+           p.Flight.p_suppressed p.Flight.p_dropped
+           (List.length p.Flight.p_events)
+           (List.length p.Flight.p_inflight));
+      if p.Flight.p_inflight <> [] then begin
+        Buffer.add_string buf "in-flight spans:\n";
+        List.iter
+          (fun (id, name) -> Buffer.add_string buf (Printf.sprintf "  span %d: %s\n" id name))
+          p.Flight.p_inflight
+      end;
+      let exemplars = Flight.tail_exemplars p.Flight.p_metrics in
+      if exemplars = [] then Buffer.add_string buf "no exemplars recorded\n"
+      else begin
+        Buffer.add_string buf "tail exemplars (worst first):\n";
+        List.iter
+          (fun (key, v, tm, span) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %s: value=%g t=%g%s\n" key v tm
+                 (match span with None -> "" | Some s -> Printf.sprintf " span=%d" s)))
+          exemplars;
+        let tr = Trace.build p.Flight.p_events in
+        let seen_roots = ref [] in
+        List.iter
+          (fun (key, _, _, span) ->
+            match span with
+            | None -> ()
+            | Some s -> (
+                match Trace.span tr s with
+                | None ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "exemplar span %d (%s): not in ring (evicted)\n" s key)
+                | Some sp ->
+                    let root = resolve_root tr sp in
+                    if not (List.mem root.Trace.id !seen_roots) then begin
+                      seen_roots := root.Trace.id :: !seen_roots;
+                      Buffer.add_string buf
+                        (Printf.sprintf "exemplar span tree (span %d via %s):\n" s key);
+                      render_span buf tr 1 root
+                    end))
+          exemplars
+      end;
+      print_string (Buffer.contents buf)
+
+let cmd_blackbox files =
+  if files = [] then usage_die "blackbox expects at least one FILE";
+  List.iter
+    (fun file ->
+      match dumps_of_file file with
+      | [] -> Printf.printf "== %s: no black-box dumps ==\n" file
+      | dumps -> List.iteri render_dump dumps)
+    files
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: cmd :: rest -> (
@@ -190,6 +301,7 @@ let () =
               in
               pair 0 (sa, sb)
           | files -> usage_die "diff expects exactly two FILEs, got %d" (List.length files))
+      | "blackbox" -> cmd_blackbox o.files
       | "help" | "--help" | "-h" -> print_string usage
       | c -> usage_die "unknown command %S" c)
   | _ ->

@@ -11,6 +11,7 @@ type t = {
   rpc_ok : int;
   rpc_timeout : int;
   rpc_unreachable : int;
+  obs_dropped : int;
 }
 
 let labels ~instance = [ ("transport", string_of_int instance) ]
@@ -29,12 +30,15 @@ let snapshot m ~instance =
     rpc_ok = peek "rpc.ok";
     rpc_timeout = peek "rpc.timeout";
     rpc_unreachable = peek "rpc.unreachable";
+    (* flight-recorder ring overwrites are engine-wide, not per
+       transport: the counter is unlabelled *)
+    obs_dropped = Metrics.peek_counter m "obs.flight.dropped";
   }
 
 let pp fmt t =
   Format.fprintf fmt
-    "sent=%d delivered=%d drop(unreach=%d down=%d inflight=%d lost=%d) rpc(calls=%d ok=%d timeout=%d unreach=%d)"
+    "sent=%d delivered=%d drop(unreach=%d down=%d inflight=%d lost=%d) rpc(calls=%d ok=%d timeout=%d unreach=%d) obs(dropped=%d)"
     t.sent t.delivered t.dropped_unreachable t.dropped_down t.dropped_in_flight t.dropped_lost t.rpc_calls
-    t.rpc_ok t.rpc_timeout t.rpc_unreachable
+    t.rpc_ok t.rpc_timeout t.rpc_unreachable t.obs_dropped
 
 let to_string t = Format.asprintf "%a" pp t

@@ -18,6 +18,10 @@ type t = {
   rpc_ok : int;
   rpc_timeout : int;
   rpc_unreachable : int;
+  obs_dropped : int;
+      (** flight-recorder ring overwrites (engine-wide
+          [obs.flight.dropped], unlabelled) — silent event loss made
+          visible *)
 }
 
 (** Labels identifying one transport instance in the registry. *)

@@ -53,6 +53,8 @@ type ('req, 'resp) t = {
   c_ok : Metrics.counter;
   c_timeout : Metrics.counter;
   c_unreachable : Metrics.counter;
+  h_latency : Metrics.histogram;
+      (* wall (virtual) time per call, exemplar-linked to the caller span *)
   mutable demux_running : Nodeid.Set.t;
   mutable next_id : int;
   mutable serving_span : int option;
@@ -102,6 +104,7 @@ let create ?(detect_delay = 0.5) engine topo =
       c_ok = Metrics.counter m ~labels "rpc.ok";
       c_timeout = Metrics.counter m ~labels "rpc.timeout";
       c_unreachable = Metrics.counter m ~labels "rpc.unreachable";
+      h_latency = Metrics.histogram m ~labels "rpc.latency";
       demux_running = Nodeid.Set.empty;
       next_id = 0;
       serving_span = None;
@@ -202,7 +205,8 @@ let call t ?parent ~src ~dst ~timeout req =
   t.next_id <- t.next_id + 1;
   let id = t.next_id in
   let srci = Nodeid.to_int src and dsti = Nodeid.to_int dst in
-  Bus.emit (bus t) ~time:(Engine.now eng)
+  let t0 = Engine.now eng in
+  Bus.emit (bus t) ~time:t0
     (Event.Rpc_call
        { src = srci; dst = dsti; id; lc = Transport.lamport_tick t.transport src; parent });
   let finish outcome result =
@@ -211,6 +215,11 @@ let call t ?parent ~src ~dst ~timeout req =
       | Event.Rpc_ok -> t.c_ok
       | Event.Rpc_timeout -> t.c_timeout
       | Event.Rpc_unreachable -> t.c_unreachable);
+    (* Exemplar stamped with the caller-side span: a tail latency in a
+       black-box dump points straight back at the request tree that
+       produced it. *)
+    Metrics.observe_ex t.h_latency ~time:(Engine.now eng) ?span:parent
+      (Engine.now eng -. t0);
     Bus.emit (bus t) ~time:(Engine.now eng)
       (Event.Rpc_done
          {

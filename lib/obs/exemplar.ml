@@ -1,0 +1,79 @@
+type exemplar = { ex_value : float; ex_time : float; ex_span : int option }
+
+(* Powers of two spanning the latencies this simulator produces: unit
+   link latency puts healthy client ops around 2, RPC timeouts at 30,
+   lock waits and fault-window stalls into the hundreds. *)
+let bucket_bounds =
+  [| 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0; infinity |]
+
+let default_window = 1_000.0
+
+type bucket = { mutable count : int; mutable ex : exemplar option }
+
+type t = { window : float; total : int ref; cells : bucket array }
+
+let create ?(window = default_window) () =
+  if window <= 0.0 then invalid_arg "Exemplar.create: window must be positive";
+  {
+    window;
+    total = ref 0;
+    cells = Array.init (Array.length bucket_bounds) (fun _ -> { count = 0; ex = None });
+  }
+
+let bucket_of v =
+  let n = Array.length bucket_bounds in
+  let rec find i = if i >= n - 1 || v <= bucket_bounds.(i) then i else find (i + 1) in
+  find 0
+
+let observe t ~time ?span v =
+  incr t.total;
+  let b = t.cells.(bucket_of v) in
+  b.count <- b.count + 1;
+  let fresh = { ex_value = v; ex_time = time; ex_span = span } in
+  match b.ex with
+  | None -> b.ex <- Some fresh
+  | Some old ->
+      (* Worst-in-window: a bigger sample always wins; an aged-out
+         exemplar loses to any fresh sample, so the retained evidence
+         stays recent enough to resolve against a bounded ring. *)
+      if v >= old.ex_value || time -. old.ex_time > t.window then b.ex <- Some fresh
+
+let count t = !(t.total)
+
+let buckets t =
+  Array.to_list
+    (Array.mapi (fun i b -> (bucket_bounds.(i), b.count, b.ex)) t.cells)
+
+let worst t =
+  Array.fold_left
+    (fun best b ->
+      match (best, b.ex) with
+      | None, ex -> ex
+      | best, None -> best
+      | Some w, Some ex -> if ex.ex_value >= w.ex_value then Some ex else best)
+    None t.cells
+
+(* Floats render with 17 significant digits (round-trips every finite
+   double), matching Event.to_json. *)
+let jfloat f = Printf.sprintf "%.17g" f
+
+let le_string bound = if bound = infinity then "+Inf" else jfloat bound
+
+let exemplar_json e =
+  Printf.sprintf {|{"value":%s,"time":%s%s}|} (jfloat e.ex_value) (jfloat e.ex_time)
+    (match e.ex_span with None -> "" | Some s -> Printf.sprintf {|,"span":%d|} s)
+
+let to_json t =
+  let cells =
+    List.filter_map
+      (fun (bound, count, ex) ->
+        if count = 0 then None
+        else
+          Some
+            (Printf.sprintf {|{"le":"%s","count":%d%s}|} (le_string bound) count
+               (match ex with
+               | None -> ""
+               | Some e -> Printf.sprintf {|,"exemplar":%s|} (exemplar_json e))))
+      (buckets t)
+  in
+  "[" ^ String.concat "," cells ^ "]"

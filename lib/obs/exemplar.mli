@@ -1,0 +1,54 @@
+(** Exemplar-linked latency buckets: the forensic back-pointer from an
+    aggregate percentile to one concrete trace.
+
+    A table keeps a fixed set of log-scaled latency buckets; each bucket
+    counts its samples and retains the {e worst-in-window} exemplar — the
+    span id and timestamp of the largest sample observed within the last
+    [window] of virtual time.  When the retained exemplar ages out of the
+    window, the next sample replaces it regardless of value, so the table
+    always points at evidence recent enough to still be in a flight
+    recorder's ring.
+
+    Memory is O(number of buckets) — a constant — no matter how long the
+    run is, and every operation is deterministic: the same sample stream
+    produces byte-identical {!to_json}. *)
+
+type exemplar = {
+  ex_value : float;  (** the sample itself (a latency, virtual time) *)
+  ex_time : float;  (** virtual time the sample completed *)
+  ex_span : int option;  (** span id stamped on the sample, if any *)
+}
+
+type t
+
+(** Upper bounds of the log-scaled buckets (the final bucket is
+    [infinity]).  Exposed so reports can label buckets consistently. *)
+val bucket_bounds : float array
+
+(** How far back (virtual time) a retained exemplar stays preferred over
+    smaller, newer samples — the default [window] of {!create}. *)
+val default_window : float
+
+val create : ?window:float -> unit -> t
+
+(** [observe t ~time ?span v] counts [v] into its bucket and retains it
+    as the bucket's exemplar if it is the worst sample in the current
+    window (or the retained one aged out). *)
+val observe : t -> time:float -> ?span:int -> float -> unit
+
+(** Total samples observed. *)
+val count : t -> int
+
+(** [(upper_bound, count, exemplar)] for every bucket, in bound order.
+    Buckets that never saw a sample have count 0 and no exemplar. *)
+val buckets : t -> (float * int * exemplar option) list
+
+(** The tail exemplar: the retained exemplar with the largest value
+    across all buckets (ties broken toward the higher bucket). *)
+val worst : t -> exemplar option
+
+(** Non-empty buckets as a JSON array:
+    [[{"le":"2","count":3,"exemplar":{"value":…,"time":…,"span":…}},…]].
+    The unbounded bucket renders as ["+Inf"]; [span] is omitted when the
+    sample carried none.  Deterministic. *)
+val to_json : t -> string

@@ -1,11 +1,24 @@
 type counter = { mutable c : int }
 type gauge = { mutable g : float }
 
+(* Histograms hold a deterministic fixed-capacity reservoir instead of
+   every sample: below [reservoir_capacity] percentiles are exact; above
+   it the retained set is decimated by insertion index (sample [i] is
+   kept iff [i mod stride = 0], stride doubling whenever the buffer
+   fills) — a uniform-by-index subsample that is a pure function of the
+   sample stream, so seed-identical runs keep identical reservoirs.
+   Count and sum stay exact regardless.  Memory is O(capacity) however
+   long the run. *)
+let reservoir_capacity = 512
+
 type histogram = {
-  mutable samples : float list; (* reverse insertion order *)
+  kept : float array; (* retained samples, insertion order, first klen live *)
+  mutable klen : int;
+  mutable stride : int; (* admit every stride-th observation *)
   mutable n : int;
   mutable sum : float;
   mutable sorted : float array option; (* cache, invalidated on observe *)
+  ex : Exemplar.t; (* worst-in-window exemplar per latency bucket *)
 }
 
 type instrument =
@@ -74,26 +87,66 @@ let gauge_value g = g.g
 
 let histogram t ?(labels = []) name =
   intern t name labels
-    (fun () -> { samples = []; n = 0; sum = 0.0; sorted = None })
+    (fun () ->
+      {
+        kept = Array.make reservoir_capacity 0.0;
+        klen = 0;
+        stride = 1;
+        n = 0;
+        sum = 0.0;
+        sorted = None;
+        ex = Exemplar.create ();
+      })
     (fun h -> Histogram h)
     (function Histogram h -> Some h | _ -> None)
     "histogram"
 
+(* Halve the reservoir in place: the live entries hold original indices
+   0, stride, 2*stride, …; keeping every other one leaves exactly the
+   multiples of the doubled stride. *)
+let compact h =
+  let j = ref 0 in
+  let i = ref 0 in
+  while !i < h.klen do
+    h.kept.(!j) <- h.kept.(!i);
+    incr j;
+    i := !i + 2
+  done;
+  h.klen <- !j;
+  h.stride <- h.stride * 2
+
 let observe h v =
-  h.samples <- v :: h.samples;
+  let idx = h.n in
   h.n <- h.n + 1;
   h.sum <- h.sum +. v;
-  h.sorted <- None
+  if idx mod h.stride = 0 then begin
+    if h.klen = Array.length h.kept then compact h;
+    (* compaction doubled the stride; re-test admission under it *)
+    if idx mod h.stride = 0 then begin
+      h.kept.(h.klen) <- v;
+      h.klen <- h.klen + 1;
+      h.sorted <- None
+    end
+  end
+
+(* Latency sample with forensic back-pointers: in addition to the
+   reservoir, record (time, span) into the histogram's exemplar table so
+   a p99 in a dump can name the one trace that caused it. *)
+let observe_ex h ~time ?span v =
+  observe h v;
+  Exemplar.observe h.ex ~time ?span v
 
 let h_count h = h.n
 let h_sum h = h.sum
 let h_mean h = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
+let h_retained h = h.klen
+let h_exemplars h = h.ex
 
 let sorted_samples h =
   match h.sorted with
   | Some a -> a
   | None ->
-      let a = Array.of_list h.samples in
+      let a = Array.sub h.kept 0 h.klen in
       Array.sort compare a;
       h.sorted <- Some a;
       a
@@ -142,12 +195,17 @@ let to_json t =
       | Histogram h ->
           if h.n = 0 then
             Buffer.add_string buf {|{"count":0,"sum":0,"mean":0}|}
-          else
+          else begin
             Buffer.add_string buf
               (Printf.sprintf
-                 {|{"count":%d,"sum":%.9g,"mean":%.9g,"p50":%.9g,"p95":%.9g,"p99":%.9g}|}
+                 {|{"count":%d,"sum":%.9g,"mean":%.9g,"p50":%.9g,"p95":%.9g,"p99":%.9g,"retained":%d|}
                  h.n h.sum (h_mean h) (h_percentile h 50.0)
-                 (h_percentile h 95.0) (h_percentile h 99.0)))
+                 (h_percentile h 95.0) (h_percentile h 99.0) h.klen);
+            if Exemplar.count h.ex > 0 then
+              Buffer.add_string buf
+                (Printf.sprintf {|,"exemplars":%s|} (Exemplar.to_json h.ex));
+            Buffer.add_char buf '}'
+          end)
     (sorted_entries t);
   Buffer.add_char buf '}';
   Buffer.contents buf

@@ -41,15 +41,43 @@ val gauge : t -> ?labels:(string * string) list -> string -> gauge
 val set_gauge : gauge -> float -> unit
 val gauge_value : gauge -> float
 
-(** {1 Histograms} *)
+(** {1 Histograms}
+
+    Histograms are bounded: they keep count and sum exactly, plus a
+    deterministic fixed-capacity reservoir of samples.  Below
+    {!reservoir_capacity} samples percentiles are exact; above it the
+    reservoir holds a uniform-by-index decimation of the stream (sample
+    [i] kept iff [i mod stride = 0], stride doubling as needed) — a pure
+    function of the sample sequence, so seed-identical runs retain
+    byte-identical reservoirs.  Memory is O(capacity) regardless of run
+    length. *)
+
+(** Maximum samples a histogram retains for percentile estimation. *)
+val reservoir_capacity : int
 
 val histogram : t -> ?labels:(string * string) list -> string -> histogram
 val observe : histogram -> float -> unit
+
+(** [observe_ex h ~time ?span v] records [v] like {!observe} and
+    additionally retains [(v, time, span)] as a bucket exemplar (see
+    {!Exemplar}), linking the histogram's tail back to one concrete
+    trace. *)
+val observe_ex : histogram -> time:float -> ?span:int -> float -> unit
+
 val h_count : histogram -> int
 val h_sum : histogram -> float
 val h_mean : histogram -> float
 
-(** Linear-interpolation percentile of all observed samples.
+(** Number of samples currently retained in the reservoir
+    (≤ {!reservoir_capacity}). *)
+val h_retained : histogram -> int
+
+(** The histogram's exemplar table (empty unless fed via
+    {!observe_ex}). *)
+val h_exemplars : histogram -> Exemplar.t
+
+(** Linear-interpolation percentile over the retained reservoir (exact
+    when fewer than {!reservoir_capacity} samples were observed).
     Raises [Invalid_argument] on an empty histogram. *)
 val h_percentile : histogram -> float -> float
 

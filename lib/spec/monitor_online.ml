@@ -7,6 +7,7 @@ type t = {
   set_id : int;
   adapter : Monitor_adapter.t;
   bus : Bus.t option;
+  on_violation : (time:float -> Figures.violation -> unit) option;
   sample_every : int;
   mutable observes : int;       (* Spec_observe events for our set *)
   mutable full_checks : int;
@@ -16,7 +17,7 @@ type t = {
   mutable finished : bool;
 }
 
-let create ?bus ?(sample_every = 16) ~set_id spec =
+let create ?bus ?on_violation ?(sample_every = 16) ~set_id spec =
   if sample_every <= 0 then invalid_arg "Monitor_online.create: sample_every <= 0";
   {
     spec;
@@ -24,6 +25,7 @@ let create ?bus ?(sample_every = 16) ~set_id spec =
     set_id;
     adapter = Monitor_adapter.create ~set_id;
     bus;
+    on_violation;
     sample_every;
     observes = 0;
     full_checks = 0;
@@ -39,18 +41,21 @@ let viol_key (v : Figures.violation) =
   Printf.sprintf "%s|%s|%d" v.where v.message
     (match v.state with None -> -1 | Some st -> st.Sstate.index)
 
-(* Record a violation if unseen; publish it as a Spec_violation event. *)
+(* Record a violation if unseen; publish it as a Spec_violation event
+   and fire the direct trigger hook (flight recorders and judges that
+   want the structured violation, not the event rendering). *)
 let note t ~time (v : Figures.violation) =
   let key = viol_key v in
   if not (Hashtbl.mem t.seen key) then begin
     Hashtbl.replace t.seen key ();
     t.found <- v :: t.found;
-    match t.bus with
+    (match t.bus with
     | None -> ()
     | Some bus ->
         Bus.emit bus ~time
           (Event.Spec_violation
-             { set_id = t.set_id; where = v.where; message = v.message })
+             { set_id = t.set_id; where = v.where; message = v.message }));
+    match t.on_violation with None -> () | Some f -> f ~time v
   end
 
 let full_check t ~time =

@@ -23,9 +23,19 @@
 
 type t
 
-(** [create ?bus ?sample_every ~set_id spec] — [sample_every] (default
-    16, must be positive) is the full-check sampling period. *)
-val create : ?bus:Weakset_obs.Bus.t -> ?sample_every:int -> set_id:int -> Figures.spec -> t
+(** [create ?bus ?on_violation ?sample_every ~set_id spec] —
+    [sample_every] (default 16, must be positive) is the full-check
+    sampling period.  [on_violation] fires once per distinct violation,
+    at its discovery time, after the [Spec_violation] event (if any) is
+    published — the direct trigger hook for flight recorders and
+    fuzzing oracles. *)
+val create :
+  ?bus:Weakset_obs.Bus.t ->
+  ?on_violation:(time:float -> Figures.violation -> unit) ->
+  ?sample_every:int ->
+  set_id:int ->
+  Figures.spec ->
+  t
 
 (** Process one event (only the watched set's [Spec_observe] matter).
     Raises [Invalid_argument] after {!finish}. *)

@@ -64,14 +64,29 @@ let of_rpc_error = function Rpc.Timeout -> Timeout | Rpc.Unreachable -> Unreacha
    tree reaching through the wire into the server. *)
 let call ?parent t dst req =
   let eng = Rpc.engine t.rpc in
-  Weakset_obs.Bus.with_span_id (Rpc.bus t.rpc)
+  let bus = Rpc.bus t.rpc in
+  let label = Protocol.request_label req in
+  (* Per-op latency with the operation's own span as exemplar: the
+     histogram's tail buckets name the exact request trees to pull out
+     of a black-box dump. *)
+  let h =
+    Weakset_obs.Metrics.histogram
+      (Weakset_obs.Bus.metrics bus)
+      ~labels:[ ("op", label) ] "client.latency"
+  in
+  let t0 = Weakset_sim.Engine.now eng in
+  Weakset_obs.Bus.with_span_id bus
     ~time:(fun () -> Weakset_sim.Engine.now eng)
-    ~node:(Nodeid.to_int t.node) ?parent
-    ("client." ^ Protocol.request_label req)
+    ~node:(Nodeid.to_int t.node) ?parent ("client." ^ label)
     (fun span ->
-      match Rpc.call t.rpc ~parent:span ~src:t.node ~dst ~timeout:t.timeout req with
-      | Ok resp -> Ok resp
-      | Error e -> Error (of_rpc_error e))
+      let r =
+        match Rpc.call t.rpc ~parent:span ~src:t.node ~dst ~timeout:t.timeout req with
+        | Ok resp -> Ok resp
+        | Error e -> Error (of_rpc_error e)
+      in
+      let now = Weakset_sim.Engine.now eng in
+      Weakset_obs.Metrics.observe_ex h ~time:now ~span (now -. t0);
+      r)
 
 (* Fill caches with a fetched value: the unbounded hoard (disconnected
    operation) always; the bounded lease cache when enabled.  Objects are

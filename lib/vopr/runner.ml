@@ -20,6 +20,7 @@ module Bus = Weakset_obs.Bus
 module Event = Weakset_obs.Event
 module Digest = Weakset_obs.Digest
 module Json = Weakset_obs.Json
+module Flight = Weakset_obs.Flight
 
 type result = {
   plan : Gen.plan;
@@ -28,6 +29,7 @@ type result = {
   steps : int;
   issues : Oracle.issue list;
   iterations : Oracle.iteration_input list;
+  blackbox : Flight.dump list;
 }
 
 let default_step_cap = 1_000_000
@@ -124,6 +126,10 @@ let execute ?(step_cap = default_step_cap) plan =
   let bus = Engine.bus eng in
   let digest = Digest.create () in
   Bus.attach bus ~name:"vopr-digest" (Digest.sink digest);
+  (* Always-on black box: triggers itself on spec violations and node
+     crashes during the run; the oracle adds a post-run verdict trigger.
+     Ring capacity is modest — dumps ride inside repro bundles. *)
+  let flight = Flight.create ~capacity:256 ~debounce:100.0 bus in
   let rpc_calls = ref 0 and rpc_dones = ref 0 in
   (* Track which fibers are still alive, by name, so a leak verdict can
      say who leaked.  A fiber is alive from Fiber_spawn until a Run_end
@@ -401,7 +407,24 @@ let execute ?(step_cap = default_step_cap) plan =
         cache = cache_evidence;
       }
   in
-  { plan; digest = Digest.value digest; events = Digest.count digest; steps; issues; iterations }
+  (* One post-run trigger for the whole verdict (the first issue names
+     the incident); mid-run violations already dumped with hot rings, and
+     the debounce keeps this from double-dumping the same incident. *)
+  (match issues with
+  | [] -> ()
+  | issue :: _ ->
+      Flight.trigger flight ~time:(Engine.now eng)
+        (Flight.Oracle_verdict
+           { category = Oracle.category issue; detail = Oracle.describe issue }));
+  {
+    plan;
+    digest = Digest.value digest;
+    events = Digest.count digest;
+    steps;
+    issues;
+    iterations;
+    blackbox = Flight.dumps flight;
+  }
 
 let sweep ?step_cap ?(progress = fun _ _ -> ()) seeds =
   List.map
@@ -423,6 +446,7 @@ type bundle = {
   b_digest : string;
   b_events : int;
   b_issues : Oracle.issue list;
+  b_blackbox : string list;
 }
 
 let bundle_of_result r =
@@ -434,14 +458,22 @@ let bundle_of_result r =
     b_digest = r.digest;
     b_events = r.events;
     b_issues = r.issues;
+    b_blackbox = List.map (fun d -> d.Flight.d_json) r.blackbox;
   }
 
+(* Dumps are embedded as JSON *strings* (escaped), not nested documents,
+   so a bundle round-trips them byte-exactly through our writer-less
+   JSON reader. *)
 let bundle_to_json b =
   Printf.sprintf
-    {|{"version":1,"planted_bug":%b,"planted_cache_bug":%b,"planted_spec_bug":%b,"plan":%s,"digest":"%s","events":%d,"issues":[%s]}|}
+    {|{"version":1,"planted_bug":%b,"planted_cache_bug":%b,"planted_spec_bug":%b,"plan":%s,"digest":"%s","events":%d,"issues":[%s],"blackbox":[%s]}|}
     b.b_planted b.b_planted_cache b.b_planted_spec (Gen.plan_to_json b.b_plan) b.b_digest
     b.b_events
     (String.concat "," (List.map Oracle.issue_to_json b.b_issues))
+    (String.concat ","
+       (List.map
+          (fun d -> Printf.sprintf {|"%s"|} (Event.json_escape d))
+          b.b_blackbox))
 
 let ( let* ) = Result.bind
 
@@ -488,6 +520,12 @@ let bundle_of_string s =
       let planted_spec =
         match Json.member "planted_spec_bug" j with Some (Json.Bool b) -> b | _ -> false
       in
+      (* Absent in bundles written before the flight recorder existed. *)
+      let blackbox =
+        match Json.member "blackbox" j with
+        | Some (Json.Arr l) -> List.filter_map Json.to_string l
+        | _ -> []
+      in
       Ok
         {
           b_plan = plan;
@@ -497,6 +535,7 @@ let bundle_of_string s =
           b_digest = digest;
           b_events = events;
           b_issues = issues;
+          b_blackbox = blackbox;
         }
 
 let write_bundle ~path b =

@@ -25,6 +25,10 @@ type result = {
           chosen spec — the raw material the oracle judged, exposed so
           equivalence suites can re-judge the same runs under other
           checkers *)
+  blackbox : Weakset_obs.Flight.dump list;
+      (** flight-recorder dumps the run triggered (spec violations and
+          node crashes mid-run, plus one post-run oracle verdict when the
+          run failed), oldest first; deterministic per plan *)
 }
 
 (** Default step cap (events processed) before a run is declared a
@@ -53,6 +57,12 @@ type bundle = {
   b_digest : string;  (** expected trace digest of replaying [b_plan] *)
   b_events : int;
   b_issues : Oracle.issue list;  (** the recorded oracle verdict *)
+  b_blackbox : string list;
+      (** black-box dump documents captured at record time (see
+          {!Weakset_obs.Flight}); embedded as escaped JSON strings so
+          they round-trip byte-exactly.  Replays regenerate identical
+          dumps, so they are not part of the replay comparison.  Absent
+          in older bundles; parses as [[]]. *)
 }
 
 val bundle_of_result : result -> bundle
