@@ -1,9 +1,9 @@
 # One-command tier-1 verification: build + tests (including the trace
 # determinism suite in test/test_obs.ml) + formatting check.
 
-.PHONY: check build test fmt fmt-fix bench bench-compare e12-smoke vopr-smoke blackbox-smoke clean
+.PHONY: check build test fmt fmt-fix bench bench-compare e12-smoke e13-smoke vopr-smoke blackbox-smoke clean
 
-check: build test fmt bench-compare e12-smoke vopr-smoke blackbox-smoke
+check: build test fmt bench-compare e12-smoke e13-smoke vopr-smoke blackbox-smoke
 
 build:
 	dune build @all
@@ -41,6 +41,23 @@ e12-smoke:
 	  || { echo "e12-smoke: no verdicts in E12 output"; exit 1; }
 	@! grep -q "VIOLATES" /tmp/e12-smoke.out \
 	  || { echo "e12-smoke: E12 reported a spec violation"; exit 1; }
+
+# Short open-loop saturation sweep: every design point must detect a
+# finite knee, and the curves JSON must be byte-identical across reruns
+# (the determinism contract behind --curves-json).  The full-size sweep
+# runs via `bench/main.exe -- --e13`; this scaled-down config keeps the
+# smoke under a few seconds.
+e13-smoke:
+	dune exec bench/main.exe -- --e13 --load-clients 16 --load-duration 100 \
+	  --curves-json curves.json | tee /tmp/e13-smoke.out
+	@grep -q "KNEE" /tmp/e13-smoke.out \
+	  || { echo "e13-smoke: no knee detected in E13 output"; exit 1; }
+	@! grep -q '"knee":null' curves.json \
+	  || { echo "e13-smoke: a design point has no knee in curves.json"; exit 1; }
+	dune exec bench/main.exe -- --e13 --load-clients 16 --load-duration 100 \
+	  --curves-json /tmp/e13-smoke-2.json > /dev/null
+	@cmp -s curves.json /tmp/e13-smoke-2.json \
+	  || { echo "e13-smoke: curves.json is not byte-identical across reruns"; exit 1; }
 
 # Bounded VOPR swarm: 32 seed-derived scenarios (virtual-time budgets keep
 # this well under a minute of wall clock), plus the mutation tests — the

@@ -62,6 +62,24 @@ let collect () =
       measure "cold";
       measure "warm")
     sizes;
+  (* Open-loop saturation trajectory: a short E13 sweep of the
+     optimistic point.  The knee rate is the capacity headline (higher
+     is better — see [higher_is_better]); the intent/send p99.9 at the
+     knee pin down the coordinated-omission gap we must keep seeing. *)
+  let curve, _alerts =
+    Experiments.e13_curve ~clients:16 ~duration:120.0 ~seed_base:13_500
+      ~label:"baseline-optimistic" ~sem:Weakset_core.Semantics.optimistic ~bursty:false ()
+  in
+  (match curve.Weakset_load.Sweep.knee with
+  | None -> failwith "baseline: e13 sweep detected no knee"
+  | Some k -> (
+      let p = List.nth curve.Weakset_load.Sweep.points k in
+      push "load.knee.rate" p.Weakset_load.Sweep.offered;
+      match (p.Weakset_load.Sweep.p999_intent, p.Weakset_load.Sweep.p999_send) with
+      | Some i, Some s ->
+          push "load.p999_at_knee.intent" i;
+          push "load.p999_at_knee.send" s
+      | _ -> failwith "baseline: e13 knee step finished no requests"));
   List.rev !metrics
 
 (* --- file format ----------------------------------------------------- *)
@@ -111,8 +129,13 @@ type verdict = Ok_within | Improved | Regressed | Missing
 
 type cmp = { metric : string; old_v : float; new_v : float; delta : float; verdict : verdict }
 
-(* All tracked metrics are lower-is-better.  [delta] is relative to the
-   old value; a zero old value only compares equal to zero. *)
+(* Tracked metrics are lower-is-better (latencies, message counts)
+   except the ones listed in [higher_is_better] (capacity: the knee
+   rate), where the verdict flips.  [delta] is always the raw relative
+   change against the old value; a zero old value only compares equal to
+   zero. *)
+let higher_is_better = [ "load.knee.rate" ]
+
 let compare_metrics ~tolerance old_m new_m =
   List.map
     (fun (k, old_v) ->
@@ -122,11 +145,13 @@ let compare_metrics ~tolerance old_m new_m =
           let delta =
             if old_v > 0.0 then (new_v -. old_v) /. old_v
             else if new_v = old_v then 0.0
-            else infinity
+            else if new_v > old_v then infinity
+            else neg_infinity
           in
+          let worse = if List.mem k higher_is_better then -.delta else delta in
           let verdict =
-            if delta > tolerance then Regressed
-            else if delta < -.tolerance then Improved
+            if worse > tolerance then Regressed
+            else if worse < -.tolerance then Improved
             else Ok_within
           in
           { metric = k; old_v; new_v; delta; verdict })
@@ -141,14 +166,18 @@ let verdict_cell = function
 let render ~tolerance cmps =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Printf.sprintf "baseline compare (tolerance %.0f%%, lower is better)\n"
+    (Printf.sprintf
+       "baseline compare (tolerance %.0f%%, lower is better; ^ = higher is better)\n"
        (tolerance *. 100.0));
   Buffer.add_string buf
     (Printf.sprintf "  %-32s %12s %12s %8s  %s\n" "metric" "old" "new" "delta" "verdict");
   List.iter
     (fun c ->
+      let name =
+        if List.mem c.metric higher_is_better then c.metric ^ "^" else c.metric
+      in
       Buffer.add_string buf
-        (Printf.sprintf "  %-32s %12.3f %12.3f %7.1f%%  %s\n" c.metric c.old_v c.new_v
+        (Printf.sprintf "  %-32s %12.3f %12.3f %7.1f%%  %s\n" name c.old_v c.new_v
            (c.delta *. 100.0) (verdict_cell c.verdict)))
     cmps;
   Buffer.contents buf

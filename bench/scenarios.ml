@@ -26,7 +26,7 @@ let set_id = 1
    coordinates, the last node is the client, the rest home objects.
    [cache] equips the client with a lease cache; [lease_ttl] is what the
    servers grant with leased membership answers. *)
-let clique_world ?(seed = 1) ?(n = 8) ?(ghost_policy = false) ?(replica_ixs = [])
+let clique_world ?tag ?(seed = 1) ?(n = 8) ?(ghost_policy = false) ?(replica_ixs = [])
     ?(replica_interval = 10.0) ?cache ?(lease_ttl = 30.0) ~size () =
   let eng = Engine.create ~seed:(Int64.of_int seed) () in
   let topo = Topology.create () in
@@ -61,21 +61,18 @@ let clique_world ?(seed = 1) ?(n = 8) ?(ghost_policy = false) ?(replica_ixs = []
       next_num = 0;
     }
   in
-  Harness.register_metrics
-    (Printf.sprintf "clique_world seed=%d n=%d size=%d" seed n size)
-    (Engine.metrics eng);
-  Harness.attach_trace
-    (Printf.sprintf "clique_world seed=%d n=%d size=%d" seed n size)
-    (Engine.bus eng);
-  Harness.attach_profile
-    (Printf.sprintf "clique_world seed=%d n=%d size=%d" seed n size)
-    (Engine.bus eng);
-  Harness.attach_slo
-    (Printf.sprintf "clique_world seed=%d n=%d size=%d" seed n size)
-    (Engine.bus eng);
-  Harness.attach_flight
-    (Printf.sprintf "clique_world seed=%d n=%d size=%d" seed n size)
-    (Engine.bus eng);
+  let name =
+    (* [tag] distinguishes worlds a sweep builds in a loop (one per rate
+       step) whose seed/n/size would otherwise collide in the sinks. *)
+    match tag with
+    | Some tag -> tag
+    | None -> Printf.sprintf "clique_world seed=%d n=%d size=%d" seed n size
+  in
+  Harness.register_metrics name (Engine.metrics eng);
+  Harness.attach_trace name (Engine.bus eng);
+  Harness.attach_profile name (Engine.bus eng);
+  Harness.attach_slo name (Engine.bus eng);
+  Harness.attach_flight name (Engine.bus eng);
   let home_count = n - 2 in
   for _ = 1 to size do
     w.next_num <- w.next_num + 1;

@@ -18,14 +18,21 @@ let usage =
   \  diff FILE FILE   digest-aligned prefix diff of two traces\n\
   \  blackbox FILE..  render flight-recorder dumps (or the dumps embedded\n\
   \                   in VOPR repro bundles): trigger, tail exemplars and\n\
-  \                   their reconstructed span trees\n\n\
+  \                   their reconstructed span trees\n\
+  \  saturation FILE  attribute the latency tail of open-loop request spans\n\
+  \                   to phases via critical-path self time (run against a\n\
+  \                   trace from weakset_bench --e13 --trace-jsonl)\n\n\
    options:\n\
   \  --world NAME     restrict to the named world segment\n\
   \  --no-times       (tree) structure only: no ids, times or durations\n\
   \  --max-depth N    (tree) truncate below depth N\n\
   \  --top K          (profile) table depth, default 10\n\
   \  --slow-pct P     (anomalies) also flag spans above their name's\n\
-  \                   P-th duration percentile\n"
+  \                   P-th duration percentile\n\
+  \  --json           (blackbox) machine-readable: one JSON object per dump\n\
+  \                   on its own line instead of the rendered report\n\
+  \  --op NAME        (saturation) request span name, default load.request\n\
+  \  --tail-pct P     (saturation) tail cut percentile in [0,100], default 90\n"
 
 let die fmt = Printf.ksprintf (fun s -> prerr_string s; prerr_newline (); exit 2) fmt
 
@@ -45,6 +52,9 @@ type opts = {
   mutable max_depth : int option;
   mutable top : int;
   mutable slow_pct : float option;
+  mutable json : bool;
+  mutable op : string;
+  mutable tail_pct : float;
   mutable files : string list;
 }
 
@@ -55,11 +65,23 @@ let allowed_for = function
   | "tree" -> [ "--no-times"; "--max-depth" ]
   | "profile" -> [ "--top" ]
   | "anomalies" -> [ "--slow-pct" ]
+  | "blackbox" -> [ "--json" ]
+  | "saturation" -> [ "--op"; "--tail-pct" ]
   | _ -> []
 
 let parse_args cmd args =
   let o =
-    { world = None; times = true; max_depth = None; top = 10; slow_pct = None; files = [] }
+    {
+      world = None;
+      times = true;
+      max_depth = None;
+      top = 10;
+      slow_pct = None;
+      json = false;
+      op = "load.request";
+      tail_pct = 90.0;
+      files = [];
+    }
   in
   let allowed = "--world" :: allowed_for cmd in
   let permit flag =
@@ -99,7 +121,22 @@ let parse_args cmd args =
             o.slow_pct <- Some p;
             go rest
         | _ -> usage_die "--slow-pct expects a percentile in [0,100], got %S" v)
-    | [ ("--world" | "--max-depth" | "--top" | "--slow-pct") ] ->
+    | "--json" :: rest ->
+        permit "--json";
+        o.json <- true;
+        go rest
+    | "--op" :: v :: rest ->
+        permit "--op";
+        o.op <- value "--op" v;
+        go rest
+    | "--tail-pct" :: v :: rest -> (
+        permit "--tail-pct";
+        match float_of_string_opt (value "--tail-pct" v) with
+        | Some p when p >= 0.0 && p <= 100.0 ->
+            o.tail_pct <- p;
+            go rest
+        | _ -> usage_die "--tail-pct expects a percentile in [0,100], got %S" v)
+    | [ ("--world" | "--max-depth" | "--top" | "--slow-pct" | "--op" | "--tail-pct") ] ->
         usage_die "missing value for final option"
     | f :: _ when flag_like f -> usage_die "unknown option %S" f
     | f :: rest ->
@@ -235,14 +272,162 @@ let render_dump k doc =
       end;
       print_string (Buffer.contents buf)
 
-let cmd_blackbox files =
+(* Machine-readable rendering: one JSON object per dump, one per line,
+   fields in fixed order, floats as %.17g — pipe into jq, diff in CI. *)
+let render_dump_json file k doc =
+  match Flight.parse_dump doc with
+  | Error m -> die "weakset_trace: %s" m
+  | Ok p ->
+      let fnum = Printf.sprintf "%.17g" in
+      let b = Buffer.create 512 in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"file\":%S,\"dump\":%d,\"trigger\":%S,\"time\":%s,\"cause\":%S,\
+            \"suppressed\":%d,\"ring_dropped\":%d,\"events\":%d,\"inflight\":["
+           file k p.Flight.p_cause_kind (fnum p.Flight.p_time) p.Flight.p_cause_detail
+           p.Flight.p_suppressed p.Flight.p_dropped
+           (List.length p.Flight.p_events));
+      List.iteri
+        (fun i (id, name) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "{\"span\":%d,\"name\":%S}" id name))
+        p.Flight.p_inflight;
+      Buffer.add_string b "],\"exemplars\":[";
+      let tr = Trace.build p.Flight.p_events in
+      List.iteri
+        (fun i (key, v, tm, span) ->
+          if i > 0 then Buffer.add_char b ',';
+          let span_field, resolved =
+            match span with
+            | None -> ("null", false)
+            | Some s -> (string_of_int s, Trace.span tr s <> None)
+          in
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"metric\":%S,\"value\":%s,\"time\":%s,\"span\":%s,\"resolved\":%b}" key
+               (fnum v) (fnum tm) span_field resolved))
+        (Flight.tail_exemplars p.Flight.p_metrics);
+      Buffer.add_string b "]}\n";
+      print_string (Buffer.contents b)
+
+let cmd_blackbox ~json files =
   if files = [] then usage_die "blackbox expects at least one FILE";
   List.iter
     (fun file ->
       match dumps_of_file file with
-      | [] -> Printf.printf "== %s: no black-box dumps ==\n" file
-      | dumps -> List.iteri render_dump dumps)
+      | [] ->
+          if not json then Printf.printf "== %s: no black-box dumps ==\n" file
+      | dumps ->
+          List.iteri (if json then render_dump_json file else render_dump) dumps)
     files
+
+(* --- saturation anatomy ----------------------------------------------- *)
+
+let lerp_percentile arr p =
+  let n = Array.length arr in
+  if n = 1 then arr.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let w = rank -. float_of_int lo in
+    ((1.0 -. w) *. arr.(lo)) +. (w *. arr.(hi))
+  end
+
+(* Attribute the tail of the open-loop request population to phases.
+   Request spans are back-dated to their intended arrival tick, so a
+   request that waited for a free client shows that wait as leading self
+   time of the request span itself — the coordinated-omission share of
+   the tail appears as the op's own phase, and server/RPC time as the
+   [client.*] phases below it. *)
+let cmd_saturation o files =
+  List.iter
+    (fun seg ->
+      print_string (header seg);
+      let tr = Trace.of_segment seg in
+      let closed = List.filter (fun sp -> Trace.span_dur sp <> None) (Trace.roots tr) in
+      let named = List.filter (fun sp -> sp.Trace.name = o.op) closed in
+      let requests, what =
+        if named <> [] then (named, Printf.sprintf "%s request" o.op)
+        else (closed, "closed root")
+      in
+      match requests with
+      | [] -> print_string (Printf.sprintf "no closed %S spans\n" o.op)
+      | _ ->
+          let durs = Array.of_list (List.filter_map Trace.span_dur requests) in
+          Array.sort compare durs;
+          let cut = lerp_percentile durs o.tail_pct in
+          let tail =
+            List.filter
+              (fun sp ->
+                match Trace.span_dur sp with Some d -> d >= cut | None -> false)
+              requests
+          in
+          let tail_total =
+            List.fold_left
+              (fun acc sp ->
+                match Trace.span_dur sp with Some d -> acc +. d | None -> acc)
+              0.0 tail
+          in
+          Printf.printf
+            "%d %s span(s); tail = %d at/above p%g (dur >= %g), %g total\n"
+            (List.length requests) what (List.length tail) o.tail_pct cut tail_total;
+          let phases : (string, float ref * int ref) Hashtbl.t = Hashtbl.create 16 in
+          List.iter
+            (fun sp ->
+              List.iter
+                (fun (it : Trace.cp_item) ->
+                  let self, hits =
+                    match Hashtbl.find_opt phases it.Trace.cp_name with
+                    | Some cell -> cell
+                    | None ->
+                        let cell = (ref 0.0, ref 0) in
+                        Hashtbl.add phases it.Trace.cp_name cell;
+                        cell
+                  in
+                  self := !self +. it.Trace.cp_self;
+                  incr hits)
+                (Trace.critical_path tr sp))
+            tail;
+          let rows =
+            Hashtbl.fold (fun name (self, hits) acc -> (name, !self, !hits) :: acc) phases []
+          in
+          let rows =
+            List.sort
+              (fun (na, sa, _) (nb, sb, _) ->
+                match compare sb sa with 0 -> compare na nb | c -> c)
+              rows
+          in
+          Printf.printf "critical-path self time across the tail (worst phase first):\n";
+          Printf.printf "  %-32s %12s %7s %6s\n" "phase" "self" "share" "hits";
+          List.iter
+            (fun (name, self, hits) ->
+              Printf.printf "  %-32s %12.2f %6.1f%% %6d\n" name self
+                (if tail_total > 0.0 then 100.0 *. self /. tail_total else 0.0)
+                hits)
+            rows;
+          let slowest =
+            List.fold_left
+              (fun acc sp ->
+                match (acc, Trace.span_dur sp) with
+                | None, Some _ -> Some sp
+                | Some best, Some d
+                  when d > Option.value ~default:0.0 (Trace.span_dur best) ->
+                    Some sp
+                | _ -> acc)
+              None tail
+          in
+          Option.iter
+            (fun sp ->
+              Printf.printf "slowest request (span %d, dur=%g):\n" sp.Trace.id
+                (Option.value ~default:0.0 (Trace.span_dur sp));
+              List.iter
+                (fun (it : Trace.cp_item) ->
+                  Printf.printf "  %-32s self=%-10.2f [%g -> %g]\n" it.Trace.cp_name
+                    it.Trace.cp_self it.Trace.cp_start it.Trace.cp_end)
+                (Trace.critical_path tr sp))
+            slowest)
+    (one_file o files)
 
 let () =
   match Array.to_list Sys.argv with
@@ -301,7 +486,8 @@ let () =
               in
               pair 0 (sa, sb)
           | files -> usage_die "diff expects exactly two FILEs, got %d" (List.length files))
-      | "blackbox" -> cmd_blackbox o.files
+      | "blackbox" -> cmd_blackbox ~json:o.json o.files
+      | "saturation" -> cmd_saturation o o.files
       | "help" | "--help" | "-h" -> print_string usage
       | c -> usage_die "unknown command %S" c)
   | _ ->

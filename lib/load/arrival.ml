@@ -1,0 +1,44 @@
+module Rng = Weakset_sim.Rng
+
+type process =
+  | Poisson of { rate : float }
+  | Bursty of { rate : float; burst_mean : float }
+
+let rate = function Poisson { rate } | Bursty { rate; _ } -> rate
+
+let describe = function
+  | Poisson { rate } -> Printf.sprintf "poisson(%g)" rate
+  | Bursty { rate; burst_mean } -> Printf.sprintf "bursty(%g,x%g)" rate burst_mean
+
+let ticks p ~rng ~until =
+  match p with
+  | Poisson { rate } ->
+      if rate <= 0.0 then []
+      else begin
+        let acc = ref [] in
+        let t = ref (Rng.exponential rng ~mean:(1.0 /. rate)) in
+        while !t < until do
+          acc := !t :: !acc;
+          t := !t +. Rng.exponential rng ~mean:(1.0 /. rate)
+        done;
+        List.rev !acc
+      end
+  | Bursty { rate; burst_mean } ->
+      if rate <= 0.0 then []
+      else begin
+        (* Bursts are a thinned Poisson process; each burst lands
+           [geometric(1/burst_mean)] requests on the same tick, so the
+           long-run offered rate stays [rate]. *)
+        let burst_mean = Float.max 1.0 burst_mean in
+        let burst_rate = rate /. burst_mean in
+        let acc = ref [] in
+        let t = ref (Rng.exponential rng ~mean:(1.0 /. burst_rate)) in
+        while !t < until do
+          let k = Rng.geometric rng ~p:(1.0 /. burst_mean) in
+          for _ = 1 to k do
+            acc := !t :: !acc
+          done;
+          t := !t +. Rng.exponential rng ~mean:(1.0 /. burst_rate)
+        done;
+        List.rev !acc
+      end

@@ -1,0 +1,35 @@
+(** Open-loop arrival processes.
+
+    An open-loop load generator decides {e when} requests arrive from
+    the arrival process alone — never from how the system responds.  The
+    intended arrival ticks are therefore a pure function of the rng
+    stream, the process and the horizon: the system under test cannot
+    push back on the schedule, only fall behind it.  That independence
+    is what makes the latency surface coordinated-omission-safe (see
+    {!Openloop}): a request delayed by a saturated server still has its
+    intended tick, so the delay is measured instead of silently eliding
+    the sample. *)
+
+type process =
+  | Poisson of { rate : float }
+      (** memoryless arrivals: exponential inter-arrival gaps with mean
+          [1/rate] (requests per unit of virtual time) *)
+  | Bursty of { rate : float; burst_mean : float }
+      (** batched arrivals with the same long-run [rate]: bursts arrive
+          as a Poisson process of rate [rate /. burst_mean] and each
+          burst carries a geometric number of simultaneous requests with
+          mean [burst_mean] — the thundering-herd shape *)
+
+(** The long-run offered rate of the process (requests per unit of
+    virtual time). *)
+val rate : process -> float
+
+(** One-line deterministic description, e.g. ["poisson(2.5)"] or
+    ["bursty(2.5,x8)"]. *)
+val describe : process -> string
+
+(** [ticks p ~rng ~until] materialises the intended arrival ticks in
+    [\[0, until)], in nondecreasing order (bursts repeat a tick).  The
+    sequence is a pure function of [rng]'s state, so same-seed runs
+    offer byte-identical load.  A non-positive rate yields []. *)
+val ticks : process -> rng:Weakset_sim.Rng.t -> until:float -> float list

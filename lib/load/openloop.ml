@@ -1,0 +1,114 @@
+module Engine = Weakset_sim.Engine
+module Rng = Weakset_sim.Rng
+module Stats = Weakset_sim.Stats
+module Bus = Weakset_obs.Bus
+module Event = Weakset_obs.Event
+module Metrics = Weakset_obs.Metrics
+module Slo = Weakset_obs.Slo
+
+type config = {
+  clients : int;
+  arrival : Arrival.process;
+  duration : float;
+  drain : float;
+  span_name : string;
+}
+
+type outcome = {
+  offered_rate : float;
+  realized_rate : float;
+  intended : int;
+  completed : int;
+  errors : int;
+  abandoned : int;
+  achieved_rate : float;
+  intent : Stats.t;
+  send : Stats.t;
+}
+
+(* Deal ticks round-robin so every client sees a nondecreasing personal
+   schedule and the deal is a pure function of the tick list. *)
+let deal ~clients ticks =
+  let qs = Array.init clients (fun _ -> ref []) in
+  List.iteri (fun i tick -> qs.(i mod clients) := tick :: !(qs.(i mod clients))) ticks;
+  Array.map (fun q -> List.rev !q) qs
+
+let run ~eng ~rng ?slo ?(tick_every = 1.0) ~exec cfg =
+  if cfg.clients < 1 then invalid_arg "Openloop.run: clients must be >= 1";
+  if cfg.duration <= 0.0 then invalid_arg "Openloop.run: duration must be positive";
+  if cfg.drain < 0.0 then invalid_arg "Openloop.run: drain must be non-negative";
+  if tick_every <= 0.0 then invalid_arg "Openloop.run: tick_every must be positive";
+  let t0 = Engine.now eng in
+  let horizon = t0 +. cfg.duration +. cfg.drain in
+  let ticks =
+    List.map (fun d -> t0 +. d) (Arrival.ticks cfg.arrival ~rng ~until:cfg.duration)
+  in
+  let intended = List.length ticks in
+  let schedules = deal ~clients:cfg.clients ticks in
+  let bus = Engine.bus eng in
+  let m = Engine.metrics eng in
+  let h_intent = Metrics.histogram m ~labels:[ ("kind", "intent") ] "load.latency" in
+  let h_send = Metrics.histogram m ~labels:[ ("kind", "send") ] "load.latency" in
+  let intent = Stats.create () in
+  let send = Stats.create () in
+  let completed = ref 0 in
+  let errors = ref 0 in
+  Array.iteri
+    (fun client schedule ->
+      Engine.spawn eng ~name:(Printf.sprintf "load.client.%d" client) (fun () ->
+          List.iter
+            (fun tick ->
+              let now = Engine.now eng in
+              if tick > now then Engine.sleep eng (tick -. now);
+              (* The request span starts at the *intended* tick, even if
+                 this client fell behind schedule: queue-waiting becomes
+                 leading self-time of the span instead of an omitted
+                 sample. *)
+              let span = Bus.fresh_span bus in
+              Bus.emit bus ~time:tick
+                (Event.Span_start
+                   { span; parent = None; name = cfg.span_name; node = None });
+              let sent = Engine.now eng in
+              let res =
+                try exec ~client ~parent:span
+                with e -> Error (Printexc.to_string e)
+              in
+              let fin = Engine.now eng in
+              Bus.emit bus ~time:fin
+                (Event.Span_end
+                   { span; name = cfg.span_name; node = None; dur = fin -. tick });
+              let intent_lat = fin -. tick in
+              let send_lat = fin -. sent in
+              Stats.add intent intent_lat;
+              Stats.add send send_lat;
+              Metrics.observe_ex h_intent ~time:fin ~span intent_lat;
+              Metrics.observe_ex h_send ~time:fin ~span send_lat;
+              match res with Ok () -> incr completed | Error _ -> incr errors)
+            schedule))
+    schedules;
+  (match slo with
+  | None -> ()
+  | Some slo ->
+      Engine.spawn eng ~name:"load.metronome" (fun () ->
+          let rec loop () =
+            let next = Engine.now eng +. tick_every in
+            if next <= horizon then begin
+              Engine.sleep eng tick_every;
+              Slo.tick slo ~time:(Engine.now eng);
+              loop ()
+            end
+          in
+          loop ()));
+  ignore (Engine.run ~until:horizon eng);
+  let completed = !completed and errors = !errors in
+  {
+    offered_rate = Arrival.rate cfg.arrival;
+    realized_rate = float_of_int intended /. cfg.duration;
+    intended;
+    completed;
+    errors;
+    abandoned = intended - completed - errors;
+    achieved_rate = float_of_int (completed + errors) /. cfg.duration;
+    intent;
+    send;
+  }

@@ -1,0 +1,76 @@
+(** Open-loop multi-client load generator with coordinated-omission-safe
+    latency accounting.
+
+    A pool of client fibers works through a pre-materialised arrival
+    schedule (see {!Arrival}): request [k] has an {e intended} arrival
+    tick fixed before the run starts, independent of how the system
+    responds.  A client that is still busy when its next tick passes
+    issues the request late — and the lateness is {e measured}, because
+    every request's latency is taken from its intended tick, not from
+    the moment it was actually sent.  This is the classic fix for
+    coordinated omission: a closed-loop harness silently converts server
+    queueing delay into a slower offered rate, while an open-loop one
+    converts it into visible tail latency.
+
+    Both surfaces are recorded so the gap itself is observable:
+    - {e intent} latency = completion time − intended tick
+      (what a user arriving at the tick experiences), and
+    - {e send} latency = completion time − actual send time
+      (what the server alone contributed).
+
+    Each request is wrapped in a span whose [Span_start] is back-dated
+    to the intended tick, so trace tooling (critical-path attribution,
+    {!Weakset_obs.Slo}) sees queue-waiting as leading self-time of the
+    request span, and SLO burn is computed over intent latency. *)
+
+type config = {
+  clients : int;  (** client fibers; the concurrency ceiling *)
+  arrival : Arrival.process;
+  duration : float;  (** arrivals occupy [\[t0, t0 + duration)] *)
+  drain : float;
+      (** extra virtual time after the last intended arrival during
+          which in-flight requests may still complete *)
+  span_name : string;  (** span/op name, e.g. ["load.request"] *)
+}
+
+type outcome = {
+  offered_rate : float;  (** long-run rate of the arrival process *)
+  realized_rate : float;
+      (** intended ∕ duration — what this finite schedule actually
+          offered; differs from [offered_rate] by Poisson variance *)
+  intended : int;  (** requests in the materialised schedule *)
+  completed : int;
+  errors : int;
+  abandoned : int;  (** intended − completed − errors at the horizon *)
+  achieved_rate : float;  (** (completed + errors) ∕ duration *)
+  intent : Weakset_sim.Stats.t;
+      (** latency from intended arrival tick, finished requests only *)
+  send : Weakset_sim.Stats.t;  (** latency from actual send *)
+}
+
+(** [run ~eng ~rng ?slo ?tick_every ~exec cfg] materialises the arrival
+    schedule from [rng] (offset by the engine's current time), deals the
+    ticks round-robin to [cfg.clients] client fibers, runs the engine
+    until [duration + drain] past the start, and returns the outcome.
+
+    [exec ~client ~parent] performs one request; [parent] is the
+    request's span id, to be threaded into downstream spans (e.g. via
+    [Client.with_span_parent]) so each request forms one trace tree.  An
+    exception escaping [exec] is counted as an error, not a crash.
+
+    Latencies land in the engine's metrics registry as
+    [load.latency{kind=intent}] and [load.latency{kind=send}] histograms
+    with span-linked exemplars.
+
+    When [slo] is given, a metronome fiber calls {!Weakset_obs.Slo.tick}
+    every [tick_every] (default [1.0]) units of virtual time until the
+    horizon, so windows that empty out under overload keep burning (the
+    carry-forward semantics documented in {!Weakset_obs.Slo}). *)
+val run :
+  eng:Weakset_sim.Engine.t ->
+  rng:Weakset_sim.Rng.t ->
+  ?slo:Weakset_obs.Slo.t ->
+  ?tick_every:float ->
+  exec:(client:int -> parent:int -> (unit, string) result) ->
+  config ->
+  outcome

@@ -1,0 +1,94 @@
+module Stats = Weakset_sim.Stats
+
+type point = {
+  offered : float;
+  realized : float;
+  achieved : float;
+  intended : int;
+  completed : int;
+  errors : int;
+  abandoned : int;
+  p50_intent : float option;
+  p99_intent : float option;
+  p999_intent : float option;
+  p50_send : float option;
+  p99_send : float option;
+  p999_send : float option;
+}
+
+let pct stats p =
+  if Stats.count stats = 0 then None else Some (Stats.percentile_linear stats p)
+
+let point_of_outcome (o : Openloop.outcome) =
+  {
+    offered = o.offered_rate;
+    realized = o.realized_rate;
+    achieved = o.achieved_rate;
+    intended = o.intended;
+    completed = o.completed;
+    errors = o.errors;
+    abandoned = o.abandoned;
+    p50_intent = pct o.intent 50.0;
+    p99_intent = pct o.intent 99.0;
+    p999_intent = pct o.intent 99.9;
+    p50_send = pct o.send 50.0;
+    p99_send = pct o.send 99.0;
+    p999_send = pct o.send 99.9;
+  }
+
+let detect_knee ?(ach_frac = 0.9) ?(lat_mult = 4.0) ~slo points =
+  let saturated p =
+    (p.realized > 0.0 && p.achieved < ach_frac *. p.realized)
+    || match p.p99_intent with Some l -> l > lat_mult *. slo | None -> true
+  in
+  let rec find i = function
+    | [] -> None
+    | p :: rest -> if saturated p then Some i else find (i + 1) rest
+  in
+  find 0 points
+
+type curve = { label : string; points : point list; knee : int option }
+
+let knee_point c =
+  match c.knee with Some i -> List.nth_opt c.points i | None -> None
+
+(* --- deterministic JSON ---------------------------------------------- *)
+
+let fnum x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.17g" x
+
+let fopt = function None -> "null" | Some x -> fnum x
+
+let point_json b p =
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"offered\":%s,\"realized\":%s,\"achieved\":%s,\"intended\":%d,\"completed\":%d,\
+        \"errors\":%d,\"abandoned\":%d,\"p50_intent\":%s,\"p99_intent\":%s,\
+        \"p999_intent\":%s,\"p50_send\":%s,\"p99_send\":%s,\"p999_send\":%s}"
+       (fnum p.offered) (fnum p.realized) (fnum p.achieved) p.intended p.completed p.errors
+       p.abandoned (fopt p.p50_intent) (fopt p.p99_intent) (fopt p.p999_intent)
+       (fopt p.p50_send) (fopt p.p99_send) (fopt p.p999_send))
+
+let curves_to_json ~seed ~slo curves =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":\"weakset-load-curves-v1\",\"seed\":%d,\"slo\":%s,\"curves\":["
+       seed (fnum slo));
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"label\":%S,\"knee\":%s,\"knee_rate\":%s,\"points\":["
+           c.label
+           (match c.knee with Some k -> string_of_int k | None -> "null")
+           (match knee_point c with Some p -> fnum p.offered | None -> "null"));
+      List.iteri
+        (fun j p ->
+          if j > 0 then Buffer.add_char b ',';
+          point_json b p)
+        c.points;
+      Buffer.add_string b "]}")
+    curves;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b

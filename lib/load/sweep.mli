@@ -1,0 +1,54 @@
+(** Stepped-rate sweep surfaces and knee-of-curve detection.
+
+    A sweep runs {!Openloop} once per offered-rate step and flattens
+    each outcome into a {!point} on the throughput–latency surface.  The
+    {e knee} is the first step where the system visibly stops keeping up
+    — either achieved throughput diverges from offered, or intent-based
+    p99 blows through a multiple of the latency SLO.  Everything here is
+    pure data plumbing: deterministic inputs in, byte-identical JSON
+    out. *)
+
+type point = {
+  offered : float;
+  realized : float;  (** what the finite schedule actually offered *)
+  achieved : float;
+  intended : int;
+  completed : int;
+  errors : int;
+  abandoned : int;
+  p50_intent : float option;
+  p99_intent : float option;
+  p999_intent : float option;
+  p50_send : float option;
+  p99_send : float option;
+  p999_send : float option;
+      (** percentiles are [None] when the step finished no requests *)
+}
+
+(** Flatten one open-loop outcome (linear-interpolation percentiles over
+    the finished-request samples). *)
+val point_of_outcome : Openloop.outcome -> point
+
+(** [detect_knee ?ach_frac ?lat_mult ~slo points] is the index of the
+    first point where [achieved < ach_frac *. realized] (the generator
+    can no longer push its actual schedule through — judged against the
+    realized rate, so Poisson variance on short runs cannot fake a
+    knee) {e or} [p99_intent > lat_mult *. slo] (the tail has left the
+    building), or [None] if every step kept up.  Defaults:
+    [ach_frac = 0.9], [lat_mult = 4.0]. *)
+val detect_knee :
+  ?ach_frac:float -> ?lat_mult:float -> slo:float -> point list -> int option
+
+type curve = {
+  label : string;  (** e.g. the semantics name *)
+  points : point list;  (** in sweep (offered-rate) order *)
+  knee : int option;  (** index into [points] *)
+}
+
+(** The knee's point, when detected. *)
+val knee_point : curve -> point option
+
+(** One JSON document for the whole surface, deterministic and
+    byte-identical for identical inputs: floats rendered with [%.17g],
+    missing percentiles as [null], keys in fixed order. *)
+val curves_to_json : seed:int -> slo:float -> curve list -> string

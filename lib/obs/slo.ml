@@ -25,6 +25,8 @@ type tracked = {
   mutable worst_burn : float;
   mutable alerting : bool;
   mutable alerts : int;
+  mutable last_burn : float;  (* burn of the last window with samples *)
+  mutable gated : bool;       (* a window ever reached min_samples *)
 }
 
 type t = {
@@ -59,6 +61,8 @@ let create ?bus ?(min_samples = 5) ?(warn_burn = 1.0) ?(crit_burn = 4.0) objecti
           worst_burn = 0.0;
           alerting = false;
           alerts = 0;
+          last_burn = 0.0;
+          gated = false;
         })
       objectives
   in
@@ -77,18 +81,17 @@ let evict tr now =
     | _ -> continue_evict := false
   done
 
-let observe t tr ~time ~dur =
-  let good = dur <= tr.obj.max_latency in
-  tr.seen <- tr.seen + 1;
-  if not good then tr.bad_total <- tr.bad_total + 1;
-  Queue.push (time, good) tr.samples;
-  if not good then tr.bad_in_window <- tr.bad_in_window + 1;
-  evict tr time;
-  let n = Queue.length tr.samples in
-  let error_rate = float_of_int tr.bad_in_window /. float_of_int n in
-  let burn = error_rate /. budget tr.obj in
+(* Latch/re-arm evaluation shared by [observe] and [tick].  [n] is the
+   window population [burn] was computed from.  An empty window (n = 0)
+   is judged with the carried-forward burn of the last non-empty window
+   — under overload the system may stop completing requests entirely,
+   and an empty window must not silently disarm a latched alert — but
+   only once some window has ever reached [min_samples] ([gated]), so a
+   tick before any traffic cannot page. *)
+let judge t tr ~time ~n ~burn =
   tr.worst_burn <- Float.max tr.worst_burn burn;
-  if n >= t.min_samples then
+  if n >= t.min_samples then tr.gated <- true;
+  if n >= t.min_samples || (n = 0 && tr.gated) then
     if burn >= t.warn_burn then begin
       if not tr.alerting then begin
         tr.alerting <- true;
@@ -114,6 +117,38 @@ let observe t tr ~time ~dur =
       end
     end
     else tr.alerting <- false
+
+let observe t tr ~time ~dur =
+  let good = dur <= tr.obj.max_latency in
+  tr.seen <- tr.seen + 1;
+  if not good then tr.bad_total <- tr.bad_total + 1;
+  Queue.push (time, good) tr.samples;
+  if not good then tr.bad_in_window <- tr.bad_in_window + 1;
+  evict tr time;
+  let n = Queue.length tr.samples in
+  let error_rate = float_of_int tr.bad_in_window /. float_of_int n in
+  let burn = error_rate /. budget tr.obj in
+  tr.last_burn <- burn;
+  judge t tr ~time ~n ~burn
+
+let tick t ~time =
+  List.iter
+    (fun tr ->
+      evict tr time;
+      let n = Queue.length tr.samples in
+      let burn =
+        if n = 0 then tr.last_burn
+        else begin
+          let b = float_of_int tr.bad_in_window /. float_of_int n /. budget tr.obj in
+          tr.last_burn <- b;
+          b
+        end
+      in
+      judge t tr ~time ~n ~burn)
+    t.objectives
+
+let burn_rate t ~op =
+  Option.map (fun tr -> tr.last_burn) (Hashtbl.find_opt t.by_op op)
 
 let handle t (e : Event.t) =
   match e.kind with

@@ -11,7 +11,21 @@
     of the warn threshold (severity [Sev_crit] if the crit threshold is
     also crossed), and the objective re-arms once burn falls back below
     warn.  Nothing fires before [min_samples] samples are in the window,
-    so a single slow first request cannot page. *)
+    so a single slow first request cannot page.
+
+    {b Empty windows mid-run are explicit, not silent.}  When the
+    rolling window empties — every sample older than [window] has been
+    evicted and nothing new completed — the burn rate of the last
+    non-empty window is {e carried forward}: a latched alert stays
+    latched and {!tick} keeps judging with the carried value.  This is
+    deliberate: under overload the system may stop completing requests
+    entirely, which is the {e worst} state, and treating "no data" as
+    "no errors" would disarm the alert exactly when it matters most.
+    The carried burn only starts being judged once some window has ever
+    reached [min_samples], so ticking before any traffic cannot page.
+    Recovery is therefore only observed through completed requests: once
+    traffic completes again, the window refills and burn is recomputed
+    from real samples. *)
 
 type t
 
@@ -42,6 +56,19 @@ val handle : t -> Event.t -> unit
 
 (** [sink t] is [handle t], for [Bus.attach]. *)
 val sink : t -> Bus.sink
+
+(** [tick t ~time] re-evaluates every objective at [time] without a new
+    sample: the window is evicted up to [time] and burn is recomputed —
+    or, if the window is now empty, the last non-empty window's burn is
+    carried forward (see the module header).  Drive this from a
+    metronome fiber so overload that starves completions still raises
+    (and sustains) alerts. *)
+val tick : t -> time:float -> unit
+
+(** [burn_rate t ~op] is the burn rate as of the most recent
+    {!handle}d sample or {!tick} for [op]'s objective — the carried
+    value if the window is empty — or [None] for an unknown op. *)
+val burn_rate : t -> op:string -> float option
 
 (** Alert kinds fired so far, oldest first. *)
 val alerts : t -> Event.kind list

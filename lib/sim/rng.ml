@@ -43,6 +43,16 @@ let exponential t ~mean =
   let u = if u <= 0.0 then epsilon_float else u in
   -.mean *. log u
 
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p must be in (0, 1]";
+  if p >= 1.0 then 1
+  else begin
+    let u = float t 1.0 in
+    let u = if u <= 0.0 then epsilon_float else u in
+    (* Inverse CDF of the geometric distribution on {1, 2, ...}. *)
+    1 + int_of_float (Float.floor (log u /. Float.log1p (-.p)))
+  end
+
 let pick t arr =
   if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
   arr.(int t (Array.length arr))

@@ -42,6 +42,13 @@ val chance : t -> float -> bool
     inter-arrival and failure/repair times. *)
 val exponential : t -> mean:float -> float
 
+(** [geometric t ~p] draws from the geometric distribution on
+    [{1, 2, ...}] (number of Bernoulli([p]) trials up to and including
+    the first success); mean [1/p].  Used for burst sizes in the bursty
+    open-loop arrival process.  Raises [Invalid_argument] unless
+    [p] is in (0, 1]. *)
+val geometric : t -> p:float -> int
+
 (** [pick t arr] returns a uniformly chosen element of [arr].
     Requires the array to be non-empty. *)
 val pick : t -> 'a array -> 'a

@@ -18,6 +18,7 @@ type t = {
   rpc : rpc;
   node : Nodeid.t;
   timeout : float;
+  parent0 : int option; (* default enclosing span when a call passes none *)
   hoard : (int, Svalue.t) Hashtbl.t; (* hoarded object contents, by oid num *)
   lease : Cache.t option; (* coherent lease cache (None: every read is remote) *)
 }
@@ -40,7 +41,7 @@ let create ?(timeout = 30.0) ?cache rpc node =
         c)
       cache
   in
-  { rpc; node; timeout; hoard = Hashtbl.create 32; lease }
+  { rpc; node; timeout; parent0 = None; hoard = Hashtbl.create 32; lease }
 
 let lease_cache t = t.lease
 
@@ -49,6 +50,7 @@ let rpc t = t.rpc
 let engine t = Rpc.engine t.rpc
 let topology t = Rpc.topology t.rpc
 let with_timeout t timeout = { t with timeout }
+let with_span_parent t span = { t with parent0 = Some span }
 
 let owner_counter = ref 0
 
@@ -63,6 +65,7 @@ let of_rpc_error = function Rpc.Timeout -> Timeout | Rpc.Unreachable -> Unreacha
    span in turn parents the RPC — so one user request reconstructs as one
    tree reaching through the wire into the server. *)
 let call ?parent t dst req =
+  let parent = match parent with Some _ -> parent | None -> t.parent0 in
   let eng = Rpc.engine t.rpc in
   let bus = Rpc.bus t.rpc in
   let label = Protocol.request_label req in
@@ -109,6 +112,7 @@ let remote_fetch ?parent t oid =
    Gives the critical-path analyzer a named phase to attribute hit time
    to, against the RPC-bound span of the corresponding miss path. *)
 let cached_span ?parent t name v =
+  let parent = match parent with Some _ -> parent | None -> t.parent0 in
   let eng = Rpc.engine t.rpc in
   Weakset_obs.Bus.with_span_id (Rpc.bus t.rpc)
     ~time:(fun () -> Weakset_sim.Engine.now eng)

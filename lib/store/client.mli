@@ -38,6 +38,16 @@ val topology : t -> Weakset_net.Topology.t
 (** A copy of the client with a different per-call timeout. *)
 val with_timeout : t -> float -> t
 
+(** [with_span_parent t span] is a copy of the client whose operations
+    default to [span] as their enclosing span when no explicit [?parent]
+    is passed.  This is how per-request trace trees form through code
+    (e.g. {!Weak_set} iteration) that does not thread span ids itself:
+    an open-loop load harness hands each request a client scoped to the
+    request's span, and every [client.*] span (and RPC under it) lands
+    in that request's tree.  The copy shares all mutable state (hoard,
+    lease cache) with [t]. *)
+val with_span_parent : t -> int -> t
+
 (** Fresh process-unique lock-owner token. *)
 val fresh_owner : unit -> int
 

@@ -3,6 +3,8 @@ module Json = Weakset_obs.Json
 
 type shape = Clique | Star | Line
 
+type open_loop = { ol_rate : float; ol_clients : int; ol_bursty : bool }
+
 type config = {
   shape : shape;
   nodes : int;
@@ -12,6 +14,7 @@ type config = {
   initial_size : int;
   cache : bool;
   lease_ttl : float;
+  open_loop : open_loop option;
 }
 
 type op =
@@ -24,6 +27,7 @@ type fault =
   | Crash of { node : int; at : float; recover_at : float }
   | Cut of { a : int; b : int; at : float; heal_at : float }
   | Partition of { groups : int list list; at : float; heal_at : float }
+  | Herd of { at : float; clients : int; burst : int }
 
 type plan = {
   seed : int64;
@@ -46,7 +50,7 @@ let op_time = function
   | Iterate { at; _ } -> at
 
 let fault_time = function
-  | Crash { at; _ } | Cut { at; _ } | Partition { at; _ } -> at
+  | Crash { at; _ } | Cut { at; _ } | Partition { at; _ } | Herd { at; _ } -> at
 
 let event_count plan = List.length plan.ops + List.length plan.faults
 
@@ -70,7 +74,25 @@ let gen_config rng =
      the rest of the config stream. *)
   let cache = Rng.chance rng 0.6 in
   let lease_ttl = Rng.uniform rng 10.0 40.0 in
-  { shape; nodes; latency; replica_ixs; replica_interval; initial_size; cache; lease_ttl }
+  (* Open-loop background arrivals (appended last, every draw always
+     happens): existing seeds keep their exact config prefix, and
+     flipping the knob never shifts the stream. *)
+  let ol_on = Rng.chance rng 0.25 in
+  let ol_rate = Rng.uniform rng 0.1 1.5 in
+  let ol_clients = 2 + Rng.int rng 6 in
+  let ol_bursty = Rng.chance rng 0.25 in
+  let open_loop = if ol_on then Some { ol_rate; ol_clients; ol_bursty } else None in
+  {
+    shape;
+    nodes;
+    latency;
+    replica_ixs;
+    replica_interval;
+    initial_size;
+    cache;
+    lease_ttl;
+    open_loop;
+  }
 
 (* Weighted semantics mix; stale-replica reads only make sense when the
    config placed a replica. *)
@@ -151,6 +173,18 @@ let gen_faults rng config ~horizon =
           let a, b = gen_link rng config in
           Cut { a; b; at; heal_at = at +. dur })
   in
+  (* Thundering herd (appended last, every draw always happens): older
+     seeds keep their exact fault prefix, and flipping the knob never
+     shifts the stream. *)
+  let herd_on = Rng.chance rng 0.25 in
+  let herd_at = 2.0 +. Rng.float rng (horizon -. 7.0) in
+  let herd_clients = 4 + Rng.int rng 13 in
+  let herd_burst = 1 + Rng.int rng 3 in
+  let faults =
+    if herd_on then
+      faults @ [ Herd { at = herd_at; clients = herd_clients; burst = herd_burst } ]
+    else faults
+  in
   List.stable_sort (fun a b -> Float.compare (fault_time a) (fault_time b)) faults
 
 let generate seed =
@@ -200,12 +234,22 @@ let fault_to_json = function
       Printf.sprintf {|{"fault":"partition","groups":[%s],"at":%s,"heal_at":%s}|}
         (String.concat "," (List.map ints_to_json groups))
         (fnum at) (fnum heal_at)
+  | Herd { at; clients; burst } ->
+      Printf.sprintf {|{"fault":"herd","at":%s,"clients":%d,"burst":%d}|} (fnum at) clients
+        burst
+
+let open_loop_to_json = function
+  | None -> "null"
+  | Some { ol_rate; ol_clients; ol_bursty } ->
+      Printf.sprintf {|{"rate":%s,"clients":%d,"bursty":%b}|} (fnum ol_rate) ol_clients
+        ol_bursty
 
 let config_to_json c =
   Printf.sprintf
-    {|{"shape":"%s","nodes":%d,"latency":%s,"replica_ixs":%s,"replica_interval":%s,"initial_size":%d,"cache":%b,"lease_ttl":%s}|}
+    {|{"shape":"%s","nodes":%d,"latency":%s,"replica_ixs":%s,"replica_interval":%s,"initial_size":%d,"cache":%b,"lease_ttl":%s,"open_loop":%s}|}
     (shape_name c.shape) c.nodes (fnum c.latency) (ints_to_json c.replica_ixs)
     (fnum c.replica_interval) c.initial_size c.cache (fnum c.lease_ttl)
+    (open_loop_to_json c.open_loop)
 
 let plan_to_json p =
   Printf.sprintf {|{"seed":%Ld,"config":%s,"ops":[%s],"faults":[%s],"budget":%s}|} p.seed
@@ -315,6 +359,11 @@ let fault_of_json j =
       let* at = float_field "at" j in
       let* heal_at = float_field "heal_at" j in
       Ok (Partition { groups; at; heal_at })
+  | "herd" ->
+      let* at = float_field "at" j in
+      let* clients = int_field "clients" j in
+      let* burst = int_field "burst" j in
+      Ok (Herd { at; clients; burst })
   | k -> Error (Printf.sprintf "unknown fault kind %S" k)
 
 let bool_field name j =
@@ -337,7 +386,28 @@ let config_of_json j =
   let* initial_size = int_field "initial_size" j in
   let* cache = bool_field "cache" j in
   let* lease_ttl = float_field "lease_ttl" j in
-  Ok { shape; nodes; latency; replica_ixs; replica_interval; initial_size; cache; lease_ttl }
+  (* Absent or null on bundles written before the knob existed. *)
+  let* open_loop =
+    match Json.member "open_loop" j with
+    | None | Some Json.Null -> Ok None
+    | Some ol ->
+        let* ol_rate = float_field "rate" ol in
+        let* ol_clients = int_field "clients" ol in
+        let* ol_bursty = bool_field "bursty" ol in
+        Ok (Some { ol_rate; ol_clients; ol_bursty })
+  in
+  Ok
+    {
+      shape;
+      nodes;
+      latency;
+      replica_ixs;
+      replica_interval;
+      initial_size;
+      cache;
+      lease_ttl;
+      open_loop;
+    }
 
 let plan_of_json j =
   let* seed_j = field "seed" j in

@@ -20,6 +20,15 @@
 
 type shape = Clique | Star | Line
 
+type open_loop = {
+  ol_rate : float;  (** mean background arrivals per time unit *)
+  ol_clients : int;  (** fibers the schedule is dealt across *)
+  ol_bursty : bool;  (** geometric bursts instead of plain Poisson *)
+}
+(** Background open-loop traffic: size queries arriving on their own
+    clock regardless of how slow the system is, so fault windows are hit
+    by queued-up work instead of a single polite driver. *)
+
 type config = {
   shape : shape;
   nodes : int;  (** total node count, >= 4 *)
@@ -29,6 +38,9 @@ type config = {
   initial_size : int;  (** members provisioned before time 0 *)
   cache : bool;  (** iterating client runs a lease cache *)
   lease_ttl : float;  (** server-granted lease duration when [cache] *)
+  open_loop : open_loop option;
+      (** background arrival knob; [None] on most seeds (and on every
+          bundle written before the knob existed) *)
 }
 
 type op =
@@ -46,6 +58,10 @@ type fault =
   | Crash of { node : int; at : float; recover_at : float }
   | Cut of { a : int; b : int; at : float; heal_at : float }
   | Partition of { groups : int list list; at : float; heal_at : float }
+  | Herd of { at : float; clients : int; burst : int }
+      (** thundering herd: [clients] fibers wake at [at] and each fires
+          [burst] back-to-back size queries — a load spike, not a
+          topology fault, so it has no heal time *)
 
 type plan = {
   seed : int64;

@@ -1,4 +1,6 @@
 module Engine = Weakset_sim.Engine
+module Rng = Weakset_sim.Rng
+module Arrival = Weakset_load.Arrival
 module Topology = Weakset_net.Topology
 module Fault = Weakset_net.Fault
 module Rpc = Weakset_net.Rpc
@@ -75,8 +77,16 @@ let validate plan =
             (List.iter (fun ix ->
                  if ix < 0 || ix >= n then
                    invalid_arg (Printf.sprintf "Vopr.Runner: partition node %d out of range" ix)))
-            groups)
-    plan.Gen.faults
+            groups
+      | Gen.Herd { clients; burst; _ } ->
+          if clients < 1 || burst < 1 then
+            invalid_arg "Vopr.Runner: herd clients and burst must be >= 1")
+    plan.Gen.faults;
+  (match c.Gen.open_loop with
+  | Some { Gen.ol_rate; ol_clients; _ } ->
+      if ol_rate <= 0.0 || ol_clients < 1 then
+        invalid_arg "Vopr.Runner: open_loop rate must be positive and clients >= 1"
+  | None -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                          *)
@@ -220,6 +230,14 @@ let execute ?(step_cap = default_step_cap) plan =
               :: !cache_hits
         | _ -> ())
   end;
+  (* Background-load traffic (open-loop arrivals and thundering herds)
+     reads through its own uncached client: authoritative size queries
+     that stress the coordinator without touching the lease cache the
+     oracle is watching.  Lazy so plans without either knob build the
+     exact same world as before. *)
+  let bg_handle =
+    lazy (Weak_set.make (Client.create rpc nodes.(n - 1)) sref Semantics.optimistic)
+  in
   (* Fault schedule, through the Fault scheduled API (the code path
      hand-written scenarios use). *)
   List.iter
@@ -233,8 +251,58 @@ let execute ?(step_cap = default_step_cap) plan =
               Fault.heal_link fault nodes.(a) nodes.(b))
       | Gen.Partition { groups; at; heal_at } ->
           Fault.schedule_partition fault ~at ~heal_at
-            (List.map (List.map (fun ix -> nodes.(ix))) groups))
+            (List.map (List.map (fun ix -> nodes.(ix))) groups)
+      | Gen.Herd { at; clients; burst } ->
+          (* A load spike, not a topology fault: [clients] fibers wake
+             together and each fires [burst] back-to-back size queries.
+             Every query completes once links heal, so the run still
+             quiesces. *)
+          for h = 0 to clients - 1 do
+            Engine.spawn eng ~name:(Printf.sprintf "vopr-herd.%d" h) (fun () ->
+                let now = Engine.now eng in
+                if at > now then Engine.sleep eng (at -. now);
+                for _ = 1 to burst do
+                  ignore (Weak_set.size (Lazy.force bg_handle))
+                done)
+          done)
     plan.Gen.faults;
+  (* Open-loop background arrivals: size queries on their own clock,
+     dealt round-robin across [ol_clients] fibers.  The tick stream is
+     the fourth split of the plan seed — independent of the config,
+     workload and fault streams, so a bundle replay reproduces it
+     exactly without storing the ticks. *)
+  (match c.Gen.open_loop with
+  | None -> ()
+  | Some { Gen.ol_rate; ol_clients; ol_bursty } ->
+      let olrng =
+        let root = Rng.create plan.Gen.seed in
+        let (_ : Rng.t) = Rng.split root in
+        let (_ : Rng.t) = Rng.split root in
+        let (_ : Rng.t) = Rng.split root in
+        Rng.split root
+      in
+      let arrival =
+        if ol_bursty then Arrival.Bursty { rate = ol_rate; burst_mean = 4.0 }
+        else Arrival.Poisson { rate = ol_rate }
+      in
+      (* budget = workload horizon + 60 by construction: stop arrivals
+         at the horizon so the tail drains well inside the budget. *)
+      let until = Float.max 1.0 (plan.Gen.budget -. 60.0) in
+      let ticks = Arrival.ticks arrival ~rng:olrng ~until in
+      let qs = Array.make ol_clients [] in
+      List.iteri (fun i t -> qs.(i mod ol_clients) <- t :: qs.(i mod ol_clients)) ticks;
+      Array.iteri
+        (fun i q ->
+          let schedule = List.rev q in
+          if schedule <> [] then
+            Engine.spawn eng ~name:(Printf.sprintf "vopr-openloop.%d" i) (fun () ->
+                List.iter
+                  (fun tick ->
+                    let now = Engine.now eng in
+                    if tick > now then Engine.sleep eng (tick -. now);
+                    ignore (Weak_set.size (Lazy.force bg_handle)))
+                  schedule))
+        qs);
   (* Mutator driver: add/remove/size at their scheduled times.  When the
      plan contains an immutable iteration, every mutation must honour the
      write lock (§3.1) — the handle's semantics enforces that. *)
@@ -379,11 +447,14 @@ let execute ?(step_cap = default_step_cap) plan =
       in
       let inval_grace = (float_of_int hops *. c.Gen.latency *. 1.5) +. 1.0 in
       let fault_windows =
-        List.map
+        List.filter_map
           (function
-            | Gen.Crash { at; recover_at; _ } -> (at, recover_at)
-            | Gen.Cut { at; heal_at; _ } -> (at, heal_at)
-            | Gen.Partition { at; heal_at; _ } -> (at, heal_at))
+            | Gen.Crash { at; recover_at; _ } -> Some (at, recover_at)
+            | Gen.Cut { at; heal_at; _ } -> Some (at, heal_at)
+            | Gen.Partition { at; heal_at; _ } -> Some (at, heal_at)
+            (* A herd delays invals by queueing, it never severs links —
+               the stale-beyond-lease rule gets no grace window for it. *)
+            | Gen.Herd _ -> None)
           plan.Gen.faults
       in
       Some

@@ -24,6 +24,13 @@ let shorten_fault f =
       Option.map (fun heal_at -> Gen.Cut { a; b; at; heal_at }) (half ~at ~heal:heal_at)
   | Gen.Partition { groups; at; heal_at } ->
       Option.map (fun heal_at -> Gen.Partition { groups; at; heal_at }) (half ~at ~heal:heal_at)
+  (* A herd has no window; its size is the spike itself, so halve that. *)
+  | Gen.Herd { at; clients; burst } ->
+      if clients <= 1 && burst <= 1 then None
+      else
+        Some
+          (Gen.Herd
+             { at; clients = max 1 ((clients + 1) / 2); burst = max 1 ((burst + 1) / 2) })
 
 let minimize ?(max_runs = 200) ~run ~issues plan =
   if issues = [] then invalid_arg "Vopr.Shrink.minimize: issue list is empty";

@@ -375,6 +375,54 @@ let test_bench_cli_cache_flags () =
   | `Help -> ()
   | _ -> Alcotest.fail "--help must yield `Help"
 
+(* The E13 sweep flags obey the same strictness rules: scoped to --e13,
+   validated values, and a flag is never swallowed as another flag's
+   value.  Errors must name the offending flag so a typo in a CI recipe
+   fails loudly instead of running the wrong experiment. *)
+let test_bench_cli_e13_flags () =
+  let module Cli = Bench_lib.Cli in
+  (match Cli.parse [ "--e13" ] with
+  | `Ok o ->
+      check_bool "--e13 sets e13" true o.Cli.e13;
+      check_bool "sweep knobs default unset" true
+        (o.Cli.curves_json = None && o.Cli.load_clients = None && o.Cli.load_duration = None)
+  | _ -> Alcotest.fail "--e13 must parse");
+  (match
+     Cli.parse
+       [ "--e13"; "--curves-json"; "c.json"; "--load-clients"; "8"; "--load-duration"; "50" ]
+   with
+  | `Ok o ->
+      check_bool "--curves-json parsed" true (o.Cli.curves_json = Some "c.json");
+      check_bool "--load-clients parsed" true (o.Cli.load_clients = Some 8);
+      check_bool "--load-duration parsed" true (o.Cli.load_duration = Some 50.0)
+  | _ -> Alcotest.fail "full --e13 invocation must parse");
+  let expect_error_naming name flag args =
+    match Cli.parse args with
+    | `Error msg ->
+        let mentions =
+          let fl = String.length flag and ml = String.length msg in
+          let rec scan i = i + fl <= ml && (String.sub msg i fl = flag || scan (i + 1)) in
+          scan 0
+        in
+        check_bool (name ^ ": error names " ^ flag) true mentions
+    | `Ok _ -> Alcotest.failf "%s: expected an error" name
+    | `Help -> Alcotest.failf "%s: unexpected help" name
+  in
+  expect_error_naming "--curves-json without --e13" "--curves-json"
+    [ "--curves-json"; "c.json" ];
+  expect_error_naming "--load-clients without --e13" "--load-clients"
+    [ "--load-clients"; "8" ];
+  expect_error_naming "--load-duration without --e13" "--load-duration"
+    [ "--load-duration"; "50" ];
+  expect_error_naming "zero clients" "--load-clients" [ "--e13"; "--load-clients"; "0" ];
+  expect_error_naming "negative duration" "--load-duration"
+    [ "--e13"; "--load-duration"; "-5" ];
+  expect_error_naming "flag swallowed as value" "--curves-json"
+    [ "--e13"; "--curves-json"; "--load-clients" ];
+  expect_error_naming "trailing value-taking flag" "--load-duration"
+    [ "--e13"; "--load-duration" ];
+  expect_error_naming "unknown flag named" "--e14" [ "--e14" ]
+
 (* ------------------------------------------------------------------ *)
 
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
@@ -407,5 +455,8 @@ let () =
             test_prefetch_membership_read_at;
         ] );
       ( "bench-cli",
-        [ Alcotest.test_case "strict cache flags" `Quick test_bench_cli_cache_flags ] );
+        [
+          Alcotest.test_case "strict cache flags" `Quick test_bench_cli_cache_flags;
+          Alcotest.test_case "strict e13 sweep flags" `Quick test_bench_cli_e13_flags;
+        ] );
     ]

@@ -139,6 +139,33 @@ let test_reservoir_exact_below_cap () =
   check (Alcotest.float 1e-9) "p100 = max" 4.0 (Metrics.h_percentile h 100.0);
   check (Alcotest.float 1e-9) "p50 exact" 2.5 (Metrics.h_percentile h 50.0)
 
+(* Crossing [reservoir_capacity] exactly: the sample that fills the
+   array is still exact (nothing dropped, percentiles over every value);
+   the next sample triggers one in-place compaction — stride doubles,
+   half the entries survive, count and sum stay exact. *)
+let test_reservoir_crosses_capacity_exactly () =
+  let cap = Metrics.reservoir_capacity in
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  for i = 1 to cap do
+    Metrics.observe h (float_of_int i)
+  done;
+  checki "at capacity everything is retained" cap (Metrics.h_retained h);
+  check (Alcotest.float 1e-9) "p100 exact at capacity" (float_of_int cap)
+    (Metrics.h_percentile h 100.0);
+  check (Alcotest.float 1e-9) "p0 exact at capacity" 1.0 (Metrics.h_percentile h 0.0);
+  Metrics.observe h (float_of_int (cap + 1));
+  checki "one past capacity compacts to half" ((cap / 2) + 1) (Metrics.h_retained h);
+  checki "count still exact" (cap + 1) (Metrics.h_count h);
+  check (Alcotest.float 1e-6) "sum still exact"
+    (float_of_int ((cap + 1) * (cap + 2)) /. 2.0)
+    (Metrics.h_sum h);
+  (* Survivors are the even original indices plus the new admission, so
+     the extremes the decimated percentiles see are 1 and cap+1. *)
+  check (Alcotest.float 1e-9) "p0 survives decimation" 1.0 (Metrics.h_percentile h 0.0);
+  check (Alcotest.float 1e-9) "p100 is the new sample" (float_of_int (cap + 1))
+    (Metrics.h_percentile h 100.0)
+
 let test_observe_ex_exports_exemplars () =
   let m = Metrics.create () in
   let h = Metrics.histogram m "client.latency" ~labels:[ ("op", "fetch") ] in
@@ -424,6 +451,8 @@ let () =
           Alcotest.test_case "bounded on a 10x run" `Quick test_reservoir_bounded;
           Alcotest.test_case "decimation deterministic" `Quick test_reservoir_deterministic;
           Alcotest.test_case "exact below capacity" `Quick test_reservoir_exact_below_cap;
+          Alcotest.test_case "crossing capacity exactly" `Quick
+            test_reservoir_crosses_capacity_exactly;
           Alcotest.test_case "observe_ex exports exemplars" `Quick
             test_observe_ex_exports_exemplars;
         ] );

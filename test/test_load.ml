@@ -1,0 +1,220 @@
+(* Tests for weakset_load: arrival processes as pure functions of the
+   rng, the open-loop driver's coordinated-omission accounting (latency
+   from *intended* arrival, abandoned requests counted, determinism),
+   and sweep knee detection plus byte-identical curve JSON. *)
+
+module Engine = Weakset_sim.Engine
+module Rng = Weakset_sim.Rng
+module Stats = Weakset_sim.Stats
+module Load = Weakset_load
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Arrival                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_arrival_pure_function_of_rng () =
+  let ticks seed p = Load.Arrival.ticks p ~rng:(Rng.create seed) ~until:200.0 in
+  let p = Load.Arrival.Poisson { rate = 0.5 } in
+  check_bool "same rng, same schedule" true (ticks 3L p = ticks 3L p);
+  check_bool "different rng, different schedule" true (ticks 3L p <> ticks 4L p);
+  let b = Load.Arrival.Bursty { rate = 0.5; burst_mean = 6.0 } in
+  check_bool "bursty same rng, same schedule" true (ticks 9L b = ticks 9L b)
+
+let test_arrival_schedule_shape () =
+  let until = 500.0 in
+  List.iter
+    (fun p ->
+      let ticks = Load.Arrival.ticks p ~rng:(Rng.create 7L) ~until in
+      check_bool "nonempty at this rate" true (ticks <> []);
+      List.iter
+        (fun t -> check_bool "tick in [0, until)" true (t >= 0.0 && t < until))
+        ticks;
+      check_bool "nondecreasing" true (List.sort compare ticks = ticks);
+      (* The realized count concentrates around rate * until. *)
+      let n = List.length ticks in
+      check_bool "count near the offered rate" true (n > 300 && n < 700))
+    [
+      Load.Arrival.Poisson { rate = 1.0 };
+      Load.Arrival.Bursty { rate = 1.0; burst_mean = 4.0 };
+    ]
+
+let test_bursty_shares_ticks () =
+  let ticks =
+    Load.Arrival.ticks
+      (Load.Arrival.Bursty { rate = 1.0; burst_mean = 8.0 })
+      ~rng:(Rng.create 5L) ~until:300.0
+  in
+  let rec has_dup = function
+    | a :: (b :: _ as rest) -> a = b || has_dup rest
+    | _ -> false
+  in
+  (* Burst members arrive on the same tick: that simultaneity is the
+     whole point of the bursty process. *)
+  check_bool "bursts share an arrival tick" true (has_dup ticks)
+
+(* ------------------------------------------------------------------ *)
+(* Openloop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A toy closed service: every request holds the single server for
+   [service] time units, so offered > 1/service must queue. *)
+let run_toy ?(seed = 1L) ~clients ~rate ~duration ~drain ~service () =
+  let eng = Engine.create ~seed () in
+  let cfg =
+    {
+      Load.Openloop.clients;
+      arrival = Load.Arrival.Poisson { rate };
+      duration;
+      drain;
+      span_name = "toy.request";
+    }
+  in
+  Load.Openloop.run ~eng ~rng:(Rng.create 2L)
+    ~exec:(fun ~client:_ ~parent:_ ->
+      Engine.sleep eng service;
+      Ok ())
+    cfg
+
+let test_openloop_accounting_adds_up () =
+  let o = run_toy ~clients:4 ~rate:0.5 ~duration:100.0 ~drain:200.0 ~service:1.0 () in
+  check_bool "something arrived" true (o.Load.Openloop.intended > 0);
+  check_int "intended = completed + errors + abandoned" o.Load.Openloop.intended
+    (o.Load.Openloop.completed + o.Load.Openloop.errors + o.Load.Openloop.abandoned);
+  (* Drain is generous and the service keeps up: everything completes. *)
+  check_int "no abandoned requests" 0 o.Load.Openloop.abandoned;
+  check_int "no errors" 0 o.Load.Openloop.errors;
+  check_int "one latency sample per completion"
+    (o.Load.Openloop.completed + o.Load.Openloop.errors)
+    (Stats.count o.Load.Openloop.intent)
+
+let test_openloop_intent_sees_queueing_send_does_not () =
+  (* One client, service 2.0, offered 2.0/unit: a 4x overload.  Send
+     latency stays the bare service time; intent latency accumulates the
+     queue wait behind every earlier request on the client's schedule —
+     the coordinated-omission gap. *)
+  let o = run_toy ~clients:1 ~rate:2.0 ~duration:20.0 ~drain:1000.0 ~service:2.0 () in
+  check_int "overloaded but fully drained" 0 o.Load.Openloop.abandoned;
+  let p99i = Stats.percentile_linear o.Load.Openloop.intent 99.0 in
+  let p99s = Stats.percentile_linear o.Load.Openloop.send 99.0 in
+  check_bool "send p99 is the bare service time" true (p99s < 2.0 +. 1e-9);
+  check_bool "intent p99 exposes the queue" true (p99i > 4.0 *. p99s)
+
+let test_openloop_abandons_at_horizon () =
+  (* No drain at all: whatever is still queued when the horizon hits is
+     abandoned — counted, not silently dropped. *)
+  let o = run_toy ~clients:1 ~rate:2.0 ~duration:20.0 ~drain:0.0 ~service:2.0 () in
+  check_bool "saturated run abandons work" true (o.Load.Openloop.abandoned > 0);
+  check_int "accounting still adds up" o.Load.Openloop.intended
+    (o.Load.Openloop.completed + o.Load.Openloop.errors + o.Load.Openloop.abandoned)
+
+let test_openloop_deterministic () =
+  let point () =
+    Load.Sweep.point_of_outcome
+      (run_toy ~clients:3 ~rate:1.0 ~duration:50.0 ~drain:100.0 ~service:0.8 ())
+  in
+  check_bool "same seeds, same point" true (point () = point ())
+
+let test_openloop_rejects_bad_config () =
+  Alcotest.check_raises "zero clients"
+    (Invalid_argument "Openloop.run: clients must be >= 1") (fun () ->
+      ignore (run_toy ~clients:0 ~rate:1.0 ~duration:10.0 ~drain:0.0 ~service:1.0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Sweep                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let point ?(realized = 1.0) ?(achieved = 1.0) ?p99_intent offered =
+  {
+    Load.Sweep.offered;
+    realized;
+    achieved;
+    intended = 100;
+    completed = 100;
+    errors = 0;
+    abandoned = 0;
+    p50_intent = Some 1.0;
+    p99_intent;
+    p999_intent = p99_intent;
+    p50_send = Some 1.0;
+    p99_send = Some 1.0;
+    p999_send = Some 1.0;
+  }
+
+let test_knee_detection () =
+  let slo = 10.0 in
+  (* Every step keeps up: no knee. *)
+  check_bool "healthy curve has no knee" true
+    (Load.Sweep.detect_knee ~slo
+       [ point ~p99_intent:2.0 0.5; point ~p99_intent:3.0 1.0 ]
+    = None);
+  (* Throughput divergence: achieved falls under ach_frac * realized. *)
+  check_bool "throughput knee at index 1" true
+    (Load.Sweep.detect_knee ~slo
+       [
+         point ~p99_intent:2.0 0.5;
+         point ~realized:2.0 ~achieved:1.0 ~p99_intent:2.0 2.0;
+       ]
+    = Some 1);
+  (* Judged against the realized rate, not the nominal one: a short
+     schedule that under-delivers arrivals must not fake a knee. *)
+  check_bool "undersampled schedule is not a knee" true
+    (Load.Sweep.detect_knee ~slo
+       [ point ~realized:0.7 ~achieved:0.7 ~p99_intent:2.0 1.0 ]
+    = None);
+  (* Latency knee: intent p99 through lat_mult * slo. *)
+  check_bool "latency knee at index 0" true
+    (Load.Sweep.detect_knee ~slo [ point ~p99_intent:41.0 0.5 ] = Some 0);
+  (* A step that finished nothing has no percentiles: maximally
+     saturated, not healthy. *)
+  check_bool "percentile-free step is saturated" true
+    (Load.Sweep.detect_knee ~slo [ point 0.5 ] = Some 0)
+
+let test_curves_json_deterministic () =
+  let curve =
+    {
+      Load.Sweep.label = "optimistic";
+      points = [ point ~p99_intent:2.0 0.5; point 1.0 ];
+      knee = Some 1;
+    }
+  in
+  let render () = Load.Sweep.curves_to_json ~seed:13_000 ~slo:25.0 [ curve ] in
+  let j = render () in
+  check_string "byte-identical rerender" j (render ());
+  let contains sub =
+    let sl = String.length sub and jl = String.length j in
+    let rec scan i = i + sl <= jl && (String.sub j i sl = sub || scan (i + 1)) in
+    scan 0
+  in
+  check_bool "schema tagged" true (contains {|"schema":"weakset-load-curves-v1"|});
+  check_bool "knee index" true (contains {|"knee":1|});
+  check_bool "missing percentile is null" true (contains {|"p99_intent":null|});
+  check_bool "knee rate rendered" true (contains {|"knee_rate":1.0|})
+
+let () =
+  Alcotest.run "weakset_load"
+    [
+      ( "arrival",
+        [
+          Alcotest.test_case "pure function of the rng" `Quick test_arrival_pure_function_of_rng;
+          Alcotest.test_case "schedule shape" `Quick test_arrival_schedule_shape;
+          Alcotest.test_case "bursts share ticks" `Quick test_bursty_shares_ticks;
+        ] );
+      ( "openloop",
+        [
+          Alcotest.test_case "accounting adds up" `Quick test_openloop_accounting_adds_up;
+          Alcotest.test_case "intent sees queueing, send does not" `Quick
+            test_openloop_intent_sees_queueing_send_does_not;
+          Alcotest.test_case "abandons at the horizon" `Quick test_openloop_abandons_at_horizon;
+          Alcotest.test_case "deterministic outcome" `Quick test_openloop_deterministic;
+          Alcotest.test_case "rejects bad config" `Quick test_openloop_rejects_bad_config;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "knee detection" `Quick test_knee_detection;
+          Alcotest.test_case "curves JSON deterministic" `Quick test_curves_json_deterministic;
+        ] );
+    ]

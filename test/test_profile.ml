@@ -145,6 +145,54 @@ let test_brownout_fires_slo_alert () =
       | _ -> ())
     bus_alerts
 
+(* Regression for the documented empty-window semantics: when the window
+   empties mid-run, [tick] carries the last burn forward — a latched
+   alert stays latched instead of "no data" reading as "no errors" —
+   and recovery is only observed through completed requests. *)
+let test_slo_empty_window_carries_burn_forward () =
+  let objective =
+    { Obs.Slo.op = "load.request"; max_latency = 1.0; target = 0.9; window = 10.0 }
+  in
+  let slo = Obs.Slo.create ~min_samples:5 [ objective ] in
+  let span_end ~time dur =
+    Obs.Slo.handle slo
+      {
+        Obs.Event.seq = 0;
+        time;
+        kind = Obs.Event.Span_end { span = 0; name = "load.request"; node = None; dur };
+      }
+  in
+  (* Six all-bad samples: burn = (6/6) / 0.1 = 10, over warn and crit. *)
+  for i = 1 to 6 do
+    span_end ~time:(float_of_int i) 5.0
+  done;
+  let burn_near x =
+    match Obs.Slo.burn_rate slo ~op:"load.request" with
+    | Some b -> Float.abs (b -. x) < 1e-9
+    | None -> false
+  in
+  check_bool "burn 10 after the bad window" true (burn_near 10.0);
+  check_int "one latched alert" 1 (Obs.Slo.alert_count slo);
+  (* Overload starves completions entirely and the window drains; ticks
+     far past it keep the carried burn and the latch, without re-firing. *)
+  Obs.Slo.tick slo ~time:100.0;
+  check_bool "burn carried over the empty window" true (burn_near 10.0);
+  check_int "still exactly one alert" 1 (Obs.Slo.alert_count slo);
+  Obs.Slo.tick slo ~time:200.0;
+  check_int "repeated ticks do not re-fire" 1 (Obs.Slo.alert_count slo);
+  (* Recovery comes only from real completions: fresh good samples refill
+     the window and burn is recomputed from live data, re-arming the
+     latch. *)
+  for i = 0 to 5 do
+    span_end ~time:(300.0 +. float_of_int i) 0.5
+  done;
+  check_bool "burn recomputed from fresh samples" true (burn_near 0.0);
+  (* And before any window ever reached min_samples, the carried value is
+     not judged: a metronome ticking over an idle system cannot page. *)
+  let idle = Obs.Slo.create ~min_samples:5 [ objective ] in
+  Obs.Slo.tick idle ~time:50.0;
+  check_int "idle ticks fire nothing" 0 (Obs.Slo.alert_count idle)
+
 (* ------------------------------------------------------------------ *)
 (* Online monitor vs post-hoc replay                                  *)
 (* ------------------------------------------------------------------ *)
@@ -263,6 +311,8 @@ let () =
         [
           Alcotest.test_case "network brownout fires burn-rate alert" `Quick
             test_brownout_fires_slo_alert;
+          Alcotest.test_case "empty window carries burn forward" `Quick
+            test_slo_empty_window_carries_burn_forward;
         ] );
       ( "online-monitor",
         [

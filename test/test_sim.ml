@@ -77,6 +77,27 @@ let test_rng_chance_frequency () =
   let freq = float_of_int !hits /. float_of_int n in
   check_bool "frequency near 0.3" true (freq > 0.27 && freq < 0.33)
 
+let test_rng_geometric () =
+  let r = Rng.create 17L in
+  (* p = 1 is degenerate: always 1, with no stream draw needed. *)
+  check_int "p=1 is always 1" 1 (Rng.geometric r ~p:1.0);
+  Alcotest.check_raises "p=0 rejected"
+    (Invalid_argument "Rng.geometric: p must be in (0, 1]") (fun () ->
+      ignore (Rng.geometric r ~p:0.0));
+  Alcotest.check_raises "p>1 rejected"
+    (Invalid_argument "Rng.geometric: p must be in (0, 1]") (fun () ->
+      ignore (Rng.geometric r ~p:1.5));
+  (* Support is {1, 2, ...} and the sample mean approaches 1/p. *)
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    let v = Rng.geometric r ~p:0.25 in
+    check_bool "support >= 1" true (v >= 1);
+    sum := !sum + v
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  check_bool "mean near 1/p = 4" true (mean > 3.8 && mean < 4.2)
+
 let test_rng_exponential_mean () =
   let r = Rng.create 13L in
   let s = Stats.create () in
@@ -537,6 +558,36 @@ let test_stats_empty_percentile () =
   Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty") (fun () ->
       ignore (Stats.percentile s 50.0))
 
+(* The linear-interpolation variant at its window boundaries: p=0 and
+   p=100 are exactly min and max, a single sample answers every p, and
+   fractional ranks interpolate between the bracketing samples instead
+   of snapping to the max the way nearest-rank does on small n. *)
+let test_stats_percentile_linear_boundaries () =
+  let one = Stats.create () in
+  Stats.add one 7.5;
+  check_float "n=1 p0" 7.5 (Stats.percentile_linear one 0.0);
+  check_float "n=1 p50" 7.5 (Stats.percentile_linear one 50.0);
+  check_float "n=1 p100" 7.5 (Stats.percentile_linear one 100.0);
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 30.0; 10.0; 20.0; 40.0 ];
+  check_float "p0 = min" 10.0 (Stats.percentile_linear s 0.0);
+  check_float "p100 = max" 40.0 (Stats.percentile_linear s 100.0);
+  (* rank = 0.95 * 3 = 2.85: between 30 and 40. *)
+  check_float "p95 interpolates" 38.5 (Stats.percentile_linear s 95.0);
+  check_float "p50 interpolates" 25.0 (Stats.percentile_linear s 50.0);
+  (* nearest-rank on the same data snaps p95 to the max sample. *)
+  check_float "nearest-rank p95 is max" 40.0 (Stats.percentile s 95.0)
+
+let test_stats_percentile_linear_rejects () =
+  let s = Stats.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile_linear: empty")
+    (fun () -> ignore (Stats.percentile_linear s 50.0));
+  Stats.add s 1.0;
+  Alcotest.check_raises "p < 0" (Invalid_argument "Stats.percentile_linear: p out of range")
+    (fun () -> ignore (Stats.percentile_linear s (-0.1)));
+  Alcotest.check_raises "p > 100" (Invalid_argument "Stats.percentile_linear: p out of range")
+    (fun () -> ignore (Stats.percentile_linear s 100.1))
+
 let test_histogram () =
   let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
   List.iter (Stats.Histogram.add h) [ -1.0; 0.0; 1.9; 2.0; 9.9; 10.0; 50.0 ];
@@ -652,6 +703,7 @@ let () =
           Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
           Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
           Alcotest.test_case "chance frequency" `Quick test_rng_chance_frequency;
+          Alcotest.test_case "geometric" `Quick test_rng_geometric;
           Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
           Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
           Alcotest.test_case "pick" `Quick test_rng_pick;
@@ -708,6 +760,10 @@ let () =
         :: Alcotest.test_case "stddev" `Quick test_stats_stddev
         :: Alcotest.test_case "percentile" `Quick test_stats_percentile
         :: Alcotest.test_case "empty percentile" `Quick test_stats_empty_percentile
+        :: Alcotest.test_case "percentile_linear boundaries" `Quick
+             test_stats_percentile_linear_boundaries
+        :: Alcotest.test_case "percentile_linear rejects bad input" `Quick
+             test_stats_percentile_linear_rejects
         :: Alcotest.test_case "histogram" `Quick test_histogram
         :: qcheck [ prop_stats_percentile_in_samples; prop_stats_mean_bounded ] );
       ( "run-slices",

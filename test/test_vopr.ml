@@ -57,11 +57,15 @@ let test_gen_shape_sanity () =
         (fun f ->
           let heal =
             match f with
-            | Gen.Crash { recover_at; _ } -> recover_at
-            | Gen.Cut { heal_at; _ } | Gen.Partition { heal_at; _ } -> heal_at
+            | Gen.Crash { recover_at; _ } -> Some recover_at
+            | Gen.Cut { heal_at; _ } | Gen.Partition { heal_at; _ } -> Some heal_at
+            | Gen.Herd _ -> None (* a spike, not a window *)
           in
-          check_bool "fault starts before heal" true (Gen.fault_time f < heal);
-          check_bool "fault heals inside budget" true (heal < plan.Gen.budget))
+          match heal with
+          | None -> check_bool "herd fires inside budget" true (Gen.fault_time f < plan.Gen.budget)
+          | Some heal ->
+              check_bool "fault starts before heal" true (Gen.fault_time f < heal);
+              check_bool "fault heals inside budget" true (heal < plan.Gen.budget))
         plan.Gen.faults)
     (seeds 0 16)
 
@@ -242,6 +246,7 @@ let shrink_plan =
         initial_size = 4;
         cache = false;
         lease_ttl = 30.0;
+        open_loop = None;
       };
     ops =
       [
