@@ -1,9 +1,9 @@
 # One-command tier-1 verification: build + tests (including the trace
 # determinism suite in test/test_obs.ml) + formatting check.
 
-.PHONY: check build test fmt fmt-fix bench bench-compare e12-smoke e13-smoke vopr-smoke blackbox-smoke clean
+.PHONY: check build test fmt fmt-fix bench bench-compare e12-smoke e13-smoke vopr-smoke blackbox-smoke repl-smoke clean
 
-check: build test fmt bench-compare e12-smoke e13-smoke vopr-smoke blackbox-smoke
+check: build test fmt bench-compare e12-smoke e13-smoke vopr-smoke blackbox-smoke repl-smoke
 
 build:
 	dune build @all
@@ -74,6 +74,17 @@ vopr-smoke:
 	  test $$? -eq 1 || { echo "vopr-smoke: planted cache bug was NOT detected"; exit 1; }
 	dune exec bin/weakset_vopr.exe -- run --seeds 0..32 --planted-spec-bug --no-shrink --quiet; \
 	  test $$? -eq 1 || { echo "vopr-smoke: planted spec bug was NOT detected"; exit 1; }
+
+# Replication-group cluster scenarios: the full table (every row run
+# twice, digests byte-identical) must pass, and the planted view-change
+# log drop must be caught by the oracle's commit-safety verdicts.
+# Repro bundles for any failing row land in repl-bundles/ (CI uploads
+# them); re-run a single row with `scenarios --only NAME`.
+repl-smoke:
+	rm -rf repl-bundles && mkdir -p repl-bundles
+	dune exec bin/weakset_vopr.exe -- scenarios --bundle-dir repl-bundles --quiet
+	dune exec bin/weakset_vopr.exe -- scenarios --planted-commit-bug --quiet; \
+	  test $$? -eq 1 || { echo "repl-smoke: planted commit bug was NOT detected"; exit 1; }
 
 # Flight-recorder end-to-end: an armed planted-bug run must trigger at
 # least one black-box dump, and rendering the dumps must resolve at

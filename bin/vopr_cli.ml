@@ -14,13 +14,15 @@ module Gen = Weakset_vopr.Gen
 module Oracle = Weakset_vopr.Oracle
 module Runner = Weakset_vopr.Runner
 module Shrink = Weakset_vopr.Shrink
+module Scenario = Weakset_vopr.Scenario
 
 let usage =
   "usage: weakset_vopr COMMAND [options]\n\n\
    commands:\n\
-  \  run      sweep seeds, judge each run, bundle (shrunk) failures\n\
-  \  replay   re-execute a repro bundle and verify digest + verdict\n\
-  \  shrink   minimise a repro bundle's schedule\n\n\
+  \  run        sweep seeds, judge each run, bundle (shrunk) failures\n\
+  \  replay     re-execute a repro bundle and verify digest + verdict\n\
+  \  shrink     minimise a repro bundle's schedule\n\
+  \  scenarios  run the table-driven replication-group cluster scenarios\n\n\
    run options:\n\
   \  --seeds A..B         half-open seed range [A, B)  (e.g. 0..32)\n\
   \  --seed N             a single seed (may repeat)\n\
@@ -38,7 +40,14 @@ let usage =
    shrink options:\n\
   \  --max-runs N         candidate execution budget (default 200)\n\
   \  -o FILE              output bundle (default: overwrite input)\n\
-  \  BUNDLE               repro bundle to minimise\n"
+  \  BUNDLE               repro bundle to minimise\n\n\
+   scenarios options:\n\
+  \  --only NAME          run only this scenario (may repeat)\n\
+  \  --list               print the table and exit\n\
+  \  --step-cap N         engine step budget per execution (default 1000000)\n\
+  \  --bundle-dir DIR     write scenario-NAME.json for each failing row\n\
+  \  --planted-commit-bug arm the planted view-change log drop (mutation test)\n\
+  \  --quiet              only print failures and the summary\n"
 
 let usage_die fmt =
   Printf.ksprintf
@@ -303,11 +312,117 @@ let cmd_shrink args =
   Printf.printf "bundle: %s (%d issue(s))\n" out (List.length r'.issues);
   exit 0
 
+(* ------------------------------------------------------------------ *)
+(* scenarios                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type scenario_opts = {
+  mutable sc_only : string list;  (** reverse accumulation order *)
+  mutable sc_list : bool;
+  mutable sc_step_cap : int option;
+  mutable sc_bundle_dir : string option;
+  mutable sc_planted : bool;
+  mutable sc_quiet : bool;
+}
+
+let parse_scenario_args args =
+  let o =
+    {
+      sc_only = [];
+      sc_list = false;
+      sc_step_cap = None;
+      sc_bundle_dir = None;
+      sc_planted = false;
+      sc_quiet = false;
+    }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--only" :: v :: rest ->
+        o.sc_only <- v :: o.sc_only;
+        go rest
+    | "--list" :: rest ->
+        o.sc_list <- true;
+        go rest
+    | "--step-cap" :: v :: rest ->
+        o.sc_step_cap <- Some (int_arg "--step-cap" v);
+        go rest
+    | "--bundle-dir" :: v :: rest ->
+        o.sc_bundle_dir <- Some v;
+        go rest
+    | "--planted-commit-bug" :: rest ->
+        o.sc_planted <- true;
+        go rest
+    | "--quiet" :: rest ->
+        o.sc_quiet <- true;
+        go rest
+    | [ (("--only" | "--step-cap" | "--bundle-dir") as flag) ] ->
+        usage_die "%s expects an argument" flag
+    | a :: _ -> usage_die "scenarios: unknown argument %S" a
+  in
+  go args;
+  o.sc_only <- List.rev o.sc_only;
+  o
+
+(* A scenario failure's repro bundle: the row is the schedule (re-run it
+   with --only), so the bundle only needs the verdict and fingerprint. *)
+let write_scenario_bundle dir (o : Scenario.outcome) =
+  let path = Filename.concat dir (Printf.sprintf "scenario-%s.json" o.o_name) in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"scenario\": %S, \"digest\": %S, \"events\": %d, \"deterministic\": %b, \
+     \"committed\": %d, \"ops_ok\": %d, \"ops_failed\": %d, \"issues\": [%s]}\n"
+    o.o_name o.o_digest o.o_events o.o_deterministic o.o_committed o.o_ops_ok o.o_ops_failed
+    (String.concat ", " (List.map Oracle.issue_to_json o.o_issues));
+  close_out oc;
+  path
+
+let cmd_scenarios args =
+  let o = parse_scenario_args args in
+  if o.sc_list then begin
+    List.iter
+      (fun (s : Scenario.t) ->
+        Printf.printf "%-28s %d replicas, %.0fs, %d steps\n" s.name s.replicas s.until
+          (List.length s.steps))
+      Scenario.table;
+    exit 0
+  end;
+  let rows =
+    match o.sc_only with
+    | [] -> Scenario.table
+    | names ->
+        List.map
+          (fun n ->
+            match Scenario.find n with
+            | Some s -> s
+            | None -> usage_die "scenarios: unknown scenario %S (see --list)" n)
+          names
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun row ->
+      let outcome = Scenario.run ?step_cap:o.sc_step_cap ~planted:o.sc_planted row in
+      let ok = Scenario.passed outcome in
+      if not ok then incr failures;
+      if (not ok) || not o.sc_quiet then
+        Format.printf "%a@." Scenario.pp_outcome outcome;
+      if not ok then
+        Option.iter
+          (fun dir ->
+            let path = write_scenario_bundle dir outcome in
+            Printf.printf "  bundle: %s\n%!" path)
+          o.sc_bundle_dir)
+    rows;
+  Printf.printf "scenarios: %d row(s), %d failure(s)%s\n%!" (List.length rows) !failures
+    (if o.sc_planted then " [planted commit bug armed]" else "");
+  exit (if !failures > 0 then 1 else 0)
+
 let main () =
   match Array.to_list Sys.argv with
   | _ :: "run" :: rest -> cmd_run rest
   | _ :: "replay" :: rest -> cmd_replay rest
   | _ :: "shrink" :: rest -> cmd_shrink rest
+  | _ :: "scenarios" :: rest -> cmd_scenarios rest
   | _ :: (("--help" | "-h") :: _ | []) ->
       print_string usage;
       exit 0

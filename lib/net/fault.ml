@@ -62,6 +62,32 @@ let schedule_partition t ~at ~heal_at groups =
   Engine.schedule t.engine ~after:d1 (fun () -> partition t groups);
   Engine.schedule t.engine ~after:d2 (fun () -> heal_all t)
 
+(* Named-node helpers: the scenario DSL (and hand tests) speak about a
+   {e named} replica — "stop r2 for 20 time units" — rather than about a
+   random split of the population.  Windows are validated exactly like
+   [schedule_partition]: an inverted window would silently install a
+   never-healed fault. *)
+
+let stop_node t ~at ~recover_at n =
+  if recover_at <= at then
+    invalid_arg
+      (Printf.sprintf "Fault.stop_node: recover_at (%g) must be after at (%g)" recover_at at);
+  schedule_crash t ~at n;
+  schedule_recover t ~at:recover_at n
+
+let heal_node t ~at n = schedule_recover t ~at n
+
+let isolate_node t ~at ~heal_at n =
+  if heal_at <= at then
+    invalid_arg
+      (Printf.sprintf "Fault.isolate_node: heal_at (%g) must be after at (%g)" heal_at at);
+  let d1 = Float.max 0.0 (at -. Engine.now t.engine) in
+  let d2 = Float.max 0.0 (heal_at -. Engine.now t.engine) in
+  Engine.schedule t.engine ~after:d1 (fun () ->
+      let rest = List.filter (fun m -> not (Nodeid.equal m n)) (Topology.nodes t.topo) in
+      partition t [ [ n ]; rest ]);
+  Engine.schedule t.engine ~after:d2 (fun () -> heal_all t)
+
 let crash_restart_process t ~rng ~mttf ~mttr ~until node =
   Engine.spawn t.engine ~name:(Printf.sprintf "faultproc-%s" (Nodeid.to_string node)) (fun () ->
       let rec loop () =

@@ -36,6 +36,27 @@ val schedule_recover : t -> at:float -> Nodeid.t -> unit
     never-healed partition). *)
 val schedule_partition : t -> at:float -> heal_at:float -> Nodeid.t list list -> unit
 
+(** {1 Named-node helpers}
+
+    One node, named, over a validated window — what a table-driven cluster
+    scenario says ("stop r2 at 10, recover at 30") without re-deriving the
+    group arithmetic from {!random_partition_process}. *)
+
+(** [stop_node t ~at ~recover_at n] crashes [n] at virtual time [at] and
+    recovers it at [recover_at].  Raises [Invalid_argument] if
+    [recover_at <= at]. *)
+val stop_node : t -> at:float -> recover_at:float -> Nodeid.t -> unit
+
+(** [heal_node t ~at n] schedules a recovery of [n] at [at] (for nodes
+    stopped by a previous window, e.g. to end a quorum-loss episode
+    early). *)
+val heal_node : t -> at:float -> Nodeid.t -> unit
+
+(** [isolate_node t ~at ~heal_at n] partitions [n] away from every other
+    node at [at] and heals the whole topology at [heal_at].  Raises
+    [Invalid_argument] if [heal_at <= at]. *)
+val isolate_node : t -> at:float -> heal_at:float -> Nodeid.t -> unit
+
 (** {1 Random fault processes} *)
 
 (** [crash_restart_process t ~rng ~mttf ~mttr ~until node] runs a fiber

@@ -22,6 +22,10 @@ type t = {
       (** flight-recorder ring overwrites (engine-wide
           [obs.flight.dropped], unlabelled) — silent event loss made
           visible *)
+  replica_pull_failures : int;
+      (** anti-entropy pulls that failed (engine-wide
+          [replica.pull_failures], unlabelled) — replica staleness made
+          visible; per-node detail is emitted on the bus *)
 }
 
 (** Labels identifying one transport instance in the registry. *)

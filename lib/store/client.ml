@@ -232,10 +232,53 @@ let dir_read ?parent t ~from ~set_id =
           cached_span ?parent t "client.dir-read.cached" (Ok (version, members))
       | None -> remote_dir_read ?parent ~leased:true t ~from ~set_id)
 
-let expect_ack ?parent t dst req =
-  match call ?parent t dst req with
+(* Leader-following call: directory mutations, locks and iterator
+   registration must land on the set's current write authority, which
+   under a replication group (lib/repl) can be {e any} member of
+   [coordinator :: replicas] after a view change.  A [Not_leader]
+   answer redirects to the hinted node; a transport failure fails over
+   to the next host.  Attempts are bounded, and when every host fails
+   the caller sees the {e first} transport error — so a single-home set
+   ([replicas = []]) behaves exactly as before, one call to the
+   coordinator, [Unreachable] when it is down. *)
+let coord_call ?parent t (sref : Protocol.set_ref) req =
+  match sref.replicas with
+  | [] -> call ?parent t sref.coordinator req
+  | replicas ->
+      let budget = ref (2 * (1 + List.length replicas)) in
+      let first_err = ref None in
+      let finish last = match !first_err with Some e -> Error e | None -> Ok last in
+      let rec attempt dst pending =
+        decr budget;
+        match call ?parent t dst req with
+        | Ok (Protocol.Not_leader { leader; _ } as resp) ->
+            if !budget <= 0 then finish resp
+            else
+              let hint = Nodeid.of_int leader in
+              if Nodeid.equal hint dst then
+                (* the member believes itself leader-to-be but is not
+                   Normal yet (mid view change): try the others *)
+                failover resp pending
+              else
+                attempt hint
+                  (List.filter (fun h -> not (Nodeid.equal h hint)) pending)
+        | Ok (Protocol.No_service as resp) ->
+            (* an anti-entropy replica or a not-yet-attached member:
+               keep looking, but never let its answer mask an earlier
+               transport error *)
+            failover resp pending
+        | Ok resp -> Ok resp
+        | Error e ->
+            if Option.is_none !first_err then first_err := Some e;
+            failover Protocol.No_service pending
+      and failover last = function
+        | h :: rest when !budget > 0 -> attempt h rest
+        | _ -> finish last
+      in
+      attempt sref.coordinator replicas
+
+let ack_result = function
   | Ok Protocol.Ack -> Ok ()
-  | Ok Protocol.No_service -> Error No_service
   | Ok _ -> Error No_service
   | Error e -> Error e
 
@@ -244,22 +287,19 @@ let expect_ack ?parent t dst req =
 let self_inval t set_id = Option.iter (fun c -> Cache.self_inval c ~set_id) t.lease
 
 let dir_add ?parent t (sref : Protocol.set_ref) oid =
-  let r =
-    expect_ack ?parent t sref.coordinator (Protocol.Dir_add { set_id = sref.set_id; oid })
-  in
+  let r = ack_result (coord_call ?parent t sref (Protocol.Dir_add { set_id = sref.set_id; oid })) in
   if r = Ok () then self_inval t sref.set_id;
   r
 
 let dir_remove ?parent t (sref : Protocol.set_ref) oid =
   let r =
-    expect_ack ?parent t sref.coordinator
-      (Protocol.Dir_remove { set_id = sref.set_id; oid })
+    ack_result (coord_call ?parent t sref (Protocol.Dir_remove { set_id = sref.set_id; oid }))
   in
   if r = Ok () then self_inval t sref.set_id;
   r
 
 let dir_size ?parent t (sref : Protocol.set_ref) =
-  match call ?parent t sref.coordinator (Protocol.Dir_size { set_id = sref.set_id }) with
+  match coord_call ?parent t sref (Protocol.Dir_size { set_id = sref.set_id }) with
   | Ok (Protocol.Size n) -> Ok n
   | Ok Protocol.No_service -> Error No_service
   | Ok _ -> Error No_service
@@ -272,7 +312,7 @@ let lock_acquire ?parent t (sref : Protocol.set_ref) kind =
      never issued to a caller that has already given up. *)
   let patience = t.timeout *. 0.9 in
   match
-    call ?parent t sref.coordinator
+    coord_call ?parent t sref
       (Protocol.Lock_acquire { set_id = sref.set_id; kind; owner; patience })
   with
   | Ok Protocol.Locked -> Ok owner
@@ -282,13 +322,13 @@ let lock_acquire ?parent t (sref : Protocol.set_ref) kind =
   | Error e -> Error e
 
 let lock_release ?parent t (sref : Protocol.set_ref) ~owner =
-  expect_ack ?parent t sref.coordinator (Protocol.Lock_release { set_id = sref.set_id; owner })
+  ack_result (coord_call ?parent t sref (Protocol.Lock_release { set_id = sref.set_id; owner }))
 
 let iter_open ?parent t (sref : Protocol.set_ref) =
-  expect_ack ?parent t sref.coordinator (Protocol.Iter_open { set_id = sref.set_id })
+  ack_result (coord_call ?parent t sref (Protocol.Iter_open { set_id = sref.set_id }))
 
 let iter_close ?parent t (sref : Protocol.set_ref) =
-  expect_ack ?parent t sref.coordinator (Protocol.Iter_close { set_id = sref.set_id })
+  ack_result (coord_call ?parent t sref (Protocol.Iter_close { set_id = sref.set_id }))
 
 let reachable_oids t oids =
   let topo = topology t in

@@ -23,6 +23,18 @@ type replica_state = {
   mutable r_members : Oid.Set.t;
 }
 
+(* Consensus attachment (lib/repl): when a replication group governs
+   some of this node's directories, client-facing mutations detour
+   through [submit] (quorum commit before Ack) and [Protocol.Repl]
+   traffic is dispatched to [handle_repl].  The group applies committed
+   entries back through {!repl_apply_committed}, so the hosted
+   [Directory.t] only ever holds committed state. *)
+type repl_hooks = {
+  repl_submit : set_id:int -> Directory.op -> Protocol.response option;
+      (* [None]: the group does not govern [set_id]; serve it locally *)
+  repl_handle : Protocol.repl_request -> Protocol.response;
+}
+
 type t = {
   rpc : rpc;
   node : Nodeid.t;
@@ -32,6 +44,9 @@ type t = {
   fetch_service : Svalue.t -> float;
   dir_service : float;
   lease_ttl : float;
+  mutable repl : repl_hooks option;
+  c_pull_failures : Weakset_obs.Metrics.counter;
+      (* engine-wide like [obs.flight.dropped]: interning shares the cell *)
 }
 
 (* Server-side lessee records outlive the granted TTL by this slack: the
@@ -111,11 +126,26 @@ let open_iterators t ~set_id =
 let deferred_removes t ~set_id =
   match dir_state t set_id with Some d -> List.rev d.deferred | None -> raise Not_found
 
+(* Route one mutation through the attached consensus group, if any.
+   [Some resp] is the group's verdict (Ack once a majority logged it,
+   Not_leader as a redirect, No_service while leaderless); [None] means
+   no group governs this set and the caller applies locally. *)
+let repl_submit t ~set_id op =
+  match t.repl with
+  | Some h -> h.repl_submit ~set_id op
+  | None -> None
+
 let apply_deferred t ~set_id d =
+  let deferred = List.rev d.deferred in
+  d.deferred <- [];
   List.iter
-    (fun oid -> apply_and_notify t ~set_id d (Directory.Remove oid))
-    (List.rev d.deferred);
-  d.deferred <- []
+    (fun oid ->
+      let op = Directory.Remove oid in
+      match repl_submit t ~set_id op with
+      | Some _ -> () (* committed (or redirected — the ghost stays gone
+                        here; a new leader re-learns it via its log) *)
+      | None -> apply_and_notify t ~set_id d op)
+    deferred
 
 let handle t req : Protocol.response =
   let eng = Rpc.engine t.rpc in
@@ -187,20 +217,30 @@ let handle t req : Protocol.response =
       | None -> No_service)
   | Dir_add { set_id; oid } -> (
       match dir_state t set_id with
-      | Some d ->
-          apply_and_notify t ~set_id d (Directory.Add oid);
-          Ack
+      | Some d -> (
+          match repl_submit t ~set_id (Directory.Add oid) with
+          | Some resp -> resp
+          | None ->
+              apply_and_notify t ~set_id d (Directory.Add oid);
+              Ack)
       | None -> No_service)
   | Dir_remove { set_id; oid } -> (
       match dir_state t set_id with
-      | Some d ->
-          (match d.policy with
+      | Some d -> (
+          match d.policy with
           | Defer_removes_while_iterating when d.open_iters > 0 ->
-              if Directory.mem d.dir oid && not (List.exists (Oid.equal oid) d.deferred) then
-                d.deferred <- oid :: d.deferred
-          | Immediate | Defer_removes_while_iterating ->
-              apply_and_notify t ~set_id d (Directory.Remove oid));
-          Ack
+              (* Ghost deferral happens before consensus: the remove is
+                 not yet an effect, just a leader-local promise applied
+                 (and then committed) when the last iterator closes. *)
+              if Directory.mem d.dir oid && not (List.exists (Oid.equal oid) d.deferred)
+              then d.deferred <- oid :: d.deferred;
+              Ack
+          | Immediate | Defer_removes_while_iterating -> (
+              match repl_submit t ~set_id (Directory.Remove oid) with
+              | Some resp -> resp
+              | None ->
+                  apply_and_notify t ~set_id d (Directory.Remove oid);
+                  Ack))
       | None -> No_service)
   | Dir_size { set_id } -> (
       match dir_state t set_id with
@@ -238,6 +278,8 @@ let handle t req : Protocol.response =
       match dir_state t set_id with
       | Some d -> Delta { version = Directory.version d.dir; ops = Directory.ops_since d.dir since }
       | None -> No_service)
+  | Repl r -> (
+      match t.repl with Some h -> h.repl_handle r | None -> No_service)
 
 let service_time t req =
   match req with
@@ -267,6 +309,10 @@ let create ?fetch_service ?(dir_service = 0.02) ?(lease_ttl = 30.0) rpc node =
       fetch_service = Option.value fetch_service ~default:default_fetch_service;
       dir_service;
       lease_ttl;
+      repl = None;
+      c_pull_failures =
+        Weakset_obs.Metrics.counter (Engine.metrics (Rpc.engine rpc))
+          "replica.pull_failures";
     }
   in
   Rpc.serve rpc node ~service_time:(service_time t) ~op:Protocol.request_label
@@ -308,6 +354,22 @@ let apply_delta r version ops =
     ops;
   r.r_version <- Version.max r.r_version version
 
+(* A failed pull is not silent: the replica just went (more) stale, which
+   is exactly what a flight-recorder dump wants to show next to a stale
+   read.  Counted engine-wide (surfaced by [Netstat]) and narrated on the
+   bus with the node/set/cause detail. *)
+let note_pull_failure t ~set_id ~cause =
+  let eng = Rpc.engine t.rpc in
+  Weakset_obs.Metrics.inc t.c_pull_failures;
+  Weakset_obs.Bus.emit (Engine.bus eng) ~time:(Engine.now eng)
+    (Weakset_obs.Event.Custom
+       {
+         label = "replica-pull-failure";
+         detail =
+           Printf.sprintf "node=%d set%d cause=%s" (Nodeid.to_int t.node) set_id
+             cause;
+       })
+
 let replica_pull_now t ~set_id =
   let r = replica_state t set_id in
   match
@@ -317,7 +379,28 @@ let replica_pull_now t ~set_id =
   | Ok (Protocol.Delta { version; ops }) ->
       apply_delta r version ops;
       true
-  | Ok _ | Error _ -> false
+  | Ok _ ->
+      note_pull_failure t ~set_id ~cause:"bad-answer";
+      false
+  | Error Weakset_net.Rpc.Timeout ->
+      note_pull_failure t ~set_id ~cause:"timeout";
+      false
+  | Error Weakset_net.Rpc.Unreachable ->
+      note_pull_failure t ~set_id ~cause:"unreachable";
+      false
+
+let attach_repl t hooks = t.repl <- Some hooks
+let detach_repl t = t.repl <- None
+
+(* The group's apply-upcall: a committed entry lands in the hosted
+   directory exactly like a local mutation would — hooks fire, lease
+   callbacks break — so monitors and caches cannot tell consensus from
+   the single-home store.  Raises [Not_found] if [set_id] is not hosted
+   (a group member always hosts the directories it replicates). *)
+let repl_apply_committed t ~set_id op =
+  match Hashtbl.find_opt t.dirs set_id with
+  | Some d -> apply_and_notify t ~set_id d op
+  | None -> raise Not_found
 
 let host_replica t ~set_id ~of_ ~interval ~until =
   Hashtbl.replace t.replicas set_id

@@ -84,6 +84,31 @@ val replica_view : t -> set_id:int -> Version.t * Oid.Set.t
     coordinator was unreachable).  Must run in fiber context. *)
 val replica_pull_now : t -> set_id:int -> bool
 
+(** {1 Consensus attachment}
+
+    A replication group ([Weakset_repl.Group]) plugs into a node server
+    through these hooks: client-facing directory mutations detour
+    through [repl_submit] (answered only once quorum-committed, or
+    redirected with [Not_leader]), and incoming [Protocol.Repl] traffic
+    is dispatched to [repl_handle].  Committed entries come back through
+    {!repl_apply_committed}, so the hosted [Directory.t] holds committed
+    state only. *)
+
+type repl_hooks = {
+  repl_submit : set_id:int -> Directory.op -> Protocol.response option;
+      (** [None]: the group does not govern [set_id]; the server applies
+          the mutation locally as before *)
+  repl_handle : Protocol.repl_request -> Protocol.response;
+}
+
+val attach_repl : t -> repl_hooks -> unit
+val detach_repl : t -> unit
+
+(** Apply a quorum-committed op to the hosted directory, firing mutation
+    hooks and lease callbacks exactly like a local mutation.  Raises
+    [Not_found] if this node does not host [set_id]. *)
+val repl_apply_committed : t -> set_id:int -> Directory.op -> unit
+
 (** [on_directory_mutation t ~set_id hook] registers [hook] to run after
     every {e effective} mutation of a hosted directory (idempotent
     re-adds/removes do not fire; deferred ghost removals fire when

@@ -7,6 +7,39 @@ let pp_set_ref fmt r =
     (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_char f ',') Nodeid.pp)
     r.replicas
 
+(* Replication-group messages (lib/repl): a VSR-style state machine over
+   [Directory.op] entries.  They live here, next to the client-facing
+   requests, because one RPC fabric carries both — a group member is an
+   ordinary node server with a consensus role attached. *)
+type repl_request =
+  | Prepare of {
+      group : int;  (** the replicated set's id *)
+      view : int;
+      opnum : Version.t;
+      op : Directory.op;
+      commit : Version.t;  (** leader's commit point, piggybacked *)
+    }
+  | Commit of { group : int; view : int; commit : Version.t }
+      (** heartbeat: leader liveness plus commit propagation *)
+  | Start_view_change of { group : int; view : int; from : int }
+  | Do_view_change of {
+      group : int;
+      view : int;
+      from : int;
+      last_normal : int;  (** last view in which the sender was Normal *)
+      opnum : Version.t;
+      commit : Version.t;
+      log : (Version.t * Directory.op) list;  (** full log, oldest first *)
+    }
+  | Start_view of {
+      group : int;
+      view : int;
+      opnum : Version.t;
+      commit : Version.t;
+      log : (Version.t * Directory.op) list;
+    }
+  | Get_state of { group : int; since : Version.t }
+
 type request =
   | Fetch of Oid.t
   | Fetch_batch of { oids : Oid.t list }
@@ -22,6 +55,7 @@ type request =
   | Iter_open of { set_id : int }
   | Iter_close of { set_id : int }
   | Sync_pull of { set_id : int; since : Version.t }
+  | Repl of repl_request
 
 type response =
   | Value of Svalue.t
@@ -35,6 +69,17 @@ type response =
   | Locked
   | Lock_timeout
   | No_service
+  | Not_leader of { view : int; leader : int }
+      (** redirect: the receiver is a group member but not the current
+          leader; [leader] is its best hint (a node id) *)
+  | Repl_ok of { view : int; opnum : Version.t; from : int }
+  | Repl_reject of { view : int }  (** receiver is in a higher view *)
+  | Repl_state of {
+      view : int;
+      opnum : Version.t;
+      commit : Version.t;
+      ops : (Version.t * Directory.op) list;
+    }
 
 let request_label = function
   | Fetch _ -> "fetch"
@@ -51,6 +96,12 @@ let request_label = function
   | Iter_open _ -> "iter-open"
   | Iter_close _ -> "iter-close"
   | Sync_pull _ -> "sync-pull"
+  | Repl (Prepare _) -> "repl-prepare"
+  | Repl (Commit _) -> "repl-commit"
+  | Repl (Start_view_change _) -> "repl-svc"
+  | Repl (Do_view_change _) -> "repl-dvc"
+  | Repl (Start_view _) -> "repl-sv"
+  | Repl (Get_state _) -> "repl-get-state"
 
 let pp_request fmt = function
   | Fetch o -> Format.fprintf fmt "fetch %a" Oid.pp o
@@ -73,6 +124,21 @@ let pp_request fmt = function
   | Iter_open { set_id } -> Format.fprintf fmt "iter-open set%d" set_id
   | Iter_close { set_id } -> Format.fprintf fmt "iter-close set%d" set_id
   | Sync_pull { set_id; since } -> Format.fprintf fmt "sync-pull set%d since %a" set_id Version.pp since
+  | Repl (Prepare { group; view; opnum; op; commit }) ->
+      Format.fprintf fmt "repl-prepare set%d view=%d %a (%a) commit=%a" group view Version.pp
+        opnum Directory.pp_op op Version.pp commit
+  | Repl (Commit { group; view; commit }) ->
+      Format.fprintf fmt "repl-commit set%d view=%d commit=%a" group view Version.pp commit
+  | Repl (Start_view_change { group; view; from }) ->
+      Format.fprintf fmt "repl-svc set%d view=%d from=%d" group view from
+  | Repl (Do_view_change { group; view; from; last_normal; opnum; commit; log }) ->
+      Format.fprintf fmt "repl-dvc set%d view=%d from=%d last_normal=%d %a commit=%a |log|=%d"
+        group view from last_normal Version.pp opnum Version.pp commit (List.length log)
+  | Repl (Start_view { group; view; opnum; commit; log }) ->
+      Format.fprintf fmt "repl-sv set%d view=%d %a commit=%a |log|=%d" group view Version.pp
+        opnum Version.pp commit (List.length log)
+  | Repl (Get_state { group; since }) ->
+      Format.fprintf fmt "repl-get-state set%d since %a" group Version.pp since
 
 let pp_response fmt = function
   | Value v -> Format.fprintf fmt "value %a" Svalue.pp v
@@ -92,3 +158,11 @@ let pp_response fmt = function
   | Locked -> Format.pp_print_string fmt "locked"
   | Lock_timeout -> Format.pp_print_string fmt "lock-timeout"
   | No_service -> Format.pp_print_string fmt "no-service"
+  | Not_leader { view; leader } ->
+      Format.fprintf fmt "not-leader view=%d leader=n%d" view leader
+  | Repl_ok { view; opnum; from } ->
+      Format.fprintf fmt "repl-ok view=%d %a from=%d" view Version.pp opnum from
+  | Repl_reject { view } -> Format.fprintf fmt "repl-reject view=%d" view
+  | Repl_state { view; opnum; commit; ops } ->
+      Format.fprintf fmt "repl-state view=%d %a commit=%a n=%d" view Version.pp opnum
+        Version.pp commit (List.length ops)

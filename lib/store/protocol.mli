@@ -14,6 +14,42 @@ type set_ref = {
 
 val pp_set_ref : Format.formatter -> set_ref -> unit
 
+(** Replication-group traffic (see [Weakset_repl.Group]): a VSR-style
+    replicated state machine whose entries are {!Directory.op}s.  [group]
+    is the replicated set's id; views number leader terms; [opnum] is the
+    log position an entry was accepted at (equal to the directory version
+    it produces when committed). *)
+type repl_request =
+  | Prepare of {
+      group : int;
+      view : int;
+      opnum : Version.t;
+      op : Directory.op;
+      commit : Version.t;
+    }  (** leader→backup: accept log entry [opnum]; [commit] piggybacks *)
+  | Commit of { group : int; view : int; commit : Version.t }
+      (** leader→backup heartbeat: liveness plus commit propagation *)
+  | Start_view_change of { group : int; view : int; from : int }
+      (** suspicion broadcast: join the change to [view] *)
+  | Do_view_change of {
+      group : int;
+      view : int;
+      from : int;
+      last_normal : int;
+      opnum : Version.t;
+      commit : Version.t;
+      log : (Version.t * Directory.op) list;
+    }  (** member→new leader: my log, so you can pick the freshest *)
+  | Start_view of {
+      group : int;
+      view : int;
+      opnum : Version.t;
+      commit : Version.t;
+      log : (Version.t * Directory.op) list;
+    }  (** new leader→members: install this log, resume Normal *)
+  | Get_state of { group : int; since : Version.t }
+      (** state transfer: committed entries above [since] *)
+
 type request =
   | Fetch of Oid.t                                      (** object contents *)
   | Fetch_batch of { oids : Oid.t list }
@@ -42,6 +78,7 @@ type request =
   | Iter_open of { set_id : int }                       (** ghost refcount +1 *)
   | Iter_close of { set_id : int }                      (** ghost refcount -1 *)
   | Sync_pull of { set_id : int; since : Version.t }    (** replica anti-entropy *)
+  | Repl of repl_request                                (** consensus traffic *)
 
 type response =
   | Value of Svalue.t
@@ -59,6 +96,19 @@ type response =
   | Locked
   | Lock_timeout
   | No_service  (** the target node does not host the requested object/set *)
+  | Not_leader of { view : int; leader : int }
+      (** the receiver is a group member but not the current leader;
+          [leader] (a node id) is its best hint — clients follow it *)
+  | Repl_ok of { view : int; opnum : Version.t; from : int }
+      (** consensus ack (PrepareOK and friends) *)
+  | Repl_reject of { view : int }
+      (** the receiver is in a higher view than the message *)
+  | Repl_state of {
+      view : int;
+      opnum : Version.t;
+      commit : Version.t;
+      ops : (Version.t * Directory.op) list;
+    }  (** state-transfer answer: committed entries above [since] *)
 
 (** Short operation name of a request ("fetch", "dir-read", ...), used
     as the [op] field of [Store_op] trace events and as span names. *)

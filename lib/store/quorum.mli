@@ -4,7 +4,12 @@
     could easily specify the iterator to use a quorum or token-based
     scheme".  This module implements the read side: query every membership
     host (coordinator + replicas), require answers from a strict majority,
-    and return the freshest view. *)
+    and return the freshest view.
+
+    The write side lives in [Weakset_repl.Group], which quorum-commits
+    directory mutations over the same host set with the same strict
+    majority ([n/2 + 1], so any two quorums intersect — the arithmetic
+    below is shared by both protocols). *)
 
 (** [read c sref] returns the highest-version view among the answers if a
     strict majority of the hosts answered; [Error Unreachable] otherwise. *)

@@ -17,6 +17,9 @@ type issue =
   | Steps_exhausted of { steps : int }
   | Leaked_fibers of { count : int; fibers : string list }
   | Lost_rpc of { count : int }
+  | Commit_lost of { opnum : int; op : string; node : int }
+  | Commit_reordered of { opnum : int; first : string; second : string; node : int }
+  | Election_overdue of { deadline : float }
 
 type iteration_input = {
   index : int;
@@ -38,6 +41,18 @@ type cache_evidence = {
   fault_windows : (float * float) list;
 }
 
+(* Evidence from a replication-group run (the scenario harness):
+   [r_ledger] is the client-visible commit ledger — every (opnum, op)
+   some leader acknowledged as committed; [r_final_logs] the committed
+   log each surviving member ended with; [r_probes] the liveness probes
+   — (deadline, was the group stable by then?) for every quiet window
+   long enough that a quorum-connected group must have elected. *)
+type repl_evidence = {
+  r_ledger : (int * string) list;
+  r_final_logs : (int * (int * string) list) list;
+  r_probes : (float * bool) list;
+}
+
 type input = {
   iterations : iteration_input list;
   engine_crashes : (string * string) list;
@@ -46,6 +61,7 @@ type input = {
   step_cap : int;
   unmatched_rpcs : int;
   cache : cache_evidence option;
+  repl : repl_evidence option;
 }
 
 let category = function
@@ -57,13 +73,19 @@ let category = function
   | Steps_exhausted _ -> "steps-exhausted"
   | Leaked_fibers _ -> "leaked-fibers"
   | Lost_rpc _ -> "lost-rpc"
+  | Commit_lost _ -> "commit-lost"
+  | Commit_reordered _ -> "commit-reordered"
+  | Election_overdue _ -> "election-overdue"
 
 let severity = function
+  | Commit_lost _ -> 10
+  | Commit_reordered _ -> 9
   | Stale_beyond_lease _ -> 8
   | Spec_violation _ -> 7
   | Monitor_mismatch _ -> 6
   | Fiber_crash _ -> 5
   | Stuck_iterator _ -> 4
+  | Election_overdue _ -> 4
   | Steps_exhausted _ -> 3
   | Leaked_fibers _ -> 2
   | Lost_rpc _ -> 1
@@ -92,6 +114,27 @@ let describe = function
       Printf.sprintf "%d fiber(s) leaked (parked at quiescence): %s" count
         (String.concat ", " fibers)
   | Lost_rpc { count } -> Printf.sprintf "%d RPC call(s) lost: no reply and no timeout" count
+  | Commit_lost { opnum; op; node } ->
+      Printf.sprintf
+        "commit safety: op %s was acknowledged committed at opnum %d but node %d's final \
+         log has nothing there"
+        op opnum node
+  | Commit_reordered { opnum; first; second; node } ->
+      if node < 0 then
+        Printf.sprintf
+          "commit safety: opnum %d was acknowledged twice with different ops (%s, then %s) \
+          — a committed entry was overwritten across a view change"
+          opnum first second
+      else
+        Printf.sprintf
+          "commit safety: node %d's final log holds %s at opnum %d where %s was \
+           acknowledged committed"
+          node second opnum first
+  | Election_overdue { deadline } ->
+      Printf.sprintf
+        "view-change liveness: the group was quorum-connected yet had no stable leader by \
+         t=%.3f"
+        deadline
 
 (* ------------------------------------------------------------------ *)
 (* Judging                                                            *)
@@ -216,11 +259,53 @@ let judge_cache ev =
              }))
     ev.hits
 
+(* Commit safety and view-change liveness.  The ledger is the promise
+   set: every entry was acked to a client as committed, so it must
+   appear — at its opnum, with its op — in every surviving member's
+   final log, and no opnum may ever have been acked with two different
+   ops.  Liveness: every probe deadline the harness judged "the group
+   was quorum-connected long enough to elect" must have found a stable
+   leader. *)
+let judge_repl ev =
+  let seen = Hashtbl.create 16 in
+  let dup_issues, uniq_rev =
+    List.fold_left
+      (fun (dups, uniq) (opnum, op) ->
+        match Hashtbl.find_opt seen opnum with
+        | Some prev when prev <> op ->
+            (Commit_reordered { opnum; first = prev; second = op; node = -1 } :: dups, uniq)
+        | Some _ -> (dups, uniq)
+        | None ->
+            Hashtbl.add seen opnum op;
+            (dups, (opnum, op) :: uniq))
+      ([], []) ev.r_ledger
+  in
+  let uniq = List.rev uniq_rev in
+  let log_issues =
+    List.concat_map
+      (fun (node, log) ->
+        List.filter_map
+          (fun (opnum, op) ->
+            match List.assoc_opt opnum log with
+            | Some op' when String.equal op' op -> None
+            | Some op' -> Some (Commit_reordered { opnum; first = op; second = op'; node })
+            | None -> Some (Commit_lost { opnum; op; node }))
+          uniq)
+      ev.r_final_logs
+  in
+  let election_issues =
+    List.filter_map
+      (fun (deadline, ok) -> if ok then None else Some (Election_overdue { deadline }))
+      ev.r_probes
+  in
+  List.rev dup_issues @ log_issues @ election_issues
+
 let judge input =
   let iteration_issues = List.concat_map judge_iteration input.iterations in
   let cache_issues =
     match input.cache with None -> [] | Some ev -> judge_cache ev
   in
+  let repl_issues = match input.repl with None -> [] | Some ev -> judge_repl ev in
   let crash_issues =
     List.map
       (fun (fiber, exn_text) -> Fiber_crash { fiber; exn_text })
@@ -256,7 +341,9 @@ let judge input =
       [ Lost_rpc { count = input.unmatched_rpcs } ]
     else []
   in
-  sort (cache_issues @ iteration_issues @ crash_issues @ liveness_issues @ rpc_issues)
+  sort
+    (repl_issues @ cache_issues @ iteration_issues @ crash_issues @ liveness_issues
+   @ rpc_issues)
 
 let same_failure a b =
   let cats l = List.sort_uniq compare (List.map category l) in
@@ -293,6 +380,15 @@ let issue_to_json = function
       Printf.sprintf {|{"issue":"leaked-fibers","count":%d,"fibers":[%s]}|} count
         (String.concat "," (List.map (fun f -> Printf.sprintf {|"%s"|} (esc f)) fibers))
   | Lost_rpc { count } -> Printf.sprintf {|{"issue":"lost-rpc","count":%d}|} count
+  | Commit_lost { opnum; op; node } ->
+      Printf.sprintf {|{"issue":"commit-lost","opnum":%d,"op":"%s","node":%d}|} opnum
+        (esc op) node
+  | Commit_reordered { opnum; first; second; node } ->
+      Printf.sprintf
+        {|{"issue":"commit-reordered","opnum":%d,"first":"%s","second":"%s","node":%d}|}
+        opnum (esc first) (esc second) node
+  | Election_overdue { deadline } ->
+      Printf.sprintf {|{"issue":"election-overdue","deadline":%.17g}|} deadline
 
 let ( let* ) = Result.bind
 
@@ -363,4 +459,18 @@ let issue_of_json j =
   | "lost-rpc" ->
       let* count = int_ "count" j in
       Ok (Lost_rpc { count })
+  | "commit-lost" ->
+      let* opnum = int_ "opnum" j in
+      let* op = str "op" j in
+      let* node = int_ "node" j in
+      Ok (Commit_lost { opnum; op; node })
+  | "commit-reordered" ->
+      let* opnum = int_ "opnum" j in
+      let* first = str "first" j in
+      let* second = str "second" j in
+      let* node = int_ "node" j in
+      Ok (Commit_reordered { opnum; first; second; node })
+  | "election-overdue" ->
+      let* deadline = flt "deadline" j in
+      Ok (Election_overdue { deadline })
   | k -> Error (Printf.sprintf "unknown issue kind %S" k)

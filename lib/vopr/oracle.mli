@@ -37,6 +37,16 @@ type issue =
       (** fibers still parked at quiescence, outside any iteration *)
   | Lost_rpc of { count : int }
       (** RPC calls that never completed (no reply, no timeout) *)
+  | Commit_lost of { opnum : int; op : string; node : int }
+      (** commit safety: an op acknowledged committed at [opnum] is
+          absent from [node]'s final log *)
+  | Commit_reordered of { opnum : int; first : string; second : string; node : int }
+      (** commit safety: [opnum] carries two different ops — [node] is
+          [-1] when the double-ack shows in the ledger itself, else the
+          member whose final log contradicts the ledger *)
+  | Election_overdue of { deadline : float }
+      (** view-change liveness: the group was quorum-connected for a
+          full election window yet had no stable leader by [deadline] *)
 
 (** What the runner hands the judge about one executed iteration. *)
 type iteration_input = {
@@ -74,6 +84,19 @@ type cache_evidence = {
   fault_windows : (float * float) list;
 }
 
+(** Evidence from a replication-group run (built by the scenario
+    harness, {!Scenario}).  [r_ledger] is the client-visible commit
+    ledger — every (opnum, canonical op) some leader acknowledged as
+    committed; [r_final_logs] maps each surviving member (node id) to
+    its final committed log; [r_probes] lists the liveness probes —
+    (deadline, stable?) for each quiet window long enough that a
+    quorum-connected group must have elected a leader. *)
+type repl_evidence = {
+  r_ledger : (int * string) list;
+  r_final_logs : (int * (int * string) list) list;
+  r_probes : (float * bool) list;
+}
+
 type input = {
   iterations : iteration_input list;
   engine_crashes : (string * string) list;  (** fiber name, exception text *)
@@ -83,6 +106,7 @@ type input = {
   step_cap : int;
   unmatched_rpcs : int;  (** [Rpc_call] events without a matching [Rpc_done] *)
   cache : cache_evidence option;  (** [None]: the run had no lease cache *)
+  repl : repl_evidence option;  (** [None]: the run had no replication group *)
 }
 
 val judge : input -> issue list

@@ -476,6 +476,9 @@ let execute ?(step_cap = default_step_cap) plan =
         step_cap;
         unmatched_rpcs = !rpc_calls - !rpc_dones;
         cache = cache_evidence;
+        (* Random VOPR plans do not deploy a replication group; the
+           table-driven cluster scenarios (Scenario) build this. *)
+        repl = None;
       }
   in
   (* One post-run trigger for the whole verdict (the first issue names

@@ -1,0 +1,478 @@
+module Engine = Weakset_sim.Engine
+module Topology = Weakset_net.Topology
+module Nodeid = Weakset_net.Nodeid
+module Fault = Weakset_net.Fault
+module Rpc = Weakset_net.Rpc
+module Node_server = Weakset_store.Node_server
+module Client = Weakset_store.Client
+module Protocol = Weakset_store.Protocol
+module Oid = Weakset_store.Oid
+module Svalue = Weakset_store.Svalue
+module Group = Weakset_repl.Group
+module Bus = Weakset_obs.Bus
+module Event = Weakset_obs.Event
+module Digest = Weakset_obs.Digest
+
+(* Replicas are named r0..r(n-1) in scenario prose and addressed by
+   index here; the interpreter adds one extra node for the client. *)
+
+type step =
+  | Stop of { node : int; at : float; recover_at : float }
+  | Crash of { node : int; at : float }
+  | Heal of { node : int; at : float }
+  | Isolate of { node : int; at : float; heal_at : float }
+  | Partition of { groups : int list list; at : float; heal_at : float }
+  | Workload of { at : float; until : float; every : float }
+  | Probe_stable of { at : float }
+
+type t = { name : string; replicas : int; until : float; steps : step list }
+
+let set_id = 1
+let heal_margin = 30.0
+let default_step_cap = 1_000_000
+
+(* ------------------------------------------------------------------ *)
+(* Validation: a malformed table entry should fail loudly at load,    *)
+(* not as a silent no-fault run.                                      *)
+
+let validate scn =
+  let fail fmt = Format.kasprintf invalid_arg ("scenario %s: " ^^ fmt) scn.name in
+  if scn.replicas < 1 then fail "needs at least one replica";
+  if scn.until <= heal_margin then fail "horizon %.1f leaves no heal margin" scn.until;
+  let node_ok i = i >= 0 && i < scn.replicas in
+  let in_run at = at > 0.0 && at < scn.until in
+  List.iter
+    (fun step ->
+      match step with
+      | Stop { node; at; recover_at } ->
+          if not (node_ok node) then fail "Stop names unknown replica r%d" node;
+          if not (in_run at) then fail "Stop at=%.1f outside the run" at;
+          if recover_at <= at then fail "Stop window r%d [%.1f,%.1f] is empty" node at recover_at
+      | Crash { node; at } ->
+          if not (node_ok node) then fail "Crash names unknown replica r%d" node;
+          if not (in_run at) then fail "Crash at=%.1f outside the run" at
+      | Heal { node; at } ->
+          if not (node_ok node) then fail "Heal names unknown replica r%d" node;
+          if not (in_run at) then fail "Heal at=%.1f outside the run" at
+      | Isolate { node; at; heal_at } ->
+          if not (node_ok node) then fail "Isolate names unknown replica r%d" node;
+          if not (in_run at) then fail "Isolate at=%.1f outside the run" at;
+          if heal_at <= at then fail "Isolate window r%d [%.1f,%.1f] is empty" node at heal_at
+      | Partition { groups; at; heal_at } ->
+          List.iter
+            (List.iter (fun i ->
+                 if not (node_ok i) then fail "Partition names unknown replica r%d" i))
+            groups;
+          if not (in_run at) then fail "Partition at=%.1f outside the run" at;
+          if heal_at <= at then fail "Partition window [%.1f,%.1f] is empty" at heal_at
+      | Workload { at; until; every } ->
+          if until <= at then fail "Workload window [%.1f,%.1f] is empty" at until;
+          if until > scn.until -. heal_margin then
+            fail "Workload runs past the heal margin (until %.1f)" until;
+          if every <= 0.0 then fail "Workload every=%.2f must be positive" every
+      | Probe_stable { at } ->
+          if not (in_run at) then fail "Probe_stable at=%.1f outside the run" at)
+    scn.steps
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                        *)
+
+type run_stats = {
+  digest : string;
+  events : int;
+  steps : int;
+  issues : Oracle.issue list;
+  committed : int;
+  ops_ok : int;
+  ops_failed : int;
+}
+
+let execute ?(step_cap = default_step_cap) scn =
+  validate scn;
+  let n = scn.replicas in
+  let majority = (n / 2) + 1 in
+  (* The seed is a pure function of the scenario name: every run of a
+     table entry replays the same virtual history, byte for byte. *)
+  let seed = Int64.of_int (Hashtbl.hash scn.name) in
+  let eng = Engine.create ~seed () in
+  let bus = Engine.bus eng in
+  let digest = Digest.create () in
+  Bus.attach bus ~name:"scenario-digest" (Digest.sink digest);
+  let rpc_calls = ref 0 and rpc_dones = ref 0 in
+  let fiber_state : (int, string) Hashtbl.t = Hashtbl.create 32 in
+  Bus.attach bus ~name:"scenario-accounting" (fun ev ->
+      match ev.Event.kind with
+      | Event.Rpc_call _ -> incr rpc_calls
+      | Event.Rpc_done _ -> incr rpc_dones
+      | Event.Fiber_spawn { fid; fiber } -> Hashtbl.replace fiber_state fid fiber
+      | Event.Run_end { fid; park = Event.Park_done | Event.Park_crash; _ } ->
+          Hashtbl.remove fiber_state fid
+      | _ -> ());
+  let topo = Topology.create () in
+  let nodes = Topology.clique topo (n + 1) ~latency:0.5 in
+  let client_node = nodes.(n) in
+  let member_nodes = Array.to_list (Array.sub nodes 0 n) in
+  let rpc = Rpc.create eng topo in
+  let fault = Fault.create eng topo in
+  let servers =
+    Array.init n (fun i ->
+        let s = Node_server.create rpc nodes.(i) in
+        Node_server.host_directory s ~set_id ~policy:Node_server.Defer_removes_while_iterating;
+        s)
+  in
+  let ledger = Group.Ledger.create () in
+  let groups =
+    Array.init n (fun i ->
+        Group.create rpc ~set_id ~members:member_nodes ~me:nodes.(i) ~ledger
+          ~server:servers.(i))
+  in
+  Array.iter (fun g -> Group.start g ~until:scn.until) groups;
+  let client = Client.create rpc client_node in
+  let sref =
+    {
+      Protocol.set_id;
+      coordinator = nodes.(0);
+      replicas = List.tl member_nodes;
+    }
+  in
+  (* Shared across workload windows so every Add names a fresh oid. *)
+  let opk = ref 0 and ops_ok = ref 0 and ops_failed = ref 0 in
+  let probes = ref [] in
+  let quorum_connected () =
+    let up = List.filter (Topology.node_up topo) member_nodes in
+    List.exists
+      (fun i ->
+        let reaches j = Nodeid.equal i j || Topology.reachable topo i j in
+        List.length (List.filter reaches up) >= majority)
+      up
+  in
+  let probe at =
+    Engine.schedule eng ~after:at (fun () ->
+        let ok = Group.stable (Array.to_list groups) || not (quorum_connected ()) in
+        probes := (at, ok) :: !probes)
+  in
+  let workload ~at ~until ~every =
+    Engine.spawn eng ~name:(Printf.sprintf "scn-load-%.0f" at) (fun () ->
+        Engine.sleep eng at;
+        while Engine.now eng < until do
+          let k = !opk in
+          incr opk;
+          let result =
+            (* Two adds then a remove of the elder: every op is effective
+               when it lands, so the ledger grows by one per ack. *)
+            if k mod 3 = 2 then
+              Client.dir_remove client sref (Oid.make ~num:(k - 2) ~home:nodes.(0))
+            else Client.dir_add client sref (Oid.make ~num:k ~home:nodes.(0))
+          in
+          (match result with Ok () -> incr ops_ok | Error _ -> incr ops_failed);
+          Engine.sleep eng every
+        done)
+  in
+  List.iter
+    (fun step ->
+      match step with
+      | Stop { node; at; recover_at } ->
+          Fault.stop_node fault ~at ~recover_at nodes.(node)
+      | Crash { node; at } -> Fault.schedule_crash fault ~at nodes.(node)
+      | Heal { node; at } -> Fault.heal_node fault ~at nodes.(node)
+      | Isolate { node; at; heal_at } -> Fault.isolate_node fault ~at ~heal_at nodes.(node)
+      | Partition { groups = gs; at; heal_at } ->
+          let gs = List.map (List.map (fun i -> nodes.(i))) gs in
+          Fault.schedule_partition fault ~at ~heal_at gs
+      | Workload { at; until; every } -> workload ~at ~until ~every
+      | Probe_stable { at } -> probe at)
+    scn.steps;
+  (* Close every fault before the horizon so the group has a quiet
+     window to elect, converge and answer the final liveness probe. *)
+  let heal_at = scn.until -. heal_margin in
+  Engine.schedule eng ~after:heal_at (fun () ->
+      Fault.heal_all fault;
+      Array.iteri
+        (fun i node ->
+          if i < n && not (Topology.node_up topo node) then Fault.recover_node fault node)
+        nodes);
+  probe (scn.until -. 2.0);
+  let steps = Engine.run ~max_steps:step_cap eng in
+  let r_final_logs =
+    List.filter_map
+      (fun g ->
+        let node = Group.me g in
+        if Topology.node_up topo node then
+          Some (Nodeid.to_int node, Group.committed_log g)
+        else None)
+      (Array.to_list groups)
+  in
+  let r_ledger =
+    List.map
+      (fun e -> (e.Group.Ledger.l_opnum, e.Group.Ledger.l_op))
+      (Group.Ledger.entries ledger)
+  in
+  let evidence =
+    { Oracle.r_ledger; r_final_logs; r_probes = List.rev !probes }
+  in
+  let engine_crashes =
+    List.map
+      (fun c -> (c.Engine.crash_fiber, Printexc.to_string c.Engine.crash_exn))
+      (Engine.crashes eng)
+  in
+  let parked_fibers =
+    if Engine.live_fibers eng = 0 then []
+    else Hashtbl.fold (fun _ name acc -> name :: acc) fiber_state [] |> List.sort compare
+  in
+  let issues =
+    Oracle.judge
+      {
+        Oracle.iterations = [];
+        engine_crashes;
+        parked_fibers;
+        steps;
+        step_cap;
+        unmatched_rpcs = !rpc_calls - !rpc_dones;
+        cache = None;
+        repl = Some evidence;
+      }
+  in
+  {
+    digest = Digest.value digest;
+    events = Digest.count digest;
+    steps;
+    issues;
+    committed = List.length r_ledger;
+    ops_ok = !ops_ok;
+    ops_failed = !ops_failed;
+  }
+
+type outcome = {
+  o_name : string;
+  o_digest : string;
+  o_events : int;
+  o_deterministic : bool;
+  o_issues : Oracle.issue list;
+  o_committed : int;
+  o_ops_ok : int;
+  o_ops_failed : int;
+}
+
+let passed o = o.o_deterministic && o.o_issues = []
+
+let run ?step_cap ?(planted = false) scn =
+  let saved = !Group.planted_view_change_drop in
+  Group.planted_view_change_drop := planted;
+  Fun.protect
+    ~finally:(fun () -> Group.planted_view_change_drop := saved)
+    (fun () ->
+      (* Run the whole virtual history twice: a table entry only counts
+         as passing if the replay is byte-identical. *)
+      let a = execute ?step_cap scn in
+      let b = execute ?step_cap scn in
+      {
+        o_name = scn.name;
+        o_digest = a.digest;
+        o_events = a.events;
+        o_deterministic = String.equal a.digest b.digest && a.events = b.events;
+        o_issues = a.issues;
+        o_committed = a.committed;
+        o_ops_ok = a.ops_ok;
+        o_ops_failed = a.ops_failed;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* The table.                                                         *)
+
+let steady_load = Workload { at = 10.0; until = 240.0; every = 2.0 }
+
+let table =
+  [
+    {
+      name = "steady-state";
+      replicas = 3;
+      until = 300.0;
+      steps = [ steady_load; Probe_stable { at = 100.0 }; Probe_stable { at = 230.0 } ];
+    };
+    {
+      name = "leader-crash-failover";
+      replicas = 3;
+      until = 300.0;
+      steps =
+        [
+          steady_load;
+          Stop { node = 0; at = 60.0; recover_at = 150.0 };
+          Probe_stable { at = 120.0 };
+          Probe_stable { at = 230.0 };
+        ];
+    };
+    {
+      name = "leader-crash-mid-commit";
+      replicas = 3;
+      until = 300.0;
+      steps =
+        [
+          (* Dense traffic so the crash lands between Prepare fan-out
+             and commit-point propagation. *)
+          Workload { at = 10.0; until = 200.0; every = 0.4 };
+          Crash { node = 0; at = 50.2 };
+          Heal { node = 0; at = 160.0 };
+          Probe_stable { at = 120.0 };
+        ];
+    };
+    {
+      name = "partitioned-old-leader";
+      replicas = 3;
+      until = 300.0;
+      steps =
+        [
+          steady_load;
+          (* The leader keeps running but can reach nobody: the majority
+             side must elect past it, and it must rejoin as a backup. *)
+          Isolate { node = 0; at = 60.0; heal_at = 170.0 };
+          Probe_stable { at = 130.0 };
+          Probe_stable { at = 240.0 };
+        ];
+    };
+    {
+      name = "dueling-view-changes";
+      replicas = 5;
+      until = 300.0;
+      steps =
+        [
+          steady_load;
+          (* All four backups lose the leader at once; the staggered
+             suspicion timers must converge on one view, not duel. *)
+          Stop { node = 0; at = 60.0; recover_at = 140.0 };
+          Probe_stable { at = 110.0 };
+        ];
+    };
+    {
+      name = "backup-crash";
+      replicas = 3;
+      until = 300.0;
+      steps =
+        [
+          steady_load;
+          Stop { node = 2; at = 60.0; recover_at = 150.0 };
+          Probe_stable { at = 100.0 };
+        ];
+    };
+    {
+      name = "state-transfer-under-churn";
+      replicas = 3;
+      until = 300.0;
+      steps =
+        [
+          (* r1 misses most of the run and returns far behind the
+             commit point: rejoining takes a Get_state transfer, not
+             one heartbeat. *)
+          Workload { at = 10.0; until = 250.0; every = 0.8 };
+          Stop { node = 1; at = 40.0; recover_at = 220.0 };
+          Probe_stable { at = 150.0 };
+        ];
+    };
+    {
+      name = "quorum-loss-recovery";
+      replicas = 3;
+      until = 400.0;
+      steps =
+        [
+          Workload { at = 10.0; until = 350.0; every = 2.0 };
+          (* Two of three down: no elections can finish, submits must
+             fail retryably, and the group must recover when a quorum
+             returns. *)
+          Stop { node = 1; at = 60.0; recover_at = 260.0 };
+          Stop { node = 2; at = 70.0; recover_at = 240.0 };
+          Probe_stable { at = 300.0 };
+        ];
+    };
+    {
+      name = "isolate-heal-isolate";
+      replicas = 3;
+      until = 300.0;
+      steps =
+        [
+          steady_load;
+          Isolate { node = 0; at = 50.0; heal_at = 100.0 };
+          Isolate { node = 1; at = 130.0; heal_at = 180.0 };
+          Probe_stable { at = 120.0 };
+          Probe_stable { at = 210.0 };
+        ];
+    };
+    {
+      name = "double-failover";
+      replicas = 5;
+      until = 300.0;
+      steps =
+        [
+          steady_load;
+          (* View 0's leader dies, then view 1's leader dies too: two
+             complete view changes back to back. *)
+          Stop { node = 0; at = 50.0; recover_at = 180.0 };
+          Stop { node = 1; at = 90.0; recover_at = 200.0 };
+          Probe_stable { at = 150.0 };
+          Probe_stable { at = 240.0 };
+        ];
+    };
+    {
+      name = "partition-majority-minority";
+      replicas = 5;
+      until = 300.0;
+      steps =
+        [
+          steady_load;
+          (* Leader and one backup on the minority side; the majority
+             (with the client) must keep committing. *)
+          Partition { groups = [ [ 0; 1 ] ]; at = 60.0; heal_at = 180.0 };
+          Probe_stable { at = 130.0 };
+          Probe_stable { at = 240.0 };
+        ];
+    };
+    {
+      name = "old-leader-returns";
+      replicas = 3;
+      until = 300.0;
+      steps =
+        [
+          steady_load;
+          (* A short outage: the deposed leader comes back quickly and
+             must step down into the higher view it slept through. *)
+          Stop { node = 0; at = 50.0; recover_at = 95.0 };
+          Probe_stable { at = 140.0 };
+        ];
+    };
+    {
+      name = "flapping-replica";
+      replicas = 3;
+      until = 300.0;
+      steps =
+        [
+          steady_load;
+          Isolate { node = 2; at = 40.0; heal_at = 60.0 };
+          Isolate { node = 2; at = 80.0; heal_at = 100.0 };
+          Isolate { node = 2; at = 120.0; heal_at = 140.0 };
+          Probe_stable { at = 160.0 };
+        ];
+    };
+    {
+      name = "rapid-churn";
+      replicas = 3;
+      until = 300.0;
+      steps =
+        [
+          Workload { at = 5.0; until = 260.0; every = 0.25 };
+          Probe_stable { at = 100.0 };
+          Probe_stable { at = 200.0 };
+        ];
+    };
+  ]
+
+let find name = List.find_opt (fun s -> String.equal s.name name) table
+
+let pp_outcome ppf o =
+  let verdict =
+    if passed o then "PASS"
+    else if not o.o_deterministic then "NONDETERMINISTIC"
+    else "FAIL"
+  in
+  Format.fprintf ppf "%-28s %-16s commits=%-4d ops=%d/%d events=%d digest=%s" o.o_name
+    verdict o.o_committed o.o_ops_ok
+    (o.o_ops_ok + o.o_ops_failed)
+    o.o_events o.o_digest;
+  List.iter (fun i -> Format.fprintf ppf "@,  issue: %s" (Oracle.describe i)) o.o_issues

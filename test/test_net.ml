@@ -445,6 +445,78 @@ let test_fault_schedule_partition_rejects_bad_window () =
   Engine.run_and_check eng;
   check_bool "still connected" true (Topology.reachable topo ids.(0) ids.(2))
 
+let test_fault_stop_node_window () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let ids = Topology.clique topo 3 ~latency:1.0 in
+  let fault = Fault.create eng topo in
+  Fault.stop_node fault ~at:5.0 ~recover_at:10.0 ids.(1);
+  let before = ref false and during = ref true and after = ref false in
+  Engine.schedule eng ~after:2.0 (fun () -> before := Topology.node_up topo ids.(1));
+  Engine.schedule eng ~after:7.0 (fun () -> during := Topology.node_up topo ids.(1));
+  Engine.schedule eng ~after:12.0 (fun () -> after := Topology.node_up topo ids.(1));
+  Engine.run_and_check eng;
+  check_bool "up before the window" true !before;
+  check_bool "down inside the window" false !during;
+  check_bool "recovered after the window" true !after
+
+let test_fault_stop_node_rejects_bad_window () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let ids = Topology.clique topo 3 ~latency:1.0 in
+  let fault = Fault.create eng topo in
+  Alcotest.check_raises "recover before stop"
+    (Invalid_argument "Fault.stop_node: recover_at (3) must be after at (5)")
+    (fun () -> Fault.stop_node fault ~at:5.0 ~recover_at:3.0 ids.(0));
+  Alcotest.check_raises "zero-length window"
+    (Invalid_argument "Fault.stop_node: recover_at (5) must be after at (5)")
+    (fun () -> Fault.stop_node fault ~at:5.0 ~recover_at:5.0 ids.(0));
+  Engine.run_and_check eng;
+  check_bool "nothing scheduled by rejected calls" true (Topology.node_up topo ids.(0))
+
+let test_fault_heal_node () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let ids = Topology.clique topo 3 ~latency:1.0 in
+  let fault = Fault.create eng topo in
+  (* A crash with no recovery of its own, ended early by heal_node. *)
+  Fault.schedule_crash fault ~at:2.0 ids.(2);
+  Fault.heal_node fault ~at:6.0 ids.(2);
+  let during = ref true and after = ref false in
+  Engine.schedule eng ~after:4.0 (fun () -> during := Topology.node_up topo ids.(2));
+  Engine.schedule eng ~after:8.0 (fun () -> after := Topology.node_up topo ids.(2));
+  Engine.run_and_check eng;
+  check_bool "down before heal" false !during;
+  check_bool "up after heal" true !after
+
+let test_fault_isolate_node_window () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let ids = Topology.clique topo 4 ~latency:1.0 in
+  let fault = Fault.create eng topo in
+  Fault.isolate_node fault ~at:5.0 ~heal_at:10.0 ids.(0);
+  let cut = ref true and rest_ok = ref false and healed = ref false in
+  Engine.schedule eng ~after:7.0 (fun () ->
+      cut := Topology.reachable topo ids.(0) ids.(1);
+      (* The isolated node is alone; everyone else still talks. *)
+      rest_ok := Topology.reachable topo ids.(1) ids.(3));
+  Engine.schedule eng ~after:12.0 (fun () -> healed := Topology.reachable topo ids.(0) ids.(1));
+  Engine.run_and_check eng;
+  check_bool "isolated node cut off" false !cut;
+  check_bool "rest of the clique intact" true !rest_ok;
+  check_bool "healed after the window" true !healed
+
+let test_fault_isolate_node_rejects_bad_window () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let ids = Topology.clique topo 4 ~latency:1.0 in
+  let fault = Fault.create eng topo in
+  Alcotest.check_raises "heal before isolate"
+    (Invalid_argument "Fault.isolate_node: heal_at (3) must be after at (5)")
+    (fun () -> Fault.isolate_node fault ~at:5.0 ~heal_at:3.0 ids.(0));
+  Engine.run_and_check eng;
+  check_bool "still connected" true (Topology.reachable topo ids.(0) ids.(1))
+
 let test_fault_random_partition_process () =
   let eng = Engine.create ~seed:7L () in
   let topo = Topology.create () in
@@ -595,6 +667,13 @@ let () =
           Alcotest.test_case "scheduled partition" `Quick test_fault_schedule_partition_and_heal;
           Alcotest.test_case "scheduled partition rejects bad window" `Quick
             test_fault_schedule_partition_rejects_bad_window;
+          Alcotest.test_case "stop_node window" `Quick test_fault_stop_node_window;
+          Alcotest.test_case "stop_node rejects bad window" `Quick
+            test_fault_stop_node_rejects_bad_window;
+          Alcotest.test_case "heal_node" `Quick test_fault_heal_node;
+          Alcotest.test_case "isolate_node window" `Quick test_fault_isolate_node_window;
+          Alcotest.test_case "isolate_node rejects bad window" `Quick
+            test_fault_isolate_node_rejects_bad_window;
           Alcotest.test_case "random partition process" `Quick
             test_fault_random_partition_process;
           Alcotest.test_case "crash/restart process" `Quick test_fault_crash_restart_process;

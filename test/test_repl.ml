@@ -1,0 +1,301 @@
+(* Tests for weakset_repl: leader election and steady state, quorum
+   commit and convergence, client failover after a leader crash, quorum
+   loss, state transfer for a recovering member, the oracle's
+   commit-safety and view-change-liveness verdicts, and the scenario
+   table's validity and determinism. *)
+
+open Weakset_sim
+open Weakset_net
+open Weakset_store
+module Group = Weakset_repl.Group
+module Scenario = Weakset_vopr.Scenario
+module Oracle = Weakset_vopr.Oracle
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let set_id = 1
+let mkoid ?(home = 0) num = Oid.make ~num ~home:(Nodeid.of_int home)
+
+type cluster = {
+  eng : Engine.t;
+  topo : Topology.t;
+  fault : Fault.t;
+  nodes : Nodeid.t array;  (* n replicas, then the client node *)
+  servers : Node_server.t array;
+  groups : Group.t array;
+  ledger : Group.Ledger.t;
+  client : Client.t;
+  sref : Protocol.set_ref;
+}
+
+let cluster ?(n = 3) ~until () =
+  let eng = Engine.create ~seed:42L () in
+  let topo = Topology.create () in
+  let nodes = Topology.clique topo (n + 1) ~latency:0.5 in
+  let rpc = Rpc.create eng topo in
+  let fault = Fault.create eng topo in
+  let servers =
+    Array.init n (fun i ->
+        let s = Node_server.create rpc nodes.(i) in
+        Node_server.host_directory s ~set_id ~policy:Node_server.Immediate;
+        s)
+  in
+  let members = Array.to_list (Array.sub nodes 0 n) in
+  let ledger = Group.Ledger.create () in
+  let groups =
+    Array.init n (fun i ->
+        Group.create rpc ~set_id ~members ~me:nodes.(i) ~ledger ~server:servers.(i))
+  in
+  Array.iter (fun g -> Group.start g ~until) groups;
+  let client = Client.create rpc nodes.(n) in
+  let sref = { Protocol.set_id; coordinator = nodes.(0); replicas = List.tl members } in
+  { eng; topo; fault; nodes; servers; groups; ledger; client; sref }
+
+(* ------------------------------------------------------------------ *)
+(* Election and steady state                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_steady_state_stays_in_view_zero () =
+  let c = cluster ~until:100.0 () in
+  Engine.run_and_check c.eng;
+  Array.iter
+    (fun g ->
+      check_int "view 0" 0 (Group.view g);
+      check_bool "normal" true (Group.status g = Group.Normal))
+    c.groups;
+  check_bool "member 0 leads view 0" true (Group.is_leader c.groups.(0));
+  check_bool "stable" true (Group.stable (Array.to_list c.groups))
+
+let test_submit_commits_and_converges () =
+  let c = cluster ~until:120.0 () in
+  let acked = ref 0 in
+  Engine.spawn c.eng ~name:"writer" (fun () ->
+      Engine.sleep c.eng 5.0;
+      for k = 1 to 5 do
+        match Client.dir_add c.client c.sref (mkoid k) with
+        | Ok () -> incr acked
+        | Error e -> Alcotest.failf "add %d failed: %s" k (Client.error_to_string e)
+      done);
+  Engine.run_and_check c.eng;
+  check_int "all acked" 5 !acked;
+  check_int "ledger holds every commit" 5 (List.length (Group.Ledger.entries c.ledger));
+  let log0 = Group.committed_log c.groups.(0) in
+  Array.iter
+    (fun g ->
+      check_int "commit point converged" 5 (Version.to_int (Group.commit g));
+      check_bool "logs identical" true (Group.committed_log g = log0))
+    c.groups;
+  Array.iter
+    (fun s ->
+      check_int "directory converged" 5 (Directory.size (Node_server.directory_truth s ~set_id)))
+    c.servers
+
+(* ------------------------------------------------------------------ *)
+(* Failover                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The acceptance bar for the whole subsystem: with a group of three
+   (f = 1), a leader crash must not surface as Unreachable to clients —
+   the coordinator-following client finds the new leader. *)
+let test_leader_crash_failover_add_succeeds () =
+  let c = cluster ~until:200.0 () in
+  let result = ref None in
+  Engine.spawn c.eng ~name:"writer" (fun () ->
+      Engine.sleep c.eng 5.0;
+      (match Client.dir_add c.client c.sref (mkoid 1) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "pre-crash add failed: %s" (Client.error_to_string e));
+      Engine.sleep c.eng 5.0;
+      Fault.crash_node c.fault c.nodes.(0);
+      (* Give the backups one suspicion window to elect. *)
+      Engine.sleep c.eng 30.0;
+      result := Some (Client.dir_add c.client c.sref (mkoid 2)));
+  Engine.run_and_check c.eng;
+  (match !result with
+  | Some (Ok ()) -> ()
+  | Some (Error e) ->
+      Alcotest.failf "add after leader crash failed: %s" (Client.error_to_string e)
+  | None -> Alcotest.fail "writer never ran");
+  (* The two survivors elected past view 0 and both hold the commit. *)
+  check_bool "moved past view 0" true (Group.view c.groups.(1) > 0);
+  check_bool "survivors stable" true (Group.stable [ c.groups.(1); c.groups.(2) ]);
+  List.iter
+    (fun i ->
+      check_int "survivor has both commits" 2
+        (Directory.size (Node_server.directory_truth c.servers.(i) ~set_id)))
+    [ 1; 2 ]
+
+let test_backup_redirects_to_leader () =
+  let c = cluster ~until:60.0 () in
+  let answer = ref None in
+  Engine.spawn c.eng ~name:"probe" (fun () ->
+      Engine.sleep c.eng 5.0;
+      answer := Some (Group.submit c.groups.(1) (Directory.Add (mkoid 1))));
+  Engine.run_and_check c.eng;
+  match !answer with
+  | Some (Protocol.Not_leader { view = 0; leader }) ->
+      check_int "hint names member 0" (Nodeid.to_int c.nodes.(0)) leader
+  | Some r -> Alcotest.failf "expected Not_leader, got %s" (Format.asprintf "%a" Protocol.pp_response r)
+  | None -> Alcotest.fail "probe never ran"
+
+let test_quorum_loss_mutation_fails () =
+  let c = cluster ~until:150.0 () in
+  let result = ref None in
+  Engine.spawn c.eng ~name:"writer" (fun () ->
+      Engine.sleep c.eng 5.0;
+      Fault.crash_node c.fault c.nodes.(1);
+      Fault.crash_node c.fault c.nodes.(2);
+      Engine.sleep c.eng 5.0;
+      result := Some (Client.dir_add c.client c.sref (mkoid 1)));
+  Engine.run_and_check c.eng;
+  (match !result with
+  | Some (Error _) -> ()
+  | Some (Ok ()) -> Alcotest.fail "add committed without a quorum"
+  | None -> Alcotest.fail "writer never ran");
+  check_int "nothing entered the ledger" 0 (List.length (Group.Ledger.entries c.ledger));
+  check_int "nothing committed" 0
+    (Directory.size (Node_server.directory_truth c.servers.(0) ~set_id))
+
+let test_state_transfer_catches_up_rejoiner () =
+  let c = cluster ~until:250.0 () in
+  Fault.stop_node c.fault ~at:5.0 ~recover_at:120.0 c.nodes.(2);
+  Engine.spawn c.eng ~name:"writer" (fun () ->
+      Engine.sleep c.eng 10.0;
+      for k = 1 to 8 do
+        (match Client.dir_add c.client c.sref (mkoid k) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "add %d failed: %s" k (Client.error_to_string e));
+        Engine.sleep c.eng 2.0
+      done);
+  Engine.run_and_check c.eng;
+  (* The rejoiner was down for every commit; only a state transfer can
+     have given it the full log. *)
+  check_int "rejoiner caught up" 8 (Version.to_int (Group.commit c.groups.(2)));
+  check_bool "logs identical" true
+    (Group.committed_log c.groups.(2) = Group.committed_log c.groups.(0))
+
+(* ------------------------------------------------------------------ *)
+(* Oracle verdicts                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let judge_repl evidence =
+  Oracle.judge
+    {
+      Oracle.iterations = [];
+      engine_crashes = [];
+      parked_fibers = [];
+      steps = 0;
+      step_cap = 1000;
+      unmatched_rpcs = 0;
+      cache = None;
+      repl = Some evidence;
+    }
+
+let categories issues = List.map Oracle.category issues
+
+let test_oracle_commit_lost () =
+  let issues =
+    judge_repl
+      {
+        Oracle.r_ledger = [ (1, "add a"); (2, "add b") ];
+        r_final_logs = [ (0, [ (1, "add a"); (2, "add b") ]); (1, [ (1, "add a") ]) ];
+        r_probes = [];
+      }
+  in
+  check_bool "commit-lost raised" true (List.mem "commit-lost" (categories issues))
+
+let test_oracle_commit_reordered () =
+  let issues =
+    judge_repl
+      {
+        Oracle.r_ledger = [ (1, "add a"); (2, "add b") ];
+        r_final_logs = [ (0, [ (1, "add a"); (2, "add c") ]) ];
+        r_probes = [];
+      }
+  in
+  check_bool "commit-reordered raised" true (List.mem "commit-reordered" (categories issues))
+
+let test_oracle_election_overdue () =
+  let issues =
+    judge_repl
+      { Oracle.r_ledger = []; r_final_logs = []; r_probes = [ (50.0, true); (80.0, false) ] }
+  in
+  check_bool "election-overdue raised" true (List.mem "election-overdue" (categories issues))
+
+let test_oracle_clean_evidence_passes () =
+  let issues =
+    judge_repl
+      {
+        Oracle.r_ledger = [ (1, "add a") ];
+        r_final_logs = [ (0, [ (1, "add a") ]); (1, [ (1, "add a") ]) ];
+        r_probes = [ (50.0, true) ];
+      }
+  in
+  check_int "no issues" 0 (List.length issues)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario table                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_scenario_table_is_valid () =
+  check_bool "at least a dozen rows" true (List.length Scenario.table >= 12);
+  List.iter Scenario.validate Scenario.table;
+  let names = List.map (fun (s : Scenario.t) -> s.name) Scenario.table in
+  check_int "names unique" (List.length names) (List.length (List.sort_uniq compare names))
+
+let run_row name =
+  match Scenario.find name with
+  | Some row -> Scenario.run row
+  | None -> Alcotest.failf "scenario %s missing from the table" name
+
+let test_scenario_leader_crash_passes_deterministically () =
+  let o = run_row "leader-crash-failover" in
+  check_bool "deterministic" true o.Scenario.o_deterministic;
+  check_int "no issues" 0 (List.length o.o_issues);
+  check_bool "committed traffic" true (o.o_committed > 0)
+
+let test_scenario_quorum_loss_passes () =
+  let o = run_row "quorum-loss-recovery" in
+  check_bool "deterministic" true o.Scenario.o_deterministic;
+  check_int "no issues" 0 (List.length o.o_issues);
+  check_bool "some ops failed during the outage" true (o.o_ops_failed > 0)
+
+let test_planted_commit_bug_is_caught () =
+  match Scenario.find "double-failover" with
+  | None -> Alcotest.fail "double-failover missing from the table"
+  | Some row ->
+      let o = Scenario.run ~planted:true row in
+      let cats = categories o.Scenario.o_issues in
+      check_bool "commit-safety verdict fired" true
+        (List.mem "commit-lost" cats || List.mem "commit-reordered" cats)
+
+let () =
+  Alcotest.run "weakset_repl"
+    [
+      ( "group",
+        [
+          Alcotest.test_case "steady state" `Quick test_steady_state_stays_in_view_zero;
+          Alcotest.test_case "commit and converge" `Quick test_submit_commits_and_converges;
+          Alcotest.test_case "leader crash failover" `Quick
+            test_leader_crash_failover_add_succeeds;
+          Alcotest.test_case "backup redirects" `Quick test_backup_redirects_to_leader;
+          Alcotest.test_case "quorum loss fails" `Quick test_quorum_loss_mutation_fails;
+          Alcotest.test_case "state transfer" `Quick test_state_transfer_catches_up_rejoiner;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "commit lost" `Quick test_oracle_commit_lost;
+          Alcotest.test_case "commit reordered" `Quick test_oracle_commit_reordered;
+          Alcotest.test_case "election overdue" `Quick test_oracle_election_overdue;
+          Alcotest.test_case "clean evidence" `Quick test_oracle_clean_evidence_passes;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "table valid" `Quick test_scenario_table_is_valid;
+          Alcotest.test_case "leader crash deterministic" `Quick
+            test_scenario_leader_crash_passes_deterministically;
+          Alcotest.test_case "quorum loss recovery" `Quick test_scenario_quorum_loss_passes;
+          Alcotest.test_case "planted bug caught" `Quick test_planted_commit_bug_is_caught;
+        ] );
+    ]

@@ -72,6 +72,26 @@ let test_directory_members_at () =
   let start = Directory.members_at d Version.zero in
   check_bool "empty at v0" true (Oid.Set.is_empty start)
 
+let test_directory_history_boundaries () =
+  let d = Directory.create () in
+  (* Fresh directory: both history reads are total at the boundaries. *)
+  check_int "no ops since zero on fresh" 0 (List.length (Directory.ops_since d Version.zero));
+  check_bool "empty members at zero" true (Oid.Set.is_empty (Directory.members_at d Version.zero));
+  ignore (Directory.apply d (Directory.Add (mkoid 1)));
+  ignore (Directory.apply d (Directory.Add (mkoid 2)));
+  (* A version beyond the head (a replica that somehow ran ahead, or a
+     stale pointer from another incarnation) clamps instead of raising. *)
+  let beyond = Version.of_int (Version.to_int (Directory.version d) + 5) in
+  check_int "no ops since beyond-head" 0 (List.length (Directory.ops_since d beyond));
+  check_bool "members_at beyond-head = members" true
+    (Oid.Set.equal (Directory.members_at d beyond) (Directory.members d));
+  (* Idempotent no-ops leave history untouched: a delta reader sees
+     exactly the effective ops, nothing for the swallowed ones. *)
+  let v = Directory.version d in
+  ignore (Directory.apply d (Directory.Add (mkoid 1)));
+  ignore (Directory.apply d (Directory.Remove (mkoid 9)));
+  check_int "no deltas from no-ops" 0 (List.length (Directory.ops_since d v))
+
 let prop_directory_members_at_roundtrip =
   QCheck.Test.make ~name:"members_at reconstructs any prefix" ~count:100
     QCheck.(list (pair bool (int_range 0 8)))
@@ -399,6 +419,9 @@ let test_replica_stays_stale_under_partition () =
       let _, view = Node_server.replica_view cl.servers.(1) ~set_id:7 in
       check_bool "has a" true (Oid.Set.mem a view);
       check_bool "missed b while partitioned" false (Oid.Set.mem b view);
+      (* Failed pulls during the partition are visible as a metric. *)
+      let stats = Netstat.snapshot (Engine.metrics cl.eng) ~instance:0 in
+      check_bool "pull failures counted" true (stats.Netstat.replica_pull_failures > 0);
       (* Heal: the next pull catches up. *)
       Topology.heal_all cl.topo;
       Engine.sleep cl.eng 10.0;
@@ -427,6 +450,26 @@ let test_quorum_majority_math () =
   let _, sref = quorum_fixture () in
   check_int "3 hosts" 3 (List.length (Quorum.hosts sref));
   check_int "majority of 3 is 2" 2 (Quorum.majority sref)
+
+let test_quorum_majority_even () =
+  (* Strict majority on even host counts: exactly half is NOT a quorum
+     (two disjoint halves could both "commit"). *)
+  let sref_of n =
+    {
+      Protocol.set_id = 1;
+      coordinator = Nodeid.of_int 0;
+      replicas = List.init (n - 1) (fun i -> Nodeid.of_int (i + 1));
+    }
+  in
+  check_int "majority of 1 is 1" 1 (Quorum.majority (sref_of 1));
+  check_int "majority of 2 is 2" 2 (Quorum.majority (sref_of 2));
+  check_int "majority of 4 is 3" 3 (Quorum.majority (sref_of 4));
+  check_int "majority of 6 is 4" 4 (Quorum.majority (sref_of 6));
+  List.iter
+    (fun n ->
+      let m = Quorum.majority (sref_of n) in
+      check_bool "two quorums always intersect" true (m + m > n))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 
 let test_quorum_read_fresh () =
   let cl, sref = quorum_fixture () in
@@ -590,6 +633,7 @@ let () =
         :: Alcotest.test_case "idempotent ops" `Quick test_directory_idempotent_ops
         :: Alcotest.test_case "ops_since" `Quick test_directory_ops_since
         :: Alcotest.test_case "members_at" `Quick test_directory_members_at
+        :: Alcotest.test_case "history boundaries" `Quick test_directory_history_boundaries
         :: qcheck [ prop_directory_members_at_roundtrip ] );
       ( "lockmgr",
         [
@@ -633,6 +677,7 @@ let () =
       ( "quorum",
         [
           Alcotest.test_case "majority math" `Quick test_quorum_majority_math;
+          Alcotest.test_case "majority even counts" `Quick test_quorum_majority_even;
           Alcotest.test_case "read fresh" `Quick test_quorum_read_fresh;
           Alcotest.test_case "survives coordinator loss" `Quick
             test_quorum_survives_coordinator_loss;
