@@ -23,6 +23,9 @@ val recover_node : t -> Nodeid.t -> unit
 val cut_link : t -> Nodeid.t -> Nodeid.t -> unit
 val heal_link : t -> Nodeid.t -> Nodeid.t -> unit
 val partition : t -> Nodeid.t list list -> unit
+
+(** Restores every node and link to up and forgets all outstanding link
+    holds of windowed faults (their later heal steps become no-ops). *)
 val heal_all : t -> unit
 
 (** {1 Scheduled faults} *)
@@ -30,10 +33,13 @@ val heal_all : t -> unit
 val schedule_crash : t -> at:float -> Nodeid.t -> unit
 val schedule_recover : t -> at:float -> Nodeid.t -> unit
 
-(** [schedule_partition t ~at ~heal_at groups] installs the partition at
-    virtual time [at] and heals everything at [heal_at].  Raises
-    [Invalid_argument] if [heal_at <= at] (which would silently install a
-    never-healed partition). *)
+(** [schedule_partition t ~at ~heal_at groups] cuts every cross-group
+    link at virtual time [at] and heals {e those links} at [heal_at].
+    Healing is per-fault, not global: a link cut by several overlapping
+    windows stays down until the last window ends, and a link that was
+    already down when the window opened (or a node crashed by another
+    fault) is left alone.  Raises [Invalid_argument] if [heal_at <= at]
+    (which would silently install a never-healed partition). *)
 val schedule_partition : t -> at:float -> heal_at:float -> Nodeid.t list list -> unit
 
 (** {1 Named-node helpers}
@@ -52,9 +58,10 @@ val stop_node : t -> at:float -> recover_at:float -> Nodeid.t -> unit
     early). *)
 val heal_node : t -> at:float -> Nodeid.t -> unit
 
-(** [isolate_node t ~at ~heal_at n] partitions [n] away from every other
-    node at [at] and heals the whole topology at [heal_at].  Raises
-    [Invalid_argument] if [heal_at <= at]. *)
+(** [isolate_node t ~at ~heal_at n] cuts every link of [n] at [at] and
+    heals those links at [heal_at], with the same per-fault hold
+    semantics as {!schedule_partition} — two overlapping isolations do
+    not heal each other.  Raises [Invalid_argument] if [heal_at <= at]. *)
 val isolate_node : t -> at:float -> heal_at:float -> Nodeid.t -> unit
 
 (** {1 Random fault processes} *)
@@ -68,10 +75,11 @@ val crash_restart_process :
 
 (** [random_partition_process t ~rng ~mttf ~mttr ~until] runs a fiber that
     repeatedly partitions the topology into two uniformly random non-empty
-    groups after an Exp(mttf) healthy period and heals everything after an
-    Exp(mttr) partitioned period, stopping (healed) at virtual time
-    [until].  Generated fault schedules and hand-written scenarios share
-    this one code path. *)
+    groups after an Exp(mttf) healthy period and heals that episode's cuts
+    after an Exp(mttr) partitioned period (per-fault holds, as in
+    {!schedule_partition}), stopping (healed) at virtual time [until].
+    Generated fault schedules and hand-written scenarios share this one
+    code path. *)
 val random_partition_process :
   t -> rng:Weakset_sim.Rng.t -> mttf:float -> mttr:float -> until:float -> unit
 

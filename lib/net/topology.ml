@@ -61,6 +61,8 @@ let set_node_up t id up =
   (node t id).up <- up;
   notify t
 
+let has_link t a b = Hashtbl.mem t.links (key a b)
+
 let link_up t a b =
   match Hashtbl.find_opt t.links (key a b) with Some l -> l.link_up | None -> false
 

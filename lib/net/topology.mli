@@ -28,6 +28,9 @@ val node_count : t -> int
 val node_up : t -> Nodeid.t -> bool
 val set_node_up : t -> Nodeid.t -> bool -> unit
 
+(** Is there a link between [a] and [b] (up or down)? *)
+val has_link : t -> Nodeid.t -> Nodeid.t -> bool
+
 (** [link_up t a b] is false if there is no such link. *)
 val link_up : t -> Nodeid.t -> Nodeid.t -> bool
 

@@ -75,6 +75,12 @@ type t = {
   mutable vstatus : status;
   mutable last_normal : int; (* last view this member was Normal in *)
   mutable suffix : (Version.t * Directory.op) list; (* accepted > commit, oldest first *)
+  mutable suffix_view : int;
+      (* the view under whose leader the suffix entries were accepted or
+         installed.  A suffix from an older view may disagree with a
+         newer view's ordering, so it must never be committed — or
+         counted as freshest-log evidence — in that newer view without a
+         state transfer first.  Meaningless while the suffix is empty. *)
   mutable opnum : Version.t; (* highest accepted opnum *)
   mutable last_heard : float; (* last contact from the current leader *)
   mutable vc_entered : float; (* when vstatus last became View_change *)
@@ -237,17 +243,26 @@ let fail_pending t =
       | None -> ())
     keys
 
-(* Install an authoritative full log: apply the committed prefix we are
-   missing, replace our suffix with the entries above [commit_pt]. *)
-let install_log t log ~opnum ~commit_pt =
+(* Install an authoritative full log for [view]: apply the committed
+   prefix we are missing, replace our suffix with the entries above
+   [commit_pt]. *)
+let install_log t log ~view ~opnum ~commit_pt =
   apply_committed_entries t log ~upto:commit_pt;
   t.suffix <- List.filter (fun (v, _) -> Version.( < ) commit_pt v) log;
+  t.suffix_view <- view;
   t.opnum <- Version.max opnum commit_pt
 
 (* State transfer: adopt a Normal member's log wholesale.  Used by a
-   recovering replica before it rejoins the quorum, and by a member that
-   detected a gap in the Prepare stream. *)
-let catch_up t ~from =
+   recovering replica before it rejoins the quorum, by a member that
+   detected a gap in the Prepare stream, and by [adopt_view] before a
+   member with an old-view suffix may act Normal in a newer view.
+   [min_view] (default: our own view) rejects answers from members still
+   behind the view we are trying to enter.  Only on success do we
+   (re)enter Normal and record [last_normal]: a failed transfer must
+   leave no claim of having been Normal with a stale log, because the
+   freshest-log rule ([pick_best]) trusts exactly that claim. *)
+let catch_up ?min_view t ~from =
+  let min_view = match min_view with Some v -> max v t.view | None -> t.view in
   if Nodeid.equal from t.me then false
   else
     match
@@ -255,13 +270,11 @@ let catch_up t ~from =
         (Protocol.Repl (Protocol.Get_state { group = t.set_id; since = commit t }))
     with
     | Ok (Protocol.Repl_state { view; opnum; commit = commit_pt; ops }) ->
-        if view >= t.view then begin
-          if view > t.view then begin
-            t.view <- view;
-            t.vstatus <- Normal
-          end;
-          install_log t ops ~opnum ~commit_pt;
-          if t.vstatus = Normal then t.last_normal <- t.view;
+        if view >= min_view then begin
+          install_log t ops ~view ~opnum ~commit_pt;
+          t.view <- view;
+          t.vstatus <- Normal;
+          t.last_normal <- view;
           t.last_heard <- now t;
           Metrics.inc t.c_state_transfers;
           note t "state-transfer from=n%d commit=%d opnum=%d" (Nodeid.to_int from)
@@ -314,7 +327,9 @@ let rec become_leader t v =
     let max_commit =
       List.fold_left (fun acc (_, d) -> Version.max acc d.d_commit) best.d_commit entries
     in
-    install_log t best.d_log ~opnum:best.d_opnum ~commit_pt:max_commit;
+    (* The adopted log is re-replicated under view [v]: from here on the
+       suffix follows the new view's ordering. *)
+    install_log t best.d_log ~view:v ~opnum:best.d_opnum ~commit_pt:max_commit;
     if !planted_view_change_drop && t.suffix <> [] then begin
       note t "PLANTED drop of %d uncommitted entr(ies) at takeover"
         (List.length t.suffix);
@@ -472,28 +487,43 @@ and learn_higher t v = if v > t.view then start_view_change t v
 (* Message handlers (run inside the node's RPC serve fiber)           *)
 (* ------------------------------------------------------------------ *)
 
-(* A message from the leader of our own view while we sit in
-   View_change for it proves the view is active: resume Normal. *)
-let leader_alive t view =
-  t.last_heard <- now t;
-  if view = t.view && t.vstatus = View_change then begin
-    t.vstatus <- Normal;
-    t.last_normal <- view
-  end
-
-let handle_prepare t ~view ~opnum ~op ~commit:commit_pt =
-  if view < t.view then Protocol.Repl_reject { view = t.view }
-  else begin
-    if view > t.view then begin
+(* Become Normal in [view] (>= our own), learned from the view leader's
+   Prepare/Commit traffic.  The committed prefix is shared by
+   construction, so an empty suffix — or one already accepted under
+   this very view — adopts immediately.  Anything else was accepted
+   under an older leader and may disagree with [view]'s ordering:
+   state-transfer the leader's log in first, and on failure refuse to
+   act Normal at all — no [Normal] status, no [last_normal] claim, no
+   commit advance over the stale suffix.  A deposed leader adopting a
+   newer view also fails its parked submitters here: their entries' fates
+   belong to the new leader now, and a later commit at the same opnum
+   must not be mistaken for theirs. *)
+let adopt_view t ~view =
+  let adopted =
+    if t.suffix = [] || t.suffix_view = view then begin
       t.view <- view;
       t.vstatus <- Normal;
       t.last_normal <- view;
-      ignore (catch_up t ~from:(leader_node t view))
-    end;
-    leader_alive t view;
+      t.last_heard <- now t;
+      true
+    end
+    else catch_up t ~min_view:view ~from:(leader_node t view)
+  in
+  if adopted && Hashtbl.length t.acks > 0 then fail_pending t;
+  (* catch_up can overshoot to an even newer view; the caller's message
+     is stale then and must be rejected. *)
+  adopted && t.view = view
+
+let handle_prepare t ~view ~opnum ~op ~commit:commit_pt =
+  if view < t.view then Protocol.Repl_reject { view = t.view }
+  else if (view > t.view || t.vstatus <> Normal) && not (adopt_view t ~view) then
+    Protocol.Repl_reject { view = t.view }
+  else begin
+    t.last_heard <- now t;
     let next = Version.succ t.opnum in
     (if Version.equal opnum next then begin
        t.suffix <- t.suffix @ [ (opnum, op) ];
+       t.suffix_view <- view;
        t.opnum <- opnum
      end
      else if Version.( < ) next opnum then
@@ -507,13 +537,10 @@ let handle_prepare t ~view ~opnum ~op ~commit:commit_pt =
 
 let handle_commit t ~view ~commit:commit_pt =
   if view < t.view then Protocol.Repl_reject { view = t.view }
+  else if (view > t.view || t.vstatus <> Normal) && not (adopt_view t ~view) then
+    Protocol.Repl_reject { view = t.view }
   else begin
-    if view > t.view then begin
-      t.view <- view;
-      t.vstatus <- Normal;
-      t.last_normal <- view
-    end;
-    leader_alive t view;
+    t.last_heard <- now t;
     if Version.( < ) t.opnum commit_pt then
       ignore (catch_up t ~from:(leader_node t view));
     advance_commit t commit_pt;
@@ -543,7 +570,7 @@ let handle_start_view t ~view ~opnum ~commit:commit_pt ~log =
   if view < t.view then Protocol.Repl_reject { view = t.view }
   else begin
     if t.vstatus = Normal && leader_ix t t.view = t.me_ix then fail_pending t;
-    install_log t log ~opnum ~commit_pt;
+    install_log t log ~view ~opnum ~commit_pt;
     t.view <- view;
     t.vstatus <- Normal;
     t.last_normal <- view;
@@ -612,6 +639,7 @@ let submit t op : Protocol.response =
       let opnum = Version.succ t.opnum in
       t.opnum <- opnum;
       t.suffix <- t.suffix @ [ (opnum, op) ];
+      t.suffix_view <- view;
       let a = { a_view = view; a_from = [ t.me_ix ]; a_done = Ivar.create () } in
       Hashtbl.replace t.acks (Version.to_int opnum) a;
       let commit_pt = commit t in
@@ -691,6 +719,7 @@ let create ?(heartbeat_every = 2.0) ?(suspect_after = 6.0) ?(rpc_timeout = 4.0)
       vstatus = Normal;
       last_normal = 0;
       suffix = [];
+      suffix_view = 0;
       opnum = Version.zero;
       last_heard = 0.0;
       vc_entered = 0.0;
@@ -713,6 +742,7 @@ let create ?(heartbeat_every = 2.0) ?(suspect_after = 6.0) ?(rpc_timeout = 4.0)
     {
       Node_server.repl_submit =
         (fun ~set_id op -> if set_id = t.set_id then Some (submit t op) else None);
+      repl_governs = (fun ~set_id -> set_id = t.set_id);
       repl_handle = (fun r -> handle t r);
     };
   t

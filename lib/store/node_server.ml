@@ -1,4 +1,5 @@
 module Engine = Weakset_sim.Engine
+module Ivar = Weakset_sim.Ivar
 module Nodeid = Weakset_net.Nodeid
 module Rpc = Weakset_net.Rpc
 
@@ -12,6 +13,10 @@ type dir_state = {
   policy : mutation_policy;
   mutable open_iters : int;
   mutable deferred : Oid.t list; (* ghost copies awaiting GC, newest first *)
+  mutable defer_waiters : (Oid.t * Protocol.response Ivar.t) list;
+      (* under a replication group a deferred remove is not Acked when it
+         is deferred — the requester parks here and is answered when the
+         deferral actually quorum-commits (or is redirected) *)
   mutable hooks : (Directory.op -> unit) list; (* fired on every applied mutation *)
   mutable lessees : (int * float) list; (* callback promises: node, server-side expiry *)
 }
@@ -32,6 +37,10 @@ type replica_state = {
 type repl_hooks = {
   repl_submit : set_id:int -> Directory.op -> Protocol.response option;
       (* [None]: the group does not govern [set_id]; serve it locally *)
+  repl_governs : set_id:int -> bool;
+      (* does a group govern [set_id]?  Unlike [repl_submit] this is a
+         pure question — it lets the deferral path decide to park a
+         reply without submitting anything yet *)
   repl_handle : Protocol.repl_request -> Protocol.response;
 }
 
@@ -135,17 +144,63 @@ let repl_submit t ~set_id op =
   | Some h -> h.repl_submit ~set_id op
   | None -> None
 
+let repl_governed t ~set_id =
+  match t.repl with Some h -> h.repl_governs ~set_id | None -> false
+
+(* How long a parked deferred-remove reply waits for the last iterator
+   to close and the remove to commit.  Kept under the client's default
+   RPC timeout (30) so the retryable non-answer reaches the client
+   instead of racing its timer. *)
+let defer_patience = 25.0
+
 let apply_deferred t ~set_id d =
   let deferred = List.rev d.deferred in
   d.deferred <- [];
+  let waiters = List.rev d.defer_waiters in
+  d.defer_waiters <- [];
+  let eng = Rpc.engine t.rpc in
+  let answer oid resp =
+    List.iter
+      (fun (o, iv) -> if Oid.equal o oid then ignore (Ivar.try_fill eng iv resp))
+      waiters
+  in
   List.iter
     (fun oid ->
       let op = Directory.Remove oid in
       match repl_submit t ~set_id op with
-      | Some _ -> () (* committed (or redirected — the ghost stays gone
-                        here; a new leader re-learns it via its log) *)
-      | None -> apply_and_notify t ~set_id d op)
+      | Some resp ->
+          (* The group's verdict reaches the parked requester verbatim:
+             Ack only once a majority committed the remove; a redirect
+             (Not_leader / No_service) means it did NOT commit — the
+             ghost simply stays a member here and the client retries
+             against the new leader, so nothing acknowledged is lost. *)
+          answer oid resp
+      | None ->
+          apply_and_notify t ~set_id d op;
+          answer oid Protocol.Ack)
     deferred
+
+(* Ghost deferral under consensus: the remove must stay invisible while
+   iterators are open, but an immediate Ack here would be a leader-local
+   promise — if this node stops leading before the last iterator closes,
+   the promise dies with it, silently and outside the ledger.  So the
+   deferral is recorded as usual and the {e reply} is parked until
+   {!apply_deferred} pushes the remove through the group.  Past
+   [defer_patience] the client gets a retryable [No_service] instead of
+   a wedged RPC. *)
+let defer_remove_replicated t d oid =
+  let pending = List.exists (Oid.equal oid) d.deferred in
+  if (not (Directory.mem d.dir oid)) && not pending then Protocol.Ack
+    (* already gone: a no-op remove, acked without logging — exactly the
+       group's own effectiveness rule *)
+  else begin
+    if not pending then d.deferred <- oid :: d.deferred;
+    let iv = Ivar.create () in
+    d.defer_waiters <- (oid, iv) :: d.defer_waiters;
+    match Ivar.read_timeout (Rpc.engine t.rpc) iv defer_patience with
+    | Some resp -> resp
+    | None -> Protocol.No_service
+  end
 
 let handle t req : Protocol.response =
   let eng = Rpc.engine t.rpc in
@@ -229,12 +284,15 @@ let handle t req : Protocol.response =
       | Some d -> (
           match d.policy with
           | Defer_removes_while_iterating when d.open_iters > 0 ->
-              (* Ghost deferral happens before consensus: the remove is
-                 not yet an effect, just a leader-local promise applied
-                 (and then committed) when the last iterator closes. *)
-              if Directory.mem d.dir oid && not (List.exists (Oid.equal oid) d.deferred)
-              then d.deferred <- oid :: d.deferred;
-              Ack
+              if repl_governed t ~set_id then defer_remove_replicated t d oid
+              else begin
+                (* Single-home store: deferral cannot fail, so the Ack
+                   is immediate — the remove is applied when the last
+                   iterator closes. *)
+                if Directory.mem d.dir oid && not (List.exists (Oid.equal oid) d.deferred)
+                then d.deferred <- oid :: d.deferred;
+                Ack
+              end
           | Immediate | Defer_removes_while_iterating -> (
               match repl_submit t ~set_id (Directory.Remove oid) with
               | Some resp -> resp
@@ -327,6 +385,7 @@ let host_directory t ~set_id ~policy =
       policy;
       open_iters = 0;
       deferred = [];
+      defer_waiters = [];
       hooks = [];
       lessees = [];
     }

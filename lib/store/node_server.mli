@@ -98,6 +98,15 @@ type repl_hooks = {
   repl_submit : set_id:int -> Directory.op -> Protocol.response option;
       (** [None]: the group does not govern [set_id]; the server applies
           the mutation locally as before *)
+  repl_governs : set_id:int -> bool;
+      (** does the group govern [set_id]?  A pure membership question,
+          consulted where the server must decide to park a reply (ghost
+          deferral) without submitting anything yet.  Under a governed
+          set, a remove deferred by the ghost policy is {e not} Acked at
+          deferral time — the reply waits until the remove actually
+          quorum-commits when the last iterator closes, so the group's
+          visibility rule (client-visible only after strict-majority
+          ack) also covers deferred mutations. *)
   repl_handle : Protocol.repl_request -> Protocol.response;
 }
 

@@ -451,6 +451,23 @@ let table =
         ];
     };
     {
+      name = "overlapping-isolations";
+      replicas = 5;
+      until = 300.0;
+      steps =
+        [
+          steady_load;
+          (* The windows overlap: when r1's ends, r2 must stay cut off
+             until its own heal — per-fault link holds, not a global
+             heal.  With five replicas the remaining three keep a
+             quorum throughout. *)
+          Isolate { node = 1; at = 50.0; heal_at = 120.0 };
+          Isolate { node = 2; at = 80.0; heal_at = 170.0 };
+          Probe_stable { at = 140.0 };
+          Probe_stable { at = 230.0 };
+        ];
+    };
+    {
       name = "rapid-churn";
       replicas = 3;
       until = 300.0;

@@ -517,6 +517,63 @@ let test_fault_isolate_node_rejects_bad_window () =
   Engine.run_and_check eng;
   check_bool "still connected" true (Topology.reachable topo ids.(0) ids.(1))
 
+(* Overlapping windows must not heal each other: isolate ids.(1) over
+   [5,20] and ids.(2) over [10,30].  When the first window ends at 20 the
+   second is still open, so ids.(2) has to stay cut off until 30 — the
+   old heal-everything repair would have reconnected it at 20. *)
+let test_fault_overlapping_isolations () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let ids = Topology.clique topo 4 ~latency:1.0 in
+  let fault = Fault.create eng topo in
+  Fault.isolate_node fault ~at:5.0 ~heal_at:20.0 ids.(1);
+  Fault.isolate_node fault ~at:10.0 ~heal_at:30.0 ids.(2);
+  let first_healed = ref false and second_still_cut = ref true and all_healed = ref false in
+  Engine.schedule eng ~after:25.0 (fun () ->
+      first_healed := Topology.reachable topo ids.(0) ids.(1);
+      second_still_cut := not (Topology.reachable topo ids.(0) ids.(2)));
+  Engine.schedule eng ~after:35.0 (fun () ->
+      all_healed :=
+        Topology.reachable topo ids.(0) ids.(1) && Topology.reachable topo ids.(0) ids.(2));
+  Engine.run_and_check eng;
+  check_bool "first isolation healed at its own heal_at" true !first_healed;
+  check_bool "second isolation survives the first heal" true !second_still_cut;
+  check_bool "everything healed after the later window" true !all_healed
+
+(* The overlap also holds for a link both windows cut: isolating ids.(1)
+   and then ids.(2) both cut link 1-2; it may only come back once the
+   last hold is released. *)
+let test_fault_shared_link_heals_on_last_release () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let ids = Topology.clique topo 3 ~latency:1.0 in
+  let fault = Fault.create eng topo in
+  Fault.isolate_node fault ~at:5.0 ~heal_at:20.0 ids.(1);
+  Fault.isolate_node fault ~at:10.0 ~heal_at:30.0 ids.(2);
+  let between = ref true and after = ref false in
+  Engine.schedule eng ~after:25.0 (fun () -> between := Topology.link_up topo ids.(1) ids.(2));
+  Engine.schedule eng ~after:35.0 (fun () -> after := Topology.link_up topo ids.(1) ids.(2));
+  Engine.run_and_check eng;
+  check_bool "shared link still held by the later window" false !between;
+  check_bool "shared link up after the last release" true !after
+
+(* A partition repair is about links; it must not resurrect a node some
+   other fault crashed (heal_all used to revive everything). *)
+let test_fault_partition_heal_leaves_crashed_node_down () =
+  let eng = Engine.create () in
+  let topo = Topology.create () in
+  let ids = Topology.clique topo 4 ~latency:1.0 in
+  let fault = Fault.create eng topo in
+  Fault.stop_node fault ~at:2.0 ~recover_at:40.0 ids.(3);
+  Fault.schedule_partition fault ~at:5.0 ~heal_at:10.0 [ [ ids.(0) ]; [ ids.(1); ids.(2) ] ];
+  let crashed_through_heal = ref true and links_healed = ref false in
+  Engine.schedule eng ~after:12.0 (fun () ->
+      crashed_through_heal := not (Topology.node_up topo ids.(3));
+      links_healed := Topology.reachable topo ids.(0) ids.(1));
+  Engine.run_and_check eng;
+  check_bool "partition links healed" true !links_healed;
+  check_bool "crashed node stays down through the partition heal" true !crashed_through_heal
+
 let test_fault_random_partition_process () =
   let eng = Engine.create ~seed:7L () in
   let topo = Topology.create () in
@@ -674,6 +731,11 @@ let () =
           Alcotest.test_case "isolate_node window" `Quick test_fault_isolate_node_window;
           Alcotest.test_case "isolate_node rejects bad window" `Quick
             test_fault_isolate_node_rejects_bad_window;
+          Alcotest.test_case "overlapping isolations" `Quick test_fault_overlapping_isolations;
+          Alcotest.test_case "shared link heals on last release" `Quick
+            test_fault_shared_link_heals_on_last_release;
+          Alcotest.test_case "partition heal leaves crashed node down" `Quick
+            test_fault_partition_heal_leaves_crashed_node_down;
           Alcotest.test_case "random partition process" `Quick
             test_fault_random_partition_process;
           Alcotest.test_case "crash/restart process" `Quick test_fault_crash_restart_process;

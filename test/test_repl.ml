@@ -29,7 +29,7 @@ type cluster = {
   sref : Protocol.set_ref;
 }
 
-let cluster ?(n = 3) ~until () =
+let cluster ?(n = 3) ?(policy = Node_server.Immediate) ~until () =
   let eng = Engine.create ~seed:42L () in
   let topo = Topology.create () in
   let nodes = Topology.clique topo (n + 1) ~latency:0.5 in
@@ -38,7 +38,7 @@ let cluster ?(n = 3) ~until () =
   let servers =
     Array.init n (fun i ->
         let s = Node_server.create rpc nodes.(i) in
-        Node_server.host_directory s ~set_id ~policy:Node_server.Immediate;
+        Node_server.host_directory s ~set_id ~policy;
         s)
   in
   let members = Array.to_list (Array.sub nodes 0 n) in
@@ -176,6 +176,185 @@ let test_state_transfer_catches_up_rejoiner () =
     (Group.committed_log c.groups.(2) = Group.committed_log c.groups.(0))
 
 (* ------------------------------------------------------------------ *)
+(* Stale-suffix adoption                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A member holding an uncommitted suffix from an old view must never
+   become Normal in a newer view — and in particular must never commit
+   that suffix there — without a state transfer: the new view may have
+   committed a different op at the same opnum.  These tests drive the
+   protocol entry points by hand ([until:0.0] keeps the background
+   fibers out of the way). *)
+
+let v = Version.of_int
+
+(* Member 2 accepts (1, add a) committed and (2, add x) uncommitted,
+   all in view 0. *)
+let seed_stale_suffix c a x =
+  let g2 = c.groups.(2) in
+  (match
+     Group.handle g2
+       (Protocol.Prepare { group = set_id; view = 0; opnum = v 1; op = Add a; commit = v 0 })
+   with
+  | Protocol.Repl_ok _ -> ()
+  | r -> Alcotest.failf "prepare 1: %s" (Format.asprintf "%a" Protocol.pp_response r));
+  match
+    Group.handle g2
+      (Protocol.Prepare { group = set_id; view = 0; opnum = v 2; op = Add x; commit = v 1 })
+  with
+  | Protocol.Repl_ok _ -> ()
+  | r -> Alcotest.failf "prepare 2: %s" (Format.asprintf "%a" Protocol.pp_response r)
+
+let test_stale_suffix_rejected_without_transfer () =
+  let c = cluster ~until:0.0 () in
+  let a = mkoid 1 and x = mkoid 2 in
+  Engine.spawn c.eng ~name:"driver" (fun () ->
+      Engine.sleep c.eng 1.0;
+      seed_stale_suffix c a x;
+      let g2 = c.groups.(2) in
+      (* A higher-view Commit arrives.  The view-1 leader (member 1) is
+         still in view 0, so the transfer finds nothing fresh enough:
+         the stale suffix must not be committed and no Normal-in-view-1
+         claim may be recorded. *)
+      (match Group.handle g2 (Protocol.Commit { group = set_id; view = 1; commit = v 2 }) with
+      | Protocol.Repl_reject { view = 0 } -> ()
+      | r -> Alcotest.failf "behind responder: %s" (Format.asprintf "%a" Protocol.pp_response r));
+      (* Same with the view-1 leader unreachable outright. *)
+      Fault.crash_node c.fault c.nodes.(1);
+      (match Group.handle g2 (Protocol.Commit { group = set_id; view = 1; commit = v 2 }) with
+      | Protocol.Repl_reject { view = 0 } -> ()
+      | r -> Alcotest.failf "unreachable leader: %s" (Format.asprintf "%a" Protocol.pp_response r));
+      check_int "still in view 0" 0 (Group.view g2);
+      check_int "commit unchanged" 1 (Version.to_int (Group.commit g2));
+      check_int "stale suffix retained, not applied" 1 (Group.suffix_length g2);
+      check_bool "stale op never committed" true
+        (Group.committed_log g2 = [ (1, Group.op_str (Add a)) ]));
+  Engine.run_and_check c.eng
+
+let test_stale_suffix_replaced_by_state_transfer () =
+  let c = cluster ~until:0.0 () in
+  let a = mkoid 1 and x = mkoid 2 and y = mkoid 3 in
+  Engine.spawn c.eng ~name:"driver" (fun () ->
+      Engine.sleep c.eng 1.0;
+      seed_stale_suffix c a x;
+      (* View 1 elected elsewhere and committed (2, add y) — a different
+         op at the stale suffix's opnum.  Its leader, member 1, is
+         Normal in view 1 with the full log. *)
+      let g1 = c.groups.(1) and g2 = c.groups.(2) in
+      (match
+         Group.handle g1
+           (Protocol.Start_view
+              {
+                group = set_id;
+                view = 1;
+                opnum = v 2;
+                commit = v 2;
+                log = [ (v 1, Directory.Add a); (v 2, Directory.Add y) ];
+              })
+       with
+      | Protocol.Repl_ok _ -> ()
+      | r -> Alcotest.failf "start_view: %s" (Format.asprintf "%a" Protocol.pp_response r));
+      (* Now the higher-view Commit succeeds — via state transfer, which
+         replaces the divergent suffix instead of committing it. *)
+      (match Group.handle g2 (Protocol.Commit { group = set_id; view = 1; commit = v 2 }) with
+      | Protocol.Repl_ok { view = 1; _ } -> ()
+      | r -> Alcotest.failf "commit in view 1: %s" (Format.asprintf "%a" Protocol.pp_response r));
+      check_int "adopted view 1" 1 (Group.view g2);
+      check_bool "normal" true (Group.status g2 = Group.Normal);
+      check_int "commit advanced" 2 (Version.to_int (Group.commit g2));
+      check_int "divergent suffix dropped" 0 (Group.suffix_length g2);
+      check_bool "log matches the new view's leader" true
+        (Group.committed_log g2 = Group.committed_log g1);
+      check_bool "committed y, not the stale x" true
+        (List.mem (2, Group.op_str (Add y)) (Group.committed_log g2)));
+  Engine.run_and_check c.eng
+
+(* ------------------------------------------------------------------ *)
+(* Ghost deferral under consensus                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* With the ghost policy on a replicated directory, a remove deferred by
+   open iterators is only acknowledged once it actually quorum-commits
+   at last iterator close — never at deferral time. *)
+let test_deferred_remove_commits_at_iter_close () =
+  let c = cluster ~policy:Node_server.Defer_removes_while_iterating ~until:150.0 () in
+  let a = mkoid 1 in
+  let remove_result = ref None in
+  Engine.spawn c.eng ~name:"driver" (fun () ->
+      Engine.sleep c.eng 5.0;
+      (match Client.dir_add c.client c.sref a with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "add failed: %s" (Client.error_to_string e));
+      (match Client.iter_open c.client c.sref with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "iter_open failed: %s" (Client.error_to_string e));
+      Engine.spawn c.eng ~name:"remover" (fun () ->
+          remove_result := Some (Client.dir_remove c.client c.sref a));
+      Engine.sleep c.eng 10.0;
+      check_bool "remove parked while iterating" true (!remove_result = None);
+      check_bool "ghost still a member" true
+        (Directory.mem (Node_server.directory_truth c.servers.(0) ~set_id) a);
+      (match Client.iter_close c.client c.sref with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "iter_close failed: %s" (Client.error_to_string e)));
+  Engine.run_and_check c.eng;
+  (match !remove_result with
+  | Some (Ok ()) -> ()
+  | Some (Error e) -> Alcotest.failf "deferred remove failed: %s" (Client.error_to_string e)
+  | None -> Alcotest.fail "deferred remove never answered");
+  let remove_str = Group.op_str (Directory.Remove a) in
+  check_bool "remove in the commit ledger" true
+    (List.exists
+       (fun (e : Group.Ledger.entry) -> e.l_op = remove_str)
+       (Group.Ledger.entries c.ledger));
+  Array.iter
+    (fun s ->
+      check_bool "removed everywhere" false
+        (Directory.mem (Node_server.directory_truth s ~set_id) a))
+    c.servers
+
+(* If the quorum is gone by the time the iterators close, the parked
+   remove must surface as a failure — not a silent Ack of an op that
+   never committed. *)
+let test_deferred_remove_no_false_ack_without_quorum () =
+  let c = cluster ~policy:Node_server.Defer_removes_while_iterating ~until:200.0 () in
+  let a = mkoid 1 in
+  let remove_result = ref None in
+  Engine.spawn c.eng ~name:"driver" (fun () ->
+      Engine.sleep c.eng 5.0;
+      (match Client.dir_add c.client c.sref a with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "add failed: %s" (Client.error_to_string e));
+      (match Client.iter_open c.client c.sref with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "iter_open failed: %s" (Client.error_to_string e));
+      Engine.spawn c.eng ~name:"remover" (fun () ->
+          (* Raw RPC: what exactly does the coordinator answer? *)
+          remove_result :=
+            Some
+              (Rpc.call (Client.rpc c.client) ~src:c.nodes.(3) ~dst:c.nodes.(0) ~timeout:60.0
+                 (Protocol.Dir_remove { set_id; oid = a })));
+      Engine.sleep c.eng 1.0;
+      Fault.crash_node c.fault c.nodes.(1);
+      Fault.crash_node c.fault c.nodes.(2);
+      Engine.sleep c.eng 1.0;
+      match Client.iter_close c.client c.sref with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "iter_close failed: %s" (Client.error_to_string e));
+  Engine.run_and_check c.eng;
+  (match !remove_result with
+  | Some (Ok Protocol.Ack) -> Alcotest.fail "remove acked without a quorum commit"
+  | Some _ -> ()
+  | None -> Alcotest.fail "remover never answered");
+  check_bool "oid still a member on the coordinator" true
+    (Directory.mem (Node_server.directory_truth c.servers.(0) ~set_id) a);
+  let remove_str = Group.op_str (Directory.Remove a) in
+  check_bool "no remove in the commit ledger" false
+    (List.exists
+       (fun (e : Group.Ledger.entry) -> e.l_op = remove_str)
+       (Group.Ledger.entries c.ledger))
+
+(* ------------------------------------------------------------------ *)
 (* Oracle verdicts                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -282,6 +461,17 @@ let () =
           Alcotest.test_case "backup redirects" `Quick test_backup_redirects_to_leader;
           Alcotest.test_case "quorum loss fails" `Quick test_quorum_loss_mutation_fails;
           Alcotest.test_case "state transfer" `Quick test_state_transfer_catches_up_rejoiner;
+          Alcotest.test_case "stale suffix rejected" `Quick
+            test_stale_suffix_rejected_without_transfer;
+          Alcotest.test_case "stale suffix replaced by transfer" `Quick
+            test_stale_suffix_replaced_by_state_transfer;
+        ] );
+      ( "ghost-deferral",
+        [
+          Alcotest.test_case "deferred remove commits at iter close" `Quick
+            test_deferred_remove_commits_at_iter_close;
+          Alcotest.test_case "no false ack without quorum" `Quick
+            test_deferred_remove_no_false_ack_without_quorum;
         ] );
       ( "oracle",
         [
