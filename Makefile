@@ -1,9 +1,9 @@
 # One-command tier-1 verification: build + tests (including the trace
 # determinism suite in test/test_obs.ml) + formatting check.
 
-.PHONY: check build test fmt fmt-fix bench bench-compare e12-smoke e13-smoke vopr-smoke blackbox-smoke repl-smoke clean
+.PHONY: check build test fmt fmt-fix bench bench-compare e12-smoke e13-smoke admission-smoke vopr-smoke blackbox-smoke repl-smoke clean
 
-check: build test fmt bench-compare e12-smoke e13-smoke vopr-smoke blackbox-smoke repl-smoke
+check: build test fmt bench-compare e12-smoke e13-smoke admission-smoke vopr-smoke blackbox-smoke repl-smoke
 
 build:
 	dune build @all
@@ -59,6 +59,26 @@ e13-smoke:
 	@cmp -s curves.json /tmp/e13-smoke-2.json \
 	  || { echo "e13-smoke: curves.json is not byte-identical across reruns"; exit 1; }
 
+# E13b admission on/off ladder at smoke size: the run itself asserts the
+# overload-survival contract (admission-on knee no earlier than off, zero
+# sheds below the knee, p999 strictly lower at saturation) and prints
+# ADMISSION PASS; the rerun must produce byte-identical curves, and the
+# trace must render a non-empty overload anatomy (sheds by class).
+admission-smoke:
+	dune exec bench/main.exe -- --e13 --admission --load-clients 16 --load-duration 100 \
+	  --curves-json admission-curves.json --trace-jsonl /tmp/admission-smoke.jsonl \
+	  | tee /tmp/admission-smoke.out
+	@grep -q "ADMISSION PASS" /tmp/admission-smoke.out \
+	  || { echo "admission-smoke: E13b assertions did not pass"; exit 1; }
+	dune exec bench/main.exe -- --e13 --admission --load-clients 16 --load-duration 100 \
+	  --curves-json /tmp/admission-smoke-2.json > /dev/null
+	@cmp -s admission-curves.json /tmp/admission-smoke-2.json \
+	  || { echo "admission-smoke: admission-curves.json is not byte-identical across reruns"; exit 1; }
+	dune exec bin/weakset_trace.exe -- saturation --overload /tmp/admission-smoke.jsonl \
+	  | tee /tmp/admission-smoke-trace.out > /dev/null
+	@grep -q "server sheds by op class" /tmp/admission-smoke-trace.out \
+	  || { echo "admission-smoke: trace rendered no shed anatomy"; exit 1; }
+
 # Bounded VOPR swarm: 32 seed-derived scenarios (virtual-time budgets keep
 # this well under a minute of wall clock), plus the mutation tests — the
 # planted grow-only bug, the planted cache Inval drop and the planted
@@ -76,8 +96,10 @@ vopr-smoke:
 	  test $$? -eq 1 || { echo "vopr-smoke: planted spec bug was NOT detected"; exit 1; }
 
 # Replication-group cluster scenarios: the full table (every row run
-# twice, digests byte-identical) must pass, and the planted view-change
-# log drop must be caught by the oracle's commit-safety verdicts.
+# twice, digests byte-identical — including the retry-storm and
+# shed-under-partition overload rows) must pass; the planted view-change
+# log drop must be caught by the oracle's commit-safety verdicts, and the
+# planted shed-after-apply bug by its shed-divergence verdict.
 # Repro bundles for any failing row land in repl-bundles/ (CI uploads
 # them); re-run a single row with `scenarios --only NAME`.
 repl-smoke:
@@ -85,6 +107,8 @@ repl-smoke:
 	dune exec bin/weakset_vopr.exe -- scenarios --bundle-dir repl-bundles --quiet
 	dune exec bin/weakset_vopr.exe -- scenarios --planted-commit-bug --quiet; \
 	  test $$? -eq 1 || { echo "repl-smoke: planted commit bug was NOT detected"; exit 1; }
+	dune exec bin/weakset_vopr.exe -- scenarios --only retry-storm --planted-shed-bug --quiet; \
+	  test $$? -eq 1 || { echo "repl-smoke: planted shed bug was NOT detected"; exit 1; }
 
 # Flight-recorder end-to-end: an armed planted-bug run must trigger at
 # least one black-box dump, and rendering the dumps must resolve at

@@ -13,7 +13,7 @@ let usage =
   \                     [--profile-json FILE] [--slo-report] [--blackbox-dir DIR]\n\
   \                     [--baseline FILE] [--compare OLD NEW] [--tolerance T]\n\
   \                     [--cache] [--lease-ttl T] [--warm-iters N]\n\
-  \                     [--e12] [--e13] [--curves-json FILE]\n\
+  \                     [--e12] [--e13] [--admission] [--curves-json FILE]\n\
   \                     [--load-clients N] [--load-duration T]\n\n\
   \  --no-micro           skip the bechamel microbenchmarks (M1)\n\
   \  --metrics-json FILE  dump every world's metrics registry as JSON\n\
@@ -38,6 +38,9 @@ let usage =
   \  --e13                run only the open-loop saturation sweep (E13):\n\
   \                       stepped offered rates, coordinated-omission-safe\n\
   \                       intent vs send latency, knee-of-curve detection\n\
+  \  --admission          with --e13: run the admission-control on/off\n\
+  \                       comparison (E13b) instead of the full sweep, and\n\
+  \                       assert the overload-survival contract\n\
   \  --curves-json FILE   write the E13 throughput-latency surface as JSON\n\
   \                       (deterministic; same seed => identical bytes)\n\
   \  --load-clients N     client fibers per E13 design point (positive)\n\
@@ -57,6 +60,7 @@ type opts = {
   mutable cache : bool;
   mutable e12 : bool;
   mutable e13 : bool;
+  mutable admission : bool;
   mutable curves_json : string option;
   mutable load_clients : int option;
   mutable load_duration : float option;
@@ -78,6 +82,7 @@ let defaults () =
     cache = false;
     e12 = false;
     e13 = false;
+    admission = false;
     curves_json = None;
     load_clients = None;
     load_duration = None;
@@ -104,6 +109,8 @@ let parse args =
           error "--load-clients only applies to the --e13 sweep"
         else if o.load_duration <> None && not o.e13 then
           error "--load-duration only applies to the --e13 sweep"
+        else if o.admission && not o.e13 then
+          error "--admission only applies to the --e13 sweep"
         else `Ok o
     | "--no-micro" :: rest ->
         o.no_micro <- true;
@@ -119,6 +126,9 @@ let parse args =
         go rest
     | "--e13" :: rest ->
         o.e13 <- true;
+        go rest
+    | "--admission" :: rest ->
+        o.admission <- true;
         go rest
     | "--metrics-json" :: v :: rest when not (flag_like v) ->
         o.metrics_json <- Some v;

@@ -55,6 +55,14 @@ let () =
                 "Weak sets (Wing & Steere, ICDCS 1995) - five-semantics head-to-head\n";
               Printf.printf "All latencies are simulated virtual time units unless noted.\n";
               Bench_lib.Experiments.e12_five_semantics ()
+          | None when o.Bench_lib.Cli.e13 && o.Bench_lib.Cli.admission ->
+              Printf.printf
+                "Weak sets (Wing & Steere, ICDCS 1995) - overload survival comparison\n";
+              Printf.printf "All latencies are simulated virtual time units unless noted.\n";
+              Bench_lib.Experiments.e13_admission
+                ?clients:o.Bench_lib.Cli.load_clients
+                ?duration:o.Bench_lib.Cli.load_duration
+                ?curves_json:o.Bench_lib.Cli.curves_json ()
           | None when o.Bench_lib.Cli.e13 ->
               Printf.printf
                 "Weak sets (Wing & Steere, ICDCS 1995) - open-loop saturation sweep\n";

@@ -27,12 +27,16 @@ let set_id = 1
    [cache] equips the client with a lease cache; [lease_ttl] is what the
    servers grant with leased membership answers. *)
 let clique_world ?tag ?(seed = 1) ?(n = 8) ?(ghost_policy = false) ?(replica_ixs = [])
-    ?(replica_interval = 10.0) ?cache ?(lease_ttl = 30.0) ~size () =
+    ?(replica_interval = 10.0) ?cache ?(lease_ttl = 30.0) ?dir_service ?admission ~size () =
   let eng = Engine.create ~seed:(Int64.of_int seed) () in
   let topo = Topology.create () in
   let nodes = Topology.clique topo n ~latency:1.0 in
   let rpc = Rpc.create eng topo in
-  let servers = Array.map (fun node -> Node_server.create ~lease_ttl rpc node) nodes in
+  let servers =
+    Array.map
+      (fun node -> Node_server.create ~lease_ttl ?dir_service ?admission rpc node)
+      nodes
+  in
   let fault = Fault.create eng topo in
   let policy =
     if ghost_policy then Node_server.Defer_removes_while_iterating else Node_server.Immediate

@@ -47,6 +47,7 @@ let usage =
   \  --step-cap N         engine step budget per execution (default 1000000)\n\
   \  --bundle-dir DIR     write scenario-NAME.json for each failing row\n\
   \  --planted-commit-bug arm the planted view-change log drop (mutation test)\n\
+  \  --planted-shed-bug   arm the planted shed-after-apply (mutation test)\n\
   \  --quiet              only print failures and the summary\n"
 
 let usage_die fmt =
@@ -322,6 +323,7 @@ type scenario_opts = {
   mutable sc_step_cap : int option;
   mutable sc_bundle_dir : string option;
   mutable sc_planted : bool;
+  mutable sc_planted_shed : bool;
   mutable sc_quiet : bool;
 }
 
@@ -333,6 +335,7 @@ let parse_scenario_args args =
       sc_step_cap = None;
       sc_bundle_dir = None;
       sc_planted = false;
+      sc_planted_shed = false;
       sc_quiet = false;
     }
   in
@@ -352,6 +355,9 @@ let parse_scenario_args args =
         go rest
     | "--planted-commit-bug" :: rest ->
         o.sc_planted <- true;
+        go rest
+    | "--planted-shed-bug" :: rest ->
+        o.sc_planted_shed <- true;
         go rest
     | "--quiet" :: rest ->
         o.sc_quiet <- true;
@@ -401,7 +407,10 @@ let cmd_scenarios args =
   let failures = ref 0 in
   List.iter
     (fun row ->
-      let outcome = Scenario.run ?step_cap:o.sc_step_cap ~planted:o.sc_planted row in
+      let outcome =
+        Scenario.run ?step_cap:o.sc_step_cap ~planted:o.sc_planted
+          ~planted_shed:o.sc_planted_shed row
+      in
       let ok = Scenario.passed outcome in
       if not ok then incr failures;
       if (not ok) || not o.sc_quiet then
@@ -414,7 +423,11 @@ let cmd_scenarios args =
           o.sc_bundle_dir)
     rows;
   Printf.printf "scenarios: %d row(s), %d failure(s)%s\n%!" (List.length rows) !failures
-    (if o.sc_planted then " [planted commit bug armed]" else "");
+    (match (o.sc_planted, o.sc_planted_shed) with
+    | true, true -> " [planted commit + shed bugs armed]"
+    | true, false -> " [planted commit bug armed]"
+    | false, true -> " [planted shed bug armed]"
+    | false, false -> "");
   exit (if !failures > 0 then 1 else 0)
 
 let main () =

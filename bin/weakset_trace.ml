@@ -32,7 +32,9 @@ let usage =
   \  --json           (blackbox) machine-readable: one JSON object per dump\n\
   \                   on its own line instead of the rendered report\n\
   \  --op NAME        (saturation) request span name, default load.request\n\
-  \  --tail-pct P     (saturation) tail cut percentile in [0,100], default 90\n"
+  \  --tail-pct P     (saturation) tail cut percentile in [0,100], default 90\n\
+  \  --overload       (saturation) also render the overload anatomy: server\n\
+  \                   sheds by op class and client retries by outcome\n"
 
 let die fmt = Printf.ksprintf (fun s -> prerr_string s; prerr_newline (); exit 2) fmt
 
@@ -55,6 +57,7 @@ type opts = {
   mutable json : bool;
   mutable op : string;
   mutable tail_pct : float;
+  mutable overload : bool;
   mutable files : string list;
 }
 
@@ -66,7 +69,7 @@ let allowed_for = function
   | "profile" -> [ "--top" ]
   | "anomalies" -> [ "--slow-pct" ]
   | "blackbox" -> [ "--json" ]
-  | "saturation" -> [ "--op"; "--tail-pct" ]
+  | "saturation" -> [ "--op"; "--tail-pct"; "--overload" ]
   | _ -> []
 
 let parse_args cmd args =
@@ -80,6 +83,7 @@ let parse_args cmd args =
       json = false;
       op = "load.request";
       tail_pct = 90.0;
+      overload = false;
       files = [];
     }
   in
@@ -136,6 +140,10 @@ let parse_args cmd args =
             o.tail_pct <- p;
             go rest
         | _ -> usage_die "--tail-pct expects a percentile in [0,100], got %S" v)
+    | "--overload" :: rest ->
+        permit "--overload";
+        o.overload <- true;
+        go rest
     | [ ("--world" | "--max-depth" | "--top" | "--slow-pct" | "--op" | "--tail-pct") ] ->
         usage_die "missing value for final option"
     | f :: _ when flag_like f -> usage_die "unknown option %S" f
@@ -334,6 +342,67 @@ let lerp_percentile arr p =
     ((1.0 -. w) *. arr.(lo)) +. (w *. arr.(hi))
   end
 
+(* Overload anatomy: the admission layer stamps a Custom "srv-shed"
+   event per rejected request (detail carries "class=...") and the
+   retry-budgeted client a Custom "client-retry" per retry decision
+   (detail carries "outcome=...").  Group counts by that token and
+   render deterministically (count desc, then name). *)
+module Event = Weakset_obs.Event
+
+let token_field detail key =
+  let prefix = key ^ "=" in
+  let plen = String.length prefix in
+  List.find_map
+    (fun tok ->
+      if String.length tok > plen && String.sub tok 0 plen = prefix then
+        Some (String.sub tok plen (String.length tok - plen))
+      else None)
+    (String.split_on_char ' ' detail)
+
+let render_overload buf events =
+  let sheds : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let retries : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let bump tbl k =
+    match Hashtbl.find_opt tbl k with
+    | Some r -> incr r
+    | None -> Hashtbl.add tbl k (ref 1)
+  in
+  List.iter
+    (fun (ev : Event.t) ->
+      match ev.Event.kind with
+      | Event.Custom { label = "srv-shed"; detail } ->
+          bump sheds (Option.value ~default:"?" (token_field detail "class"))
+      | Event.Custom { label = "client-retry"; detail } ->
+          bump retries (Option.value ~default:"?" (token_field detail "outcome"))
+      | _ -> ())
+    events;
+  let rows tbl =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl []
+    |> List.sort (fun (na, ca) (nb, cb) ->
+           match compare cb ca with 0 -> compare na nb | c -> c)
+  in
+  let shed_rows = rows sheds and retry_rows = rows retries in
+  if shed_rows = [] && retry_rows = [] then
+    Buffer.add_string buf "overload anatomy: no shed or retry events in this segment\n"
+  else begin
+    let total rs = List.fold_left (fun acc (_, c) -> acc + c) 0 rs in
+    Buffer.add_string buf
+      (Printf.sprintf "overload anatomy: %d shed(s), %d retry decision(s)\n"
+         (total shed_rows) (total retry_rows));
+    if shed_rows <> [] then begin
+      Buffer.add_string buf "  server sheds by op class:\n";
+      List.iter
+        (fun (cls, n) -> Buffer.add_string buf (Printf.sprintf "    %-10s %8d\n" cls n))
+        shed_rows
+    end;
+    if retry_rows <> [] then begin
+      Buffer.add_string buf "  client retries by outcome:\n";
+      List.iter
+        (fun (oc, n) -> Buffer.add_string buf (Printf.sprintf "    %-10s %8d\n" oc n))
+        retry_rows
+    end
+  end
+
 (* Attribute the tail of the open-loop request population to phases.
    Request spans are back-dated to their intended arrival tick, so a
    request that waited for a free client shows that wait as leading self
@@ -351,7 +420,7 @@ let cmd_saturation o files =
         if named <> [] then (named, Printf.sprintf "%s request" o.op)
         else (closed, "closed root")
       in
-      match requests with
+      (match requests with
       | [] -> print_string (Printf.sprintf "no closed %S spans\n" o.op)
       | _ ->
           let durs = Array.of_list (List.filter_map Trace.span_dur requests) in
@@ -426,7 +495,12 @@ let cmd_saturation o files =
                   Printf.printf "  %-32s self=%-10.2f [%g -> %g]\n" it.Trace.cp_name
                     it.Trace.cp_self it.Trace.cp_start it.Trace.cp_end)
                 (Trace.critical_path tr sp))
-            slowest)
+            slowest);
+      if o.overload then begin
+        let buf = Buffer.create 256 in
+        render_overload buf seg.Trace.events;
+        print_string (Buffer.contents buf)
+      end)
     (one_file o files)
 
 let () =

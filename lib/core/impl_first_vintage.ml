@@ -85,7 +85,9 @@ let next st () =
                      a permanent failure for this semantics. *)
                   inst_completed st.ctx Weakset_spec.Sstate.Fails;
                   Iterator.Failed Client.No_such_object
-              | Error (Client.Unreachable | Client.Timeout | Client.No_service) ->
+              | Error
+                  ( Client.Unreachable | Client.Timeout | Client.No_service
+                  | Client.Overloaded | Client.Budget_exhausted ) ->
                   if fetch_failures + 1 >= st.ctx.max_fetch_attempts then begin
                     inst_completed st.ctx Weakset_spec.Sstate.Fails;
                     Iterator.Failed Client.Timeout

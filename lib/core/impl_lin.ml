@@ -88,7 +88,8 @@ let next st () =
                   Iterator.Yield (oid, v)
               | Error
                   ( Client.No_such_object | Client.Unreachable | Client.Timeout
-                  | Client.No_service ) ->
+                  | Client.No_service | Client.Overloaded
+                  | Client.Budget_exhausted ) ->
                   (* Unlike an optimistic iterator there is no stale view
                      to blame and nothing to skip: the pinned element's
                      contents must reappear for the snapshot to be

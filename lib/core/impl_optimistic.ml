@@ -88,7 +88,9 @@ let next st () =
                          gone; skip it rather than retry forever. *)
                       st.dead <- Oid.Set.add oid st.dead;
                       attempt ~refresh:true
-                  | Error (Client.Unreachable | Client.Timeout | Client.No_service) ->
+                  | Error
+                      ( Client.Unreachable | Client.Timeout | Client.No_service
+                      | Client.Overloaded | Client.Budget_exhausted ) ->
                       block_and_retry ())))
   in
   attempt ~refresh:false

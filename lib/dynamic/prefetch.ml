@@ -148,7 +148,9 @@ let rec fetcher_loop t =
             | Error Client.No_such_object ->
                 (* Contents gone: skip permanently. *)
                 t.missed <- t.missed + 1
-            | Error (Client.Unreachable | Client.Timeout | Client.No_service) ->
+            | Error
+                ( Client.Unreachable | Client.Timeout | Client.No_service
+                | Client.Overloaded | Client.Budget_exhausted ) ->
                 let retries = retries_of oid in
                 if retries + 1 > t.max_retries then t.missed <- t.missed + 1
                 else t.pending <- (oid, retries + 1) :: t.pending)

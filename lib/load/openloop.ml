@@ -33,7 +33,7 @@ let deal ~clients ticks =
   List.iteri (fun i tick -> qs.(i mod clients) := tick :: !(qs.(i mod clients))) ticks;
   Array.map (fun q -> List.rev !q) qs
 
-let run ~eng ~rng ?slo ?(tick_every = 1.0) ~exec cfg =
+let run ~eng ~rng ?slo ?(tick_every = 1.0) ?(record_error_latency = true) ~exec cfg =
   if cfg.clients < 1 then invalid_arg "Openloop.run: clients must be >= 1";
   if cfg.duration <= 0.0 then invalid_arg "Openloop.run: duration must be positive";
   if cfg.drain < 0.0 then invalid_arg "Openloop.run: drain must be non-negative";
@@ -79,10 +79,18 @@ let run ~eng ~rng ?slo ?(tick_every = 1.0) ~exec cfg =
                    { span; name = cfg.span_name; node = None; dur = fin -. tick });
               let intent_lat = fin -. tick in
               let send_lat = fin -. sent in
-              Stats.add intent intent_lat;
-              Stats.add send send_lat;
-              Metrics.observe_ex h_intent ~time:fin ~span intent_lat;
-              Metrics.observe_ex h_send ~time:fin ~span send_lat;
+              (* A shed (fast-error) completion is not a served request:
+                 recording its near-zero latency would fabricate a rosy
+                 percentile at exactly the step where nothing was
+                 served.  With [record_error_latency = false] only
+                 successes feed the latency surfaces, and a step that
+                 sheds everything leaves an honestly empty bucket. *)
+              if record_error_latency || Result.is_ok res then begin
+                Stats.add intent intent_lat;
+                Stats.add send send_lat;
+                Metrics.observe_ex h_intent ~time:fin ~span intent_lat;
+                Metrics.observe_ex h_send ~time:fin ~span send_lat
+              end;
               match res with Ok () -> incr completed | Error _ -> incr errors)
             schedule))
     schedules;

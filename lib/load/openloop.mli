@@ -65,12 +65,21 @@ type outcome = {
     When [slo] is given, a metronome fiber calls {!Weakset_obs.Slo.tick}
     every [tick_every] (default [1.0]) units of virtual time until the
     horizon, so windows that empty out under overload keep burning (the
-    carry-forward semantics documented in {!Weakset_obs.Slo}). *)
+    carry-forward semantics documented in {!Weakset_obs.Slo}).
+
+    [record_error_latency] (default [true]) controls whether errored
+    requests feed the latency surfaces.  Pass [false] for admission-
+    controlled runs: a shed request completes in near-zero time, and
+    recording it would report a phantom low percentile at exactly the
+    step where nothing was served — with [false], only successes are
+    sampled and an all-shed step leaves an honestly empty bucket
+    (percentiles come back [None]/[null]). *)
 val run :
   eng:Weakset_sim.Engine.t ->
   rng:Weakset_sim.Rng.t ->
   ?slo:Weakset_obs.Slo.t ->
   ?tick_every:float ->
+  ?record_error_latency:bool ->
   exec:(client:int -> parent:int -> (unit, string) result) ->
   config ->
   outcome

@@ -20,11 +20,54 @@ type ('req, 'resp) frame =
   | Request of { id : int; reply_to : Nodeid.t; parent : int option; req : 'req }
   | Response of { id : int; resp : 'resp }
 
+(* Opt-in admission control for a served node.  [a_admit] is consulted
+   at frame arrival with the node's current depth (requests admitted but
+   not yet past their CPU hold): [Some resp] sheds the request — the
+   reply goes back immediately, at zero service cost, and nothing of the
+   handler runs.  Admitted requests serialise their [service_time]
+   through a single per-node CPU: [a_urgent] requests jump the CPU queue
+   (control traffic must not wait behind a data-path backlog).  The
+   handler body itself still runs in the request's own fiber after the
+   CPU hold, so handlers that park (lock waits, ghost deferrals, quorum
+   submits) never wedge the server. *)
+type ('req, 'resp) admission = {
+  a_urgent : 'req -> bool;
+  a_admit : depth:int -> 'req -> 'resp option;
+  a_on_depth : int -> unit;
+}
+
 type ('req, 'resp) handler = {
   service_time : 'req -> float;
   op : ('req -> string) option;
+  admission : ('req, 'resp) admission option;
   fn : 'req -> 'resp;
 }
+
+(* The per-node CPU behind admission: one service hold at a time, with a
+   two-band wait queue (control jumps).  FIFO within a band keeps runs
+   deterministic. *)
+type cpu = {
+  mutable busy : bool;
+  q_control : unit Ivar.t Queue.t;
+  q_normal : unit Ivar.t Queue.t;
+  mutable outstanding : int;
+}
+
+let cpu_acquire eng cpu ~urgent =
+  if cpu.busy then begin
+    let iv = Ivar.create () in
+    Queue.push iv (if urgent then cpu.q_control else cpu.q_normal);
+    Ivar.read eng iv
+  end
+  else cpu.busy <- true
+
+let cpu_release eng cpu =
+  match Queue.take_opt cpu.q_control with
+  | Some iv -> Ivar.fill eng iv () (* hand-off: busy stays true *)
+  | None -> (
+      match Queue.take_opt cpu.q_normal with
+      | Some iv -> Ivar.fill eng iv ()
+      | None -> cpu.busy <- false)
 
 (* A client-side request tap, consulted before the node's [handler].
    Lets a client cache answer server-pushed messages (lease callbacks)
@@ -48,6 +91,7 @@ type ('req, 'resp) t = {
   detect_delay : float;
   pending : (int, 'resp pending_call) Hashtbl.t;
   handlers : (int, ('req, 'resp) handler) Hashtbl.t;
+  cpus : (int, cpu) Hashtbl.t;
   interceptors : (int, ('req, 'resp) interceptor) Hashtbl.t;
   c_calls : Metrics.counter;
   c_ok : Metrics.counter;
@@ -99,6 +143,7 @@ let create ?(detect_delay = 0.5) engine topo =
       detect_delay;
       pending = Hashtbl.create 64;
       handlers = Hashtbl.create 16;
+      cpus = Hashtbl.create 16;
       interceptors = Hashtbl.create 4;
       c_calls = Metrics.counter m ~labels "rpc.calls";
       c_ok = Metrics.counter m ~labels "rpc.ok";
@@ -114,6 +159,26 @@ let create ?(detect_delay = 0.5) engine topo =
   t
 
 let serving_span t = t.serving_span
+
+let cpu_of t key =
+  match Hashtbl.find_opt t.cpus key with
+  | Some c -> c
+  | None ->
+      let c =
+        {
+          busy = false;
+          q_control = Queue.create ();
+          q_normal = Queue.create ();
+          outstanding = 0;
+        }
+      in
+      Hashtbl.replace t.cpus key c;
+      c
+
+let queue_depth t node =
+  match Hashtbl.find_opt t.cpus (Nodeid.to_int node) with
+  | None -> 0
+  | Some c -> c.outstanding
 
 let handle_frame t node (env : ('req, 'resp) frame Transport.envelope) =
   let eng = engine t in
@@ -134,7 +199,7 @@ let handle_frame t node (env : ('req, 'resp) frame Transport.envelope) =
          zero virtual time: they answer from local state. *)
       let serve_plan =
         match intercepted with
-        | Some (label, fn) -> Some ("rpc.serve." ^ label, 0.0, fn)
+        | Some (label, fn) -> Some ("rpc.serve." ^ label, 0.0, None, fn)
         | None -> (
             match Hashtbl.find_opt t.handlers key with
             | None -> None (* no service here: the request is silently lost *)
@@ -144,29 +209,65 @@ let handle_frame t node (env : ('req, 'resp) frame Transport.envelope) =
                   | None -> "rpc.serve"
                   | Some label -> "rpc.serve." ^ label req
                 in
-                Some (span_name, h.service_time req, h.fn))
+                Some (span_name, h.service_time req, h.admission, h.fn))
       in
       match serve_plan with
       | None -> ()
-      | Some (span_name, service, fn) ->
-          if Topology.node_up (topology t) node then
-            Engine.spawn eng ~name:(Printf.sprintf "rpc-handler-%s-%d" (Nodeid.to_string node) id)
-              (fun () ->
-                Bus.with_span_id (bus t)
-                  ~time:(fun () -> Engine.now eng)
-                  ~node:(Nodeid.to_int node) ?parent span_name
-                  (fun span ->
-                    if service > 0.0 then Engine.sleep eng service;
-                    (* Expose the serve span for the synchronous handler
-                       prefix, where servers emit their Store_op. *)
-                    t.serving_span <- Some span;
-                    let resp =
-                      Fun.protect
-                        ~finally:(fun () -> t.serving_span <- None)
-                        (fun () -> fn req)
-                    in
-                    Transport.send t.transport ~src:node ~dst:reply_to
-                      (Response { id; resp }))))
+      | Some (span_name, service, admission, fn) ->
+          if Topology.node_up (topology t) node then begin
+            let shed =
+              match admission with
+              | None -> None
+              | Some adm -> adm.a_admit ~depth:(cpu_of t key).outstanding req
+            in
+            match shed with
+            | Some shed_resp ->
+                (* Shed at arrival: the reply leaves immediately, at zero
+                   service cost, from the demux fiber itself — nothing of
+                   the handler ran, so the op is a clean no-op in the
+                   computation. *)
+                Transport.send t.transport ~src:node ~dst:reply_to
+                  (Response { id; resp = shed_resp })
+            | None ->
+                let admitted =
+                  match admission with
+                  | None -> None
+                  | Some adm ->
+                      let cpu = cpu_of t key in
+                      cpu.outstanding <- cpu.outstanding + 1;
+                      adm.a_on_depth cpu.outstanding;
+                      Some (adm, cpu)
+                in
+                Engine.spawn eng
+                  ~name:(Printf.sprintf "rpc-handler-%s-%d" (Nodeid.to_string node) id)
+                  (fun () ->
+                    Bus.with_span_id (bus t)
+                      ~time:(fun () -> Engine.now eng)
+                      ~node:(Nodeid.to_int node) ?parent span_name
+                      (fun span ->
+                        (* Under admission the service hold serialises
+                           through the node CPU; queue wait shows up as
+                           leading self-time of the serve span, which
+                           opened at arrival. *)
+                        (match admitted with
+                        | None -> if service > 0.0 then Engine.sleep eng service
+                        | Some (adm, cpu) ->
+                            cpu_acquire eng cpu ~urgent:(adm.a_urgent req);
+                            if service > 0.0 then Engine.sleep eng service;
+                            cpu_release eng cpu;
+                            cpu.outstanding <- cpu.outstanding - 1;
+                            adm.a_on_depth cpu.outstanding);
+                        (* Expose the serve span for the synchronous handler
+                           prefix, where servers emit their Store_op. *)
+                        t.serving_span <- Some span;
+                        let resp =
+                          Fun.protect
+                            ~finally:(fun () -> t.serving_span <- None)
+                            (fun () -> fn req)
+                        in
+                        Transport.send t.transport ~src:node ~dst:reply_to
+                          (Response { id; resp })))
+          end)
   | Response { id; resp } -> (
       match Hashtbl.find_opt t.pending id with
       | None -> () (* caller already timed out or gave up *)
@@ -190,8 +291,8 @@ let ensure_demux t node =
         loop ())
   end
 
-let serve t node ?(service_time = fun _ -> 0.0) ?op fn =
-  Hashtbl.replace t.handlers (Nodeid.to_int node) { service_time; op; fn };
+let serve t node ?(service_time = fun _ -> 0.0) ?op ?admission fn =
+  Hashtbl.replace t.handlers (Nodeid.to_int node) { service_time; op; admission; fn };
   ensure_demux t node
 
 let intercept t node ~handles fn =

@@ -31,21 +31,51 @@ val bus : ('req, 'resp) t -> Weakset_obs.Bus.t
 (** Current counter values, read back from the metrics registry. *)
 val stats : ('req, 'resp) t -> Netstat.t
 
-(** [serve t node ?service_time ?op handler] installs [handler] for
-    requests addressed to [node].  Each request runs in its own fiber
-    after [service_time req] units of virtual service time (default 0),
-    so handlers may themselves sleep or make nested calls.  Requests
-    arriving while the node is down are dropped.  When [op] is given,
-    each request's serve span is named ["rpc.serve." ^ op req] instead
-    of plain ["rpc.serve"], so profilers and SLO trackers see server
-    time split by request type. *)
+(** Opt-in admission control for a served node (see {!serve}).
+
+    With admission installed, the node stops being an infinite-server
+    queue: admitted requests serialise their [service_time] through a
+    single per-node CPU, and [a_admit ~depth req] is consulted at frame
+    arrival with the node's current {!queue_depth} — returning
+    [Some resp] {e sheds} the request (the reply goes back immediately,
+    at zero service cost, and no part of the handler runs), [None]
+    admits it.  [a_urgent] requests jump the CPU wait queue, so control
+    traffic never waits behind a data-path backlog.  [a_on_depth] is
+    called with the new depth after every admit/leave, for gauges.
+
+    Only the CPU hold is serialised: the handler body still runs in the
+    request's own fiber after the hold, so handlers that park (lock
+    waits, ghost deferrals, quorum submits) never wedge the server. *)
+type ('req, 'resp) admission = {
+  a_urgent : 'req -> bool;
+  a_admit : depth:int -> 'req -> 'resp option;
+  a_on_depth : int -> unit;
+}
+
+(** [serve t node ?service_time ?op ?admission handler] installs
+    [handler] for requests addressed to [node].  Each request runs in
+    its own fiber after [service_time req] units of virtual service time
+    (default 0), so handlers may themselves sleep or make nested calls.
+    Requests arriving while the node is down are dropped.  When [op] is
+    given, each request's serve span is named ["rpc.serve." ^ op req]
+    instead of plain ["rpc.serve"], so profilers and SLO trackers see
+    server time split by request type.  Without [admission] (the
+    default) the node serves as an infinite-server queue, exactly as
+    before; with it, service serialises and overload sheds — queue wait
+    appears as leading self-time of the serve span, which opens at
+    arrival. *)
 val serve :
   ('req, 'resp) t ->
   Nodeid.t ->
   ?service_time:('req -> float) ->
   ?op:('req -> string) ->
+  ?admission:('req, 'resp) admission ->
   ('req -> 'resp) ->
   unit
+
+(** Requests admitted at [node] and not yet past their CPU hold
+    (waiting + in service).  0 for nodes without admission control. *)
+val queue_depth : ('req, 'resp) t -> Nodeid.t -> int
 
 (** [intercept t node ~handles fn] installs a client-side request tap on
     [node], consulted {e before} the node's {!serve} handler.  For each

@@ -165,6 +165,12 @@ let h_percentile h p =
     if lo >= n - 1 then a.(n - 1)
     else (a.(lo) *. (1.0 -. frac)) +. (a.(lo + 1) *. frac)
 
+(* Total-function percentile: a histogram that only ever saw shed
+   (never-latency-recorded) traffic has an empty reservoir, and the
+   caller gets [None] instead of a phantom value or a raise. *)
+let h_percentile_opt h p =
+  if h.n = 0 || h.klen = 0 then None else Some (h_percentile h p)
+
 let sorted_entries t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
   |> List.sort (fun (a, _) (b, _) -> compare a b)

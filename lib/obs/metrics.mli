@@ -81,6 +81,11 @@ val h_exemplars : histogram -> Exemplar.t
     Raises [Invalid_argument] on an empty histogram. *)
 val h_percentile : histogram -> float -> float
 
+(** Total-function variant of {!h_percentile}: [None] when the
+    histogram holds no samples (e.g. an intent bucket that received only
+    shed, never-latency-recorded traffic), instead of raising. *)
+val h_percentile_opt : histogram -> float -> float option
+
 (** {1 Export} *)
 
 (** All instruments as one JSON object, keys sorted, deterministic. *)

@@ -2,17 +2,45 @@ module Rpc = Weakset_net.Rpc
 module Topology = Weakset_net.Topology
 module Nodeid = Weakset_net.Nodeid
 
-type error = Unreachable | Timeout | No_such_object | No_service
+type error =
+  | Unreachable
+  | Timeout
+  | No_such_object
+  | No_service
+  | Overloaded
+  | Budget_exhausted
 
 let pp_error fmt = function
   | Unreachable -> Format.pp_print_string fmt "unreachable"
   | Timeout -> Format.pp_print_string fmt "timeout"
   | No_such_object -> Format.pp_print_string fmt "no-such-object"
   | No_service -> Format.pp_print_string fmt "no-service"
+  | Overloaded -> Format.pp_print_string fmt "overloaded"
+  | Budget_exhausted -> Format.pp_print_string fmt "budget-exhausted"
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
 type rpc = (Protocol.request, Protocol.response) Rpc.t
+
+type retry_config = {
+  retry_rng : Weakset_sim.Rng.t;
+      (* the jitter stream; hand each client its own [Rng.split] so
+         backoff draws never perturb workload or fault streams *)
+  retry_burst : int;
+  retry_refill : float; (* tokens per unit of virtual time *)
+  retry_backoff : float; (* initial jitter window *)
+  retry_backoff_max : float; (* jitter window cap *)
+  retry_attempts : int; (* retries per call before giving up *)
+}
+
+(* Token bucket state lives behind refs so [with_span_parent]/
+   [with_timeout] copies share one budget: the budget is per {e client},
+   not per handle. *)
+type retry_state = {
+  rc : retry_config;
+  tokens : float ref;
+  last : float ref;
+}
 
 type t = {
   rpc : rpc;
@@ -21,9 +49,10 @@ type t = {
   parent0 : int option; (* default enclosing span when a call passes none *)
   hoard : (int, Svalue.t) Hashtbl.t; (* hoarded object contents, by oid num *)
   lease : Cache.t option; (* coherent lease cache (None: every read is remote) *)
+  retry : retry_state option;
 }
 
-let create ?(timeout = 30.0) ?cache rpc node =
+let create ?(timeout = 30.0) ?cache ?retry rpc node =
   let lease =
     Option.map
       (fun config ->
@@ -41,7 +70,13 @@ let create ?(timeout = 30.0) ?cache rpc node =
         c)
       cache
   in
-  { rpc; node; timeout; parent0 = None; hoard = Hashtbl.create 32; lease }
+  let retry =
+    Option.map
+      (fun rc ->
+        { rc; tokens = ref (float_of_int rc.retry_burst); last = ref 0.0 })
+      retry
+  in
+  { rpc; node; timeout; parent0 = None; hoard = Hashtbl.create 32; lease; retry }
 
 let lease_cache t = t.lease
 
@@ -60,10 +95,49 @@ let fresh_owner () =
 
 let of_rpc_error = function Rpc.Timeout -> Timeout | Rpc.Unreachable -> Unreachable
 
+(* Lazy token-bucket refill, clocked on virtual time: tokens accrue at
+   [retry_refill] per unit up to [retry_burst].  Returns whether a token
+   was available (and consumed). *)
+let take_token eng rs =
+  let now = Weakset_sim.Engine.now eng in
+  let tokens =
+    Float.min
+      (float_of_int rs.rc.retry_burst)
+      (!(rs.tokens) +. ((now -. !(rs.last)) *. rs.rc.retry_refill))
+  in
+  rs.last := now;
+  if tokens >= 1.0 then begin
+    rs.tokens := tokens -. 1.0;
+    true
+  end
+  else begin
+    rs.tokens := tokens;
+    false
+  end
+
+(* Current token balance (refilled to now), for tests and gauges. *)
+let retry_tokens t =
+  match t.retry with
+  | None -> None
+  | Some rs ->
+      let now = Weakset_sim.Engine.now (Rpc.engine t.rpc) in
+      Some
+        (Float.min
+           (float_of_int rs.rc.retry_burst)
+           (!(rs.tokens) +. ((now -. !(rs.last)) *. rs.rc.retry_refill)))
+
 (* Every network operation runs inside its own [client.*] span; [parent]
    (an enclosing request span, e.g. an ls) parents that span, and the
    span in turn parents the RPC — so one user request reconstructs as one
-   tree reaching through the wire into the server. *)
+   tree reaching through the wire into the server.
+
+   A server's [Overloaded] shed never escapes as a response: with a
+   retry budget the call backs off (jittered exponential, honoring the
+   server's [retry_after] hint) and retries inside the same operation
+   span — so the whole storm is one trace tree — and surfaces
+   [Budget_exhausted] when the bucket runs dry or [Overloaded] when the
+   per-call attempts are spent; without a budget it surfaces
+   [Overloaded] at once. *)
 let call ?parent t dst req =
   let parent = match parent with Some _ -> parent | None -> t.parent0 in
   let eng = Rpc.engine t.rpc in
@@ -72,21 +146,64 @@ let call ?parent t dst req =
   (* Per-op latency with the operation's own span as exemplar: the
      histogram's tail buckets name the exact request trees to pull out
      of a black-box dump. *)
-  let h =
-    Weakset_obs.Metrics.histogram
-      (Weakset_obs.Bus.metrics bus)
-      ~labels:[ ("op", label) ] "client.latency"
-  in
+  let m = Weakset_obs.Bus.metrics bus in
+  let h = Weakset_obs.Metrics.histogram m ~labels:[ ("op", label) ] "client.latency" in
   let t0 = Weakset_sim.Engine.now eng in
   Weakset_obs.Bus.with_span_id bus
     ~time:(fun () -> Weakset_sim.Engine.now eng)
     ~node:(Nodeid.to_int t.node) ?parent ("client." ^ label)
     (fun span ->
-      let r =
+      let count_retry outcome =
+        Weakset_obs.Metrics.inc
+          (Weakset_obs.Metrics.counter m ~labels:[ ("outcome", outcome) ]
+             "client.retry");
+        Weakset_obs.Bus.emit bus
+          ~time:(Weakset_sim.Engine.now eng)
+          (Weakset_obs.Event.Custom
+             {
+               label = "client-retry";
+               detail =
+                 Printf.sprintf "node=%d op=%s outcome=%s"
+                   (Nodeid.to_int t.node) label outcome;
+             })
+      in
+      let retried = ref false in
+      let rec attempt k =
         match Rpc.call t.rpc ~parent:span ~src:t.node ~dst ~timeout:t.timeout req with
-        | Ok resp -> Ok resp
+        | Ok (Protocol.Overloaded { retry_after }) -> (
+            match t.retry with
+            | None -> Error Overloaded
+            | Some rs ->
+                if k >= rs.rc.retry_attempts then begin
+                  count_retry "gave-up";
+                  Error Overloaded
+                end
+                else if not (take_token eng rs) then begin
+                  count_retry "budget-exhausted";
+                  Error Budget_exhausted
+                end
+                else begin
+                  (* Jittered exponential backoff on top of the server's
+                     hint; the jitter draw comes from the client's own
+                     split Rng stream, so schedules are a pure function
+                     of the seed. *)
+                  let window =
+                    Float.min rs.rc.retry_backoff_max
+                      (rs.rc.retry_backoff *. Float.pow 2.0 (float_of_int k))
+                  in
+                  let backoff =
+                    retry_after +. Weakset_sim.Rng.float rs.rc.retry_rng window
+                  in
+                  retried := true;
+                  Weakset_sim.Engine.sleep eng backoff;
+                  attempt (k + 1)
+                end)
+        | Ok resp ->
+            if !retried then count_retry "ok";
+            Ok resp
         | Error e -> Error (of_rpc_error e)
       in
+      let r = attempt 0 in
       let now = Weakset_sim.Engine.now eng in
       Weakset_obs.Metrics.observe_ex h ~time:now ~span (now -. t0);
       r)
@@ -268,6 +385,12 @@ let coord_call ?parent t (sref : Protocol.set_ref) req =
                transport error *)
             failover resp pending
         | Ok resp -> Ok resp
+        | Error ((Overloaded | Budget_exhausted) as e) ->
+            (* Overload is terminal, never failed over: hammering the
+               other members would amplify the very storm admission
+               control is shedding, and budget exhaustion must stay a
+               distinct client-visible outcome. *)
+            Error e
         | Error e ->
             if Option.is_none !first_err then first_err := Some e;
             failover Protocol.No_service pending

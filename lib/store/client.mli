@@ -10,22 +10,62 @@ type error =
   | Timeout
   | No_such_object  (** the home node answered but no longer holds the object *)
   | No_service      (** the target node does not host the requested set *)
+  | Overloaded
+      (** the server shed the request (admission control) and the client
+          either has no retry budget or spent its per-call attempts *)
+  | Budget_exhausted
+      (** the server shed the request and the client's token-bucket
+          retry budget ran dry — distinct from [Unreachable]: the server
+          is up, the {e client} is out of retries *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
 type rpc = (Protocol.request, Protocol.response) Weakset_net.Rpc.t
 
+(** Client-side retry policy for [Overloaded] sheds.  One token-bucket
+    budget is shared across every copy of the client ({!with_timeout} /
+    {!with_span_parent}): [retry_burst] tokens, refilling at
+    [retry_refill] tokens per unit of virtual time; each retry spends
+    one.  Backoff before attempt [k+1] is the server's [retry_after]
+    hint plus a uniform draw from
+    [\[0, min retry_backoff_max (retry_backoff · 2^k))] taken from
+    [retry_rng] — hand each client its own {!Weakset_sim.Rng.split}
+    stream and the whole schedule is a pure function of the seed.
+    [retry_attempts] bounds retries per call; spending them surfaces
+    [Overloaded], an empty bucket surfaces [Budget_exhausted]. *)
+type retry_config = {
+  retry_rng : Weakset_sim.Rng.t;
+  retry_burst : int;
+  retry_refill : float;
+  retry_backoff : float;
+  retry_backoff_max : float;
+  retry_attempts : int;
+}
+
 type t
 
-(** [create ?timeout ?cache rpc node] — [timeout] (default 30) bounds
-    each call.  [cache] enables the coherent lease cache ({!Cache}):
-    membership reads become [Dir_read_leased] and are served locally
-    while leased, object fetches fill a bounded LRU pool, and an RPC
-    interceptor is installed on [node] to receive the server's [Inval]
-    callbacks.  At most one lease-cached client per node (a second
-    [create ?cache] on the same node replaces the interceptor). *)
-val create : ?timeout:float -> ?cache:Cache.config -> rpc -> Weakset_net.Nodeid.t -> t
+(** [create ?timeout ?cache ?retry rpc node] — [timeout] (default 30)
+    bounds each call.  [cache] enables the coherent lease cache
+    ({!Cache}): membership reads become [Dir_read_leased] and are served
+    locally while leased, object fetches fill a bounded LRU pool, and an
+    RPC interceptor is installed on [node] to receive the server's
+    [Inval] callbacks.  At most one lease-cached client per node (a
+    second [create ?cache] on the same node replaces the interceptor).
+    [retry] enables the overload retry budget ({!retry_config});
+    without it an [Overloaded] shed surfaces immediately as
+    [Error Overloaded]. *)
+val create :
+  ?timeout:float ->
+  ?cache:Cache.config ->
+  ?retry:retry_config ->
+  rpc ->
+  Weakset_net.Nodeid.t ->
+  t
+
+(** Current retry-token balance (refilled to now); [None] without a
+    retry budget.  For tests and gauges. *)
+val retry_tokens : t -> float option
 
 (** The lease cache enabled at {!create} time, if any. *)
 val lease_cache : t -> Cache.t option

@@ -7,6 +7,15 @@ type rpc = (Protocol.request, Protocol.response) Rpc.t
 
 type mutation_policy = Immediate | Defer_removes_while_iterating
 
+type admission = { capacity : int }
+
+(* Mutation-testing hook (armed by the VOPR [--planted-shed-bug] gate):
+   a shed mutation applies its directory effect anyway — outside any
+   consensus submit — before the Overloaded reply leaves.  The shed is
+   then NOT a clean no-op: one node's directory diverges from the fold
+   of its committed log, which the oracle must flag. *)
+let planted_shed_after_apply = ref false
+
 type dir_state = {
   dir : Directory.t;
   lock : Lockmgr.t;
@@ -356,7 +365,79 @@ let service_time t req =
         t.dir_service oids
   | _ -> t.dir_service
 
-let create ?fetch_service ?(dir_service = 0.02) ?(lease_ttl = 30.0) rpc node =
+(* Shed thresholds per class, as a fraction of [capacity] (the depth at
+   which even iterator data-path traffic sheds).  Reads go first — they
+   are the cheapest to retry and carry no client-side state; mutations
+   next; iterator ops last among sheddable classes (a rejection strands
+   a traversal mid-stream); control traffic never sheds. *)
+let shed_threshold ~capacity = function
+  | Protocol.Control -> max_int
+  | Protocol.Iter -> capacity
+  | Protocol.Mutate -> 3 * capacity / 4
+  | Protocol.Read -> capacity / 2
+
+let make_admission t ~capacity =
+  let eng = Rpc.engine t.rpc in
+  let m = Engine.metrics eng in
+  let node_l = [ ("node", Nodeid.to_string t.node) ] in
+  let g_depth = Weakset_obs.Metrics.gauge m ~labels:node_l "srv.queue_depth" in
+  let shed_counter cls =
+    Weakset_obs.Metrics.counter m
+      ~labels:(("class", Protocol.class_label cls) :: node_l)
+      "srv.shed"
+  in
+  let c_shed =
+    (* interned once per class; Control never sheds but keeps the row
+       total honest at zero *)
+    [
+      (Protocol.Control, shed_counter Protocol.Control);
+      (Protocol.Iter, shed_counter Protocol.Iter);
+      (Protocol.Mutate, shed_counter Protocol.Mutate);
+      (Protocol.Read, shed_counter Protocol.Read);
+    ]
+  in
+  let a_admit ~depth req =
+    let cls = Protocol.op_class req in
+    if depth < shed_threshold ~capacity cls then None
+    else begin
+      (if !planted_shed_after_apply then
+         (* the planted bug: the mutation's effect lands even though the
+            reply says it was shed *)
+         match req with
+         | Protocol.Dir_add { set_id; oid } -> (
+             match dir_state t set_id with
+             | Some d -> apply_and_notify t ~set_id d (Directory.Add oid)
+             | None -> ())
+         | Protocol.Dir_remove { set_id; oid } -> (
+             match dir_state t set_id with
+             | Some d -> apply_and_notify t ~set_id d (Directory.Remove oid)
+             | None -> ())
+         | _ -> ());
+      Weakset_obs.Metrics.inc (List.assoc cls c_shed);
+      Weakset_obs.Bus.emit (Engine.bus eng) ~time:(Engine.now eng)
+        (Weakset_obs.Event.Custom
+           {
+             label = "srv-shed";
+             detail =
+               Printf.sprintf "node=%d op=%s class=%s depth=%d"
+                 (Nodeid.to_int t.node) (Protocol.request_label req)
+                 (Protocol.class_label cls) depth;
+           });
+      (* Deterministic backoff hint: the estimated time for the present
+         backlog to drain through the node CPU. *)
+      let retry_after = t.dir_service *. float_of_int (depth + 1) in
+      Some (Protocol.Overloaded { retry_after })
+    end
+  in
+  {
+    Rpc.a_urgent = (fun req -> Protocol.op_class req = Protocol.Control);
+    a_admit;
+    a_on_depth =
+      (fun depth -> Weakset_obs.Metrics.set_gauge g_depth (float_of_int depth));
+  }
+
+let create ?fetch_service ?(dir_service = 0.02) ?(lease_ttl = 30.0) ?admission rpc
+    node =
   let t =
     {
       rpc;
@@ -373,8 +454,11 @@ let create ?fetch_service ?(dir_service = 0.02) ?(lease_ttl = 30.0) rpc node =
           "replica.pull_failures";
     }
   in
+  let admission =
+    Option.map (fun { capacity } -> make_admission t ~capacity) admission
+  in
   Rpc.serve rpc node ~service_time:(service_time t) ~op:Protocol.request_label
-    (handle t);
+    ?admission (handle t);
   t
 
 let host_directory t ~set_id ~policy =

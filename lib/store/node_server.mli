@@ -18,21 +18,44 @@ type mutation_policy =
   | Immediate                      (** removals take effect at once *)
   | Defer_removes_while_iterating  (** ghost copies, paper §3.3 *)
 
+(** Admission control: [capacity] bounds the node's request queue (depth
+    = requests admitted but not yet past their service hold).  Shedding
+    is deterministic reject-newest with per-class thresholds — fresh
+    reads shed at [capacity/2], mutations at [3·capacity/4], iterator
+    data-path ops at [capacity]; control traffic (consensus/heartbeats,
+    lease callbacks, lock releases, iterator closes) is never shed and
+    jumps the service queue.  A shed request is answered with
+    {!Protocol.Overloaded} carrying a deterministic [retry_after] hint
+    (the estimated backlog drain time), at zero service cost, before any
+    part of the handler runs — a clean no-op. *)
+type admission = { capacity : int }
+
+(** Mutation-testing hook for the VOPR [--planted-shed-bug] gate: when
+    armed, a shed [Dir_add]/[Dir_remove] applies its directory effect
+    anyway — outside consensus — before the [Overloaded] reply leaves,
+    so the shed is no longer a clean no-op and the oracle must flag the
+    resulting directory/log divergence. *)
+val planted_shed_after_apply : bool ref
+
 type t
 
-(** [create rpc node ?fetch_service ?dir_service ?lease_ttl ()] installs
-    the server on [node].  [fetch_service v] is the virtual service time
-    of an object fetch (default [0.05 + size/50000]); [dir_service] that
-    of any directory operation (default 0.02).  [lease_ttl] (default 30)
-    is the TTL granted with every [Dir_read_leased] answer: the server
-    remembers each lessee for that long (plus a flight-time slack) and
-    pushes an [Inval] callback to all of them on the next effective
-    mutation — Coda-style callbacks with lease expiry as the partition
-    fallback. *)
+(** [create rpc node ?fetch_service ?dir_service ?lease_ttl ?admission ()]
+    installs the server on [node].  [fetch_service v] is the virtual
+    service time of an object fetch (default [0.05 + size/50000]);
+    [dir_service] that of any directory operation (default 0.02).
+    [lease_ttl] (default 30) is the TTL granted with every
+    [Dir_read_leased] answer: the server remembers each lessee for that
+    long (plus a flight-time slack) and pushes an [Inval] callback to
+    all of them on the next effective mutation — Coda-style callbacks
+    with lease expiry as the partition fallback.  Without [admission]
+    (the default) the node accepts unboundedly, exactly as before; with
+    it, service serialises through a bounded queue and overload sheds
+    (see {!admission}). *)
 val create :
   ?fetch_service:(Svalue.t -> float) ->
   ?dir_service:float ->
   ?lease_ttl:float ->
+  ?admission:admission ->
   rpc ->
   Weakset_net.Nodeid.t ->
   t

@@ -80,6 +80,26 @@ type response =
       commit : Version.t;
       ops : (Version.t * Directory.op) list;
     }
+  | Overloaded of { retry_after : float }
+
+(* Admission classes, ordered by shed priority.  Control traffic keeps
+   the cluster alive (consensus, callbacks, iterator cleanup) and is
+   never shed; iterator data-path ops would strand an in-flight
+   traversal mid-stream if rejected, so they go last among sheddable
+   classes; fresh reads are the cheapest to retry and go first. *)
+type op_class = Control | Iter | Mutate | Read
+
+let op_class = function
+  | Repl _ | Inval _ | Lock_release _ | Iter_close _ -> Control
+  | Fetch _ | Fetch_batch _ | Dir_read_at _ | Sync_pull _ -> Iter
+  | Dir_add _ | Dir_remove _ | Lock_acquire _ | Iter_open _ -> Mutate
+  | Dir_read _ | Dir_read_leased _ | Dir_size _ -> Read
+
+let class_label = function
+  | Control -> "control"
+  | Iter -> "iter"
+  | Mutate -> "mutate"
+  | Read -> "read"
 
 let request_label = function
   | Fetch _ -> "fetch"
@@ -166,3 +186,5 @@ let pp_response fmt = function
   | Repl_state { view; opnum; commit; ops } ->
       Format.fprintf fmt "repl-state view=%d %a commit=%a n=%d" view Version.pp opnum
         Version.pp commit (List.length ops)
+  | Overloaded { retry_after } ->
+      Format.fprintf fmt "overloaded retry_after=%g" retry_after

@@ -109,6 +109,21 @@ type response =
       commit : Version.t;
       ops : (Version.t * Directory.op) list;
     }  (** state-transfer answer: committed entries above [since] *)
+  | Overloaded of { retry_after : float }
+      (** admission control shed the request before any part of it
+          executed: a clean no-op.  [retry_after] is the server's
+          backoff hint (virtual time units) *)
+
+(** Admission class of a request, ordered by shed priority (overload
+    sheds [Read] first, then [Mutate], then [Iter]; [Control] — the
+    consensus/heartbeat, invalidation-callback and iterator-cleanup
+    traffic the cluster needs to stay live — is never shed). *)
+type op_class = Control | Iter | Mutate | Read
+
+val op_class : request -> op_class
+
+(** Metric-label form of a class: "control", "iter", "mutate", "read". *)
+val class_label : op_class -> string
 
 (** Short operation name of a request ("fetch", "dir-read", ...), used
     as the [op] field of [Store_op] trace events and as span names. *)

@@ -20,6 +20,12 @@ type issue =
   | Commit_lost of { opnum : int; op : string; node : int }
   | Commit_reordered of { opnum : int; first : string; second : string; node : int }
   | Election_overdue of { deadline : float }
+  | Shed_divergence of { node : int; extra : string list; missing : string list }
+      (** a node's hosted directory diverged from the fold of its own
+          committed log: some effect landed outside consensus — e.g. a
+          "shed" mutation that was not a clean no-op.  [extra] are
+          members present in the directory the log cannot justify;
+          [missing] the converse. *)
 
 type iteration_input = {
   index : int;
@@ -51,6 +57,11 @@ type repl_evidence = {
   r_ledger : (int * string) list;
   r_final_logs : (int * (int * string) list) list;
   r_probes : (float * bool) list;
+  r_dir_vs_log : (int * string list * string list) list;
+      (* per surviving node: (node, directory members, members obtained
+         by folding that node's OWN committed log).  Equality is the
+         shed-is-a-clean-no-op invariant: every directory effect must be
+         justified by a committed entry *)
 }
 
 type input = {
@@ -76,9 +87,11 @@ let category = function
   | Commit_lost _ -> "commit-lost"
   | Commit_reordered _ -> "commit-reordered"
   | Election_overdue _ -> "election-overdue"
+  | Shed_divergence _ -> "shed-divergence"
 
 let severity = function
   | Commit_lost _ -> 10
+  | Shed_divergence _ -> 9
   | Commit_reordered _ -> 9
   | Stale_beyond_lease _ -> 8
   | Spec_violation _ -> 7
@@ -135,6 +148,19 @@ let describe = function
         "view-change liveness: the group was quorum-connected yet had no stable leader by \
          t=%.3f"
         deadline
+  | Shed_divergence { node; extra; missing } ->
+      (* A planted-bug run can diverge by hundreds of members; keep the
+         verdict line readable and leave the full lists to the JSON. *)
+      let preview l =
+        let n = List.length l in
+        if n <= 6 then String.concat " " l
+        else Printf.sprintf "%s … %d total" (String.concat " " (List.filteri (fun i _ -> i < 6) l)) n
+      in
+      Printf.sprintf
+        "shed safety: node %d's directory diverges from the fold of its committed log \
+         (unjustified members: [%s]; absent members: [%s]) — some effect landed outside \
+         consensus, e.g. a shed op that was not a clean no-op"
+        node (preview extra) (preview missing)
 
 (* ------------------------------------------------------------------ *)
 (* Judging                                                            *)
@@ -298,7 +324,26 @@ let judge_repl ev =
       (fun (deadline, ok) -> if ok then None else Some (Election_overdue { deadline }))
       ev.r_probes
   in
-  List.rev dup_issues @ log_issues @ election_issues
+  (* Shed safety: each surviving node's directory must equal the fold of
+     its own committed log — a per-node self-consistency check, immune
+     to cross-node commit-propagation lag. *)
+  let shed_issues =
+    List.filter_map
+      (fun (node, dir_members, log_members) ->
+        let sort = List.sort_uniq String.compare in
+        let dir = sort dir_members and log = sort log_members in
+        if List.equal String.equal dir log then None
+        else
+          Some
+            (Shed_divergence
+               {
+                 node;
+                 extra = List.filter (fun m -> not (List.mem m log)) dir;
+                 missing = List.filter (fun m -> not (List.mem m dir)) log;
+               }))
+      ev.r_dir_vs_log
+  in
+  List.rev dup_issues @ log_issues @ election_issues @ shed_issues
 
 let judge input =
   let iteration_issues = List.concat_map judge_iteration input.iterations in
@@ -389,6 +434,12 @@ let issue_to_json = function
         opnum (esc first) (esc second) node
   | Election_overdue { deadline } ->
       Printf.sprintf {|{"issue":"election-overdue","deadline":%.17g}|} deadline
+  | Shed_divergence { node; extra; missing } ->
+      let strs l =
+        String.concat "," (List.map (fun s -> Printf.sprintf {|"%s"|} (esc s)) l)
+      in
+      Printf.sprintf {|{"issue":"shed-divergence","node":%d,"extra":[%s],"missing":[%s]}|}
+        node (strs extra) (strs missing)
 
 let ( let* ) = Result.bind
 
@@ -473,4 +524,12 @@ let issue_of_json j =
   | "election-overdue" ->
       let* deadline = flt "deadline" j in
       Ok (Election_overdue { deadline })
+  | "shed-divergence" ->
+      let* node = int_ "node" j in
+      let str_list name =
+        match Option.bind (Json.member name j) Json.to_list with
+        | Some l -> List.filter_map Json.to_string l
+        | None -> []
+      in
+      Ok (Shed_divergence { node; extra = str_list "extra"; missing = str_list "missing" })
   | k -> Error (Printf.sprintf "unknown issue kind %S" k)

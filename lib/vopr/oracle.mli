@@ -47,6 +47,12 @@ type issue =
   | Election_overdue of { deadline : float }
       (** view-change liveness: the group was quorum-connected for a
           full election window yet had no stable leader by [deadline] *)
+  | Shed_divergence of { node : int; extra : string list; missing : string list }
+      (** shed safety: [node]'s hosted directory does not equal the fold
+          of its own committed log — some effect landed outside
+          consensus, e.g. an admission-shed mutation that was not a
+          clean no-op.  [extra] are directory members no committed entry
+          justifies; [missing] the converse *)
 
 (** What the runner hands the judge about one executed iteration. *)
 type iteration_input = {
@@ -90,11 +96,16 @@ type cache_evidence = {
     committed; [r_final_logs] maps each surviving member (node id) to
     its final committed log; [r_probes] lists the liveness probes —
     (deadline, stable?) for each quiet window long enough that a
-    quorum-connected group must have elected a leader. *)
+    quorum-connected group must have elected a leader; [r_dir_vs_log]
+    gives, per surviving node, its directory membership next to the
+    membership obtained by folding that node's own committed log — the
+    two must agree (shed-is-a-clean-no-op, judged per node so commit
+    propagation lag cannot fake a divergence). *)
 type repl_evidence = {
   r_ledger : (int * string) list;
   r_final_logs : (int * (int * string) list) list;
   r_probes : (float * bool) list;
+  r_dir_vs_log : (int * string list * string list) list;
 }
 
 type input = {

@@ -1,9 +1,11 @@
 module Engine = Weakset_sim.Engine
+module Rng = Weakset_sim.Rng
 module Topology = Weakset_net.Topology
 module Nodeid = Weakset_net.Nodeid
 module Fault = Weakset_net.Fault
 module Rpc = Weakset_net.Rpc
 module Node_server = Weakset_store.Node_server
+module Directory = Weakset_store.Directory
 module Client = Weakset_store.Client
 module Protocol = Weakset_store.Protocol
 module Oid = Weakset_store.Oid
@@ -23,9 +25,16 @@ type step =
   | Isolate of { node : int; at : float; heal_at : float }
   | Partition of { groups : int list list; at : float; heal_at : float }
   | Workload of { at : float; until : float; every : float }
+  | Storm of { at : float; until : float; clients : int; every : float }
   | Probe_stable of { at : float }
 
-type t = { name : string; replicas : int; until : float; steps : step list }
+type t = {
+  name : string;
+  replicas : int;
+  until : float;
+  admission : int option;
+  steps : step list;
+}
 
 let set_id = 1
 let heal_margin = 30.0
@@ -70,12 +79,34 @@ let validate scn =
           if until > scn.until -. heal_margin then
             fail "Workload runs past the heal margin (until %.1f)" until;
           if every <= 0.0 then fail "Workload every=%.2f must be positive" every
+      | Storm { at; until; clients; every } ->
+          if until <= at then fail "Storm window [%.1f,%.1f] is empty" at until;
+          if until > scn.until -. heal_margin then
+            fail "Storm runs past the heal margin (until %.1f)" until;
+          if clients < 1 then fail "Storm clients=%d must be positive" clients;
+          if every <= 0.0 then fail "Storm every=%.2f must be positive" every
       | Probe_stable { at } ->
           if not (in_run at) then fail "Probe_stable at=%.1f outside the run" at)
     scn.steps
 
 (* ------------------------------------------------------------------ *)
 (* Interpreter                                                        *)
+
+(* Fold canonical op renderings ("add oN@nM" / "remove oN@nM", see
+   {!Group.op_str}) back into a membership list. *)
+let fold_members ops =
+  List.fold_left
+    (fun acc op ->
+      match String.index_opt op ' ' with
+      | None -> acc
+      | Some sp ->
+          let verb = String.sub op 0 sp in
+          let oid = String.sub op (sp + 1) (String.length op - sp - 1) in
+          let without = List.filter (fun m -> not (String.equal m oid)) acc in
+          if String.equal verb "add" then oid :: without
+          else if String.equal verb "remove" then without
+          else acc)
+    [] ops
 
 type run_stats = {
   digest : string;
@@ -114,9 +145,12 @@ let execute ?(step_cap = default_step_cap) scn =
   let member_nodes = Array.to_list (Array.sub nodes 0 n) in
   let rpc = Rpc.create eng topo in
   let fault = Fault.create eng topo in
+  let admission =
+    Option.map (fun capacity -> { Node_server.capacity }) scn.admission
+  in
   let servers =
     Array.init n (fun i ->
-        let s = Node_server.create rpc nodes.(i) in
+        let s = Node_server.create ?admission rpc nodes.(i) in
         Node_server.host_directory s ~set_id ~policy:Node_server.Defer_removes_while_iterating;
         s)
   in
@@ -137,6 +171,10 @@ let execute ?(step_cap = default_step_cap) scn =
   in
   (* Shared across workload windows so every Add names a fresh oid. *)
   let opk = ref 0 and ops_ok = ref 0 and ops_failed = ref 0 in
+  (* Storm clients draw their retry jitter from split streams of a
+     scenario-seeded rng, so the whole backoff schedule is a pure
+     function of the scenario name. *)
+  let storm_rng = Rng.create seed in
   let probes = ref [] in
   let quorum_connected () =
     let up = List.filter (Topology.node_up topo) member_nodes in
@@ -168,6 +206,47 @@ let execute ?(step_cap = default_step_cap) scn =
           Engine.sleep eng every
         done)
   in
+  (* A retry storm: [clients] independent retry-budgeted clients hammer
+     the coordinator in lockstep.  Every client's first op is a mutation,
+     so the opening burst drives the admission queue past the Mutate
+     threshold and sheds mutations — the clean-no-op invariant the
+     planted shed bug violates; after that, mostly reads with a mutation
+     every fifth op keep the queue saturated while the budgets drain,
+     back off and refill. *)
+  let storm ~at ~until ~clients ~every =
+    for c = 0 to clients - 1 do
+      let retry =
+        {
+          Client.retry_rng = Rng.split storm_rng;
+          retry_burst = 10;
+          retry_refill = 0.5;
+          retry_backoff = 0.1;
+          retry_backoff_max = 5.0;
+          retry_attempts = 6;
+        }
+      in
+      let sc = Client.create ~retry rpc client_node in
+      Engine.spawn eng ~name:(Printf.sprintf "scn-storm-%.0f-%d" at c) (fun () ->
+          Engine.sleep eng at;
+          let k = ref 0 in
+          while Engine.now eng < until do
+            let result =
+              if !k mod 5 = 0 then
+                (* Storm oids live in their own namespace so they never
+                   collide with the steady workload's. *)
+                Client.dir_add sc sref
+                  (Oid.make ~num:(1_000_000 + (c * 10_000) + !k) ~home:nodes.(0))
+              else
+                Result.map
+                  (fun (_ : Weakset_store.Version.t * Oid.t list) -> ())
+                  (Client.dir_read sc ~from:nodes.(0) ~set_id)
+            in
+            (match result with Ok () -> incr ops_ok | Error _ -> incr ops_failed);
+            incr k;
+            Engine.sleep eng every
+          done)
+    done
+  in
   List.iter
     (fun step ->
       match step with
@@ -180,6 +259,7 @@ let execute ?(step_cap = default_step_cap) scn =
           let gs = List.map (List.map (fun i -> nodes.(i))) gs in
           Fault.schedule_partition fault ~at ~heal_at gs
       | Workload { at; until; every } -> workload ~at ~until ~every
+      | Storm { at; until; clients; every } -> storm ~at ~until ~clients ~every
       | Probe_stable { at } -> probe at)
     scn.steps;
   (* Close every fault before the horizon so the group has a quiet
@@ -207,8 +287,33 @@ let execute ?(step_cap = default_step_cap) scn =
       (fun e -> (e.Group.Ledger.l_opnum, e.Group.Ledger.l_op))
       (Group.Ledger.entries ledger)
   in
+  (* Shed safety: each survivor's directory next to the fold of its
+     ledger-justified committed entries.  A shed mutation that was not a
+     clean no-op put an effect in the directory (and the directory's own
+     log) that no ledger-acked commit justifies, so the two memberships
+     part ways — judged per node, so commit propagation lag between
+     nodes cannot fake a divergence. *)
+  let r_dir_vs_log =
+    List.filter_map
+      (fun i ->
+        let node = nodes.(i) in
+        if Topology.node_up topo node then
+          let dir_members =
+            Directory.members (Node_server.directory_truth servers.(i) ~set_id)
+            |> Oid.Set.elements
+            |> List.map (Format.asprintf "%a" Oid.pp)
+          in
+          let justified =
+            List.filter
+              (fun entry -> List.mem entry r_ledger)
+              (Group.committed_log groups.(i))
+          in
+          Some (Nodeid.to_int node, dir_members, fold_members (List.map snd justified))
+        else None)
+      (List.init n Fun.id)
+  in
   let evidence =
-    { Oracle.r_ledger; r_final_logs; r_probes = List.rev !probes }
+    { Oracle.r_ledger; r_final_logs; r_probes = List.rev !probes; r_dir_vs_log }
   in
   let engine_crashes =
     List.map
@@ -255,11 +360,15 @@ type outcome = {
 
 let passed o = o.o_deterministic && o.o_issues = []
 
-let run ?step_cap ?(planted = false) scn =
+let run ?step_cap ?(planted = false) ?(planted_shed = false) scn =
   let saved = !Group.planted_view_change_drop in
+  let saved_shed = !Node_server.planted_shed_after_apply in
   Group.planted_view_change_drop := planted;
+  Node_server.planted_shed_after_apply := planted_shed;
   Fun.protect
-    ~finally:(fun () -> Group.planted_view_change_drop := saved)
+    ~finally:(fun () ->
+      Group.planted_view_change_drop := saved;
+      Node_server.planted_shed_after_apply := saved_shed)
     (fun () ->
       (* Run the whole virtual history twice: a table entry only counts
          as passing if the replay is byte-identical. *)
@@ -287,12 +396,14 @@ let table =
       name = "steady-state";
       replicas = 3;
       until = 300.0;
+      admission = None;
       steps = [ steady_load; Probe_stable { at = 100.0 }; Probe_stable { at = 230.0 } ];
     };
     {
       name = "leader-crash-failover";
       replicas = 3;
       until = 300.0;
+      admission = None;
       steps =
         [
           steady_load;
@@ -305,6 +416,7 @@ let table =
       name = "leader-crash-mid-commit";
       replicas = 3;
       until = 300.0;
+      admission = None;
       steps =
         [
           (* Dense traffic so the crash lands between Prepare fan-out
@@ -319,6 +431,7 @@ let table =
       name = "partitioned-old-leader";
       replicas = 3;
       until = 300.0;
+      admission = None;
       steps =
         [
           steady_load;
@@ -333,6 +446,7 @@ let table =
       name = "dueling-view-changes";
       replicas = 5;
       until = 300.0;
+      admission = None;
       steps =
         [
           steady_load;
@@ -346,6 +460,7 @@ let table =
       name = "backup-crash";
       replicas = 3;
       until = 300.0;
+      admission = None;
       steps =
         [
           steady_load;
@@ -357,6 +472,7 @@ let table =
       name = "state-transfer-under-churn";
       replicas = 3;
       until = 300.0;
+      admission = None;
       steps =
         [
           (* r1 misses most of the run and returns far behind the
@@ -371,6 +487,7 @@ let table =
       name = "quorum-loss-recovery";
       replicas = 3;
       until = 400.0;
+      admission = None;
       steps =
         [
           Workload { at = 10.0; until = 350.0; every = 2.0 };
@@ -386,6 +503,7 @@ let table =
       name = "isolate-heal-isolate";
       replicas = 3;
       until = 300.0;
+      admission = None;
       steps =
         [
           steady_load;
@@ -399,6 +517,7 @@ let table =
       name = "double-failover";
       replicas = 5;
       until = 300.0;
+      admission = None;
       steps =
         [
           steady_load;
@@ -414,6 +533,7 @@ let table =
       name = "partition-majority-minority";
       replicas = 5;
       until = 300.0;
+      admission = None;
       steps =
         [
           steady_load;
@@ -428,6 +548,7 @@ let table =
       name = "old-leader-returns";
       replicas = 3;
       until = 300.0;
+      admission = None;
       steps =
         [
           steady_load;
@@ -441,6 +562,7 @@ let table =
       name = "flapping-replica";
       replicas = 3;
       until = 300.0;
+      admission = None;
       steps =
         [
           steady_load;
@@ -454,6 +576,7 @@ let table =
       name = "overlapping-isolations";
       replicas = 5;
       until = 300.0;
+      admission = None;
       steps =
         [
           steady_load;
@@ -471,11 +594,47 @@ let table =
       name = "rapid-churn";
       replicas = 3;
       until = 300.0;
+      admission = None;
       steps =
         [
           Workload { at = 5.0; until = 260.0; every = 0.25 };
           Probe_stable { at = 100.0 };
           Probe_stable { at = 200.0 };
+        ];
+    };
+    {
+      name = "retry-storm";
+      replicas = 3;
+      until = 300.0;
+      (* Capacity 8: reads shed at queue depth 4, mutations at 6 —
+         small enough that the storm's opening burst sheds mutations
+         (the planted-shed gate needs one) and its steady offered rate
+         (16/0.25 = 64/s against a 1/0.02 = 50/s server) keeps the
+         queue saturated, budgets draining and refilling. *)
+      admission = Some 8;
+      steps =
+        [
+          steady_load;
+          Storm { at = 30.0; until = 220.0; clients = 16; every = 0.25 };
+          Probe_stable { at = 120.0 };
+          Probe_stable { at = 230.0 };
+        ];
+    };
+    {
+      name = "shed-under-partition";
+      replicas = 3;
+      until = 300.0;
+      admission = Some 8;
+      steps =
+        [
+          steady_load;
+          Storm { at = 20.0; until = 240.0; clients = 12; every = 0.3 };
+          (* The backups pair off; the coordinator keeps the client but
+             loses its quorum, so mutations fail retryably while the
+             read storm keeps shedding against it. *)
+          Partition { groups = [ [ 1; 2 ] ]; at = 60.0; heal_at = 160.0 };
+          Probe_stable { at = 130.0 };
+          Probe_stable { at = 230.0 };
         ];
     };
   ]

@@ -29,12 +29,27 @@ type step =
   | Workload of { at : float; until : float; every : float }
       (** deterministic client ops every [every]: two adds then a
           remove, every op effective when acked *)
+  | Storm of { at : float; until : float; clients : int; every : float }
+      (** a retry storm: [clients] retry-budgeted clients (each with its
+          own {!Weakset_sim.Rng.split} jitter stream) hammer the
+          coordinator every [every] — mostly reads, a mutation every
+          fifth op, and every client's {e first} op a mutation so the
+          opening burst sheds past the Mutate threshold.  Only
+          meaningful with [admission] set *)
   | Probe_stable of { at : float }
       (** record whether the group has a stable leader (excused while
           not quorum-connected) — evidence for the oracle's
           view-change-liveness verdict *)
 
-type t = { name : string; replicas : int; until : float; steps : step list }
+type t = {
+  name : string;
+  replicas : int;
+  until : float;
+  admission : int option;
+      (** per-node admission-control capacity ({!Weakset_store.Node_server.admission});
+          [None] runs without admission, preserving pre-admission digests *)
+  steps : step list;
+}
 
 (** Raises [Invalid_argument] on out-of-range replica names, empty or
     inverted fault windows, or workload running past the heal margin. *)
@@ -56,8 +71,11 @@ val passed : outcome -> bool
 (** [run scn] executes [scn] twice and judges it.  [planted] arms
     {!Weakset_repl.Group.planted_view_change_drop} for the duration —
     the commit-safety verdicts must then fire on any scenario that
-    elects a new leader with traffic in flight. *)
-val run : ?step_cap:int -> ?planted:bool -> t -> outcome
+    elects a new leader with traffic in flight.  [planted_shed] arms
+    {!Weakset_store.Node_server.planted_shed_after_apply} — the oracle's
+    shed-divergence verdict must then fire on any scenario that sheds a
+    mutation (e.g. [retry-storm]). *)
+val run : ?step_cap:int -> ?planted:bool -> ?planted_shed:bool -> t -> outcome
 
 (** The shipped table (≥ 12 rows, all expected to pass unplanted). *)
 val table : t list

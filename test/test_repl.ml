@@ -380,6 +380,7 @@ let test_oracle_commit_lost () =
         Oracle.r_ledger = [ (1, "add a"); (2, "add b") ];
         r_final_logs = [ (0, [ (1, "add a"); (2, "add b") ]); (1, [ (1, "add a") ]) ];
         r_probes = [];
+        r_dir_vs_log = [];
       }
   in
   check_bool "commit-lost raised" true (List.mem "commit-lost" (categories issues))
@@ -391,6 +392,7 @@ let test_oracle_commit_reordered () =
         Oracle.r_ledger = [ (1, "add a"); (2, "add b") ];
         r_final_logs = [ (0, [ (1, "add a"); (2, "add c") ]) ];
         r_probes = [];
+        r_dir_vs_log = [];
       }
   in
   check_bool "commit-reordered raised" true (List.mem "commit-reordered" (categories issues))
@@ -398,7 +400,12 @@ let test_oracle_commit_reordered () =
 let test_oracle_election_overdue () =
   let issues =
     judge_repl
-      { Oracle.r_ledger = []; r_final_logs = []; r_probes = [ (50.0, true); (80.0, false) ] }
+      {
+        Oracle.r_ledger = [];
+        r_final_logs = [];
+        r_probes = [ (50.0, true); (80.0, false) ];
+        r_dir_vs_log = [];
+      }
   in
   check_bool "election-overdue raised" true (List.mem "election-overdue" (categories issues))
 
@@ -409,6 +416,7 @@ let test_oracle_clean_evidence_passes () =
         Oracle.r_ledger = [ (1, "add a") ];
         r_final_logs = [ (0, [ (1, "add a") ]); (1, [ (1, "add a") ]) ];
         r_probes = [ (50.0, true) ];
+        r_dir_vs_log = [ (0, [ "o1" ], [ "o1" ]) ];
       }
   in
   check_int "no issues" 0 (List.length issues)
